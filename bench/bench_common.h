@@ -1,0 +1,58 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary regenerates one experiment from DESIGN.md's
+// per-experiment index: it prints the series the paper's theorem predicts
+// (who wins, by what growth rate) as an aligned table, and registers
+// google-benchmark timings for the algorithmic kernels involved.
+#ifndef OISCHED_BENCH_COMMON_H
+#define OISCHED_BENCH_COMMON_H
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "core/instance.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace oisched::bench {
+
+/// Deterministic workload seeds: every experiment is reproducible.
+inline constexpr std::uint64_t kWorkloadSeed = 20090810;  // PODC'09
+
+inline Instance make_random(std::size_t n, std::uint64_t salt = 0) {
+  Rng rng(kWorkloadSeed + salt);
+  return random_square(n, {}, rng);
+}
+
+inline Instance make_clustered(std::size_t n, std::uint64_t salt = 0) {
+  Rng rng(kWorkloadSeed + 17 + salt);
+  return clustered(n, {}, rng);
+}
+
+/// Prints the experiment banner + claim, so bench output reads standalone.
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+inline void emit(const Table& table) {
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+/// Runs registered google-benchmark timings, then returns so the claim
+/// tables can be printed by the caller.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace oisched::bench
+
+#endif  // OISCHED_BENCH_COMMON_H

@@ -1,0 +1,86 @@
+// Extension (Section 1.3): strong-connectivity scheduling, the workload of
+// Moscibroda–Wattenhofer [12] that motivated the area.
+//
+// Series: colors needed to schedule the MST request set of n nodes, for
+// uniform / linear / square-root powers and power control — on random
+// topologies and on the exponential-line configuration where [12] proved
+// uniform and linear collapse to Omega(n). Expected shape: on the
+// exponential line the uniform/linear columns grow ~n while sqrt and PC
+// stay polylog-flat; on random topologies everything is modest.
+#include "bench_common.h"
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "gen/connectivity.h"
+#include "sinr/model.h"
+
+namespace {
+
+using namespace oisched;
+using bench::banner;
+using bench::emit;
+
+void run_table() {
+  banner("Section 1.3 — strong connectivity (MST request sets)",
+         "Claim ([12], the paper's motivation): on adversarial node\n"
+         "placements, uniform and linear powers need Omega(n) colors to\n"
+         "schedule connectivity; good assignments need polylog.");
+
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+
+  Table table({"topology", "nodes", "edges", "uniform", "linear", "sqrt",
+               "power-control"});
+  for (const std::string topology : {"random", "exp-line"}) {
+    for (const std::size_t nodes : {16u, 32u, 64u, 128u}) {
+      Rng rng(bench::kWorkloadSeed + nodes);
+      const Instance inst = topology == "random"
+                                ? mst_connectivity_instance(nodes, 2000.0, rng)
+                                : exponential_line_connectivity(nodes);
+      auto colors = [&](const PowerAssignment& assignment) {
+        const auto powers = assignment.assign(inst, params.alpha);
+        return greedy_coloring(inst, powers, params, Variant::bidirectional).num_colors;
+      };
+      const int pc = nodes <= 64
+                         ? greedy_power_control_coloring(inst, params,
+                                                         Variant::bidirectional)
+                               .schedule.num_colors
+                         : -1;
+      table.add(topology, nodes, inst.size(), colors(UniformPower{}),
+                colors(LinearPower{}), colors(SqrtPower{}),
+                pc >= 0 ? std::to_string(pc) : std::string("-"));
+    }
+  }
+  emit(table);
+}
+
+void BM_MstGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mst_connectivity_instance(n, 2000.0, rng));
+  }
+}
+BENCHMARK(BM_MstGeneration)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_ConnectivityScheduling(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Instance inst = mst_connectivity_instance(n, 2000.0, rng);
+  SinrParams params;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        greedy_coloring(inst, powers, params, Variant::bidirectional));
+  }
+}
+BENCHMARK(BM_ConnectivityScheduling)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = oisched::bench::run_benchmarks(argc, argv);
+  if (rc != 0) return rc;
+  run_table();
+  return 0;
+}

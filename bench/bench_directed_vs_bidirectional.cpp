@@ -1,0 +1,95 @@
+// Experiment S6a (Section 6): the bidirectional model can be simulated by
+// the directed one using twice the number of colors; how do the two
+// variants' schedule lengths actually compare?
+//
+// Series: colors for the same instances and powers under (a) bidirectional
+// constraints, (b) directed constraints, (c) the 2x directed simulation of
+// the bidirectional schedule (validated). Expected shape:
+// colors(directed) <= colors(bidirectional) <= 2 * colors(directed)-ish,
+// and the 2x simulation is always valid.
+#include <vector>
+
+#include "bench_common.h"
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "core/schedule.h"
+#include "sinr/model.h"
+
+namespace {
+
+using namespace oisched;
+using bench::banner;
+using bench::emit;
+
+/// Validates the Section-6 transformation: a k-color bidirectional
+/// schedule becomes a 2k-color directed one (u->v pass then v->u pass).
+bool two_pass_simulation_valid(const Instance& inst, std::span<const double> powers,
+                               const Schedule& bidir, const SinrParams& params) {
+  if (!validate_schedule(inst, powers, bidir, params, Variant::directed).valid) {
+    return false;
+  }
+  std::vector<Request> flipped;
+  flipped.reserve(inst.size());
+  for (const Request& r : inst.requests()) flipped.push_back(Request{r.v, r.u});
+  const Instance reversed(inst.metric_ptr(), std::move(flipped));
+  return validate_schedule(reversed, powers, bidir, params, Variant::directed).valid;
+}
+
+void run_table() {
+  banner("Section 6 — directed vs bidirectional schedule length",
+         "Claim: bidirectional is at most a factor 2 away from directed\n"
+         "(simulate each full-duplex slot by two directed slots).");
+
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+
+  Table table({"workload", "n", "colors(bidir)", "colors(directed)",
+               "bidir/directed", "2x-simulation-valid"});
+  for (const std::string workload : {"random", "clustered"}) {
+    for (const std::size_t n : {32u, 64u, 128u, 256u}) {
+      const Instance inst =
+          workload == "random" ? bench::make_random(n, 7 * n) : bench::make_clustered(n, 7 * n);
+      const auto powers = SqrtPower{}.assign(inst, params.alpha);
+      const Schedule bidir =
+          greedy_coloring(inst, powers, params, Variant::bidirectional);
+      const Schedule directed = greedy_coloring(inst, powers, params, Variant::directed);
+      table.add(workload, n, bidir.num_colors, directed.num_colors,
+                static_cast<double>(bidir.num_colors) / directed.num_colors,
+                two_pass_simulation_valid(inst, powers, bidir, params) ? "yes" : "NO");
+    }
+  }
+  emit(table);
+}
+
+void BM_BidirectionalGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = oisched::bench::make_random(n, 11 * n);
+  SinrParams params;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        greedy_coloring(inst, powers, params, Variant::bidirectional));
+  }
+}
+BENCHMARK(BM_BidirectionalGreedy)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_DirectedGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = oisched::bench::make_random(n, 11 * n);
+  SinrParams params;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_coloring(inst, powers, params, Variant::directed));
+  }
+}
+BENCHMARK(BM_DirectedGreedy)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = oisched::bench::run_benchmarks(argc, argv);
+  if (rc != 0) return rc;
+  run_table();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Extension (Section 6 open problem): how close does a fully distributed
+// protocol get to the centralized square-root coloring?
+//
+// Series: compacted schedule length, raw drain time (slots incl. idle and
+// collision slots) and per-request transmission counts of the slotted
+// ALOHA + backoff protocol vs the Section-5 algorithm, as n grows.
+// Expected shape: the distributed column tracks the centralized one within
+// a modest factor on benign workloads — whether a polylog guarantee exists
+// is exactly the question the paper leaves open.
+#include "bench_common.h"
+#include "core/distributed.h"
+#include "core/power_assignment.h"
+#include "core/sqrt_coloring.h"
+#include "sinr/model.h"
+
+namespace {
+
+using namespace oisched;
+using bench::banner;
+using bench::emit;
+
+void run_table() {
+  banner("Section 6 (open problem) — distributed vs centralized coloring",
+         "Slotted ALOHA with multiplicative backoff under square-root\n"
+         "powers, against the centralized Section-5 algorithm.");
+
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+
+  Table table({"workload", "n", "colors(central)", "colors(dist,compact)",
+               "drain-slots", "tx/request", "collision-rate"});
+  for (const std::string workload : {"random", "clustered"}) {
+    for (const std::size_t n : {16u, 32u, 64u, 128u}) {
+      const Instance inst =
+          workload == "random" ? bench::make_random(n, 23 * n) : bench::make_clustered(n, 23 * n);
+      const auto powers = SqrtPower{}.assign(inst, params.alpha);
+
+      const SqrtColoringResult central =
+          sqrt_coloring(inst, params, Variant::bidirectional);
+      DistributedOptions options;
+      options.seed = 5;
+      const DistributedResult dist =
+          distributed_coloring(inst, powers, params, Variant::bidirectional, options);
+      const Schedule compacted = compact_schedule(dist.schedule);
+      table.add(workload, n, central.schedule.num_colors, compacted.num_colors,
+                static_cast<unsigned long>(dist.slots),
+                static_cast<double>(dist.transmissions) / static_cast<double>(n),
+                dist.transmissions > 0
+                    ? static_cast<double>(dist.collisions) /
+                          static_cast<double>(dist.transmissions)
+                    : 0.0);
+    }
+  }
+  emit(table);
+}
+
+void BM_DistributedProtocol(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = oisched::bench::make_random(n, 29 * n);
+  SinrParams params;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        distributed_coloring(inst, powers, params, Variant::bidirectional));
+  }
+}
+BENCHMARK(BM_DistributedProtocol)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = oisched::bench::run_benchmarks(argc, argv);
+  if (rc != 0) return rc;
+  run_table();
+  return 0;
+}

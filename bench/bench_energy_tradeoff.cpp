@@ -1,0 +1,90 @@
+// Experiment S6b (Section 6 / reference [5]): performance vs energy.
+//
+// The square-root assignment raises the power of short links to buy
+// schedule length; the linear assignment is the energy-minimal oblivious
+// choice. Series: schedule length and total transmit energy (per-class
+// minimal scaling against an ambient-noise floor) for uniform, linear and
+// square-root assignments, across aspect ratios. Expected shape: linear
+// wins on energy, square root wins on colors, uniform loses on both once
+// lengths vary; the gap widens with the aspect ratio.
+#include <vector>
+
+#include "bench_common.h"
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "core/schedule.h"
+#include "metric/checks.h"
+#include "sinr/model.h"
+
+namespace {
+
+using namespace oisched;
+using bench::banner;
+using bench::emit;
+
+void run_table() {
+  banner("Section 6 — energy vs schedule length",
+         "Claim: the square root trades energy for schedule length against\n"
+         "the (energy-efficient) linear assignment; the gap grows with the\n"
+         "aspect ratio. Energy = sum of per-class minimally-scaled powers\n"
+         "against a noise floor (normalized to linear = 1 per row).");
+
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  params.noise = 1e-6;
+
+  // energy*colors is the energy-delay product: shorter schedules pack more
+  // interference per slot and must shout over it, so reading either column
+  // alone is misleading.
+  Table table({"max/min length", "assignment", "colors", "energy(norm)",
+               "energy*colors"});
+  for (const double max_length : {8.0, 64.0, 512.0}) {
+    RandomSquareOptions opt;
+    opt.side = 3000.0;
+    opt.min_length = 1.0;
+    opt.max_length = max_length;
+    Rng rng(bench::kWorkloadSeed + static_cast<std::uint64_t>(max_length));
+    const Instance inst = random_square(96, opt, rng);
+
+    // Reference energy: the linear assignment.
+    double linear_energy = 0.0;
+    std::vector<std::tuple<std::string, int, double>> rows;
+    for (const auto& assignment : standard_assignments()) {
+      const auto powers = assignment->assign(inst, params.alpha);
+      const Schedule schedule =
+          greedy_coloring(inst, powers, params, Variant::bidirectional);
+      const double energy =
+          schedule_energy(inst, powers, schedule, params, Variant::bidirectional);
+      if (assignment->name() == "linear") linear_energy = energy;
+      rows.emplace_back(assignment->name(), schedule.num_colors, energy);
+    }
+    for (const auto& [name, colors, energy] : rows) {
+      const double normalized = linear_energy > 0.0 ? energy / linear_energy : energy;
+      table.add(max_length, name, colors, normalized, normalized * colors);
+    }
+  }
+  emit(table);
+}
+
+void BM_ScheduleEnergy(benchmark::State& state) {
+  const Instance inst = oisched::bench::make_random(96, 51);
+  SinrParams params;
+  params.noise = 1e-6;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  const Schedule schedule = greedy_coloring(inst, powers, params, Variant::bidirectional);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        schedule_energy(inst, powers, schedule, params, Variant::bidirectional));
+  }
+}
+BENCHMARK(BM_ScheduleEnergy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = oisched::bench::run_benchmarks(argc, argv);
+  if (rc != 0) return rc;
+  run_table();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment T15 (Theorem 15, Section 5): the randomized LP-based coloring
+// algorithm for the square-root assignment is an O(log n) approximation.
+//
+// Series: colors and runtime of the Section-5 algorithm (distance classes +
+// LP + randomized rounding + Prop-3 thinning) against the plain first-fit
+// greedy under the same square-root powers, and against the exact optimum
+// for small n. Expected shape: both stay within a (log n)-ish factor of
+// each other and of OPT; the LP path pays runtime for slightly better or
+// comparable colors.
+#include <vector>
+
+#include "bench_common.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "core/sqrt_coloring.h"
+#include "sinr/model.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace oisched;
+using bench::banner;
+using bench::emit;
+
+void run_table() {
+  banner("Theorem 15 — the Section-5 coloring algorithm",
+         "Claim: O(log n)-approximate coloring under the square-root\n"
+         "assignment in polynomial time. Comparators: first-fit greedy with\n"
+         "the same powers; exact OPT(sqrt) for n <= 14.");
+
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+
+  Table table({"n", "colors(S5-LP)", "colors(S5-noLP)", "colors(greedy)", "exact",
+               "lp-solves", "time-S5[ms]", "time-greedy[ms]"});
+  for (const std::size_t n : {12u, 24u, 48u, 96u, 192u}) {
+    const Instance inst = bench::make_random(n, 31 * n);
+    const auto powers = SqrtPower{}.assign(inst, params.alpha);
+
+    Stopwatch sw_lp;
+    SqrtColoringOptions lp_options;
+    lp_options.seed = 11;
+    const SqrtColoringResult with_lp =
+        sqrt_coloring(inst, params, Variant::bidirectional, lp_options);
+    const double t_lp = sw_lp.elapsed_ms();
+
+    SqrtColoringOptions no_lp = lp_options;
+    no_lp.use_lp = false;
+    const SqrtColoringResult without_lp =
+        sqrt_coloring(inst, params, Variant::bidirectional, no_lp);
+
+    Stopwatch sw_greedy;
+    const Schedule greedy = greedy_coloring(inst, powers, params, Variant::bidirectional);
+    const double t_greedy = sw_greedy.elapsed_ms();
+
+    std::string exact = "-";
+    if (n <= 14) {
+      exact = std::to_string(
+          exact_min_colors(inst, powers, params, Variant::bidirectional).num_colors);
+    }
+    table.add(n, with_lp.schedule.num_colors, without_lp.schedule.num_colors,
+              greedy.num_colors, exact, with_lp.stats.lp_solves, t_lp, t_greedy);
+  }
+  emit(table);
+}
+
+void BM_Section5WithLp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = oisched::bench::make_random(n, 5 * n);
+  SinrParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sqrt_coloring(inst, params, Variant::bidirectional));
+  }
+}
+BENCHMARK(BM_Section5WithLp)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_FirstFitGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = oisched::bench::make_random(n, 5 * n);
+  SinrParams params;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        greedy_coloring(inst, powers, params, Variant::bidirectional));
+  }
+}
+BENCHMARK(BM_FirstFitGreedy)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = oisched::bench::run_benchmarks(argc, argv);
+  if (rc != 0) return rc;
+  run_table();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Experiment T2 (Theorem 2, Sections 3-4): in the bidirectional variant,
+// the square-root assignment admits a coloring within polylog(n) of the
+// unrestricted optimum, on any metric.
+//
+// Series: colors(sqrt algorithm) vs a comparator for the optimum, as n
+// grows over three workload families. The comparator is the power-control
+// greedy (an upper bound on OPT, so the reported ratio is a *lower* bound
+// on the true approximation factor); for small n the exact OPT is used.
+// Expected shape: the ratio grows at most polylogarithmically — its
+// log-log slope vs n stays near 0, far below 1.
+#include <vector>
+
+#include "bench_common.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/sqrt_coloring.h"
+#include "sinr/model.h"
+
+namespace {
+
+using namespace oisched;
+using bench::banner;
+using bench::emit;
+
+void run_table() {
+  banner("Theorem 2 — square-root assignment is polylog-competitive "
+         "(bidirectional)",
+         "Claim: colors(sqrt) / OPT <= polylog(n) on every metric.\n"
+         "Comparator: power-control greedy (>= OPT), exact OPT for n <= 12.");
+
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+
+  Table table({"workload", "n", "colors(sqrt)", "colors(PC-greedy)", "ratio",
+               "exact-OPT"});
+  for (const std::string workload : {"random", "clustered", "nested"}) {
+    std::vector<double> xs;
+    std::vector<double> ratios;
+    for (const std::size_t n : {12u, 24u, 48u, 96u, 192u}) {
+      if (workload == "nested" && n > 48) continue;  // double-range guard
+      Instance inst = [&] {
+        if (workload == "random") return bench::make_random(n, n);
+        if (workload == "clustered") return bench::make_clustered(n, n);
+        return nested_chain(n, 2.0, params.alpha);
+      }();
+      SqrtColoringOptions options;
+      options.seed = 7;
+      const SqrtColoringResult sqrt_result =
+          sqrt_coloring(inst, params, Variant::bidirectional, options);
+      const PowerControlColoring pc =
+          greedy_power_control_coloring(inst, params, Variant::bidirectional);
+      const double ratio = static_cast<double>(sqrt_result.schedule.num_colors) /
+                           pc.schedule.num_colors;
+      std::string exact = "-";
+      if (inst.size() <= 12) {
+        exact = std::to_string(
+            exact_min_colors_power_control(inst, params, Variant::bidirectional)
+                .num_colors);
+      }
+      table.add(workload, inst.size(), sqrt_result.schedule.num_colors,
+                pc.schedule.num_colors, ratio, exact);
+      xs.push_back(static_cast<double>(inst.size()));
+      ratios.push_back(ratio);
+    }
+    std::cout << "log-log slope of ratio vs n (" << workload
+              << "): " << log_log_slope(xs, ratios)
+              << "  (polylog shape: ~0, linear would be ~1)\n";
+  }
+  std::cout << '\n';
+  emit(table);
+}
+
+void BM_SqrtColoring(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = oisched::bench::make_random(n, 999);
+  SinrParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sqrt_coloring(inst, params, Variant::bidirectional));
+  }
+}
+BENCHMARK(BM_SqrtColoring)->Arg(32)->Arg(96)->Unit(benchmark::kMillisecond);
+
+void BM_PowerControlGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Instance inst = oisched::bench::make_random(n, 999);
+  SinrParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        greedy_power_control_coloring(inst, params, Variant::bidirectional));
+  }
+}
+BENCHMARK(BM_PowerControlGreedy)->Arg(32)->Arg(96)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = oisched::bench::run_benchmarks(argc, argv);
+  if (rc != 0) return rc;
+  run_table();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// The Theorem-1 experiment as a runnable story: build the adversarial line
+// family against a chosen oblivious assignment, watch the assignment
+// collapse to ~n colors while per-class power control sails through in
+// O(1).
+//
+//   $ ./adversarial_directed [n] [assignment]      (uniform|linear|1.5)
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "gen/adversarial.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace oisched;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 32;
+  const std::string which = argc > 2 ? argv[2] : "linear";
+
+  std::unique_ptr<PowerAssignment> assignment;
+  if (which == "uniform") {
+    assignment = std::make_unique<UniformPower>();
+  } else if (which == "1.5") {
+    assignment = std::make_unique<ExponentPower>(1.5);
+  } else {
+    assignment = std::make_unique<LinearPower>();
+  }
+
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+
+  std::cout << "building the Theorem-1 family against '" << assignment->name()
+            << "' (alpha=" << params.alpha << ", beta=" << params.beta << ")\n";
+  const AdversarialFamily family = theorem1_family(n, *assignment, params.alpha);
+  std::cout << "topology: "
+            << (family.used == AdversarialTopology::chain ? "recursive chain"
+                                                          : "nested (bounded-f case)")
+            << ", built " << family.built << "/" << n << " requests\n\n";
+
+  const auto powers = assignment->assign(family.instance, params.alpha);
+  const Schedule oblivious =
+      greedy_coloring(family.instance, powers, params, Variant::directed);
+  const PowerControlColoring optimal =
+      greedy_power_control_coloring(family.instance, params, Variant::directed);
+
+  Table table({"scheduler", "colors", "colors/n"});
+  table.add("greedy with " + assignment->name(), oblivious.num_colors,
+            static_cast<double>(oblivious.num_colors) / static_cast<double>(family.built));
+  table.add("greedy with power control", optimal.schedule.num_colors,
+            static_cast<double>(optimal.schedule.num_colors) /
+                static_cast<double>(family.built));
+  table.print(std::cout);
+
+  std::cout << "\nTheorem 1: the oblivious column grows linearly with n; the\n"
+               "power-control column stays constant. Try different n.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Side-by-side comparison of the oblivious power assignments on the two
+// instance families the paper's introduction is built around: the nested
+// chain (Section 1.2) and random topologies.
+//
+//   $ ./power_assignment_comparison [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/greedy.h"
+#include "core/max_feasible.h"
+#include "core/power_assignment.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace oisched;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 24;
+
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+
+  // Family 1: the nested chain. "One color" capacity per assignment.
+  const Instance nested = nested_chain(std::min<std::size_t>(n, 48), 2.0, params.alpha);
+  std::cout << "nested chain, " << nested.size()
+            << " requests (u_i = -2^i, v_i = 2^i):\n";
+  Table chain_table({"assignment", "max one-color set", "greedy colors (bidirectional)"});
+  for (const auto& assignment : standard_assignments()) {
+    const auto powers = assignment->assign(nested, params.alpha);
+    const std::size_t single =
+        nested.size() <= 18
+            ? exact_max_feasible_subset(nested, powers, params, Variant::bidirectional)
+                  .size()
+            : greedy_max_feasible_subset(nested, powers, params, Variant::bidirectional)
+                  .size();
+    const Schedule schedule =
+        greedy_coloring(nested, powers, params, Variant::bidirectional);
+    chain_table.add(assignment->name(), single, schedule.num_colors);
+  }
+  chain_table.print(std::cout);
+  std::cout << "\n-> the square root balances nested interference (Section 1.2);\n"
+               "   uniform drowns outer pairs, linear/superlinear drown inner ones.\n\n";
+
+  // Family 2: random topology, both variants.
+  Rng rng(42);
+  const Instance random = random_square(n, {}, rng);
+  std::cout << "random square, " << random.size() << " requests:\n";
+  Table random_table({"assignment", "colors (directed)", "colors (bidirectional)"});
+  for (const auto& assignment : standard_assignments()) {
+    const auto powers = assignment->assign(random, params.alpha);
+    random_table.add(
+        assignment->name(),
+        greedy_coloring(random, powers, params, Variant::directed).num_colors,
+        greedy_coloring(random, powers, params, Variant::bidirectional).num_colors);
+  }
+  random_table.print(std::cout);
+  std::cout << "\n-> on benign topologies the assignments are close; the paper's\n"
+               "   separations live on adversarial geometry (see the benches).\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "core/exact.h"
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "sinr/power_control.h"
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+using Mask = std::uint32_t;
+
+std::vector<std::size_t> mask_to_indices(Mask mask) {
+  std::vector<std::size_t> idx;
+  for (Mask m = mask; m != 0; m &= m - 1) {
+    idx.push_back(static_cast<std::size_t>(std::countr_zero(m)));
+  }
+  return idx;
+}
+
+/// Feasibility of every subset, using downward closure: a mask is checked
+/// with the (possibly expensive) oracle only when all its one-smaller
+/// submasks are feasible.
+std::vector<char> feasible_table(std::size_t n,
+                                 const std::function<bool(Mask)>& oracle) {
+  const Mask full = (Mask{1} << n) - 1;
+  std::vector<char> feasible(full + 1, 0);
+  feasible[0] = 1;
+  for (Mask mask = 1; mask <= full; ++mask) {
+    bool submasks_ok = true;
+    for (Mask m = mask; m != 0; m &= m - 1) {
+      const Mask without = mask & ~(m & (~m + 1));
+      if (!feasible[without]) {
+        submasks_ok = false;
+        break;
+      }
+    }
+    feasible[mask] = submasks_ok && oracle(mask) ? 1 : 0;
+  }
+  return feasible;
+}
+
+/// Minimum partition of {0..n-1} into feasible subsets, via subset DP.
+ExactResult partition_dp(std::size_t n, const std::vector<char>& feasible) {
+  const Mask full = (Mask{1} << n) - 1;
+  constexpr int kUnreachable = std::numeric_limits<int>::max() / 2;
+  std::vector<int> dp(full + 1, kUnreachable);
+  std::vector<Mask> choice(full + 1, 0);
+  dp[0] = 0;
+  for (Mask mask = 1; mask <= full; ++mask) {
+    // Fix the lowest uncovered request; it must belong to some class, which
+    // restricts the submask enumeration enough to be fast.
+    const Mask lowest = mask & (~mask + 1);
+    for (Mask sub = mask; sub != 0; sub = (sub - 1) & mask) {
+      if (!(sub & lowest)) continue;
+      if (!feasible[sub]) continue;
+      const int cand = dp[mask & ~sub] + 1;
+      if (cand < dp[mask]) {
+        dp[mask] = cand;
+        choice[mask] = sub;
+      }
+    }
+  }
+  ensure(dp[full] < kUnreachable, "exact: full instance must be partitionable");
+
+  ExactResult result;
+  result.num_colors = dp[full];
+  result.schedule.color_of.assign(n, -1);
+  result.schedule.num_colors = dp[full];
+  int color = 0;
+  for (Mask rest = full; rest != 0; rest &= ~choice[rest], ++color) {
+    for (const std::size_t i : mask_to_indices(choice[rest])) {
+      result.schedule.color_of[i] = color;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ExactResult exact_min_colors(const Instance& instance, std::span<const double> powers,
+                             const SinrParams& params, Variant variant) {
+  const std::size_t n = instance.size();
+  require(n >= 1 && n <= 16, "exact_min_colors: limited to 1 <= n <= 16");
+  require(powers.size() == n, "exact_min_colors: one power per request");
+  params.validate();
+  auto oracle = [&](Mask mask) {
+    const auto idx = mask_to_indices(mask);
+    return check_feasible(instance.metric(), instance.requests(), powers, idx, params,
+                          variant)
+        .feasible;
+  };
+  return partition_dp(n, feasible_table(n, oracle));
+}
+
+ExactResult exact_min_colors_power_control(const Instance& instance,
+                                           const SinrParams& params, Variant variant) {
+  const std::size_t n = instance.size();
+  require(n >= 1 && n <= 13, "exact_min_colors_power_control: limited to 1 <= n <= 13");
+  params.validate();
+  auto oracle = [&](Mask mask) {
+    const auto idx = mask_to_indices(mask);
+    return power_control_feasible(instance.metric(), instance.requests(), idx, params,
+                                  variant)
+        .feasible;
+  };
+  return partition_dp(n, feasible_table(n, oracle));
+}
+
+}  // namespace oisched

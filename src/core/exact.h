@@ -1,0 +1,39 @@
+// Exact minimum number of colors for small instances.
+//
+// Enumerates SINR-feasible subsets (downward closed, so infeasibility
+// propagates upward and most Perron–Frobenius runs are skipped) and solves
+// the minimum partition into feasible classes by dynamic programming over
+// subsets. Exponential by nature — the problem is strongly NP-hard (the
+// paper cites a reduction from 3-Partition) — but exact up to ~16 requests,
+// which is what the approximation-ratio experiments need for their
+// denominators.
+#ifndef OISCHED_CORE_EXACT_H
+#define OISCHED_CORE_EXACT_H
+
+#include <optional>
+#include <span>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace oisched {
+
+struct ExactResult {
+  int num_colors = 0;
+  Schedule schedule;  // an optimal coloring
+};
+
+/// Exact optimum under a fixed power vector. Precondition: size <= 16.
+[[nodiscard]] ExactResult exact_min_colors(const Instance& instance,
+                                           std::span<const double> powers,
+                                           const SinrParams& params, Variant variant);
+
+/// Exact optimum when every color class may choose its own powers (the
+/// unrestricted optimum OPT of the paper). Precondition: size <= 13.
+[[nodiscard]] ExactResult exact_min_colors_power_control(const Instance& instance,
+                                                         const SinrParams& params,
+                                                         Variant variant);
+
+}  // namespace oisched
+
+#endif  // OISCHED_CORE_EXACT_H

@@ -1,0 +1,100 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "sinr/power_control.h"
+#include "util/error.h"
+
+namespace oisched {
+
+std::vector<std::size_t> ordered_indices(const Instance& instance, RequestOrder order) {
+  std::vector<std::size_t> idx = instance.all_indices();
+  switch (order) {
+    case RequestOrder::as_given:
+      break;
+    case RequestOrder::longest_first:
+      std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return instance.length(a) > instance.length(b);
+      });
+      break;
+    case RequestOrder::shortest_first:
+      std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return instance.length(a) < instance.length(b);
+      });
+      break;
+  }
+  return idx;
+}
+
+Schedule greedy_coloring(const Instance& instance, std::span<const double> powers,
+                         const SinrParams& params, Variant variant, RequestOrder order) {
+  require(powers.size() == instance.size(), "greedy_coloring: one power per request");
+  Schedule schedule;
+  schedule.color_of.assign(instance.size(), -1);
+
+  std::vector<std::unique_ptr<IncrementalClass>> classes;
+  for (const std::size_t i : ordered_indices(instance, order)) {
+    bool placed = false;
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      if (classes[c]->can_add(i)) {
+        classes[c]->add(i);
+        schedule.color_of[i] = static_cast<int>(c);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      classes.push_back(std::make_unique<IncrementalClass>(
+          instance.metric(), instance.requests(), powers, params, variant));
+      classes.back()->add(i);
+      schedule.color_of[i] = static_cast<int>(classes.size() - 1);
+    }
+  }
+  schedule.num_colors = static_cast<int>(classes.size());
+  return schedule;
+}
+
+PowerControlColoring greedy_power_control_coloring(const Instance& instance,
+                                                   const SinrParams& params,
+                                                   Variant variant, RequestOrder order) {
+  PowerControlColoring result;
+  result.schedule.color_of.assign(instance.size(), -1);
+
+  std::vector<std::vector<std::size_t>> classes;
+  for (const std::size_t i : ordered_indices(instance, order)) {
+    bool placed = false;
+    for (auto& members : classes) {
+      members.push_back(i);
+      if (power_control_feasible(instance.metric(), instance.requests(), members, params,
+                                 variant)
+              .feasible) {
+        result.schedule.color_of[i] = static_cast<int>(&members - classes.data());
+        placed = true;
+        break;
+      }
+      members.pop_back();
+    }
+    if (!placed) {
+      classes.push_back({i});
+      result.schedule.color_of[i] = static_cast<int>(classes.size() - 1);
+    }
+  }
+  result.schedule.num_colors = static_cast<int>(classes.size());
+
+  // Recompute witness powers per final class, ordered as color_classes()
+  // reports members (increasing request index).
+  for (auto& members : classes) std::sort(members.begin(), members.end());
+  result.class_powers.reserve(classes.size());
+  for (const auto& members : classes) {
+    PowerControlResult pc = power_control_feasible(instance.metric(), instance.requests(),
+                                                   members, params, variant);
+    ensure(pc.feasible, "greedy_power_control_coloring: final class must be feasible");
+    if (pc.witness_powers.empty()) pc.witness_powers.assign(members.size(), 1.0);
+    result.class_powers.push_back(std::move(pc.witness_powers));
+  }
+  return result;
+}
+
+}  // namespace oisched

@@ -1,0 +1,44 @@
+#include "core/instance.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace oisched {
+
+Instance::Instance(std::shared_ptr<const MetricSpace> metric, std::vector<Request> requests)
+    : metric_(std::move(metric)), requests_(std::move(requests)) {
+  require(metric_ != nullptr, "Instance: metric must be set");
+  lengths_.reserve(requests_.size());
+  for (const Request& r : requests_) {
+    require(r.u < metric_->size() && r.v < metric_->size(),
+            "Instance: request endpoint out of metric range");
+    const double d = metric_->distance(r.u, r.v);
+    require(std::isfinite(d) && d > 0.0,
+            "Instance: request endpoints must be distinct points at finite distance");
+    lengths_.push_back(d);
+  }
+}
+
+const Request& Instance::request(std::size_t i) const {
+  require(i < requests_.size(), "Instance: request index out of range");
+  return requests_[i];
+}
+
+double Instance::length(std::size_t i) const {
+  require(i < lengths_.size(), "Instance: request index out of range");
+  return lengths_[i];
+}
+
+double Instance::loss(std::size_t i, double alpha) const {
+  return path_loss(length(i), alpha);
+}
+
+std::vector<std::size_t> Instance::all_indices() const {
+  std::vector<std::size_t> idx(requests_.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  return idx;
+}
+
+}  // namespace oisched

@@ -1,0 +1,44 @@
+// An interference-scheduling instance: a metric space plus n requests.
+#ifndef OISCHED_CORE_INSTANCE_H
+#define OISCHED_CORE_INSTANCE_H
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "metric/metric_space.h"
+#include "sinr/model.h"
+
+namespace oisched {
+
+/// Bundles the point set and the communication requests of one problem
+/// instance. Immutable after construction; request lengths are precomputed.
+class Instance {
+ public:
+  Instance(std::shared_ptr<const MetricSpace> metric, std::vector<Request> requests);
+
+  [[nodiscard]] const MetricSpace& metric() const noexcept { return *metric_; }
+  [[nodiscard]] const std::shared_ptr<const MetricSpace>& metric_ptr() const noexcept {
+    return metric_;
+  }
+  [[nodiscard]] std::span<const Request> requests() const noexcept { return requests_; }
+  [[nodiscard]] const Request& request(std::size_t i) const;
+  [[nodiscard]] std::size_t size() const noexcept { return requests_.size(); }
+
+  /// Distance between the endpoints of request i.
+  [[nodiscard]] double length(std::size_t i) const;
+  /// Loss of request i's own link: length^alpha.
+  [[nodiscard]] double loss(std::size_t i, double alpha) const;
+
+  /// {0, 1, ..., size()-1}; handy for whole-instance algorithm calls.
+  [[nodiscard]] std::vector<std::size_t> all_indices() const;
+
+ private:
+  std::shared_ptr<const MetricSpace> metric_;
+  std::vector<Request> requests_;
+  std::vector<double> lengths_;
+};
+
+}  // namespace oisched
+
+#endif  // OISCHED_CORE_INSTANCE_H

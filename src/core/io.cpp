@@ -1,0 +1,155 @@
+#include "core/io.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metric/euclidean.h"
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+double parse_double(const std::string& token, const std::string& context) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(token, &consumed);
+    if (consumed != token.size()) throw ParseError(context + ": trailing junk in number");
+    return value;
+  } catch (const std::invalid_argument&) {
+    throw ParseError(context + ": expected a number, got '" + token + "'");
+  } catch (const std::out_of_range&) {
+    throw ParseError(context + ": number out of range: '" + token + "'");
+  }
+}
+
+std::size_t parse_index(const std::string& token, const std::string& context) {
+  const double value = parse_double(token, context);
+  if (value < 0.0 || value != static_cast<double>(static_cast<std::size_t>(value))) {
+    throw ParseError(context + ": expected a non-negative integer, got '" + token + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+void write_instance(std::ostream& out, const Instance& instance) {
+  out << "# oisched instance v1\n";
+  const auto* euclid = dynamic_cast<const EuclideanMetric*>(&instance.metric());
+  require(euclid != nullptr,
+          "write_instance: only Euclidean-backed instances are serializable");
+  // max_digits10 makes the round-trip through text exact for doubles.
+  const auto saved_precision = out.precision(17);
+  for (const Point& p : euclid->points()) {
+    out << "point " << p.x << ' ' << p.y << ' ' << p.z << '\n';
+  }
+  out.precision(saved_precision);
+  for (const Request& r : instance.requests()) {
+    out << "request " << r.u << ' ' << r.v << '\n';
+  }
+}
+
+Instance read_instance(std::istream& in) {
+  std::vector<Point> points;
+  std::vector<Request> requests;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens.front().front() == '#') continue;
+    const std::string context = "line " + std::to_string(line_no);
+    if (tokens.front() == "point") {
+      if (tokens.size() != 4) throw ParseError(context + ": point needs 3 coordinates");
+      points.push_back(Point{parse_double(tokens[1], context),
+                             parse_double(tokens[2], context),
+                             parse_double(tokens[3], context)});
+    } else if (tokens.front() == "request") {
+      if (tokens.size() != 3) throw ParseError(context + ": request needs 2 endpoints");
+      requests.push_back(
+          Request{parse_index(tokens[1], context), parse_index(tokens[2], context)});
+    } else {
+      throw ParseError(context + ": unknown directive '" + tokens.front() + "'");
+    }
+  }
+  if (points.empty()) throw ParseError("instance has no points");
+  if (requests.empty()) throw ParseError("instance has no requests");
+  return Instance(std::make_shared<EuclideanMetric>(std::move(points)),
+                  std::move(requests));
+}
+
+void write_schedule(std::ostream& out, const Schedule& schedule) {
+  out << "# oisched schedule v1\n";
+  out << "colors " << schedule.num_colors << '\n';
+  for (std::size_t i = 0; i < schedule.color_of.size(); ++i) {
+    out << "color " << i << ' ' << schedule.color_of[i] << '\n';
+  }
+}
+
+Schedule read_schedule(std::istream& in) {
+  Schedule schedule;
+  bool saw_colors = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens.front().front() == '#') continue;
+    const std::string context = "line " + std::to_string(line_no);
+    if (tokens.front() == "colors") {
+      if (tokens.size() != 2) throw ParseError(context + ": colors needs a count");
+      schedule.num_colors = static_cast<int>(parse_index(tokens[1], context));
+      saw_colors = true;
+    } else if (tokens.front() == "color") {
+      if (tokens.size() != 3) throw ParseError(context + ": color needs index and value");
+      const std::size_t i = parse_index(tokens[1], context);
+      const double c = parse_double(tokens[2], context);
+      if (i >= schedule.color_of.size()) schedule.color_of.resize(i + 1, -1);
+      schedule.color_of[i] = static_cast<int>(c);
+    } else {
+      throw ParseError(context + ": unknown directive '" + tokens.front() + "'");
+    }
+  }
+  if (!saw_colors) throw ParseError("schedule is missing the 'colors' line");
+  for (const int c : schedule.color_of) {
+    if (c >= schedule.num_colors) throw ParseError("schedule color exceeds declared count");
+  }
+  return schedule;
+}
+
+void save_instance(const std::string& path, const Instance& instance) {
+  std::ofstream out(path);
+  require(out.good(), "save_instance: cannot open '" + path + "'");
+  write_instance(out, instance);
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw ParseError("load_instance: cannot open '" + path + "'");
+  return read_instance(in);
+}
+
+void save_schedule(const std::string& path, const Schedule& schedule) {
+  std::ofstream out(path);
+  require(out.good(), "save_schedule: cannot open '" + path + "'");
+  write_schedule(out, schedule);
+}
+
+Schedule load_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw ParseError("load_schedule: cannot open '" + path + "'");
+  return read_schedule(in);
+}
+
+}  // namespace oisched

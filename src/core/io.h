@@ -1,0 +1,47 @@
+// Plain-text serialization of instances and schedules.
+//
+// A small, stable, line-oriented format so experiments can be scripted,
+// shared and replayed without recompiling:
+//
+//   # oisched instance v1
+//   point <x> <y> <z>
+//   request <u> <v>
+//
+//   # oisched schedule v1
+//   colors <k>
+//   color <request-index> <color>
+//
+// Lines starting with '#' and blank lines are ignored.
+#ifndef OISCHED_CORE_IO_H
+#define OISCHED_CORE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace oisched {
+
+/// Thrown on malformed input text.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+void write_instance(std::ostream& out, const Instance& instance);
+[[nodiscard]] Instance read_instance(std::istream& in);
+
+void write_schedule(std::ostream& out, const Schedule& schedule);
+[[nodiscard]] Schedule read_schedule(std::istream& in);
+
+/// Convenience file wrappers; throw ParseError / PreconditionError on
+/// failure.
+void save_instance(const std::string& path, const Instance& instance);
+[[nodiscard]] Instance load_instance(const std::string& path);
+void save_schedule(const std::string& path, const Schedule& schedule);
+[[nodiscard]] Schedule load_schedule(const std::string& path);
+
+}  // namespace oisched
+
+#endif  // OISCHED_CORE_IO_H

@@ -1,0 +1,37 @@
+// One-shot feasible subsets: how many requests fit into a *single* color?
+//
+// This is the quantity behind the paper's Section 1.2 intuition (the nested
+// chain schedules O(1) requests under uniform/linear power but a constant
+// fraction under the square root), and behind the Omega(n) bound of
+// Theorem 1 (any single color holds O(1) requests under an oblivious f).
+#ifndef OISCHED_CORE_MAX_FEASIBLE_H
+#define OISCHED_CORE_MAX_FEASIBLE_H
+
+#include <span>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/instance.h"
+
+namespace oisched {
+
+/// Greedy lower bound on the maximum feasible single class under fixed
+/// powers (scan in `order`, keep whatever fits).
+[[nodiscard]] std::vector<std::size_t> greedy_max_feasible_subset(
+    const Instance& instance, std::span<const double> powers, const SinrParams& params,
+    Variant variant, RequestOrder order = RequestOrder::longest_first);
+
+/// Exact maximum feasible single class under fixed powers, by exhaustive
+/// subset search with downward-closure pruning. Precondition: size <= 20.
+[[nodiscard]] std::vector<std::size_t> exact_max_feasible_subset(
+    const Instance& instance, std::span<const double> powers, const SinrParams& params,
+    Variant variant);
+
+/// Exact maximum single class under *power control* (some powers exist).
+/// Precondition: size <= 16 (each candidate set runs a PF iteration).
+[[nodiscard]] std::vector<std::size_t> exact_max_feasible_subset_power_control(
+    const Instance& instance, const SinrParams& params, Variant variant);
+
+}  // namespace oisched
+
+#endif  // OISCHED_CORE_MAX_FEASIBLE_H

@@ -1,0 +1,58 @@
+#include "core/power_assignment.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace oisched {
+
+std::vector<double> PowerAssignment::assign(const Instance& instance, double alpha) const {
+  std::vector<double> powers;
+  powers.reserve(instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const double p = power_for_loss(instance.loss(i, alpha));
+    require(std::isfinite(p) && p > 0.0,
+            "PowerAssignment: powers must be positive and finite (assignment '" + name() +
+                "')");
+    powers.push_back(p);
+  }
+  return powers;
+}
+
+double SqrtPower::power_for_loss(double loss) const {
+  require(loss > 0.0, "SqrtPower: loss must be positive");
+  return std::sqrt(loss);
+}
+
+ExponentPower::ExponentPower(double tau) : tau_(tau) {
+  require(std::isfinite(tau), "ExponentPower: tau must be finite");
+}
+
+double ExponentPower::power_for_loss(double loss) const {
+  require(loss > 0.0, "ExponentPower: loss must be positive");
+  return std::pow(loss, tau_);
+}
+
+std::string ExponentPower::name() const {
+  return "loss^" + std::to_string(tau_);
+}
+
+CustomPower::CustomPower(std::function<double(double)> f, std::string name)
+    : f_(std::move(f)), name_(std::move(name)) {
+  require(static_cast<bool>(f_), "CustomPower: function must be callable");
+}
+
+double CustomPower::power_for_loss(double loss) const {
+  return f_(loss);
+}
+
+std::vector<std::unique_ptr<PowerAssignment>> standard_assignments() {
+  std::vector<std::unique_ptr<PowerAssignment>> out;
+  out.push_back(std::make_unique<UniformPower>());
+  out.push_back(std::make_unique<SqrtPower>());
+  out.push_back(std::make_unique<LinearPower>());
+  out.push_back(std::make_unique<ExponentPower>(1.5));
+  return out;
+}
+
+}  // namespace oisched

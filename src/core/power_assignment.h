@@ -1,0 +1,89 @@
+// Oblivious power assignments (Section 1.1).
+//
+// An assignment is *oblivious* when the power of a pair depends only on the
+// loss of its own link: p_i = f(l(u_i, v_i)). The paper's cast:
+//
+//   uniform      f(l) = 1            (most MAC-layer literature)
+//   linear       f(l) = l            (energy-minimal; [5])
+//   square root  f(l) = sqrt(l)      (the paper's hero, Theorem 2)
+//   l^tau        f(l) = l^tau        (sub/superlinear families, Theorem 1)
+//
+// Powers are scale-free in the noise-free model, so no normalization is
+// applied.
+#ifndef OISCHED_CORE_POWER_ASSIGNMENT_H
+#define OISCHED_CORE_POWER_ASSIGNMENT_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace oisched {
+
+/// Interface of an oblivious power assignment: a function of the link loss.
+class PowerAssignment {
+ public:
+  virtual ~PowerAssignment() = default;
+
+  /// Power for a pair whose link loss is `loss` (> 0). Must be > 0.
+  [[nodiscard]] virtual double power_for_loss(double loss) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Evaluates the assignment on every request of an instance.
+  [[nodiscard]] std::vector<double> assign(const Instance& instance, double alpha) const;
+};
+
+/// f(l) = 1.
+class UniformPower final : public PowerAssignment {
+ public:
+  [[nodiscard]] double power_for_loss(double) const override { return 1.0; }
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+};
+
+/// f(l) = l.
+class LinearPower final : public PowerAssignment {
+ public:
+  [[nodiscard]] double power_for_loss(double loss) const override { return loss; }
+  [[nodiscard]] std::string name() const override { return "linear"; }
+};
+
+/// f(l) = sqrt(l) — the square-root assignment of Theorem 2.
+class SqrtPower final : public PowerAssignment {
+ public:
+  [[nodiscard]] double power_for_loss(double loss) const override;
+  [[nodiscard]] std::string name() const override { return "sqrt"; }
+};
+
+/// f(l) = l^tau. tau = 0, 0.5, 1 recover uniform, square-root, linear.
+class ExponentPower final : public PowerAssignment {
+ public:
+  explicit ExponentPower(double tau);
+  [[nodiscard]] double power_for_loss(double loss) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double tau() const noexcept { return tau_; }
+
+ private:
+  double tau_;
+};
+
+/// Arbitrary user-supplied f; used by the Theorem-1 adversarial generator.
+class CustomPower final : public PowerAssignment {
+ public:
+  CustomPower(std::function<double(double)> f, std::string name);
+  [[nodiscard]] double power_for_loss(double loss) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::function<double(double)> f_;
+  std::string name_;
+};
+
+/// The assignments the paper discusses, for sweep-style experiments.
+[[nodiscard]] std::vector<std::unique_ptr<PowerAssignment>> standard_assignments();
+
+}  // namespace oisched
+
+#endif  // OISCHED_CORE_POWER_ASSIGNMENT_H

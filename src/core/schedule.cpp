@@ -1,0 +1,140 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace oisched {
+
+bool Schedule::complete() const noexcept {
+  return std::all_of(color_of.begin(), color_of.end(), [](int c) { return c >= 0; });
+}
+
+std::vector<std::vector<std::size_t>> color_classes(const Schedule& schedule) {
+  std::vector<std::vector<std::size_t>> classes(
+      static_cast<std::size_t>(std::max(0, schedule.num_colors)));
+  for (std::size_t i = 0; i < schedule.color_of.size(); ++i) {
+    const int c = schedule.color_of[i];
+    if (c < 0) continue;
+    require(c < schedule.num_colors, "color_classes: color exceeds num_colors");
+    classes[static_cast<std::size_t>(c)].push_back(i);
+  }
+  return classes;
+}
+
+Schedule compact_schedule(const Schedule& schedule) {
+  std::vector<char> used(static_cast<std::size_t>(std::max(0, schedule.num_colors)), 0);
+  for (const int c : schedule.color_of) {
+    if (c >= 0) {
+      require(c < schedule.num_colors, "compact_schedule: color exceeds num_colors");
+      used[static_cast<std::size_t>(c)] = 1;
+    }
+  }
+  std::vector<int> remap(used.size(), -1);
+  int next = 0;
+  for (std::size_t c = 0; c < used.size(); ++c) {
+    if (used[c]) remap[c] = next++;
+  }
+  Schedule out;
+  out.color_of.reserve(schedule.color_of.size());
+  for (const int c : schedule.color_of) {
+    out.color_of.push_back(c >= 0 ? remap[static_cast<std::size_t>(c)] : -1);
+  }
+  out.num_colors = next;
+  return out;
+}
+
+ScheduleReport validate_schedule(const Instance& instance, std::span<const double> powers,
+                                 const Schedule& schedule, const SinrParams& params,
+                                 Variant variant) {
+  require(schedule.color_of.size() == instance.size(),
+          "validate_schedule: schedule size must match instance");
+  ScheduleReport report;
+  report.num_colors = schedule.num_colors;
+  report.worst_margin = std::numeric_limits<double>::infinity();
+  bool all_feasible = true;
+  const auto classes = color_classes(schedule);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const FeasibilityReport fr = check_feasible(instance.metric(), instance.requests(),
+                                                powers, classes[c], params, variant);
+    report.worst_margin = std::min(report.worst_margin, fr.worst_margin);
+    if (!fr.feasible) {
+      all_feasible = false;
+      report.infeasible_colors.push_back(static_cast<int>(c));
+    }
+  }
+  report.valid = all_feasible && schedule.complete();
+  return report;
+}
+
+ScheduleReport validate_schedule_classwise(const Instance& instance,
+                                           std::span<const std::vector<double>> class_powers,
+                                           const Schedule& schedule,
+                                           const SinrParams& params, Variant variant) {
+  require(schedule.color_of.size() == instance.size(),
+          "validate_schedule_classwise: schedule size must match instance");
+  require(class_powers.size() >= static_cast<std::size_t>(std::max(0, schedule.num_colors)),
+          "validate_schedule_classwise: powers for every class required");
+  ScheduleReport report;
+  report.num_colors = schedule.num_colors;
+  report.worst_margin = std::numeric_limits<double>::infinity();
+  bool all_feasible = true;
+  const auto classes = color_classes(schedule);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    require(class_powers[c].size() == classes[c].size(),
+            "validate_schedule_classwise: class power vector size mismatch");
+    // Expand the class powers into a full-length vector (non-members 0 —
+    // they are excluded by the `active` span anyway).
+    std::vector<double> powers(instance.size(), 1.0);
+    for (std::size_t k = 0; k < classes[c].size(); ++k) {
+      powers[classes[c][k]] = class_powers[c][k];
+    }
+    const FeasibilityReport fr = check_feasible(instance.metric(), instance.requests(),
+                                                powers, classes[c], params, variant);
+    report.worst_margin = std::min(report.worst_margin, fr.worst_margin);
+    if (!fr.feasible) {
+      all_feasible = false;
+      report.infeasible_colors.push_back(static_cast<int>(c));
+    }
+  }
+  report.valid = all_feasible && schedule.complete();
+  return report;
+}
+
+double schedule_energy(const Instance& instance, std::span<const double> powers,
+                       const Schedule& schedule, const SinrParams& params,
+                       Variant variant) {
+  require(params.noise > 0.0, "schedule_energy: needs ambient noise > 0 to fix the scale");
+  const auto classes = color_classes(schedule);
+  double total = 0.0;
+  for (const auto& members : classes) {
+    if (members.empty()) continue;
+    // Smallest per-class scale s such that s*p meets the constraints with
+    // noise: s > beta*noise / (signal_i - beta*I_i) for every constraint.
+    double scale = 0.0;
+    for (std::size_t pos = 0; pos < members.size(); ++pos) {
+      const std::size_t i = members[pos];
+      const Request& r = instance.request(i);
+      const double signal = powers[i] / instance.loss(i, params.alpha);
+      const NodeId constraint_nodes[2] = {r.v, r.u};
+      const int num_constraints = variant == Variant::directed ? 1 : 2;
+      for (int k = 0; k < num_constraints; ++k) {
+        const double interference =
+            interference_at(instance.metric(), instance.requests(), powers, members,
+                            constraint_nodes[k], params.alpha, variant, pos);
+        const double headroom = signal - params.beta * interference;
+        if (headroom <= 0.0) return std::numeric_limits<double>::infinity();
+        scale = std::max(scale, params.beta * params.noise / headroom);
+      }
+    }
+    scale *= 1.0 + 1e-9;  // meet the strict inequality
+    double class_power = 0.0;
+    for (const std::size_t i : members) class_power += powers[i];
+    total += scale * class_power;
+  }
+  return total;
+}
+
+}  // namespace oisched

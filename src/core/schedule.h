@@ -1,0 +1,64 @@
+// Schedules (colorings) and their validation.
+//
+// A schedule assigns every request a color in {0, ..., num_colors-1}; the
+// number of colors is the schedule length the paper minimizes. Validation
+// re-checks every color class against the SINR constraints from scratch
+// (independent of whatever incremental bookkeeping produced the schedule).
+#ifndef OISCHED_CORE_SCHEDULE_H
+#define OISCHED_CORE_SCHEDULE_H
+
+#include <span>
+#include <vector>
+
+#include "core/instance.h"
+#include "sinr/feasibility.h"
+
+namespace oisched {
+
+struct Schedule {
+  std::vector<int> color_of;  // color of request i, or -1 if unscheduled
+  int num_colors = 0;
+
+  [[nodiscard]] bool complete() const noexcept;
+};
+
+/// Groups request indices by color. Colors index the outer vector.
+[[nodiscard]] std::vector<std::vector<std::size_t>> color_classes(const Schedule& schedule);
+
+/// Renumbers colors so that empty classes disappear (e.g. idle slots of the
+/// distributed protocol); relative order of the used colors is preserved.
+[[nodiscard]] Schedule compact_schedule(const Schedule& schedule);
+
+struct ScheduleReport {
+  bool valid = false;       // complete and every class feasible
+  int num_colors = 0;
+  double worst_margin = 0;  // min over classes of the class margin
+  std::vector<int> infeasible_colors;
+};
+
+/// Full re-validation of a schedule under fixed powers.
+[[nodiscard]] ScheduleReport validate_schedule(const Instance& instance,
+                                               std::span<const double> powers,
+                                               const Schedule& schedule,
+                                               const SinrParams& params, Variant variant);
+
+/// Validation for schedules produced with per-class power control: powers
+/// may differ between classes (`class_powers[c]` aligned with the members of
+/// class c in increasing request order).
+[[nodiscard]] ScheduleReport validate_schedule_classwise(
+    const Instance& instance, std::span<const std::vector<double>> class_powers,
+    const Schedule& schedule, const SinrParams& params, Variant variant);
+
+/// Total transmission energy of a schedule: every request transmits for one
+/// slot at its power, but powers are scale-free in the noise-free model, so
+/// each color class is first rescaled to the smallest factor that meets the
+/// SINR constraints with the given ambient noise (> 0 required). This makes
+/// energies of different assignments comparable (Section 6's efficiency
+/// discussion).
+[[nodiscard]] double schedule_energy(const Instance& instance, std::span<const double> powers,
+                                     const Schedule& schedule, const SinrParams& params,
+                                     Variant variant);
+
+}  // namespace oisched
+
+#endif  // OISCHED_CORE_SCHEDULE_H

@@ -1,0 +1,297 @@
+#include "core/sqrt_coloring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/power_assignment.h"
+#include "lp/simplex.h"
+#include "sinr/feasibility.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+/// One round of the Section-5 selection: picks a large set of requests that
+/// (after thinning) shares one color under the square-root assignment.
+class RoundSelector {
+ public:
+  RoundSelector(const Instance& instance, std::span<const double> powers,
+                const SinrParams& params, Variant variant,
+                const SqrtColoringOptions& options, Rng& rng, SqrtColoringStats& stats)
+      : instance_(instance),
+        powers_(powers),
+        params_(params),
+        variant_(variant),
+        options_(options),
+        rng_(rng),
+        stats_(stats) {}
+
+  [[nodiscard]] std::vector<std::size_t> select(std::span<const std::size_t> uncolored) {
+    selection_.clear();
+    const auto classes = distance_classes(uncolored);
+    for (const auto& [exponent, members] : classes) {
+      process_class(members);
+    }
+    // Proposition-3 thinning: the union satisfies the constraints only up to
+    // a constant gain factor; extract a beta-feasible subset, longest first.
+    std::vector<std::size_t> order = selection_;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return instance_.length(a) > instance_.length(b);
+    });
+    std::vector<std::size_t> final_set = greedy_feasible_subset(
+        instance_.metric(), instance_.requests(), powers_, order, params_, variant_);
+    if (final_set.empty() && !uncolored.empty()) {
+      // Safety net: a singleton is always feasible in the noise-free model.
+      final_set.push_back(uncolored.front());
+    }
+    return final_set;
+  }
+
+ private:
+  /// Buckets requests by floor(log_base(length / min_length)).
+  [[nodiscard]] std::map<int, std::vector<std::size_t>> distance_classes(
+      std::span<const std::size_t> uncolored) const {
+    double min_len = std::numeric_limits<double>::infinity();
+    for (const std::size_t j : uncolored) min_len = std::min(min_len, instance_.length(j));
+    std::map<int, std::vector<std::size_t>> classes;
+    for (const std::size_t j : uncolored) {
+      const double ratio = instance_.length(j) / min_len;
+      const int exponent =
+          static_cast<int>(std::floor(std::log(ratio) / std::log(options_.class_base) +
+                                      1e-12));
+      classes[exponent].push_back(j);
+    }
+    return classes;
+  }
+
+  /// Interference at node w from the current selection (square-root powers).
+  [[nodiscard]] double selection_interference(NodeId w) const {
+    return interference_at(instance_.metric(), instance_.requests(), powers_, selection_, w,
+                           params_.alpha, variant_, selection_.size());
+  }
+
+  /// The set V' of the paper: a request of the current class survives when
+  /// both of its endpoints still tolerate the already-selected requests with
+  /// a factor-2 slack (gain beta/2).
+  [[nodiscard]] bool endpoints_tolerate(std::size_t j) const {
+    const Request& r = instance_.request(j);
+    const double tolerance =
+        powers_[j] / instance_.loss(j, params_.alpha) / (2.0 * params_.beta);
+    if (selection_interference(r.v) > tolerance) return false;
+    if (variant_ == Variant::bidirectional && selection_interference(r.u) > tolerance) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Do all members of `sample` satisfy their SINR constraints at gain
+  /// beta/2, counting interference from the selection and the sample?
+  /// (Earlier classes' constraints are deliberately not rechecked — the
+  /// paper bounds that backwash separately, Lemma 19, and the final
+  /// Proposition-3 thinning repairs it.)
+  [[nodiscard]] bool sample_feasible(std::span<const std::size_t> sample) const {
+    std::vector<std::size_t> combined(selection_.begin(), selection_.end());
+    combined.insert(combined.end(), sample.begin(), sample.end());
+    const SinrParams relaxed = params_.with_beta(params_.beta / 2.0);
+    for (std::size_t pos = 0; pos < sample.size(); ++pos) {
+      const std::size_t j = sample[pos];
+      const Request& r = instance_.request(j);
+      const double signal = powers_[j] / instance_.loss(j, params_.alpha);
+      const std::size_t pos_in_combined = selection_.size() + pos;
+      const double at_v =
+          interference_at(instance_.metric(), instance_.requests(), powers_, combined, r.v,
+                          params_.alpha, variant_, pos_in_combined);
+      if (!(signal > relaxed.beta * at_v)) return false;
+      if (variant_ == Variant::bidirectional) {
+        const double at_u =
+            interference_at(instance_.metric(), instance_.requests(), powers_, combined,
+                            r.u, params_.alpha, variant_, pos_in_combined);
+        if (!(signal > relaxed.beta * at_u)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Greedily removes sample members (worst violators last in, first out)
+  /// until `sample_feasible` holds.
+  [[nodiscard]] std::vector<std::size_t> trim_sample(std::vector<std::size_t> sample) const {
+    // Shortest requests tolerate the least interference; drop them first.
+    std::sort(sample.begin(), sample.end(), [&](std::size_t a, std::size_t b) {
+      return instance_.length(a) > instance_.length(b);
+    });
+    while (!sample.empty() && !sample_feasible(sample)) sample.pop_back();
+    return sample;
+  }
+
+  void process_class(const std::vector<std::size_t>& members) {
+    std::vector<std::size_t> candidates;
+    for (const std::size_t j : members) {
+      if (endpoints_tolerate(j)) candidates.push_back(j);
+    }
+    if (candidates.empty()) return;
+
+    std::vector<std::size_t> chosen;
+    if (options_.use_lp && candidates.size() <= options_.lp_variable_limit &&
+        candidates.size() >= 2) {
+      chosen = lp_select(candidates);
+      ++stats_.lp_solves;
+    } else {
+      chosen = trim_sample(candidates);
+      ++stats_.greedy_fallbacks;
+    }
+    selection_.insert(selection_.end(), chosen.begin(), chosen.end());
+  }
+
+  /// Lemma 16: LP relaxation of the Claim-17 interference budgets, then
+  /// randomized rounding with alteration.
+  [[nodiscard]] std::vector<std::size_t> lp_select(
+      const std::vector<std::size_t>& candidates) {
+    // Budget nodes: every endpoint of a candidate.
+    std::set<NodeId> node_set;
+    for (const std::size_t j : candidates) {
+      node_set.insert(instance_.request(j).u);
+      node_set.insert(instance_.request(j).v);
+    }
+
+    double min_len = std::numeric_limits<double>::infinity();
+    for (const std::size_t j : candidates) {
+      min_len = std::min(min_len, instance_.length(j));
+    }
+    // Claim 17 in unscaled units: any feasible class T keeps the
+    // interference at every node below (2^alpha / beta) times the strongest
+    // class signal, which is 1/sqrt(min_loss) under square-root powers.
+    const double budget = std::pow(2.0, params_.alpha) / params_.beta /
+                          std::sqrt(path_loss(min_len, params_.alpha));
+
+    LpProblem lp;
+    lp.num_vars = candidates.size();
+    lp.objective.assign(lp.num_vars, 1.0);
+    lp.upper_bounds.assign(lp.num_vars, 1.0);
+    for (const NodeId w : node_set) {
+      std::vector<double> row(lp.num_vars, 0.0);
+      bool nontrivial = false;
+      for (std::size_t k = 0; k < candidates.size(); ++k) {
+        const Request& r = instance_.request(candidates[k]);
+        if (r.u == w || r.v == w) continue;  // own-endpoint terms are excluded
+        const double l = variant_ == Variant::directed
+                             ? path_loss(instance_.metric().distance(r.u, w), params_.alpha)
+                             : min_endpoint_loss(instance_.metric(), r, w, params_.alpha);
+        if (l <= 0.0) continue;
+        row[k] = powers_[candidates[k]] / l;
+        if (row[k] > 0.0) nontrivial = true;
+      }
+      if (nontrivial) lp.add_constraint(std::move(row), budget);
+    }
+
+    std::vector<double> x;
+    if (lp.rows.empty()) {
+      x.assign(lp.num_vars, 1.0);
+    } else {
+      const LpSolution sol = solve_lp(lp);
+      if (sol.status != LpStatus::optimal) {
+        // Numerically stuck LP: fall back to the greedy path.
+        ++stats_.greedy_fallbacks;
+        return trim_sample(candidates);
+      }
+      x = sol.x;
+    }
+
+    auto accepts = [&](std::span<const std::size_t> sample_local) {
+      std::vector<std::size_t> sample;
+      sample.reserve(sample_local.size());
+      for (const std::size_t k : sample_local) sample.push_back(candidates[k]);
+      return sample_feasible(sample);
+    };
+    auto trim = [&](std::vector<std::size_t> sample_local) {
+      std::vector<std::size_t> sample;
+      sample.reserve(sample_local.size());
+      for (const std::size_t k : sample_local) sample.push_back(candidates[k]);
+      sample = trim_sample(std::move(sample));
+      // Translate back to local indices.
+      std::vector<std::size_t> local;
+      for (const std::size_t j : sample) {
+        const auto it = std::find(candidates.begin(), candidates.end(), j);
+        local.push_back(static_cast<std::size_t>(it - candidates.begin()));
+      }
+      return local;
+    };
+    const std::vector<std::size_t> local =
+        randomized_round(x, rng_, accepts, trim, options_.rounding);
+
+    std::vector<std::size_t> chosen;
+    chosen.reserve(local.size());
+    for (const std::size_t k : local) chosen.push_back(candidates[k]);
+
+    // Augmentation: rounding at x_j / c leaves roughly a (1 - 1/c) fraction
+    // of the LP mass on the table; greedily re-add whatever still fits (in
+    // decreasing LP-weight order). Only additions that keep the sample
+    // constraints at gain beta/2 are accepted, so the invariants of the
+    // round are unchanged.
+    std::vector<std::size_t> by_weight;
+    for (std::size_t k = 0; k < candidates.size(); ++k) by_weight.push_back(k);
+    std::sort(by_weight.begin(), by_weight.end(),
+              [&](std::size_t a, std::size_t b) { return x[a] > x[b]; });
+    std::vector<char> taken(candidates.size(), 0);
+    for (const std::size_t k : local) taken[k] = 1;
+    for (const std::size_t k : by_weight) {
+      if (taken[k]) continue;
+      chosen.push_back(candidates[k]);
+      if (sample_feasible(chosen)) {
+        taken[k] = 1;
+      } else {
+        chosen.pop_back();
+      }
+    }
+    return chosen;
+  }
+
+  const Instance& instance_;
+  std::span<const double> powers_;
+  SinrParams params_;
+  Variant variant_;
+  const SqrtColoringOptions& options_;
+  Rng& rng_;
+  SqrtColoringStats& stats_;
+  std::vector<std::size_t> selection_;
+};
+
+}  // namespace
+
+SqrtColoringResult sqrt_coloring(const Instance& instance, const SinrParams& params,
+                                 Variant variant, const SqrtColoringOptions& options) {
+  params.validate();
+  require(options.class_base > 1.0, "sqrt_coloring: class base must exceed 1");
+
+  SqrtColoringResult result;
+  result.powers = SqrtPower{}.assign(instance, params.alpha);
+  result.schedule.color_of.assign(instance.size(), -1);
+
+  Rng rng(options.seed);
+  std::vector<std::size_t> uncolored = instance.all_indices();
+  int color = 0;
+  while (!uncolored.empty()) {
+    RoundSelector selector(instance, result.powers, params, variant, options, rng,
+                           result.stats);
+    const std::vector<std::size_t> chosen = selector.select(uncolored);
+    ensure(!chosen.empty(), "sqrt_coloring: a round must color at least one request");
+    for (const std::size_t j : chosen) {
+      result.schedule.color_of[j] = color;
+    }
+    std::vector<std::size_t> remaining;
+    remaining.reserve(uncolored.size() - chosen.size());
+    std::set<std::size_t> chosen_set(chosen.begin(), chosen.end());
+    for (const std::size_t j : uncolored) {
+      if (!chosen_set.contains(j)) remaining.push_back(j);
+    }
+    uncolored = std::move(remaining);
+    ++color;
+    ++result.stats.rounds;
+  }
+  result.schedule.num_colors = color;
+  return result;
+}
+
+}  // namespace oisched

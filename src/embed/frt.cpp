@@ -1,0 +1,191 @@
+#include "embed/frt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+struct PendingCluster {
+  std::vector<NodeId> members;
+  int level = 0;          // radius scale 2^level applies when splitting
+  NodeId tree_node = 0;   // id of this cluster in the output tree
+};
+
+}  // namespace
+
+SampledTree sample_frt_tree(const MetricSpace& metric, Rng& rng) {
+  const std::size_t n = metric.size();
+  require(n > 0, "sample_frt_tree: empty metric");
+
+  SampledTree out;
+  out.num_points = n;
+  if (n == 1) {
+    out.tree = std::make_shared<TreeMetric>(1, std::vector<TreeEdge>{});
+    out.node_stretch.assign(1, 1.0);
+    return out;
+  }
+
+  double d_max = 0.0;
+  double d_min = std::numeric_limits<double>::infinity();
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const double d = metric.distance(i, j);
+      require(d > 0.0, "sample_frt_tree: points must be distinct");
+      d_max = std::max(d_max, d);
+      d_min = std::min(d_min, d);
+    }
+  }
+
+  // Random FRT parameters: permutation pi and radius scale theta in [1, 2).
+  const std::vector<std::size_t> pi = rng.permutation(n);
+  const double theta = std::pow(2.0, rng.uniform());
+
+  // Top level: theta * 2^top covers the whole metric.
+  int top = 0;
+  while (theta * std::pow(2.0, top) < d_max) ++top;
+
+  std::vector<TreeEdge> edges;
+  NodeId next_internal = n;  // ids 0..n-1 are reserved for the points
+  auto allocate_node = [&](const std::vector<NodeId>& members) {
+    if (members.size() == 1) return members.front();
+    return next_internal++;
+  };
+
+  std::deque<PendingCluster> queue;
+  {
+    PendingCluster root;
+    for (NodeId v = 0; v < n; ++v) root.members.push_back(v);
+    root.level = top;
+    root.tree_node = allocate_node(root.members);
+    queue.push_back(std::move(root));
+  }
+
+  while (!queue.empty()) {
+    PendingCluster cluster = std::move(queue.front());
+    queue.pop_front();
+    if (cluster.members.size() == 1) continue;  // leaf: the point itself
+
+    const int child_level = cluster.level - 1;
+    const double radius = theta * std::pow(2.0, child_level);
+    // Partition by the first permutation element within `radius`.
+    // (Centers range over all points, per FRT.)
+    std::vector<std::vector<NodeId>> groups;
+    std::vector<std::size_t> group_center;  // permutation rank of the center
+    std::vector<int> assigned(cluster.members.size(), -1);
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      const NodeId center = pi[rank];
+      std::vector<NodeId> group;
+      for (std::size_t k = 0; k < cluster.members.size(); ++k) {
+        if (assigned[k] >= 0) continue;
+        if (metric.distance(center, cluster.members[k]) <= radius) {
+          assigned[k] = static_cast<int>(groups.size());
+          group.push_back(cluster.members[k]);
+        }
+      }
+      if (!group.empty()) {
+        groups.push_back(std::move(group));
+        group_center.push_back(rank);
+      }
+      if (std::all_of(assigned.begin(), assigned.end(), [](int a) { return a >= 0; })) {
+        break;
+      }
+    }
+    ensure(!groups.empty(), "sample_frt_tree: partition must cover the cluster");
+
+    // Edge weight theta * 2^(child_level + 1) guarantees domination: a pair
+    // separated at child_level pays 2 * weight >= cluster diameter.
+    const double weight = theta * std::pow(2.0, child_level + 1);
+    for (auto& group : groups) {
+      PendingCluster child;
+      child.members = std::move(group);
+      child.level = child_level;
+      child.tree_node = allocate_node(child.members);
+      if (child.tree_node != cluster.tree_node) {
+        edges.push_back(TreeEdge{cluster.tree_node, child.tree_node, weight});
+        queue.push_back(std::move(child));
+      } else {
+        // Degenerate: a singleton cluster re-split to itself; nothing to do.
+        queue.push_back(std::move(child));
+      }
+    }
+  }
+
+  const std::size_t total_nodes = next_internal;
+  auto tree = std::make_shared<TreeMetric>(total_nodes, edges);
+
+  out.node_stretch.assign(n, 1.0);
+  for (NodeId v = 0; v < n; ++v) {
+    double worst = 1.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == v) continue;
+      const double ratio = tree->distance(u, v) / metric.distance(u, v);
+      worst = std::max(worst, ratio);
+    }
+    out.node_stretch[v] = worst;
+  }
+  out.tree = std::move(tree);
+  return out;
+}
+
+FrtFamily sample_frt_family(const MetricSpace& metric, Rng& rng,
+                            const FrtFamilyOptions& options) {
+  const std::size_t n = metric.size();
+  require(n > 0, "sample_frt_family: empty metric");
+  require(options.target_coverage > 0.0 && options.target_coverage <= 1.0,
+          "sample_frt_family: coverage must lie in (0, 1]");
+  int r = options.num_trees;
+  if (r <= 0) {
+    r = static_cast<int>(std::ceil(4.0 * std::log2(std::max<std::size_t>(2, n)))) + 1;
+  }
+
+  FrtFamily family;
+  family.trees.reserve(static_cast<std::size_t>(r));
+  for (int t = 0; t < r; ++t) family.trees.push_back(sample_frt_tree(metric, rng));
+
+  // The smallest single threshold for which *every* node is core in at
+  // least target_coverage of the trees: the max over nodes of each node's
+  // ceil(coverage * r)-th smallest stretch.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(options.target_coverage * static_cast<double>(r))) - 1;
+  double threshold = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<double> stretches;
+    stretches.reserve(family.trees.size());
+    for (const SampledTree& tree : family.trees) stretches.push_back(tree.node_stretch[v]);
+    std::sort(stretches.begin(), stretches.end());
+    threshold = std::max(threshold, stretches[std::min(rank, stretches.size() - 1)]);
+  }
+  family.core_threshold = threshold;
+
+  family.core_of.resize(family.trees.size());
+  for (std::size_t t = 0; t < family.trees.size(); ++t) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (family.trees[t].node_stretch[v] <= threshold) family.core_of[t].push_back(v);
+    }
+  }
+  return family;
+}
+
+double family_core_coverage(const FrtFamily& family, std::size_t num_points,
+                            double coverage) {
+  if (family.trees.empty() || num_points == 0) return 0.0;
+  const double need = coverage * static_cast<double>(family.trees.size());
+  std::vector<int> count(num_points, 0);
+  for (const auto& core : family.core_of) {
+    for (const NodeId v : core) {
+      if (v < num_points) ++count[v];
+    }
+  }
+  std::size_t good = 0;
+  for (const int c : count) {
+    if (static_cast<double>(c) >= need) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(num_points);
+}
+
+}  // namespace oisched

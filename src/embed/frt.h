@@ -1,0 +1,67 @@
+// Random tree embeddings (Lemma 6 / Section 3.3).
+//
+// The paper reduces general metrics to trees with a family of r = O(log n)
+// edge-weighted trees such that (1) every tree dominates the metric and
+// (2) every node has a "core" membership — a 9/10 fraction of trees in
+// which all of its distances are stretched by only O(log n).
+//
+// We realize the family with Fakcharoenphol–Rao–Talwar (FRT) random
+// hierarchically-separated trees: a random permutation plus a random radius
+// scale produce a laminar partition whose cluster tree dominates the metric
+// and stretches each pair by O(log n) in expectation. Cores are computed
+// *exactly* per sampled tree (max stretch over all partners of a node), so
+// the realized coverage and stretch are measured rather than assumed; the
+// benchmarks report them against the lemma's targets. See DESIGN.md
+// "Substitutions".
+#ifndef OISCHED_EMBED_FRT_H
+#define OISCHED_EMBED_FRT_H
+
+#include <memory>
+#include <vector>
+
+#include "metric/metric_space.h"
+#include "metric/tree_metric.h"
+#include "util/rng.h"
+
+namespace oisched {
+
+/// One sampled tree: `tree` has the original points as nodes 0..n-1 plus
+/// internal cluster nodes; distances between original points dominate the
+/// base metric.
+struct SampledTree {
+  std::shared_ptr<const TreeMetric> tree;
+  std::size_t num_points = 0;
+  /// stretch[v] = max over partners u of tree(u,v) / d(u,v).
+  std::vector<double> node_stretch;
+};
+
+/// Samples one FRT tree over `metric`.
+[[nodiscard]] SampledTree sample_frt_tree(const MetricSpace& metric, Rng& rng);
+
+struct FrtFamily {
+  std::vector<SampledTree> trees;
+  /// core_of[t] — nodes of tree t whose stretch is within the family's
+  /// core threshold.
+  std::vector<std::vector<NodeId>> core_of;
+  double core_threshold = 0.0;
+};
+
+struct FrtFamilyOptions {
+  /// Number of trees; <= 0 means ceil(4 * log2(n)) + 1.
+  int num_trees = 0;
+  /// Fraction of trees each node should be core in (Lemma 6 uses 9/10).
+  double target_coverage = 0.9;
+};
+
+/// Samples a family and computes the smallest stretch threshold for which
+/// the average node is core in `target_coverage` of the trees.
+[[nodiscard]] FrtFamily sample_frt_family(const MetricSpace& metric, Rng& rng,
+                                          const FrtFamilyOptions& options = {});
+
+/// Fraction of nodes that are core in at least `coverage` of the trees.
+[[nodiscard]] double family_core_coverage(const FrtFamily& family, std::size_t num_points,
+                                          double coverage);
+
+}  // namespace oisched
+
+#endif  // OISCHED_EMBED_FRT_H

@@ -1,0 +1,51 @@
+#include "embed/gain_scaling.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace oisched {
+
+std::vector<std::size_t> node_loss_rescale_subset(const NodeLossInstance& instance,
+                                                  std::span<const double> powers,
+                                                  std::span<const std::size_t> candidates,
+                                                  double alpha, double beta_strict) {
+  require(powers.size() == instance.size(), "node_loss_rescale_subset: power per node");
+  std::vector<std::size_t> kept;
+  for (const std::size_t i : candidates) {
+    kept.push_back(i);
+    if (!node_loss_feasible(instance, powers, kept, alpha, beta_strict)) kept.pop_back();
+  }
+  return kept;
+}
+
+std::vector<std::vector<std::size_t>> gain_rescale_coloring(
+    const MetricSpace& metric, std::span<const Request> requests,
+    std::span<const double> powers, std::span<const std::size_t> candidates,
+    const SinrParams& strict_params, Variant variant) {
+  std::vector<std::vector<std::size_t>> classes;
+  std::vector<std::size_t> remaining(candidates.begin(), candidates.end());
+  while (!remaining.empty()) {
+    std::vector<std::size_t> cls = greedy_feasible_subset(metric, requests, powers,
+                                                          remaining, strict_params, variant);
+    if (cls.empty()) {
+      // A singleton is always feasible (noise-free model); force progress.
+      cls.push_back(remaining.front());
+    }
+    std::vector<char> taken_flag(remaining.size(), 0);
+    std::vector<std::size_t> taken_sorted = cls;
+    std::sort(taken_sorted.begin(), taken_sorted.end());
+    std::vector<std::size_t> next;
+    next.reserve(remaining.size() - cls.size());
+    for (const std::size_t i : remaining) {
+      if (!std::binary_search(taken_sorted.begin(), taken_sorted.end(), i)) {
+        next.push_back(i);
+      }
+    }
+    classes.push_back(std::move(cls));
+    remaining = std::move(next);
+  }
+  return classes;
+}
+
+}  // namespace oisched

@@ -1,0 +1,35 @@
+// Gain rescaling (Propositions 3 and 4, Section 3.1) — constructive.
+//
+// Prop 3: a set feasible at gain beta contains a beta/(8 beta') fraction
+// feasible at a stricter gain beta'. Prop 4: the whole set can be colored
+// with O(beta'/beta * log n) colors at gain beta'. The paper omits the
+// proofs; we implement the natural constructive versions (greedy extraction
+// and repeated extraction, respectively) — see DESIGN.md "Substitutions".
+#ifndef OISCHED_EMBED_GAIN_SCALING_H
+#define OISCHED_EMBED_GAIN_SCALING_H
+
+#include <span>
+#include <vector>
+
+#include "sinr/feasibility.h"
+#include "sinr/node_loss.h"
+
+namespace oisched {
+
+/// Prop-3 stand-in for node-loss instances: scans `candidates` and keeps
+/// each participant iff the kept set stays beta_strict-feasible.
+[[nodiscard]] std::vector<std::size_t> node_loss_rescale_subset(
+    const NodeLossInstance& instance, std::span<const double> powers,
+    std::span<const std::size_t> candidates, double alpha, double beta_strict);
+
+/// Prop-4 stand-in for requests: repeatedly extracts greedy feasible
+/// subsets at the stricter gain until all candidates are colored. Returns
+/// the color classes.
+[[nodiscard]] std::vector<std::vector<std::size_t>> gain_rescale_coloring(
+    const MetricSpace& metric, std::span<const Request> requests,
+    std::span<const double> powers, std::span<const std::size_t> candidates,
+    const SinrParams& strict_params, Variant variant);
+
+}  // namespace oisched
+
+#endif  // OISCHED_EMBED_GAIN_SCALING_H

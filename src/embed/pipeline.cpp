@@ -1,0 +1,229 @@
+#include "embed/pipeline.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "core/power_assignment.h"
+#include "embed/frt.h"
+#include "embed/star_decomposition.h"
+#include "embed/star_scheduling.h"
+#include "metric/matrix_metric.h"
+#include "sinr/feasibility.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+/// A node-loss participant of the current round: one endpoint of a pair.
+struct Participant {
+  std::size_t pair = 0;    // index into the round's uncolored list
+  NodeId local_node = 0;   // point id in the round-local metric
+  double loss = 0.0;       // the pair's link loss
+};
+
+struct RoundInput {
+  std::shared_ptr<MatrixMetric> metric;  // round-local metric over points
+  std::vector<Participant> participants;
+  std::size_t num_points = 0;
+};
+
+RoundInput build_round_input(const Instance& instance,
+                             std::span<const std::size_t> uncolored, double alpha) {
+  RoundInput input;
+  std::map<NodeId, NodeId> local_of;
+  std::vector<NodeId> globals;
+  auto localize = [&](NodeId global) {
+    const auto [it, inserted] = local_of.try_emplace(global, globals.size());
+    if (inserted) globals.push_back(global);
+    return it->second;
+  };
+  for (std::size_t k = 0; k < uncolored.size(); ++k) {
+    const Request& r = instance.request(uncolored[k]);
+    const double loss = instance.loss(uncolored[k], alpha);
+    input.participants.push_back(Participant{k, localize(r.u), loss});
+    input.participants.push_back(Participant{k, localize(r.v), loss});
+  }
+  const std::size_t m = globals.size();
+  std::vector<double> d(m * m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      const double dist = instance.metric().distance(globals[a], globals[b]);
+      d[a * m + b] = dist;
+      d[b * m + a] = dist;
+    }
+  }
+  input.metric = std::make_shared<MatrixMetric>(m, std::move(d));
+  input.num_points = m;
+  return input;
+}
+
+/// Outcome of running one tree through the star machinery.
+struct TreeOutcome {
+  std::vector<char> alive;            // per participant
+  std::size_t core_participants = 0;
+  std::size_t levels = 0;
+  std::vector<std::size_t> complete_pairs;  // round-local pair ids
+};
+
+TreeOutcome run_tree(const SampledTree& tree, double core_threshold,
+                     const RoundInput& input, const SinrParams& params) {
+  TreeOutcome outcome;
+  const std::size_t p = input.participants.size();
+  outcome.alive.assign(p, 0);
+
+  // Lemma 6: restrict to the tree's core.
+  std::vector<NodeId> participant_nodes;
+  for (std::size_t e = 0; e < p; ++e) {
+    const NodeId node = input.participants[e].local_node;
+    if (tree.node_stretch[node] <= core_threshold) {
+      outcome.alive[e] = 1;
+      ++outcome.core_participants;
+      participant_nodes.push_back(node);
+    }
+  }
+  std::sort(participant_nodes.begin(), participant_nodes.end());
+  participant_nodes.erase(
+      std::unique(participant_nodes.begin(), participant_nodes.end()),
+      participant_nodes.end());
+
+  // Lemma 9: centroid decomposition into stars.
+  const auto levels = centroid_star_decomposition(*tree.tree, participant_nodes);
+  outcome.levels = levels.size();
+  // Per-star interference adds up over the levels (Lemma 9's accounting),
+  // so each level is run at gain beta * L.
+  const double beta_level =
+      params.beta * static_cast<double>(std::max<std::size_t>(1, levels.size()));
+
+  // Entries per local node (two pairs may share a point).
+  std::multimap<NodeId, std::size_t> entries_at;
+  for (std::size_t e = 0; e < p; ++e) {
+    entries_at.emplace(input.participants[e].local_node, e);
+  }
+
+  for (const DecompositionLevel& level : levels) {
+    for (const StarPiece& star : level.stars) {
+      std::vector<std::size_t> entry_ids;
+      std::vector<double> radii;
+      std::vector<double> losses;
+      for (std::size_t m = 0; m < star.members.size(); ++m) {
+        auto [lo, hi] = entries_at.equal_range(star.members[m]);
+        for (auto it = lo; it != hi; ++it) {
+          const std::size_t e = it->second;
+          if (!outcome.alive[e]) continue;
+          entry_ids.push_back(e);
+          radii.push_back(star.radii[m]);
+          losses.push_back(input.participants[e].loss);
+        }
+      }
+      if (entry_ids.size() <= 1) continue;
+      const StarSelectionReport report =
+          select_star_subset(radii, losses, params.alpha, beta_level);
+      std::vector<char> selected(entry_ids.size(), 0);
+      for (const std::size_t k : report.selected) selected[k] = 1;
+      for (std::size_t k = 0; k < entry_ids.size(); ++k) {
+        if (!selected[k]) outcome.alive[entry_ids[k]] = 0;
+      }
+    }
+  }
+
+  // Section 3.2, back-direction: keep pairs whose both endpoints survived.
+  std::vector<int> endpoint_count;
+  for (std::size_t e = 0; e < p; ++e) {
+    const std::size_t pair = input.participants[e].pair;
+    if (pair >= endpoint_count.size()) {
+      endpoint_count.resize(pair + 1, 0);
+    }
+    if (outcome.alive[e]) ++endpoint_count[pair];
+  }
+  for (std::size_t k = 0; k < endpoint_count.size(); ++k) {
+    if (endpoint_count[k] == 2) outcome.complete_pairs.push_back(k);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+PipelineResult theorem2_schedule(const Instance& instance, const SinrParams& params,
+                                 const PipelineOptions& options) {
+  params.validate();
+  PipelineResult result;
+  result.powers = SqrtPower{}.assign(instance, params.alpha);
+  result.schedule.color_of.assign(instance.size(), -1);
+
+  Rng rng(options.seed);
+  std::vector<std::size_t> uncolored = instance.all_indices();
+  int color = 0;
+  while (!uncolored.empty()) {
+    PipelineRoundDiagnostics diag;
+    diag.uncolored = uncolored.size();
+
+    const RoundInput input = build_round_input(instance, uncolored, params.alpha);
+    diag.participants = input.participants.size();
+
+    FrtFamilyOptions family_options;
+    family_options.num_trees = options.num_trees;
+    family_options.target_coverage = options.core_coverage;
+    const FrtFamily family = sample_frt_family(*input.metric, rng, family_options);
+    diag.core_threshold = family.core_threshold;
+
+    // Prop 7, constructively: take the tree retaining the most pairs.
+    TreeOutcome best;
+    std::size_t best_tree = 0;
+    for (std::size_t t = 0; t < family.trees.size(); ++t) {
+      TreeOutcome outcome =
+          run_tree(family.trees[t], family.core_threshold, input, params);
+      if (outcome.complete_pairs.size() > best.complete_pairs.size() || t == 0) {
+        best = std::move(outcome);
+        best_tree = t;
+      }
+    }
+    diag.tree_index = best_tree;
+    diag.levels = best.levels;
+    diag.core_participants = best.core_participants;
+    diag.star_survivors = static_cast<std::size_t>(
+        std::count(best.alive.begin(), best.alive.end(), char{1}));
+    diag.pairs_complete = best.complete_pairs.size();
+
+    // Lemma 8 + Prop 3: the tree-side selection transfers to the original
+    // metric only up to the stretch; extract an exactly beta-feasible
+    // subset there (longest first).
+    std::vector<std::size_t> candidates;
+    candidates.reserve(best.complete_pairs.size());
+    for (const std::size_t k : best.complete_pairs) candidates.push_back(uncolored[k]);
+    std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
+      return instance.length(a) > instance.length(b);
+    });
+    std::vector<std::size_t> chosen =
+        greedy_feasible_subset(instance.metric(), instance.requests(), result.powers,
+                               candidates, params, Variant::bidirectional);
+    if (chosen.empty()) {
+      // Guaranteed progress: a singleton is feasible in the noise-free model.
+      std::size_t longest = uncolored.front();
+      for (const std::size_t j : uncolored) {
+        if (instance.length(j) > instance.length(longest)) longest = j;
+      }
+      chosen.push_back(longest);
+    }
+    diag.colored = chosen.size();
+
+    std::vector<char> taken(instance.size(), 0);
+    for (const std::size_t j : chosen) {
+      result.schedule.color_of[j] = color;
+      taken[j] = 1;
+    }
+    std::vector<std::size_t> rest;
+    rest.reserve(uncolored.size() - chosen.size());
+    for (const std::size_t j : uncolored) {
+      if (!taken[j]) rest.push_back(j);
+    }
+    uncolored = std::move(rest);
+    ++color;
+    result.rounds.push_back(diag);
+  }
+  result.schedule.num_colors = color;
+  return result;
+}
+
+}  // namespace oisched

@@ -1,0 +1,136 @@
+#include "embed/star_decomposition.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+/// A component of the current recursion depth: a connected set of tree
+/// nodes, tracked via a membership stamp to avoid repeated allocation.
+struct Component {
+  std::vector<NodeId> nodes;
+};
+
+/// Finds the centroid of `component` (membership given by stamp vector):
+/// removal leaves parts of size at most |component| / 2.
+NodeId find_centroid(const TreeMetric& tree, const Component& component,
+                     const std::vector<int>& stamp, int current_stamp) {
+  const std::size_t total = component.nodes.size();
+  if (total == 1) return component.nodes.front();
+
+  // Iterative DFS from component.nodes.front() computing subtree sizes.
+  const NodeId root = component.nodes.front();
+  std::vector<NodeId> order;
+  order.reserve(total);
+  std::vector<NodeId> parent_of(tree.size(), root);
+  std::vector<std::size_t> subtree(tree.size(), 1);
+  std::vector<NodeId> stack{root};
+  std::vector<char> seen(tree.size(), 0);
+  seen[root] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (const NodeId w : tree.adjacency()[v]) {
+      if (seen[w] || stamp[w] != current_stamp) continue;
+      seen[w] = 1;
+      parent_of[w] = v;
+      stack.push_back(w);
+    }
+  }
+  ensure(order.size() == total, "find_centroid: component must be connected");
+  for (std::size_t k = order.size(); k-- > 1;) {
+    subtree[parent_of[order[k]]] += subtree[order[k]];
+  }
+
+  NodeId best = root;
+  std::size_t best_worst = total;
+  for (const NodeId v : order) {
+    std::size_t worst = total - subtree[v];
+    for (const NodeId w : tree.adjacency()[v]) {
+      if (stamp[w] != current_stamp || w == parent_of[v]) continue;
+      worst = std::max(worst, subtree[w]);
+    }
+    if (worst < best_worst) {
+      best_worst = worst;
+      best = v;
+    }
+  }
+  ensure(2 * best_worst <= total + 1, "find_centroid: centroid property violated");
+  return best;
+}
+
+}  // namespace
+
+std::vector<DecompositionLevel> centroid_star_decomposition(
+    const TreeMetric& tree, const std::vector<NodeId>& participants) {
+  std::vector<char> is_participant(tree.size(), 0);
+  for (const NodeId v : participants) {
+    require(v < tree.size(), "centroid_star_decomposition: participant out of range");
+    is_participant[v] = 1;
+  }
+
+  std::vector<DecompositionLevel> levels;
+  std::vector<int> stamp(tree.size(), -1);
+  std::vector<int> visit(tree.size(), -1);
+  int next_stamp = 0;
+
+  std::vector<Component> current;
+  {
+    Component all;
+    all.nodes.reserve(tree.size());
+    for (NodeId v = 0; v < tree.size(); ++v) all.nodes.push_back(v);
+    current.push_back(std::move(all));
+  }
+
+  while (!current.empty()) {
+    DecompositionLevel level;
+    std::vector<Component> next;
+    for (const Component& component : current) {
+      if (component.nodes.size() <= 1) continue;
+      const int my_stamp = next_stamp++;
+      for (const NodeId v : component.nodes) stamp[v] = my_stamp;
+      const NodeId centroid = find_centroid(tree, component, stamp, my_stamp);
+
+      StarPiece star;
+      star.center = centroid;
+      for (const NodeId v : component.nodes) {
+        if (!is_participant[v]) continue;
+        // A participant centroid joins its own star at radius 0 — this is
+        // its only appearance, since the recursion removes the centroid.
+        star.members.push_back(v);
+        star.radii.push_back(v == centroid ? 0.0 : tree.distance(v, centroid));
+      }
+      if (!star.members.empty()) level.stars.push_back(std::move(star));
+
+      // Components of component \ {centroid}: DFS from each unvisited
+      // neighbor of the centroid (visit stamps avoid per-component
+      // allocation).
+      visit[centroid] = my_stamp;
+      for (const NodeId start : tree.adjacency()[centroid]) {
+        if (stamp[start] != my_stamp || visit[start] == my_stamp) continue;
+        Component child;
+        std::vector<NodeId> stack{start};
+        visit[start] = my_stamp;
+        while (!stack.empty()) {
+          const NodeId v = stack.back();
+          stack.pop_back();
+          child.nodes.push_back(v);
+          for (const NodeId w : tree.adjacency()[v]) {
+            if (stamp[w] != my_stamp || visit[w] == my_stamp) continue;
+            visit[w] = my_stamp;
+            stack.push_back(w);
+          }
+        }
+        next.push_back(std::move(child));
+      }
+    }
+    if (!level.stars.empty()) levels.push_back(std::move(level));
+    current = std::move(next);
+  }
+  return levels;
+}
+
+}  // namespace oisched

@@ -1,0 +1,40 @@
+// Centroid (star) decomposition of tree metrics — the Lemma-9 machinery.
+//
+// Section 3.4: pick a centroid c whose removal splits the tree into
+// components of at most half the size; the star metric "distances to c"
+// dominates the tree metric, so star-level selection (Lemma 5) applies;
+// recurse into the components. Every pair of nodes is separated at exactly
+// one recursion level, where their star distance equals their tree distance
+// — the accounting behind Lemma 9's "correct distance in at least one
+// recursion".
+#ifndef OISCHED_EMBED_STAR_DECOMPOSITION_H
+#define OISCHED_EMBED_STAR_DECOMPOSITION_H
+
+#include <vector>
+
+#include "metric/tree_metric.h"
+
+namespace oisched {
+
+/// One star of one recursion level: the participants of a current component
+/// together with their tree distance to the component's centroid.
+struct StarPiece {
+  NodeId center = 0;
+  std::vector<NodeId> members;   // tree nodes (excluding the center)
+  std::vector<double> radii;     // tree distance of members[i] to center
+};
+
+/// All stars of one recursion depth (one per component at that depth).
+struct DecompositionLevel {
+  std::vector<StarPiece> stars;
+};
+
+/// Full centroid decomposition of `tree`, restricted to the nodes in
+/// `participants` (other tree nodes still shape the components but carry no
+/// requests). Depth is O(log |tree|).
+[[nodiscard]] std::vector<DecompositionLevel> centroid_star_decomposition(
+    const TreeMetric& tree, const std::vector<NodeId>& participants);
+
+}  // namespace oisched
+
+#endif  // OISCHED_EMBED_STAR_DECOMPOSITION_H

@@ -1,0 +1,176 @@
+#include "embed/star_scheduling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+/// Star path loss between two members: (delta_u + delta_v)^alpha.
+double star_loss(double radius_a, double radius_b, double alpha) {
+  return std::pow(radius_a + radius_b, alpha);
+}
+
+/// Interference at `u` from `others` under square-root powers of `losses`.
+double star_interference(std::span<const double> radii, std::span<const double> losses,
+                         std::span<const std::size_t> others, std::size_t u,
+                         double alpha) {
+  double total = 0.0;
+  for (const std::size_t v : others) {
+    if (v == u) continue;
+    const double l = star_loss(radii[u], radii[v], alpha);
+    if (l <= 0.0) return std::numeric_limits<double>::infinity();
+    total += std::sqrt(losses[v]) / l;
+  }
+  return total;
+}
+
+}  // namespace
+
+bool star_subset_feasible(std::span<const double> radii, std::span<const double> losses,
+                          std::span<const std::size_t> subset, double alpha, double beta) {
+  for (const std::size_t u : subset) {
+    const double signal = 1.0 / std::sqrt(losses[u]);  // sqrt(l)/l
+    const double interference = star_interference(radii, losses, subset, u, alpha);
+    if (!(signal > beta * interference)) return false;
+  }
+  return true;
+}
+
+StarSelectionReport select_star_subset(std::span<const double> radii,
+                                       std::span<const double> losses, double alpha,
+                                       double beta, const StarSelectionOptions& options) {
+  require(radii.size() == losses.size(), "select_star_subset: one loss per radius");
+  require(alpha >= 1.0, "select_star_subset: alpha must be >= 1");
+  require(beta > 0.0, "select_star_subset: beta must be > 0");
+  const std::size_t n = radii.size();
+  StarSelectionReport report;
+  if (n == 0) return report;
+  for (std::size_t i = 0; i < n; ++i) {
+    require(losses[i] > 0.0, "select_star_subset: losses must be positive");
+    require(radii[i] >= 0.0, "select_star_subset: radii must be non-negative");
+  }
+
+  const double beta_witness = options.beta_witness > 0.0 ? options.beta_witness : beta;
+  double eps = options.epsilon;
+  if (eps <= 0.0) {
+    eps = std::pow(beta / beta_witness, 2.0 / 3.0);
+    eps = std::clamp(eps, 0.05, 0.5);
+  }
+
+  // Scale decays so the smallest is 1 (the paper's "w.l.o.g. d_u > 1").
+  double min_radius = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (radii[i] > 0.0) min_radius = std::min(min_radius, radii[i]);
+  }
+  if (!std::isfinite(min_radius)) min_radius = 1.0;
+
+  std::vector<double> decay(n);           // d_i, scaled
+  std::vector<double> clamped_loss(n);    // l'_i, same scale as decay
+  const double loss_scale = std::pow(min_radius, alpha);
+  const double large_threshold = std::pow(2.0, alpha + 1.0) / beta_witness;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = std::max(radii[i], min_radius) / min_radius;
+    decay[i] = std::pow(r, alpha);
+    const double scaled_loss = losses[i] / loss_scale;
+    const double a_i = scaled_loss / decay[i];
+    if (a_i > large_threshold) {
+      clamped_loss[i] = decay[i] * large_threshold;
+      ++report.dropped_large_loss_clamp;  // counted, not dropped: clamped
+    } else {
+      clamped_loss[i] = scaled_loss;
+    }
+  }
+
+  // Decay classes D_j = { 2^{j-1} < d <= 2^j }.
+  std::map<int, std::vector<std::size_t>> classes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int j = static_cast<int>(std::ceil(std::log2(std::max(decay[i], 1.0)) - 1e-12));
+    classes[std::max(j, 0)].push_back(i);
+  }
+
+  // Claim 12: drop over-heavy loss parameters per class.
+  std::vector<char> alive(n, 1);
+  for (const auto& [j, members] : classes) {
+    const double kj = static_cast<double>(members.size());
+    const double threshold =
+        std::pow(2.0, alpha + static_cast<double>(j) + 2.0) / (eps * beta_witness * kj);
+    for (const std::size_t u : members) {
+      if (clamped_loss[u] > threshold) {
+        alive[u] = 0;
+        ++report.dropped_claim12;
+      }
+    }
+  }
+
+  // Lemma-11 selection, computed exactly: a candidate stays when its
+  // interference budget holds against *all* remaining candidates (dropping
+  // others later only helps).
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i]) candidates.push_back(i);
+  }
+  std::vector<std::size_t> survivors;
+  for (const std::size_t u : candidates) {
+    const double budget = 1.0 / (beta * std::sqrt(clamped_loss[u]));
+    // Evaluate in the scaled units of the clamped system.
+    double scaled_i = 0.0;
+    for (const std::size_t v : candidates) {
+      if (v == u) continue;
+      const double l =
+          star_loss(radii[u] / min_radius, radii[v] / min_radius, alpha);
+      scaled_i += std::sqrt(clamped_loss[v]) / l;
+    }
+    if (scaled_i <= budget) {
+      survivors.push_back(u);
+    } else {
+      ++report.dropped_interference;
+    }
+  }
+
+  // Final exact pass on the original losses: evict the most harmful node
+  // until the set is beta-feasible (handles the large/small-loss interplay
+  // of Lemmas 13/14 plus any slack lost to clamping).
+  std::vector<std::size_t> selected = survivors;
+  while (!selected.empty() && !star_subset_feasible(radii, losses, selected, alpha, beta)) {
+    // Identify violated victims, then the offender contributing most to them.
+    std::vector<char> violated(selected.size(), 0);
+    for (std::size_t k = 0; k < selected.size(); ++k) {
+      const std::size_t u = selected[k];
+      const double signal = 1.0 / std::sqrt(losses[u]);
+      const double interference = star_interference(radii, losses, selected, u, alpha);
+      violated[k] = !(signal > beta * interference);
+    }
+    double worst_harm = -1.0;
+    std::size_t worst_pos = 0;
+    for (std::size_t k = 0; k < selected.size(); ++k) {
+      const std::size_t offender = selected[k];
+      double harm = 0.0;
+      for (std::size_t m = 0; m < selected.size(); ++m) {
+        if (!violated[m] || m == k) continue;
+        const std::size_t victim = selected[m];
+        const double contribution = std::sqrt(losses[offender]) /
+                                    star_loss(radii[victim], radii[offender], alpha);
+        harm += contribution * beta * std::sqrt(losses[victim]);  // relative to budget
+      }
+      // A violated node that harms nobody else should be evicted last;
+      // bias offenders by their own violation as a tiebreaker.
+      if (violated[k]) harm += 1e-12;
+      if (harm > worst_harm) {
+        worst_harm = harm;
+        worst_pos = k;
+      }
+    }
+    selected.erase(selected.begin() + static_cast<std::ptrdiff_t>(worst_pos));
+    ++report.dropped_final;
+  }
+
+  report.selected = std::move(selected);
+  return report;
+}
+
+}  // namespace oisched

@@ -1,0 +1,67 @@
+// Star-level subset selection under the square-root assignment (Lemma 5).
+//
+// Given node-loss requests placed on a star (radii delta_i, loss parameters
+// l_i), Lemma 5 guarantees that if *some* power assignment makes the whole
+// star beta'-feasible, then all but an O((beta/beta')^{2/3}) fraction of the
+// nodes are beta-feasible under the square-root assignment. Its proof is a
+// constructive case analysis which we execute directly:
+//
+//   1. decay d_i = delta_i^alpha, loss ratio a_i = l_i / d_i; loss
+//      parameters above the large-loss threshold 2^{alpha+1}/beta' are
+//      clamped (Section 4.4's hypothetical reduction),
+//   2. Claim 12: within each decay class D_j = {2^{j-1} < d <= 2^j}, nodes
+//      whose (clamped) loss parameter exceeds 2^{alpha+j+2}/(eps*beta'*k_j)
+//      are dropped — at most an eps fraction when a witness exists,
+//   3. nodes whose interference from the remaining candidates (square-root
+//      powers, clamped losses) exceeds their budget 1/(beta*sqrt(l')) are
+//      dropped (the Lemma-11 selection, computed exactly rather than via
+//      the analytic class bounds),
+//   4. a final exact pass on the *original* losses removes the few nodes
+//      the large/small-loss interplay (Lemmas 13/14) accounts for, by
+//      repeatedly evicting the most harmful offender until the remainder is
+//      beta-feasible. The output is therefore always beta-feasible under
+//      the square-root assignment, regardless of whether a witness existed.
+#ifndef OISCHED_EMBED_STAR_SCHEDULING_H
+#define OISCHED_EMBED_STAR_SCHEDULING_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace oisched {
+
+struct StarSelectionOptions {
+  /// The gain beta' the witness assignment is assumed to achieve; defaults
+  /// to beta when <= 0.
+  double beta_witness = 0.0;
+  /// The Markov fraction eps of Claim 12; <= 0 means the Lemma-5 choice
+  /// (beta/beta')^{2/3}, clamped into [0.05, 0.5].
+  double epsilon = 0.0;
+};
+
+struct StarSelectionReport {
+  std::vector<std::size_t> selected;
+  std::size_t dropped_large_loss_clamp = 0;  // nodes whose loss was clamped
+  std::size_t dropped_claim12 = 0;
+  std::size_t dropped_interference = 0;
+  std::size_t dropped_final = 0;
+};
+
+/// Runs the Lemma-5 selection on a star. `radii[i]` is the distance of node
+/// i to the star center, `losses[i]` its loss parameter. The returned
+/// subset is beta-feasible under p_i = sqrt(losses[i]) in the star metric.
+[[nodiscard]] StarSelectionReport select_star_subset(std::span<const double> radii,
+                                                     std::span<const double> losses,
+                                                     double alpha, double beta,
+                                                     const StarSelectionOptions& options = {});
+
+/// Exact feasibility check used by tests: is `subset` beta-feasible on the
+/// star under square-root powers (original losses)?
+[[nodiscard]] bool star_subset_feasible(std::span<const double> radii,
+                                        std::span<const double> losses,
+                                        std::span<const std::size_t> subset, double alpha,
+                                        double beta);
+
+}  // namespace oisched
+
+#endif  // OISCHED_EMBED_STAR_SCHEDULING_H

@@ -1,0 +1,118 @@
+#include "gen/adversarial.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "gen/generators.h"
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+/// Power of f for a pair of *distance* x (f itself consumes the loss x^alpha).
+double power_of_distance(const PowerAssignment& f, double x, double alpha) {
+  const double loss = path_loss(x, alpha);
+  if (!std::isfinite(loss) || loss <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  const double p = f.power_for_loss(loss);
+  return std::isfinite(p) && p > 0.0 ? p : std::numeric_limits<double>::quiet_NaN();
+}
+
+/// Attempts the Theorem-1 chain recursion; returns endpoint positions
+/// (u_i, v_i) for as many pairs as fit the coordinate budget, or nullopt if
+/// even the second pair is not constructible for this f.
+std::optional<std::vector<std::pair<double, double>>> build_chain(
+    std::size_t n, const PowerAssignment& f, double alpha,
+    const AdversarialOptions& options) {
+  std::vector<std::pair<double, double>> endpoints;
+  double x = 1.0;
+  double y = 1.0;
+  double u = 0.0;
+  double v = 1.0;
+  endpoints.emplace_back(u, v);
+  const double p1 = power_of_distance(f, x, alpha);
+  if (std::isnan(p1)) return std::nullopt;
+  // Largest signal density p(x_j) / x_j^alpha seen so far; later pairs must
+  // beat it scaled by y_i^alpha so that they drown every earlier pair.
+  double max_density = p1 / path_loss(x, alpha);
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const double y_next = options.mu * (x + y);
+    const double needed = path_loss(y_next, alpha) * max_density;
+    if (!std::isfinite(needed)) break;  // coordinate budget exhausted
+    // Find x_next <= y_next with p(x_next) >= needed. For any assignment
+    // whose power grows at least linearly in the loss, x_next = y_next
+    // works; otherwise probe downward (covers non-monotone custom f).
+    double x_next = -1.0;
+    for (int t = 0; t <= 80; ++t) {
+      const double candidate = y_next * std::pow(2.0, -t);
+      const double p = power_of_distance(f, candidate, alpha);
+      if (!std::isnan(p) && p >= needed * (1.0 - 1e-12)) {
+        x_next = candidate;
+        break;
+      }
+    }
+    if (x_next < 0.0) {
+      // Recursion not solvable for this f.
+      return endpoints.size() >= 2
+                 ? std::optional(std::move(endpoints))
+                 : std::nullopt;
+    }
+    const double u_next = v + y_next;
+    const double v_next = u_next + x_next;
+    if (!(v_next < options.max_coordinate)) break;  // truncate before overflow
+    endpoints.emplace_back(u_next, v_next);
+    u = u_next;
+    v = v_next;
+    x = x_next;
+    y = y_next;
+    max_density = std::max(max_density, power_of_distance(f, x, alpha) / path_loss(x, alpha));
+  }
+  if (endpoints.size() < 2) return std::nullopt;
+  return endpoints;
+}
+
+/// Largest nested-chain size whose losses (raised up to `max_tau` by the
+/// assignment under test) stay within double range.
+std::size_t nested_cap(std::size_t n, double alpha, double max_tau) {
+  std::size_t cap = n;
+  while (cap > 1) {
+    const double max_log10 =
+        max_tau * alpha * (static_cast<double>(cap) + 1.0) * std::log10(2.0) + 2.0;
+    if (max_log10 <= 280.0) break;
+    --cap;
+  }
+  return cap;
+}
+
+}  // namespace
+
+bool chain_constructible(const PowerAssignment& f, double alpha,
+                         const AdversarialOptions& options) {
+  const auto chain = build_chain(6, f, alpha, options);
+  return chain.has_value() && chain->size() >= 6;
+}
+
+AdversarialFamily theorem1_family(std::size_t n, const PowerAssignment& f, double alpha,
+                                  const AdversarialOptions& options) {
+  require(n >= 2, "theorem1_family: need at least two requests");
+  AdversarialTopology topology = options.topology;
+  if (topology == AdversarialTopology::automatic) {
+    topology = chain_constructible(f, alpha, options) ? AdversarialTopology::chain
+                                                      : AdversarialTopology::nested;
+  }
+  if (topology == AdversarialTopology::chain) {
+    auto endpoints = build_chain(n, f, alpha, options);
+    require(endpoints.has_value(),
+            "theorem1_family: chain topology not constructible for assignment '" + f.name() +
+                "'");
+    AdversarialFamily family{line_instance(*endpoints), AdversarialTopology::chain,
+                             endpoints->size()};
+    return family;
+  }
+  const std::size_t cap = nested_cap(n, alpha, 2.0);
+  AdversarialFamily family{nested_chain(cap, 2.0, alpha), AdversarialTopology::nested, cap};
+  return family;
+}
+
+}  // namespace oisched

@@ -1,0 +1,68 @@
+// The Theorem-1 adversarial family (Section 2).
+//
+// For a given oblivious power function f, builds a family of n directed
+// requests on a line that forces Omega(n) colors under f while an optimal
+// (non-oblivious) power assignment schedules everything in O(1) colors.
+//
+// The paper's proof sketch covers asymptotically unbounded f via a
+// recursive chain: gaps y_i = mu * (x_{i-1} + y_{i-1}) and lengths x_i <= y_i
+// chosen so that f(loss(x_i)) >= y_i^alpha * f(loss(x_j)) / x_j^alpha for
+// all j < i — then every later pair drowns the earliest pair of its color
+// class. The recursion is solvable whenever f grows at least linearly in
+// the loss (uniform-per-loss density g(x) = f(x)/x^alpha non-decreasing:
+// pick x_i = y_i). For bounded f (e.g. uniform) the paper notes an adapted
+// construction; the standard one is the nested chain, where inner pairs
+// drown outer receivers. This generator implements both and picks
+// automatically. For *sublinear but unbounded* f (e.g. the square root)
+// neither construction applies with double-precision coordinates — the
+// paper's own sketch excludes that case, and later literature shows the
+// required instances need aspect ratios that are doubly exponential in n;
+// `chain_constructible` reports this so benchmarks can label it honestly.
+#ifndef OISCHED_GEN_ADVERSARIAL_H
+#define OISCHED_GEN_ADVERSARIAL_H
+
+#include <cstddef>
+#include <optional>
+
+#include "core/instance.h"
+#include "core/power_assignment.h"
+
+namespace oisched {
+
+enum class AdversarialTopology {
+  automatic,  // chain when constructible, otherwise nested
+  chain,      // the recursive construction of the Theorem-1 proof
+  nested,     // u_i = -2^i, v_i = 2^i (the bounded-f adaptation)
+};
+
+struct AdversarialOptions {
+  AdversarialTopology topology = AdversarialTopology::automatic;
+  /// Gap growth factor (the paper's "suitable constant mu"); >= 2.
+  double mu = 2.0;
+  /// Coordinate budget: construction stops before exceeding this.
+  double max_coordinate = 1e280;
+};
+
+struct AdversarialFamily {
+  Instance instance;
+  AdversarialTopology used = AdversarialTopology::chain;
+  /// Number of requests actually built (the construction truncates rather
+  /// than overflow; check against the requested n).
+  std::size_t built = 0;
+};
+
+/// Can the Theorem-1 chain recursion be carried out for `f` within the
+/// double-precision coordinate budget? True for assignments whose power
+/// grows at least linearly in the loss.
+[[nodiscard]] bool chain_constructible(const PowerAssignment& f, double alpha,
+                                       const AdversarialOptions& options = {});
+
+/// Builds the family. Throws PreconditionError if an explicitly requested
+/// chain topology is not constructible for `f`.
+[[nodiscard]] AdversarialFamily theorem1_family(std::size_t n, const PowerAssignment& f,
+                                                double alpha,
+                                                const AdversarialOptions& options = {});
+
+}  // namespace oisched
+
+#endif  // OISCHED_GEN_ADVERSARIAL_H

@@ -1,0 +1,79 @@
+#include "gen/connectivity.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "util/error.h"
+
+namespace oisched {
+
+std::vector<Request> euclidean_mst(const std::vector<Point>& points) {
+  const std::size_t n = points.size();
+  require(n >= 2, "euclidean_mst: need at least two points");
+  std::vector<Request> edges;
+  edges.reserve(n - 1);
+  // Prim's algorithm with O(n^2) scans — fine at the sizes we generate.
+  std::vector<char> in_tree(n, 0);
+  std::vector<double> best_dist(n, std::numeric_limits<double>::infinity());
+  std::vector<NodeId> best_from(n, 0);
+  in_tree[0] = 1;
+  for (NodeId v = 1; v < n; ++v) {
+    best_dist[v] = euclidean_distance(points[0], points[v]);
+    best_from[v] = 0;
+  }
+  for (std::size_t added = 1; added < n; ++added) {
+    NodeId pick = 0;
+    double pick_dist = std::numeric_limits<double>::infinity();
+    for (NodeId v = 0; v < n; ++v) {
+      if (!in_tree[v] && best_dist[v] < pick_dist) {
+        pick = v;
+        pick_dist = best_dist[v];
+      }
+    }
+    require(std::isfinite(pick_dist) && pick_dist > 0.0,
+            "euclidean_mst: points must be distinct");
+    in_tree[pick] = 1;
+    edges.push_back(Request{best_from[pick], pick});
+    for (NodeId v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double d = euclidean_distance(points[pick], points[v]);
+      if (d < best_dist[v]) {
+        best_dist[v] = d;
+        best_from[v] = pick;
+      }
+    }
+  }
+  return edges;
+}
+
+Instance mst_connectivity_instance(std::size_t num_nodes, double side, Rng& rng) {
+  require(num_nodes >= 2, "mst_connectivity_instance: need at least two nodes");
+  std::vector<Point> points;
+  points.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    points.push_back(Point{rng.uniform(0.0, side), rng.uniform(0.0, side), 0.0});
+  }
+  std::vector<Request> edges = euclidean_mst(points);
+  return Instance(std::make_shared<EuclideanMetric>(std::move(points)), std::move(edges));
+}
+
+Instance exponential_line_connectivity(std::size_t num_nodes) {
+  require(num_nodes >= 2, "exponential_line_connectivity: need at least two nodes");
+  // Coordinates 2^i; guard the loss range like the nested chain does.
+  const double max_log10 =
+      3.0 * (static_cast<double>(num_nodes) + 1.0) * std::log10(2.0) + 2.0;
+  if (max_log10 > 280.0) {
+    throw OverflowError("exponential_line_connectivity: too many nodes for double range");
+  }
+  std::vector<Point> points;
+  std::vector<Request> edges;
+  points.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    points.push_back(Point{std::pow(2.0, static_cast<double>(i)), 0.0, 0.0});
+    if (i > 0) edges.push_back(Request{i - 1, i});
+  }
+  return Instance(std::make_shared<EuclideanMetric>(std::move(points)), std::move(edges));
+}
+
+}  // namespace oisched

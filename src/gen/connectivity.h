@@ -1,0 +1,42 @@
+// Strong-connectivity request sets (the Moscibroda–Wattenhofer workload).
+//
+// The paper's related work (Section 1.3) centers on the question that
+// started the area: how many colors does it take to schedule a request set
+// that makes n arbitrarily placed nodes strongly connected? The canonical
+// such set is a minimum spanning tree: its edges, as full-duplex requests,
+// connect everything.
+//
+// These instances differ structurally from the pair workloads: requests
+// SHARE endpoints (adjacent tree edges touch), so two adjacent requests can
+// never share a color in the physical model — scheduling is edge coloring
+// entangled with SINR. The exponential line configuration reproduces the
+// Omega(n) examples of [12] for uniform/linear power assignments.
+#ifndef OISCHED_GEN_CONNECTIVITY_H
+#define OISCHED_GEN_CONNECTIVITY_H
+
+#include <cstddef>
+
+#include "core/instance.h"
+#include "metric/euclidean.h"
+#include "util/rng.h"
+
+namespace oisched {
+
+/// Euclidean minimum spanning tree (Prim, O(n^2)) over explicit points;
+/// returns the edge list as requests over those points.
+[[nodiscard]] std::vector<Request> euclidean_mst(const std::vector<Point>& points);
+
+/// Connectivity instance: `num_nodes` random points in a square, requests =
+/// MST edges (num_nodes - 1 of them, sharing endpoints).
+[[nodiscard]] Instance mst_connectivity_instance(std::size_t num_nodes, double side,
+                                                 Rng& rng);
+
+/// The adversarial connectivity configuration of [12]: nodes on a line at
+/// exponentially growing coordinates x_i = 2^i; the MST is the chain. Under
+/// uniform or linear powers this needs Omega(n) colors; with a good
+/// assignment polylog suffices.
+[[nodiscard]] Instance exponential_line_connectivity(std::size_t num_nodes);
+
+}  // namespace oisched
+
+#endif  // OISCHED_GEN_CONNECTIVITY_H

@@ -1,0 +1,143 @@
+#include "gen/generators.h"
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <utility>
+
+#include "metric/euclidean.h"
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+double sample_length(double min_length, double max_length, LengthLaw law, Rng& rng) {
+  require(min_length > 0.0 && max_length >= min_length,
+          "generators: need 0 < min_length <= max_length");
+  switch (law) {
+    case LengthLaw::uniform:
+      return rng.uniform(min_length, max_length);
+    case LengthLaw::log_uniform: {
+      const double lo = std::log(min_length);
+      const double hi = std::log(max_length);
+      return std::exp(rng.uniform(lo, hi));
+    }
+    case LengthLaw::pareto: {
+      // Truncated Pareto, shape 1.5: invert the truncated CDF.
+      const double shape = 1.5;
+      const double lo = std::pow(min_length, -shape);
+      const double hi = std::pow(max_length, -shape);
+      const double u = rng.uniform();
+      return std::pow(lo + u * (hi - lo), -1.0 / shape);
+    }
+  }
+  throw PreconditionError("generators: unknown length law");
+}
+
+Instance build_instance(std::vector<Point> points, std::vector<Request> requests) {
+  auto metric = std::make_shared<EuclideanMetric>(std::move(points));
+  return Instance(std::move(metric), std::move(requests));
+}
+
+}  // namespace
+
+Instance random_square(std::size_t n, const RandomSquareOptions& options, Rng& rng) {
+  require(n > 0, "random_square: need at least one request");
+  std::vector<Point> points;
+  std::vector<Request> requests;
+  points.reserve(2 * n);
+  requests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point sender{rng.uniform(0.0, options.side), rng.uniform(0.0, options.side), 0.0};
+    const double length =
+        sample_length(options.min_length, options.max_length, options.law, rng);
+    const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const Point receiver{sender.x + length * std::cos(angle),
+                         sender.y + length * std::sin(angle), 0.0};
+    points.push_back(sender);
+    points.push_back(receiver);
+    requests.push_back(Request{2 * i, 2 * i + 1});
+  }
+  return build_instance(std::move(points), std::move(requests));
+}
+
+Instance clustered(std::size_t n, const ClusteredOptions& options, Rng& rng) {
+  require(n > 0, "clustered: need at least one request");
+  require(options.clusters > 0, "clustered: need at least one cluster");
+  require(options.cross_fraction >= 0.0 && options.cross_fraction <= 1.0,
+          "clustered: cross_fraction must lie in [0, 1]");
+  std::vector<Point> centers;
+  centers.reserve(options.clusters);
+  for (std::size_t c = 0; c < options.clusters; ++c) {
+    centers.push_back(
+        Point{rng.uniform(0.0, options.side), rng.uniform(0.0, options.side), 0.0});
+  }
+  std::vector<Point> points;
+  std::vector<Request> requests;
+  points.reserve(2 * n);
+  requests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t home = static_cast<std::size_t>(rng.uniform_index(options.clusters));
+    const Point sender{centers[home].x + rng.normal(0.0, options.cluster_stddev),
+                       centers[home].y + rng.normal(0.0, options.cluster_stddev), 0.0};
+    Point receiver;
+    if (options.clusters > 1 && rng.bernoulli(options.cross_fraction)) {
+      // Long-haul: receiver near a different cluster's center.
+      std::size_t other = home;
+      while (other == home) {
+        other = static_cast<std::size_t>(rng.uniform_index(options.clusters));
+      }
+      receiver = Point{centers[other].x + rng.normal(0.0, options.cluster_stddev),
+                       centers[other].y + rng.normal(0.0, options.cluster_stddev), 0.0};
+    } else {
+      const double length =
+          sample_length(options.min_length, options.max_length, LengthLaw::log_uniform, rng);
+      const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      receiver = Point{sender.x + length * std::cos(angle),
+                       sender.y + length * std::sin(angle), 0.0};
+    }
+    points.push_back(sender);
+    points.push_back(receiver);
+    requests.push_back(Request{2 * i, 2 * i + 1});
+  }
+  return build_instance(std::move(points), std::move(requests));
+}
+
+Instance nested_chain(std::size_t n, double base, double alpha, double max_tau) {
+  require(n > 0, "nested_chain: need at least one request");
+  require(base > 1.0, "nested_chain: base must exceed 1");
+  require(max_tau >= 1.0, "nested_chain: max_tau must be >= 1");
+  // Largest loss is (2*base^n)^alpha; assignments may raise it to max_tau.
+  const double max_log10 =
+      max_tau * alpha * (static_cast<double>(n) + 1.0) * std::log10(base) + 2.0;
+  if (max_log10 > 280.0) {
+    throw OverflowError("nested_chain: instance would overflow double range; reduce n");
+  }
+  std::vector<Point> points;
+  std::vector<Request> requests;
+  points.reserve(2 * n);
+  requests.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double r = std::pow(base, static_cast<double>(i));
+    points.push_back(Point{-r, 0.0, 0.0});
+    points.push_back(Point{+r, 0.0, 0.0});
+    requests.push_back(Request{2 * (i - 1), 2 * (i - 1) + 1});
+  }
+  return build_instance(std::move(points), std::move(requests));
+}
+
+Instance line_instance(std::span<const std::pair<double, double>> endpoints) {
+  require(!endpoints.empty(), "line_instance: need at least one request");
+  std::vector<Point> points;
+  std::vector<Request> requests;
+  points.reserve(2 * endpoints.size());
+  requests.reserve(endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    points.push_back(Point{endpoints[i].first, 0.0, 0.0});
+    points.push_back(Point{endpoints[i].second, 0.0, 0.0});
+    requests.push_back(Request{2 * i, 2 * i + 1});
+  }
+  return build_instance(std::move(points), std::move(requests));
+}
+
+}  // namespace oisched

@@ -1,0 +1,62 @@
+// Instance generators: the workloads of the experiment suite.
+//
+// All generators are deterministic given an Rng and produce instances usable
+// in both the directed and the bidirectional variant.
+#ifndef OISCHED_GEN_GENERATORS_H
+#define OISCHED_GEN_GENERATORS_H
+
+#include <cstddef>
+
+#include "core/instance.h"
+#include "util/rng.h"
+
+namespace oisched {
+
+/// How request lengths are drawn.
+enum class LengthLaw {
+  uniform,      // uniform in [min_length, max_length]
+  log_uniform,  // log-uniform: spreads mass across the distance classes
+  pareto,       // heavy-tailed with shape 1.5, truncated to the range
+};
+
+struct RandomSquareOptions {
+  double side = 1000.0;
+  double min_length = 1.0;
+  double max_length = 64.0;
+  LengthLaw law = LengthLaw::log_uniform;
+};
+
+/// Senders uniform in a square, receivers at a random direction and a
+/// length drawn from `law`. The standard "arbitrary topology" workload.
+[[nodiscard]] Instance random_square(std::size_t n, const RandomSquareOptions& options,
+                                     Rng& rng);
+
+struct ClusteredOptions {
+  double side = 10000.0;
+  std::size_t clusters = 8;
+  double cluster_stddev = 40.0;
+  double min_length = 1.0;
+  double max_length = 64.0;
+  /// Fraction of requests whose endpoints live in two different clusters
+  /// (long-haul links).
+  double cross_fraction = 0.1;
+};
+
+/// Gaussian clusters with mostly intra-cluster requests — the "hot cells
+/// plus backbone" shape of real deployments.
+[[nodiscard]] Instance clustered(std::size_t n, const ClusteredOptions& options, Rng& rng);
+
+/// The nested chain of Section 1.2: u_i = -base^i, v_i = +base^i on the
+/// line, i = 1..n. Under uniform/linear/superlinear assignments only O(1)
+/// of these fit into one color; under the square-root assignment a constant
+/// fraction does. Throws OverflowError when base^(n+1) would leave the
+/// range where loss^tau stays representable for tau in [0, max_tau].
+[[nodiscard]] Instance nested_chain(std::size_t n, double base, double alpha,
+                                    double max_tau = 2.0);
+
+/// Requests on a line given explicit endpoint positions (u_i, v_i).
+[[nodiscard]] Instance line_instance(std::span<const std::pair<double, double>> endpoints);
+
+}  // namespace oisched
+
+#endif  // OISCHED_GEN_GENERATORS_H

@@ -1,0 +1,35 @@
+#include "lp/rounding.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace oisched {
+
+std::vector<std::size_t> randomized_round(
+    std::span<const double> x, Rng& rng,
+    const std::function<bool(std::span<const std::size_t>)>& accepts,
+    const std::function<std::vector<std::size_t>(std::vector<std::size_t>)>& trim,
+    const RoundingOptions& options) {
+  require(options.initial_scale >= 1.0, "randomized_round: scale must be >= 1");
+  require(options.max_attempts >= 1, "randomized_round: need at least one attempt");
+
+  std::vector<std::size_t> best;
+  double scale = options.initial_scale;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt, scale *= 2.0) {
+    std::vector<std::size_t> sample;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double p = std::clamp(x[j] / scale, 0.0, 1.0);
+      if (rng.bernoulli(p)) sample.push_back(j);
+    }
+    if (!accepts(sample)) sample = trim(std::move(sample));
+    ensure(accepts(sample), "randomized_round: trim must produce an acceptable set");
+    if (sample.size() > best.size()) best = std::move(sample);
+    // A later attempt with larger scale yields smaller samples; stop once we
+    // have anything acceptable and non-trivial.
+    if (!best.empty()) break;
+  }
+  return best;
+}
+
+}  // namespace oisched

@@ -1,0 +1,43 @@
+// Randomized rounding with alteration, the Lemma-16 device.
+//
+// The paper solves the fractional relaxation of "pick as many requests of a
+// distance class as fit under the per-node interference budget" and rounds;
+// the rounding details are omitted there ("due to space limitations"). We
+// use the standard recipe: include item j independently with probability
+// x_j / c, then *alter* (drop items until every budget constraint holds
+// again); if the surviving set is too small, retry with doubled c. This
+// keeps an Omega(opt') expected yield. Documented in DESIGN.md
+// "Substitutions".
+#ifndef OISCHED_LP_ROUNDING_H
+#define OISCHED_LP_ROUNDING_H
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace oisched {
+
+struct RoundingOptions {
+  double initial_scale = 2.0;  // the constant c
+  int max_attempts = 8;        // doubling retries
+};
+
+/// Rounds the fractional vector `x` into a subset of indices such that
+/// `accepts(subset)` holds. `accepts` must be downward closed: removing
+/// elements can never turn an acceptable set unacceptable.
+///
+/// `trim` is invoked to repair an unacceptable sample: it must return a
+/// subset of its argument that `accepts` (e.g. by greedily removing the
+/// worst offender). The returned set may be empty.
+[[nodiscard]] std::vector<std::size_t> randomized_round(
+    std::span<const double> x, Rng& rng,
+    const std::function<bool(std::span<const std::size_t>)>& accepts,
+    const std::function<std::vector<std::size_t>(std::vector<std::size_t>)>& trim,
+    const RoundingOptions& options = {});
+
+}  // namespace oisched
+
+#endif  // OISCHED_LP_ROUNDING_H

@@ -1,0 +1,247 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace oisched {
+
+void LpProblem::add_constraint(std::vector<double> coeffs, double bound) {
+  require(coeffs.size() == num_vars, "LpProblem: constraint width must equal num_vars");
+  rows.push_back(std::move(coeffs));
+  rhs.push_back(bound);
+}
+
+void LpProblem::validate() const {
+  require(num_vars > 0, "LpProblem: need at least one variable");
+  require(objective.size() == num_vars, "LpProblem: objective size mismatch");
+  require(upper_bounds.size() == num_vars, "LpProblem: upper_bounds size mismatch");
+  require(rows.size() == rhs.size(), "LpProblem: rows/rhs size mismatch");
+  for (const double c : objective) {
+    require(std::isfinite(c), "LpProblem: objective coefficients must be finite");
+  }
+  for (const double u : upper_bounds) {
+    require(u >= 0.0 && !std::isnan(u), "LpProblem: upper bounds must be >= 0");
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    require(rows[r].size() == num_vars, "LpProblem: constraint width must equal num_vars");
+    for (const double a : rows[r]) {
+      require(std::isfinite(a), "LpProblem: constraint coefficients must be finite");
+    }
+    require(std::isfinite(rhs[r]) && rhs[r] >= 0.0,
+            "LpProblem: rhs must be finite and >= 0 (origin-feasible form)");
+  }
+}
+
+namespace {
+
+/// Bounded-variable tableau simplex state.
+class Simplex {
+ public:
+  Simplex(const LpProblem& p, const SimplexOptions& opt)
+      : m_(p.rows.size()), n_(p.num_vars), total_(m_ + p.num_vars), opt_(opt) {
+    // Tableau over [structural | slack] columns.
+    tableau_.assign(m_ * total_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r) {
+      for (std::size_t j = 0; j < n_; ++j) tableau_[r * total_ + j] = p.rows[r][j];
+      tableau_[r * total_ + n_ + r] = 1.0;
+    }
+    cost_.assign(total_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) cost_[j] = p.objective[j];
+    upper_.assign(total_, kLpInfinity);
+    for (std::size_t j = 0; j < n_; ++j) upper_[j] = p.upper_bounds[j];
+    basis_.resize(m_);
+    in_basis_.assign(total_, false);
+    for (std::size_t r = 0; r < m_; ++r) {
+      basis_[r] = n_ + r;
+      in_basis_[n_ + r] = true;
+    }
+    at_upper_.assign(total_, false);
+    basic_value_ = p.rhs;
+    objective_ = 0.0;
+  }
+
+  LpSolution run() {
+    LpSolution sol;
+    int degenerate_streak = 0;
+    for (int it = 0; it < opt_.max_iterations; ++it) {
+      const bool use_bland = degenerate_streak > 64;
+      const std::size_t entering = choose_entering(use_bland);
+      if (entering == total_) {
+        sol.status = LpStatus::optimal;
+        sol.objective = objective_;
+        sol.x = extract();
+        sol.iterations = it;
+        return sol;
+      }
+      const StepResult step = ratio_test(entering);
+      if (step.unbounded) {
+        sol.status = LpStatus::unbounded;
+        sol.iterations = it;
+        return sol;
+      }
+      degenerate_streak = step.length <= opt_.tolerance ? degenerate_streak + 1 : 0;
+      apply_step(entering, step);
+    }
+    sol.status = LpStatus::iteration_limit;
+    sol.objective = objective_;
+    sol.x = extract();
+    sol.iterations = opt_.max_iterations;
+    return sol;
+  }
+
+ private:
+  struct StepResult {
+    bool unbounded = false;
+    bool bound_flip = false;      // entering variable jumps to its other bound
+    std::size_t pivot_row = 0;    // valid when !bound_flip
+    bool leaving_to_upper = false;
+    double length = 0.0;          // step length t
+  };
+
+  [[nodiscard]] double direction_sign(std::size_t j) const {
+    return at_upper_[j] ? -1.0 : 1.0;
+  }
+
+  /// Returns entering column, or total_ when the solution is optimal.
+  [[nodiscard]] std::size_t choose_entering(bool bland) const {
+    std::size_t best = total_;
+    double best_score = opt_.tolerance;
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (in_basis_[j]) continue;
+      const double d = cost_[j];
+      const bool improving = at_upper_[j] ? d < -opt_.tolerance : d > opt_.tolerance;
+      if (!improving) continue;
+      if (bland) return j;
+      const double score = std::abs(d);
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] StepResult ratio_test(std::size_t entering) const {
+    StepResult step;
+    const double sign = direction_sign(entering);
+    double limit = upper_[entering];  // entering may traverse its whole box
+    bool limited_by_row = false;
+    std::size_t arg_row = 0;
+    bool arg_to_upper = false;
+    for (std::size_t r = 0; r < m_; ++r) {
+      const double a = sign * tableau_[r * total_ + entering];
+      if (a > opt_.tolerance) {
+        // Basic variable decreases towards its lower bound 0.
+        const double t = basic_value_[r] / a;
+        if (t < limit - opt_.tolerance || (t < limit + opt_.tolerance && !limited_by_row)) {
+          if (t < limit) {
+            limit = t;
+            limited_by_row = true;
+            arg_row = r;
+            arg_to_upper = false;
+          }
+        }
+      } else if (a < -opt_.tolerance) {
+        // Basic variable increases towards its upper bound (if finite).
+        const double ub = upper_[basis_[r]];
+        if (ub == kLpInfinity) continue;
+        const double t = (ub - basic_value_[r]) / (-a);
+        if (t < limit) {
+          limit = t;
+          limited_by_row = true;
+          arg_row = r;
+          arg_to_upper = true;
+        }
+      }
+    }
+    if (limit == kLpInfinity) {
+      step.unbounded = true;
+      return step;
+    }
+    step.length = std::max(0.0, limit);
+    step.bound_flip = !limited_by_row;
+    step.pivot_row = arg_row;
+    step.leaving_to_upper = arg_to_upper;
+    return step;
+  }
+
+  void apply_step(std::size_t entering, const StepResult& step) {
+    const double sign = direction_sign(entering);
+    const double t = step.length;
+    objective_ += cost_[entering] * sign * t;
+    for (std::size_t r = 0; r < m_; ++r) {
+      basic_value_[r] -= sign * t * tableau_[r * total_ + entering];
+    }
+    if (step.bound_flip) {
+      at_upper_[entering] = !at_upper_[entering];
+      return;
+    }
+
+    const std::size_t leaving = basis_[step.pivot_row];
+    at_upper_[leaving] = step.leaving_to_upper;
+    in_basis_[leaving] = false;
+    in_basis_[entering] = true;
+    basis_[step.pivot_row] = entering;
+    // New basic value of the entering variable.
+    basic_value_[step.pivot_row] = (at_upper_[entering] ? upper_[entering] : 0.0) + sign * t;
+    at_upper_[entering] = false;
+
+    // Gaussian pivot on (pivot_row, entering).
+    double* pivot_row = &tableau_[step.pivot_row * total_];
+    const double pivot = pivot_row[entering];
+    ensure(std::abs(pivot) > 1e-14, "simplex: numerically singular pivot");
+    for (std::size_t j = 0; j < total_; ++j) pivot_row[j] /= pivot;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == step.pivot_row) continue;
+      double* row = &tableau_[r * total_];
+      const double factor = row[entering];
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j < total_; ++j) row[j] -= factor * pivot_row[j];
+      row[entering] = 0.0;
+    }
+    const double cost_factor = cost_[entering];
+    if (cost_factor != 0.0) {
+      for (std::size_t j = 0; j < total_; ++j) cost_[j] -= cost_factor * pivot_row[j];
+      cost_[entering] = 0.0;
+    }
+  }
+
+  [[nodiscard]] std::vector<double> extract() const {
+    std::vector<double> x(n_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (!in_basis_[j] && at_upper_[j]) x[j] = upper_[j];
+    }
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (basis_[r] < n_) x[basis_[r]] = basic_value_[r];
+    }
+    // Clamp tiny negative values produced by floating-point drift.
+    for (double& v : x) {
+      if (v < 0.0 && v > -1e-7) v = 0.0;
+    }
+    return x;
+  }
+
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t total_;
+  SimplexOptions opt_;
+  std::vector<double> tableau_;
+  std::vector<double> cost_;
+  std::vector<double> upper_;
+  std::vector<std::size_t> basis_;
+  std::vector<bool> in_basis_;
+  std::vector<bool> at_upper_;
+  std::vector<double> basic_value_;
+  double objective_ = 0.0;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+  problem.validate();
+  Simplex simplex(problem, options);
+  return simplex.run();
+}
+
+}  // namespace oisched

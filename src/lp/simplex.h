@@ -1,0 +1,65 @@
+// Dense primal simplex for box-constrained linear programs.
+//
+// Solves   maximize c^T x
+//          subject to A x <= b,   0 <= x_j <= u_j  (u_j may be +infinity)
+//
+// with the *bounded-variable* simplex method (nonbasic variables may rest at
+// either bound; ratio tests allow bound flips). This is exactly the LP shape
+// of Lemma 16 in the paper: one fractional indicator per request in a
+// distance class (0 <= x_j <= 1), one interference constraint per node, and
+// a non-negative right-hand side — so the origin is feasible and no phase-1
+// is needed. The solver requires b >= 0 and documents this precondition.
+//
+// Pivoting uses Dantzig's rule with a Bland fallback after a long run of
+// degenerate pivots, which guarantees termination.
+#ifndef OISCHED_LP_SIMPLEX_H
+#define OISCHED_LP_SIMPLEX_H
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace oisched {
+
+/// A box-constrained LP in the form documented above.
+struct LpProblem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;          // size num_vars; maximize
+  std::vector<double> upper_bounds;       // size num_vars; may be +infinity
+  std::vector<std::vector<double>> rows;  // each of size num_vars
+  std::vector<double> rhs;                // size rows.size(); must be >= 0
+
+  /// Adds a constraint row `coeffs . x <= bound`.
+  void add_constraint(std::vector<double> coeffs, double bound);
+
+  void validate() const;
+};
+
+enum class LpStatus {
+  optimal,
+  unbounded,
+  iteration_limit,
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::iteration_limit;
+  double objective = 0.0;
+  std::vector<double> x;
+  int iterations = 0;
+};
+
+struct SimplexOptions {
+  int max_iterations = 20000;
+  double tolerance = 1e-9;
+};
+
+/// Solves the LP. Throws PreconditionError on malformed input (dimension
+/// mismatch, negative rhs, NaN coefficients).
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options = {});
+
+/// Convenience constant for unbounded variables.
+inline constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace oisched
+
+#endif  // OISCHED_LP_SIMPLEX_H

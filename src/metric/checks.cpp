@@ -1,0 +1,78 @@
+#include "metric/checks.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/error.h"
+
+namespace oisched {
+
+MetricCheckReport verify_metric_axioms(const MetricSpace& metric, double slack) {
+  const std::size_t n = metric.size();
+  auto fail = [](std::string why) {
+    return MetricCheckReport{false, std::move(why)};
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    if (metric.distance(i, i) != 0.0) {
+      return fail("identity violated at node " + std::to_string(i));
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const double dij = metric.distance(i, j);
+      const double dji = metric.distance(j, i);
+      if (!(std::isfinite(dij)) || dij < 0.0) {
+        return fail("non-finite or negative distance (" + std::to_string(i) + "," +
+                    std::to_string(j) + ")");
+      }
+      if (dij != dji) {
+        return fail("symmetry violated (" + std::to_string(i) + "," + std::to_string(j) + ")");
+      }
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double dij = metric.distance(i, j);
+      for (NodeId k = 0; k < n; ++k) {
+        if (k == i || k == j) continue;
+        const double detour = metric.distance(i, k) + metric.distance(k, j);
+        if (dij > detour * (1.0 + slack)) {
+          return fail("triangle inequality violated (" + std::to_string(i) + "," +
+                      std::to_string(j) + "," + std::to_string(k) + ")");
+        }
+      }
+    }
+  }
+  return MetricCheckReport{};
+}
+
+double aspect_ratio(const MetricSpace& metric) {
+  const std::size_t n = metric.size();
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const double d = metric.distance(i, j);
+      if (d <= 0.0) continue;
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+  }
+  if (!(hi > 0.0) || !std::isfinite(lo)) return 1.0;
+  return hi / lo;
+}
+
+bool dominates(const MetricSpace& dominating, const MetricSpace& base, double slack) {
+  require(dominating.size() == base.size(), "dominates: point sets must match");
+  const std::size_t n = base.size();
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (dominating.distance(i, j) < base.distance(i, j) * (1.0 - slack)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace oisched

@@ -1,0 +1,35 @@
+// Validation utilities for metric spaces.
+#ifndef OISCHED_METRIC_CHECKS_H
+#define OISCHED_METRIC_CHECKS_H
+
+#include <string>
+
+#include "metric/metric_space.h"
+
+namespace oisched {
+
+/// Result of an exhaustive metric-axiom verification.
+struct MetricCheckReport {
+  bool ok = true;
+  std::string violation;  // empty when ok
+};
+
+/// Exhaustively verifies identity, symmetry, non-negativity and the triangle
+/// inequality (O(n^3); intended for tests and small instances).
+/// `slack` tolerates floating-point rounding in the triangle inequality.
+[[nodiscard]] MetricCheckReport verify_metric_axioms(const MetricSpace& metric,
+                                                     double slack = 1e-9);
+
+/// Ratio between the largest and smallest non-zero pairwise distance.
+/// Returns 1 for metrics with fewer than two distinct points.
+[[nodiscard]] double aspect_ratio(const MetricSpace& metric);
+
+/// Checks that `dominating` never shrinks a distance of `base` (Lemma 6(1):
+/// tree embeddings must dominate the original metric). `slack` is a
+/// multiplicative tolerance.
+[[nodiscard]] bool dominates(const MetricSpace& dominating, const MetricSpace& base,
+                             double slack = 1e-9);
+
+}  // namespace oisched
+
+#endif  // OISCHED_METRIC_CHECKS_H

@@ -1,0 +1,41 @@
+#include "metric/euclidean.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace oisched {
+
+double euclidean_distance(const Point& a, const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+EuclideanMetric::EuclideanMetric(std::vector<Point> points) : points_(std::move(points)) {
+  require(!points_.empty(), "EuclideanMetric: point set must not be empty");
+  for (const Point& p : points_) {
+    require(std::isfinite(p.x) && std::isfinite(p.y) && std::isfinite(p.z),
+            "EuclideanMetric: coordinates must be finite");
+  }
+}
+
+EuclideanMetric EuclideanMetric::line(std::span<const double> positions) {
+  std::vector<Point> pts;
+  pts.reserve(positions.size());
+  for (const double x : positions) pts.push_back(Point{x, 0.0, 0.0});
+  return EuclideanMetric(std::move(pts));
+}
+
+double EuclideanMetric::distance(NodeId a, NodeId b) const {
+  require(a < points_.size() && b < points_.size(), "EuclideanMetric: node out of range");
+  return euclidean_distance(points_[a], points_[b]);
+}
+
+const Point& EuclideanMetric::point(NodeId v) const {
+  require(v < points_.size(), "EuclideanMetric: node out of range");
+  return points_[v];
+}
+
+}  // namespace oisched

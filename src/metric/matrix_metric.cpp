@@ -1,0 +1,41 @@
+#include "metric/matrix_metric.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace oisched {
+
+MatrixMetric::MatrixMetric(std::size_t n, std::vector<double> distances)
+    : n_(n), d_(std::move(distances)) {
+  require(n_ > 0, "MatrixMetric: need at least one point");
+  require(d_.size() == n_ * n_, "MatrixMetric: matrix must be n*n");
+  for (std::size_t i = 0; i < n_; ++i) {
+    require(d_[i * n_ + i] == 0.0, "MatrixMetric: diagonal must be zero");
+    for (std::size_t j = 0; j < n_; ++j) {
+      require(std::isfinite(d_[i * n_ + j]) && d_[i * n_ + j] >= 0.0,
+              "MatrixMetric: distances must be finite and non-negative");
+      require(d_[i * n_ + j] == d_[j * n_ + i], "MatrixMetric: matrix must be symmetric");
+    }
+  }
+}
+
+MatrixMetric MatrixMetric::from(const MetricSpace& metric) {
+  const std::size_t n = metric.size();
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dist = metric.distance(i, j);
+      d[i * n + j] = dist;
+      d[j * n + i] = dist;
+    }
+  }
+  return MatrixMetric(n, std::move(d));
+}
+
+double MatrixMetric::distance(NodeId a, NodeId b) const {
+  require(a < n_ && b < n_, "MatrixMetric: node out of range");
+  return d_[a * n_ + b];
+}
+
+}  // namespace oisched

@@ -1,0 +1,36 @@
+// Explicit distance-matrix metric.
+//
+// Used for metrics that are not geometrically embedded (e.g. shortest-path
+// metrics handed to the FRT embedding, or hand-built counterexamples in
+// tests). Construction validates symmetry; the triangle inequality can be
+// checked separately (checks.h) because some tests intentionally build
+// near-metrics.
+#ifndef OISCHED_METRIC_MATRIX_METRIC_H
+#define OISCHED_METRIC_MATRIX_METRIC_H
+
+#include <vector>
+
+#include "metric/metric_space.h"
+
+namespace oisched {
+
+class MatrixMetric final : public MetricSpace {
+ public:
+  /// `distances` is a row-major n*n matrix.
+  MatrixMetric(std::size_t n, std::vector<double> distances);
+
+  /// Copies any metric into matrix form (used to snapshot derived metrics).
+  [[nodiscard]] static MatrixMetric from(const MetricSpace& metric);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+  [[nodiscard]] double distance(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::string name() const override { return "matrix"; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> d_;
+};
+
+}  // namespace oisched
+
+#endif  // OISCHED_METRIC_MATRIX_METRIC_H

@@ -1,0 +1,27 @@
+#include "metric/star_metric.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace oisched {
+
+StarMetric::StarMetric(std::vector<double> radii) : radii_(std::move(radii)) {
+  require(!radii_.empty(), "StarMetric: need at least one leaf");
+  for (const double r : radii_) {
+    require(std::isfinite(r) && r >= 0.0, "StarMetric: radii must be finite and non-negative");
+  }
+}
+
+double StarMetric::distance(NodeId a, NodeId b) const {
+  require(a < radii_.size() && b < radii_.size(), "StarMetric: node out of range");
+  if (a == b) return 0.0;
+  return radii_[a] + radii_[b];
+}
+
+double StarMetric::radius(NodeId v) const {
+  require(v < radii_.size(), "StarMetric: node out of range");
+  return radii_[v];
+}
+
+}  // namespace oisched

@@ -1,0 +1,34 @@
+// Star metric: n leaves around an implicit center.
+//
+// Section 4 of the paper analyses the square-root assignment on stars
+// S([n], delta, l): node i sits at distance delta_i from the center, so
+// distance(i, j) = delta_i + delta_j for i != j. The center itself carries
+// no request and is not part of the point set.
+#ifndef OISCHED_METRIC_STAR_METRIC_H
+#define OISCHED_METRIC_STAR_METRIC_H
+
+#include <vector>
+
+#include "metric/metric_space.h"
+
+namespace oisched {
+
+class StarMetric final : public MetricSpace {
+ public:
+  /// `radii[i]` is the distance of leaf i from the center; must be >= 0.
+  explicit StarMetric(std::vector<double> radii);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return radii_.size(); }
+  [[nodiscard]] double distance(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::string name() const override { return "star"; }
+
+  [[nodiscard]] double radius(NodeId v) const;
+  [[nodiscard]] const std::vector<double>& radii() const noexcept { return radii_; }
+
+ private:
+  std::vector<double> radii_;
+};
+
+}  // namespace oisched
+
+#endif  // OISCHED_METRIC_STAR_METRIC_H

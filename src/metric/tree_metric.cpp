@@ -1,0 +1,88 @@
+#include "metric/tree_metric.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace oisched {
+
+TreeMetric::TreeMetric(std::size_t n, const std::vector<TreeEdge>& edges)
+    : n_(n), adj_(n), adj_w_(n), depth_(n, 0.0), level_(n, -1) {
+  require(n_ > 0, "TreeMetric: need at least one node");
+  require(edges.size() + 1 == n_, "TreeMetric: a tree on n nodes has n-1 edges");
+  for (const TreeEdge& e : edges) {
+    require(e.a < n_ && e.b < n_, "TreeMetric: edge endpoint out of range");
+    require(std::isfinite(e.weight) && e.weight >= 0.0,
+            "TreeMetric: edge weights must be finite and non-negative");
+    adj_[e.a].push_back(e.b);
+    adj_w_[e.a].push_back(e.weight);
+    adj_[e.b].push_back(e.a);
+    adj_w_[e.b].push_back(e.weight);
+  }
+
+  // Iterative DFS from the root to assign parents, depths and levels.
+  int log2n = 1;
+  while ((std::size_t{1} << log2n) < n_) ++log2n;
+  up_.assign(static_cast<std::size_t>(log2n) + 1, std::vector<NodeId>(n_, 0));
+
+  std::vector<NodeId> stack{0};
+  level_[0] = 0;
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (std::size_t k = 0; k < adj_[v].size(); ++k) {
+      const NodeId w = adj_[v][k];
+      if (level_[w] != -1) continue;
+      level_[w] = level_[v] + 1;
+      depth_[w] = depth_[v] + adj_w_[v][k];
+      up_[0][w] = v;
+      stack.push_back(w);
+    }
+  }
+  require(visited == n_, "TreeMetric: edges must form a connected tree");
+
+  for (std::size_t j = 1; j < up_.size(); ++j) {
+    for (NodeId v = 0; v < n_; ++v) up_[j][v] = up_[j - 1][up_[j - 1][v]];
+  }
+}
+
+NodeId TreeMetric::lca(NodeId a, NodeId b) const {
+  require(a < n_ && b < n_, "TreeMetric: node out of range");
+  if (level_[a] < level_[b]) std::swap(a, b);
+  int diff = level_[a] - level_[b];
+  for (std::size_t j = 0; diff > 0; ++j, diff >>= 1) {
+    if (diff & 1) a = up_[j][a];
+  }
+  if (a == b) return a;
+  for (std::size_t j = up_.size(); j-- > 0;) {
+    if (up_[j][a] != up_[j][b]) {
+      a = up_[j][a];
+      b = up_[j][b];
+    }
+  }
+  return up_[0][a];
+}
+
+double TreeMetric::distance(NodeId a, NodeId b) const {
+  if (a == b) return 0.0;
+  const NodeId c = lca(a, b);
+  return depth_[a] + depth_[b] - 2.0 * depth_[c];
+}
+
+double TreeMetric::depth(NodeId v) const {
+  require(v < n_, "TreeMetric: node out of range");
+  return depth_[v];
+}
+
+double TreeMetric::edge_weight(NodeId a, NodeId b) const {
+  require(a < n_ && b < n_, "TreeMetric: node out of range");
+  for (std::size_t k = 0; k < adj_[a].size(); ++k) {
+    if (adj_[a][k] == b) return adj_w_[a][k];
+  }
+  throw PreconditionError("TreeMetric: no such edge");
+}
+
+}  // namespace oisched

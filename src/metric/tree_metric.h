@@ -1,0 +1,57 @@
+// Weighted-tree metric (shortest-path distances on a tree).
+//
+// Section 3.3 of the paper reduces general metrics to trees (Lemma 6, an
+// FRT-style embedding); Section 3.4 then decomposes trees into stars. This
+// class stores a rooted weighted tree and answers distance queries in
+// O(log n) via binary-lifting LCA.
+#ifndef OISCHED_METRIC_TREE_METRIC_H
+#define OISCHED_METRIC_TREE_METRIC_H
+
+#include <vector>
+
+#include "metric/metric_space.h"
+
+namespace oisched {
+
+/// An undirected weighted edge of a tree under construction.
+struct TreeEdge {
+  NodeId a = 0;
+  NodeId b = 0;
+  double weight = 0.0;
+};
+
+class TreeMetric final : public MetricSpace {
+ public:
+  /// Builds the metric of the tree with nodes {0,...,n-1} and n-1 edges.
+  /// Throws if the edges do not form a single spanning tree or a weight is
+  /// negative/non-finite.
+  TreeMetric(std::size_t n, const std::vector<TreeEdge>& edges);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+  [[nodiscard]] double distance(NodeId a, NodeId b) const override;
+  [[nodiscard]] std::string name() const override { return "tree"; }
+
+  /// Children/parent structure (rooted at node 0) for decomposition code.
+  [[nodiscard]] const std::vector<std::vector<NodeId>>& adjacency() const noexcept {
+    return adj_;
+  }
+  [[nodiscard]] double edge_weight(NodeId a, NodeId b) const;
+
+  /// Depth (sum of weights) from the root.
+  [[nodiscard]] double depth(NodeId v) const;
+
+  /// Lowest common ancestor w.r.t. root 0.
+  [[nodiscard]] NodeId lca(NodeId a, NodeId b) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<NodeId>> adj_;       // adjacency lists
+  std::vector<std::vector<double>> adj_w_;     // parallel weights
+  std::vector<double> depth_;                  // weighted depth from root
+  std::vector<int> level_;                     // hop depth from root
+  std::vector<std::vector<NodeId>> up_;        // binary lifting table
+};
+
+}  // namespace oisched
+
+#endif  // OISCHED_METRIC_TREE_METRIC_H

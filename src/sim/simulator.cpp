@@ -1,0 +1,128 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+/// Per-slot channel: deterministic (gain 1) or log-normal shadowing.
+class Channel {
+ public:
+  Channel(double sigma_db, Rng& rng) : sigma_db_(sigma_db), rng_(rng) {}
+
+  [[nodiscard]] double gain() {
+    if (sigma_db_ <= 0.0) return 1.0;
+    return std::pow(10.0, rng_.normal(0.0, sigma_db_) / 10.0);
+  }
+
+ private:
+  double sigma_db_;
+  Rng& rng_;
+};
+
+}  // namespace
+
+Simulator::Simulator(const Instance& instance, SinrParams params, Variant variant)
+    : instance_(instance), params_(params), variant_(variant) {
+  params_.validate();
+}
+
+SimulationResult Simulator::run(const Schedule& schedule, std::span<const double> powers,
+                                const SimulationOptions& options) const {
+  require(powers.size() == instance_.size(), "Simulator: one power per request");
+  std::vector<std::vector<double>> class_powers;
+  const auto classes = color_classes(schedule);
+  class_powers.reserve(classes.size());
+  for (const auto& members : classes) {
+    std::vector<double> p;
+    p.reserve(members.size());
+    for (const std::size_t i : members) p.push_back(powers[i]);
+    class_powers.push_back(std::move(p));
+  }
+  return run_classwise(schedule, class_powers, options);
+}
+
+SimulationResult Simulator::run_classwise(const Schedule& schedule,
+                                          std::span<const std::vector<double>> class_powers,
+                                          const SimulationOptions& options) const {
+  require(options.frames >= 1, "Simulator: need at least one frame");
+  const auto classes = color_classes(schedule);
+  require(class_powers.size() >= classes.size(), "Simulator: powers for every class");
+
+  SimulationResult result;
+  result.successes.assign(instance_.size(), 0);
+  result.first_success_frame.assign(instance_.size(), -1);
+  Rng rng(options.seed);
+  Channel channel(options.fading_sigma_db, rng);
+
+  const int phases = variant_ == Variant::bidirectional ? 2 : 1;
+  std::vector<char> delivered(instance_.size(), 0);
+
+  for (int frame = 0; frame < options.frames; ++frame) {
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      // Active pairs this slot.
+      std::vector<std::size_t> active;
+      std::vector<double> active_power;
+      for (std::size_t k = 0; k < classes[c].size(); ++k) {
+        const std::size_t i = classes[c][k];
+        if (options.retransmit && delivered[i]) continue;
+        active.push_back(i);
+        require(k < class_powers[c].size(), "Simulator: class power vector too short");
+        active_power.push_back(class_powers[c][k]);
+      }
+      ++result.slots;
+      if (active.empty()) continue;
+
+      std::vector<char> ok(active.size(), 1);
+      for (int phase = 0; phase < phases; ++phase) {
+        // Phase 0: u transmits to v. Phase 1 (bidirectional): v to u.
+        std::vector<NodeId> tx(active.size());
+        std::vector<NodeId> rx(active.size());
+        for (std::size_t k = 0; k < active.size(); ++k) {
+          const Request& r = instance_.request(active[k]);
+          tx[k] = phase == 0 ? r.u : r.v;
+          rx[k] = phase == 0 ? r.v : r.u;
+        }
+        for (std::size_t k = 0; k < active.size(); ++k) {
+          const double own_loss = instance_.loss(active[k], params_.alpha);
+          const double signal = active_power[k] * channel.gain() / own_loss;
+          double interference = 0.0;
+          for (std::size_t m = 0; m < active.size(); ++m) {
+            if (m == k) continue;
+            const double l =
+                path_loss(instance_.metric().distance(tx[m], rx[k]), params_.alpha);
+            if (l <= 0.0) {
+              interference = std::numeric_limits<double>::infinity();
+              break;
+            }
+            interference += active_power[m] * channel.gain() / l;
+          }
+          if (!(signal > params_.beta * (interference + params_.noise))) ok[k] = 0;
+        }
+      }
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        ++result.attempted;
+        if (ok[k]) {
+          ++result.succeeded;
+          const std::size_t i = active[k];
+          ++result.successes[i];
+          if (result.first_success_frame[i] < 0) result.first_success_frame[i] = frame;
+          delivered[i] = 1;
+        }
+      }
+    }
+  }
+  result.success_rate = result.attempted > 0
+                            ? static_cast<double>(result.succeeded) /
+                                  static_cast<double>(result.attempted)
+                            : 0.0;
+  result.throughput = result.slots > 0 ? static_cast<double>(result.succeeded) /
+                                             static_cast<double>(result.slots)
+                                       : 0.0;
+  return result;
+}
+
+}  // namespace oisched

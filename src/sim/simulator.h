@@ -1,0 +1,75 @@
+// Slotted MAC-layer simulator.
+//
+// Executes a schedule round by round the way the paper's MAC-layer framing
+// (Section 1) intends: the pairs of each color transmit simultaneously and
+// a transmission succeeds when its SINR clears the gain beta. On the exact
+// analysis path (no noise, no fading) the simulator agrees bit-for-bit with
+// the analytical validator; with ambient noise and log-normal shadowing it
+// measures how much headroom a schedule really has — the robustness
+// dimension the paper leaves out of scope.
+//
+// Bidirectional pairs are simulated as two half-slots (u -> v, then
+// v -> u), matching the model's assumption that partners never overlap
+// within a pair; the min-loss interference rule of Section 1.1 is the
+// worst case over the two half-slots, so analytical feasibility implies
+// both half-slots succeed.
+#ifndef OISCHED_SIM_SIMULATOR_H
+#define OISCHED_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace oisched {
+
+struct SimulationOptions {
+  /// Number of frames (full passes over the schedule).
+  int frames = 1;
+  /// Log-normal shadowing: per-link-per-slot gain multiplier
+  /// 10^(N(0, sigma_db)/10). 0 disables fading.
+  double fading_sigma_db = 0.0;
+  /// Retransmission: requests that failed keep transmitting in their slot
+  /// of subsequent frames until they succeed (or frames run out).
+  bool retransmit = false;
+  std::uint64_t seed = 99;
+};
+
+struct SimulationResult {
+  std::size_t slots = 0;        // total simulated slots
+  std::size_t attempted = 0;    // transmission attempts (one per active pair-slot)
+  std::size_t succeeded = 0;    // attempts whose SINR cleared beta
+  double success_rate = 0.0;    // succeeded / attempted
+  double throughput = 0.0;      // successful attempts per slot
+  /// Per request: number of successful frames.
+  std::vector<int> successes;
+  /// Per request: frame index of first success, -1 if never (retransmit
+  /// mode measures delivery latency in frames).
+  std::vector<int> first_success_frame;
+};
+
+class Simulator {
+ public:
+  Simulator(const Instance& instance, SinrParams params, Variant variant);
+
+  /// Runs the schedule with one fixed power vector.
+  [[nodiscard]] SimulationResult run(const Schedule& schedule,
+                                     std::span<const double> powers,
+                                     const SimulationOptions& options = {}) const;
+
+  /// Runs with per-class powers (for power-control schedules).
+  [[nodiscard]] SimulationResult run_classwise(
+      const Schedule& schedule, std::span<const std::vector<double>> class_powers,
+      const SimulationOptions& options = {}) const;
+
+ private:
+  const Instance& instance_;
+  SinrParams params_;
+  Variant variant_;
+};
+
+}  // namespace oisched
+
+#endif  // OISCHED_SIM_SIMULATOR_H

@@ -1,0 +1,234 @@
+#include "sinr/feasibility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate_inputs(std::span<const Request> requests, std::span<const double> powers) {
+  require(requests.size() == powers.size(),
+          "feasibility: powers must be given for every request");
+}
+
+/// Received strength of request j's transmission at node w.
+double strength_at(const MetricSpace& metric, const Request& r, double power, NodeId w,
+                   double alpha, Variant variant) {
+  const double l = variant == Variant::directed ? path_loss(metric.distance(r.u, w), alpha)
+                                                : min_endpoint_loss(metric, r, w, alpha);
+  if (l == 0.0) return kInf;  // co-located interferer drowns everything
+  return power / l;
+}
+
+}  // namespace
+
+double interference_at(const MetricSpace& metric, std::span<const Request> requests,
+                       std::span<const double> powers,
+                       std::span<const std::size_t> active, NodeId w, double alpha,
+                       Variant variant, std::size_t exclude_pos) {
+  validate_inputs(requests, powers);
+  double total = 0.0;
+  for (std::size_t pos = 0; pos < active.size(); ++pos) {
+    if (pos == exclude_pos) continue;
+    const std::size_t j = active[pos];
+    total += strength_at(metric, requests[j], powers[j], w, alpha, variant);
+  }
+  return total;
+}
+
+FeasibilityReport check_feasible(const MetricSpace& metric,
+                                 std::span<const Request> requests,
+                                 std::span<const double> powers,
+                                 std::span<const std::size_t> active,
+                                 const SinrParams& params, Variant variant) {
+  validate_inputs(requests, powers);
+  params.validate();
+  FeasibilityReport report;
+  report.worst_margin = kInf;
+  for (std::size_t pos = 0; pos < active.size(); ++pos) {
+    const std::size_t i = active[pos];
+    const Request& r = requests[i];
+    const double l = link_loss(metric, r, params.alpha);
+    require(l > 0.0, "feasibility: request endpoints must be distinct points");
+    const double signal = powers[i] / l;
+
+    // Directed: constraint at the receiver only. Bidirectional: at both.
+    const NodeId constraint_nodes[2] = {r.v, r.u};
+    const int num_constraints = variant == Variant::directed ? 1 : 2;
+    for (int c = 0; c < num_constraints; ++c) {
+      const NodeId w = constraint_nodes[c];
+      const double interference =
+          interference_at(metric, requests, powers, active, w, params.alpha, variant, pos);
+      const double demand = params.beta * (interference + params.noise);
+      const double margin = demand > 0.0 ? signal / demand : kInf;
+      if (margin < report.worst_margin) {
+        report.worst_margin = margin;
+        report.worst_request = pos;
+      }
+      // The paper uses a strict inequality (noise = 0 analysis path).
+      if (!(signal > demand)) report.feasible = false;
+    }
+  }
+  return report;
+}
+
+double max_feasible_gain(const MetricSpace& metric, std::span<const Request> requests,
+                         std::span<const double> powers,
+                         std::span<const std::size_t> active, double alpha,
+                         Variant variant) {
+  validate_inputs(requests, powers);
+  double best = kInf;
+  for (std::size_t pos = 0; pos < active.size(); ++pos) {
+    const std::size_t i = active[pos];
+    const Request& r = requests[i];
+    const double l = link_loss(metric, r, alpha);
+    require(l > 0.0, "max_feasible_gain: request endpoints must be distinct points");
+    const double signal = powers[i] / l;
+    const NodeId constraint_nodes[2] = {r.v, r.u};
+    const int num_constraints = variant == Variant::directed ? 1 : 2;
+    for (int c = 0; c < num_constraints; ++c) {
+      const double interference = interference_at(metric, requests, powers, active,
+                                                  constraint_nodes[c], alpha, variant, pos);
+      if (interference > 0.0) best = std::min(best, signal / interference);
+    }
+  }
+  return best;
+}
+
+FeasibilityReport check_feasible_overlap(const MetricSpace& metric,
+                                         std::span<const Request> requests,
+                                         std::span<const double> powers,
+                                         std::span<const std::size_t> active,
+                                         const SinrParams& params) {
+  validate_inputs(requests, powers);
+  params.validate();
+  auto pair_contribution = [&](std::size_t j, NodeId w) {
+    const Request& r = requests[j];
+    const double lu = path_loss(metric.distance(r.u, w), params.alpha);
+    const double lv = path_loss(metric.distance(r.v, w), params.alpha);
+    if (lu == 0.0 || lv == 0.0) return kInf;
+    return powers[j] * (1.0 / lu + 1.0 / lv);
+  };
+  FeasibilityReport report;
+  report.worst_margin = kInf;
+  for (std::size_t pos = 0; pos < active.size(); ++pos) {
+    const std::size_t i = active[pos];
+    const Request& r = requests[i];
+    const double l = link_loss(metric, r, params.alpha);
+    require(l > 0.0, "check_feasible_overlap: request endpoints must be distinct");
+    const double signal = powers[i] / l;
+    for (const NodeId w : {r.v, r.u}) {
+      double interference = 0.0;
+      for (std::size_t other = 0; other < active.size(); ++other) {
+        if (other == pos) continue;
+        interference += pair_contribution(active[other], w);
+      }
+      const double demand = params.beta * (interference + params.noise);
+      const double margin = demand > 0.0 ? signal / demand : kInf;
+      if (margin < report.worst_margin) {
+        report.worst_margin = margin;
+        report.worst_request = pos;
+      }
+      if (!(signal > demand)) report.feasible = false;
+    }
+  }
+  return report;
+}
+
+IncrementalClass::IncrementalClass(const MetricSpace& metric,
+                                   std::span<const Request> requests,
+                                   std::span<const double> powers,
+                                   const SinrParams& params, Variant variant)
+    : metric_(metric),
+      requests_(requests),
+      powers_(powers),
+      params_(params),
+      variant_(variant) {
+  validate_inputs(requests, powers);
+  params_.validate();
+}
+
+double IncrementalClass::added_interference(std::size_t j, NodeId w) const {
+  const Request& r = requests_[j];
+  const double l = variant_ == Variant::directed
+                       ? path_loss(metric_.distance(r.u, w), params_.alpha)
+                       : min_endpoint_loss(metric_, r, w, params_.alpha);
+  if (l == 0.0) return kInf;
+  return powers_[j] / l;
+}
+
+double IncrementalClass::interference_from_members(NodeId w) const {
+  double total = 0.0;
+  for (const MemberState& m : state_) total += added_interference(m.index, w);
+  return total;
+}
+
+bool IncrementalClass::can_add(std::size_t request_index) const {
+  const Request& cand = requests_[request_index];
+  const double l = link_loss(metric_, cand, params_.alpha);
+  require(l > 0.0, "IncrementalClass: request endpoints must be distinct points");
+  const double cand_signal = powers_[request_index] / l;
+
+  // Existing members must tolerate the newcomer's extra interference.
+  for (const MemberState& m : state_) {
+    const Request& r = requests_[m.index];
+    const double extra_v = added_interference(request_index, r.v);
+    if (!(m.signal > params_.beta * (m.interference_v + extra_v + params_.noise))) {
+      return false;
+    }
+    if (variant_ == Variant::bidirectional) {
+      const double extra_u = added_interference(request_index, r.u);
+      if (!(m.signal > params_.beta * (m.interference_u + extra_u + params_.noise))) {
+        return false;
+      }
+    }
+  }
+
+  // The newcomer must decode against everyone already in the class.
+  const double at_v = interference_from_members(cand.v);
+  if (!(cand_signal > params_.beta * (at_v + params_.noise))) return false;
+  if (variant_ == Variant::bidirectional) {
+    const double at_u = interference_from_members(cand.u);
+    if (!(cand_signal > params_.beta * (at_u + params_.noise))) return false;
+  }
+  return true;
+}
+
+void IncrementalClass::add(std::size_t request_index) {
+  const Request& cand = requests_[request_index];
+  MemberState incoming;
+  incoming.index = request_index;
+  incoming.signal = powers_[request_index] / link_loss(metric_, cand, params_.alpha);
+  incoming.interference_v = interference_from_members(cand.v);
+  incoming.interference_u =
+      variant_ == Variant::bidirectional ? interference_from_members(cand.u) : 0.0;
+
+  for (MemberState& m : state_) {
+    const Request& r = requests_[m.index];
+    m.interference_v += added_interference(request_index, r.v);
+    if (variant_ == Variant::bidirectional) {
+      m.interference_u += added_interference(request_index, r.u);
+    }
+  }
+  state_.push_back(incoming);
+  members_.push_back(request_index);
+}
+
+std::vector<std::size_t> greedy_feasible_subset(const MetricSpace& metric,
+                                                std::span<const Request> requests,
+                                                std::span<const double> powers,
+                                                std::span<const std::size_t> candidates,
+                                                const SinrParams& params, Variant variant) {
+  IncrementalClass cls(metric, requests, powers, params, variant);
+  for (const std::size_t j : candidates) {
+    if (cls.can_add(j)) cls.add(j);
+  }
+  return cls.members();
+}
+
+}  // namespace oisched

@@ -1,0 +1,119 @@
+// SINR feasibility checking for sets of requests sharing one color.
+//
+// Implements the constraint systems of Section 1.1 for both problem
+// variants, plus an incremental checker that coloring algorithms use to ask
+// "can this request join this color class?" in O(|class|) time.
+#ifndef OISCHED_SINR_FEASIBILITY_H
+#define OISCHED_SINR_FEASIBILITY_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "metric/metric_space.h"
+#include "sinr/model.h"
+
+namespace oisched {
+
+/// Outcome of a feasibility check over one color class.
+struct FeasibilityReport {
+  bool feasible = true;
+  /// Smallest ratio signal / (beta * (interference + noise)) over all
+  /// constraints; > 1 iff feasible (with noise == 0 and interference == 0
+  /// the margin is +infinity).
+  double worst_margin = 0.0;
+  /// Index (into `active`) of the request attaining the worst margin;
+  /// meaningful only when the class is non-empty.
+  std::size_t worst_request = 0;
+};
+
+/// Interference at node `w` caused by the requests `active` (indices into
+/// `requests`), excluding `exclude` (pass active.size() for "none").
+/// Directed: senders u_j radiate. Bidirectional: the nearer endpoint of
+/// each pair radiates (min-loss rule).
+[[nodiscard]] double interference_at(const MetricSpace& metric,
+                                     std::span<const Request> requests,
+                                     std::span<const double> powers,
+                                     std::span<const std::size_t> active, NodeId w,
+                                     double alpha, Variant variant,
+                                     std::size_t exclude_pos);
+
+/// Checks whether `active` (indices into `requests`) can share one color.
+[[nodiscard]] FeasibilityReport check_feasible(const MetricSpace& metric,
+                                               std::span<const Request> requests,
+                                               std::span<const double> powers,
+                                               std::span<const std::size_t> active,
+                                               const SinrParams& params, Variant variant);
+
+/// Largest gain beta' such that `active` is feasible at beta' (noise
+/// ignored; returns +infinity for classes of size <= 1). A set is
+/// beta-feasible iff max_feasible_gain > beta.
+[[nodiscard]] double max_feasible_gain(const MetricSpace& metric,
+                                       std::span<const Request> requests,
+                                       std::span<const double> powers,
+                                       std::span<const std::size_t> active,
+                                       double alpha, Variant variant);
+
+/// Incrementally maintained color class supporting O(k) membership queries.
+///
+/// Maintains, for every member, the accumulated interference at its
+/// receiving endpoint(s). `can_add` answers whether the class stays feasible
+/// if a request joins; `add` commits it.
+class IncrementalClass {
+ public:
+  IncrementalClass(const MetricSpace& metric, std::span<const Request> requests,
+                   std::span<const double> powers, const SinrParams& params,
+                   Variant variant);
+
+  [[nodiscard]] bool can_add(std::size_t request_index) const;
+  void add(std::size_t request_index);
+
+  [[nodiscard]] const std::vector<std::size_t>& members() const noexcept { return members_; }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+
+ private:
+  struct MemberState {
+    std::size_t index = 0;
+    double signal = 0.0;          // p_i / l_i
+    double interference_u = 0.0;  // accumulated at u_i (bidirectional only)
+    double interference_v = 0.0;  // accumulated at v_i (both variants)
+  };
+
+  /// Interference the candidate j would add at node w.
+  [[nodiscard]] double added_interference(std::size_t j, NodeId w) const;
+  /// Interference the existing members cause at node w.
+  [[nodiscard]] double interference_from_members(NodeId w) const;
+
+  const MetricSpace& metric_;
+  std::span<const Request> requests_;
+  std::span<const double> powers_;
+  SinrParams params_;
+  Variant variant_;
+  std::vector<MemberState> state_;
+  std::vector<std::size_t> members_;
+};
+
+/// The overlap variant of the bidirectional model (Section 1.1's remark):
+/// instead of assuming an intra-pair protocol that keeps partners from
+/// overlapping, BOTH endpoints of every pair radiate, so a pair j
+/// contributes p_j * (1/l(u_j,w) + 1/l(v_j,w)) at node w. This is at most
+/// twice the min-endpoint rule, and at least it — the constant-factor
+/// sandwich the paper's robustness claim rests on (verified in tests).
+[[nodiscard]] FeasibilityReport check_feasible_overlap(const MetricSpace& metric,
+                                                       std::span<const Request> requests,
+                                                       std::span<const double> powers,
+                                                       std::span<const std::size_t> active,
+                                                       const SinrParams& params);
+
+/// Greedily extracts a subset of `candidates` that is feasible at `params`:
+/// scans in the given order and keeps a request iff the kept set remains
+/// feasible. This is the constructive stand-in for Proposition 3 (whose
+/// proof the paper omits); see DESIGN.md "Substitutions".
+[[nodiscard]] std::vector<std::size_t> greedy_feasible_subset(
+    const MetricSpace& metric, std::span<const Request> requests,
+    std::span<const double> powers, std::span<const std::size_t> candidates,
+    const SinrParams& params, Variant variant);
+
+}  // namespace oisched
+
+#endif  // OISCHED_SINR_FEASIBILITY_H

@@ -1,0 +1,81 @@
+// The physical (SINR) interference model — Section 1.1 of the paper.
+//
+// A signal sent with power p over a link of length delta arrives with
+// strength p / loss where loss = delta^alpha ("path loss"). A transmission
+// succeeds when the received strength exceeds beta times the summed strength
+// of all simultaneously received foreign signals plus ambient noise:
+//
+//   p_i / l(u_i, v_i)  >  beta * ( sum_j p_j / l(u_j, v_i)  +  noise ).
+//
+// The analysis path of the library follows the paper and works with
+// noise = 0 and a strict inequality; the simulator supports noise > 0.
+#ifndef OISCHED_SINR_MODEL_H
+#define OISCHED_SINR_MODEL_H
+
+#include <cmath>
+
+#include "metric/metric_space.h"
+#include "util/error.h"
+
+namespace oisched {
+
+/// A communication request: an (ordered) pair of nodes of a metric space.
+/// In the directed variant `u` sends and `v` receives; in the bidirectional
+/// variant the pair is symmetric.
+struct Request {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// Which SINR constraint set applies (Section 1.1).
+enum class Variant {
+  directed,
+  bidirectional,
+};
+
+/// Model parameters: path-loss exponent alpha >= 1, gain beta > 0, ambient
+/// noise >= 0 (zero along the analysis path, per the paper).
+struct SinrParams {
+  double alpha = 3.0;
+  double beta = 1.0;
+  double noise = 0.0;
+
+  void validate() const {
+    require(alpha >= 1.0 && std::isfinite(alpha), "SinrParams: alpha must be >= 1");
+    require(beta > 0.0 && std::isfinite(beta), "SinrParams: beta must be > 0");
+    require(noise >= 0.0 && std::isfinite(noise), "SinrParams: noise must be >= 0");
+  }
+
+  /// A copy with a different gain (used by the gain-rescaling machinery).
+  [[nodiscard]] SinrParams with_beta(double new_beta) const {
+    SinrParams p = *this;
+    p.beta = new_beta;
+    return p;
+  }
+};
+
+/// Path loss of a distance: l = delta^alpha.
+[[nodiscard]] inline double path_loss(double distance, double alpha) {
+  return std::pow(distance, alpha);
+}
+
+/// Loss of a request's own link.
+[[nodiscard]] inline double link_loss(const MetricSpace& metric, const Request& r,
+                                      double alpha) {
+  return path_loss(metric.distance(r.u, r.v), alpha);
+}
+
+/// Loss between a request's *nearest* endpoint and a node w — the
+/// interference rule of the bidirectional variant:
+/// min( l(u_j, w), l(v_j, w) ).
+[[nodiscard]] inline double min_endpoint_loss(const MetricSpace& metric, const Request& r,
+                                              NodeId w, double alpha) {
+  const double d = std::min(metric.distance(r.u, w), metric.distance(r.v, w));
+  return path_loss(d, alpha);
+}
+
+}  // namespace oisched
+
+#endif  // OISCHED_SINR_MODEL_H

@@ -1,0 +1,101 @@
+#include "sinr/node_loss.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace oisched {
+
+void NodeLossInstance::validate() const {
+  require(metric != nullptr, "NodeLossInstance: metric must be set");
+  require(nodes.size() == loss.size(), "NodeLossInstance: one loss parameter per node");
+  for (const NodeId v : nodes) {
+    require(v < metric->size(), "NodeLossInstance: node out of metric range");
+  }
+  for (const double l : loss) {
+    require(std::isfinite(l) && l > 0.0, "NodeLossInstance: loss parameters must be positive");
+  }
+}
+
+double node_loss_interference(const NodeLossInstance& instance,
+                              std::span<const double> powers,
+                              std::span<const std::size_t> active, std::size_t i,
+                              double alpha) {
+  double total = 0.0;
+  for (const std::size_t j : active) {
+    if (j == i) continue;
+    const double d = instance.metric->distance(instance.nodes[i], instance.nodes[j]);
+    const double l = path_loss(d, alpha);
+    if (l == 0.0) return std::numeric_limits<double>::infinity();
+    total += powers[j] / l;
+  }
+  return total;
+}
+
+bool node_loss_feasible(const NodeLossInstance& instance, std::span<const double> powers,
+                        std::span<const std::size_t> active, double alpha, double beta) {
+  for (const std::size_t i : active) {
+    const double signal = powers[i] / instance.loss[i];
+    const double interference =
+        node_loss_interference(instance, powers, active, i, alpha);
+    if (!(signal > beta * interference)) return false;
+  }
+  return true;
+}
+
+double node_loss_max_gain(const NodeLossInstance& instance, std::span<const double> powers,
+                          std::span<const std::size_t> active, double alpha) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const std::size_t i : active) {
+    const double signal = powers[i] / instance.loss[i];
+    const double interference =
+        node_loss_interference(instance, powers, active, i, alpha);
+    if (interference > 0.0) best = std::min(best, signal / interference);
+  }
+  return best;
+}
+
+std::vector<double> node_loss_sqrt_powers(const NodeLossInstance& instance) {
+  std::vector<double> powers;
+  powers.reserve(instance.loss.size());
+  for (const double l : instance.loss) powers.push_back(std::sqrt(l));
+  return powers;
+}
+
+NodeLossInstance split_pairs(std::shared_ptr<const MetricSpace> metric,
+                             std::span<const Request> requests,
+                             std::span<const std::size_t> subset, double alpha) {
+  require(metric != nullptr, "split_pairs: metric must be set");
+  NodeLossInstance instance;
+  instance.metric = metric;
+  instance.nodes.reserve(2 * subset.size());
+  instance.loss.reserve(2 * subset.size());
+  for (const std::size_t k : subset) {
+    require(k < requests.size(), "split_pairs: request index out of range");
+    const Request& r = requests[k];
+    const double l = link_loss(*metric, r, alpha);
+    require(l > 0.0, "split_pairs: request endpoints must be distinct points");
+    instance.nodes.push_back(r.u);
+    instance.loss.push_back(l);
+    instance.nodes.push_back(r.v);
+    instance.loss.push_back(l);
+  }
+  return instance;
+}
+
+std::vector<std::size_t> pairs_with_both_endpoints(
+    std::span<const std::size_t> selected_participants, std::size_t num_pairs) {
+  std::vector<char> selected(2 * num_pairs, 0);
+  for (const std::size_t p : selected_participants) {
+    require(p < 2 * num_pairs, "pairs_with_both_endpoints: participant out of range");
+    selected[p] = 1;
+  }
+  std::vector<std::size_t> pairs;
+  for (std::size_t k = 0; k < num_pairs; ++k) {
+    if (selected[2 * k] && selected[2 * k + 1]) pairs.push_back(k);
+  }
+  return pairs;
+}
+
+}  // namespace oisched

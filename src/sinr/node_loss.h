@@ -1,0 +1,72 @@
+// The node-loss scheduling problem (Section 3.2, "Splitting pairs").
+//
+// The paper's analysis replaces each bidirectional pair by its two endpoint
+// nodes, each carrying the pair's loss as a "loss parameter" l_i. A set U of
+// nodes is beta-feasible under powers p if for every i in U
+//
+//   p_i / l_i  >  beta * sum_{j in U, j != i} p_j / l(i, j).
+//
+// Both directions of the reduction (pairs -> nodes and nodes -> pairs) are
+// provided here, matching the constant-factor relations proved in 3.2.
+#ifndef OISCHED_SINR_NODE_LOSS_H
+#define OISCHED_SINR_NODE_LOSS_H
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "metric/metric_space.h"
+#include "sinr/model.h"
+
+namespace oisched {
+
+/// A node-loss scheduling instance: participating points of a metric space,
+/// each with a loss parameter.
+struct NodeLossInstance {
+  std::shared_ptr<const MetricSpace> metric;
+  std::vector<NodeId> nodes;   // metric point of participant i
+  std::vector<double> loss;    // loss parameter l_i of participant i
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes.size(); }
+  void validate() const;
+};
+
+/// Interference at participant i from the participants in `active`
+/// (indices into instance.nodes), excluding i itself.
+[[nodiscard]] double node_loss_interference(const NodeLossInstance& instance,
+                                            std::span<const double> powers,
+                                            std::span<const std::size_t> active,
+                                            std::size_t i, double alpha);
+
+/// Is `active` beta-feasible under `powers`? (noise = 0, strict inequality,
+/// per the paper's analysis path).
+[[nodiscard]] bool node_loss_feasible(const NodeLossInstance& instance,
+                                      std::span<const double> powers,
+                                      std::span<const std::size_t> active,
+                                      double alpha, double beta);
+
+/// Largest gain at which `active` is feasible (+infinity if no interference).
+[[nodiscard]] double node_loss_max_gain(const NodeLossInstance& instance,
+                                        std::span<const double> powers,
+                                        std::span<const std::size_t> active, double alpha);
+
+/// The square-root power assignment for node-loss instances: p_i = sqrt(l_i).
+[[nodiscard]] std::vector<double> node_loss_sqrt_powers(const NodeLossInstance& instance);
+
+/// Splits request pairs into a node-loss instance: each endpoint becomes a
+/// participant carrying the pair's link loss (Section 3.2). Participant
+/// 2*k and 2*k+1 correspond to requests[subset[k]].{u,v}.
+[[nodiscard]] NodeLossInstance split_pairs(std::shared_ptr<const MetricSpace> metric,
+                                           std::span<const Request> requests,
+                                           std::span<const std::size_t> subset,
+                                           double alpha);
+
+/// Inverse direction: given participants selected from a split instance,
+/// returns the request indices (into the original `subset` numbering) whose
+/// *both* endpoints were selected — those pairs can be scheduled together.
+[[nodiscard]] std::vector<std::size_t> pairs_with_both_endpoints(
+    std::span<const std::size_t> selected_participants, std::size_t num_pairs);
+
+}  // namespace oisched
+
+#endif  // OISCHED_SINR_NODE_LOSS_H

@@ -1,0 +1,230 @@
+#include "sinr/power_control.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The normalized interference map of a color class: p |-> T(p), where the
+/// SINR system is exactly "p > T(p) componentwise". Directed: one linear
+/// form per request. Bidirectional: the max of the two endpoint forms.
+class InterferenceMap {
+ public:
+  InterferenceMap(const MetricSpace& metric, std::span<const Request> requests,
+                  std::span<const std::size_t> active, const SinrParams& params,
+                  Variant variant)
+      : k_(active.size()), variant_(variant) {
+    a_receiver_.assign(k_ * k_, 0.0);
+    if (variant == Variant::bidirectional) a_sender_.assign(k_ * k_, 0.0);
+    degenerate_ = false;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const Request& ri = requests[active[i]];
+      const double li = link_loss(metric, ri, params.alpha);
+      require(li > 0.0, "power_control: request endpoints must be distinct points");
+      for (std::size_t j = 0; j < k_; ++j) {
+        if (j == i) continue;
+        const Request& rj = requests[active[j]];
+        if (variant == Variant::directed) {
+          const double cross = path_loss(metric.distance(rj.u, ri.v), params.alpha);
+          if (cross == 0.0) {
+            degenerate_ = true;
+            continue;
+          }
+          a_receiver_[i * k_ + j] = params.beta * li / cross;
+        } else {
+          const double cross_v = min_endpoint_loss(metric, rj, ri.v, params.alpha);
+          const double cross_u = min_endpoint_loss(metric, rj, ri.u, params.alpha);
+          if (cross_v == 0.0 || cross_u == 0.0) {
+            degenerate_ = true;
+            continue;
+          }
+          a_receiver_[i * k_ + j] = params.beta * li / cross_v;
+          a_sender_[i * k_ + j] = params.beta * li / cross_u;
+        }
+      }
+    }
+  }
+
+  /// True when two distinct requests share a location: no power assignment
+  /// can satisfy the strict SINR constraints.
+  [[nodiscard]] bool degenerate() const noexcept { return degenerate_; }
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return k_; }
+
+  void apply(std::span<const double> p, std::span<double> out) const {
+    for (std::size_t i = 0; i < k_; ++i) {
+      double at_receiver = 0.0;
+      for (std::size_t j = 0; j < k_; ++j) at_receiver += a_receiver_[i * k_ + j] * p[j];
+      if (variant_ == Variant::bidirectional) {
+        double at_sender = 0.0;
+        for (std::size_t j = 0; j < k_; ++j) at_sender += a_sender_[i * k_ + j] * p[j];
+        out[i] = std::max(at_receiver, at_sender);
+      } else {
+        out[i] = at_receiver;
+      }
+    }
+  }
+
+ private:
+  std::size_t k_;
+  Variant variant_;
+  std::vector<double> a_receiver_;
+  std::vector<double> a_sender_;
+  bool degenerate_ = false;
+};
+
+struct EigenEstimate {
+  double rho = 0.0;
+  std::vector<double> vector;
+};
+
+/// Power iteration with Collatz–Wielandt bounds; works for linear and
+/// max-linear (topical) non-negative maps alike. The iteration runs on the
+/// damped map S(x) = T(x) + x, which shares T's eigenvectors with
+/// eigenvalue shifted by +1 but is strictly positive in every coordinate,
+/// so the iteration cannot cycle on periodic structures (e.g. two requests
+/// jamming each other symmetrically).
+template <typename Map>
+EigenEstimate pf_eigen(const Map& map, std::size_t k, const PowerIterationOptions& opt) {
+  constexpr double kDamping = 1.0;
+  EigenEstimate est;
+  if (k == 0) return est;
+  std::vector<double> x(k, 1.0);
+  std::vector<double> y(k, 0.0);
+  double rho_hi = 0.0;
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    map.apply(x, y);
+    for (std::size_t i = 0; i < k; ++i) y[i] += kDamping * x[i];
+    double hi = 0.0;
+    double lo = kInf;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double ratio = y[i] / x[i];
+      hi = std::max(hi, ratio);
+      lo = std::min(lo, ratio);
+      norm = std::max(norm, y[i]);
+    }
+    rho_hi = hi - kDamping;
+    if (!std::isfinite(norm)) {  // co-located interferers: rho = infinity
+      est.rho = kInf;
+      est.vector = std::move(x);
+      return est;
+    }
+    for (std::size_t i = 0; i < k; ++i) x[i] = y[i] / norm;
+    if (hi - lo <= opt.tolerance * std::max(1.0, hi)) {
+      est.rho = 0.5 * (hi + lo) - kDamping;
+      est.vector = std::move(x);
+      return est;
+    }
+  }
+  est.rho = rho_hi;  // conservative upper Collatz–Wielandt bound
+  est.vector = std::move(x);
+  return est;
+}
+
+class MatrixMap {
+ public:
+  MatrixMap(std::span<const double> m, std::size_t k) : m_(m), k_(k) {}
+  void apply(std::span<const double> p, std::span<double> out) const {
+    for (std::size_t i = 0; i < k_; ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < k_; ++j) sum += m_[i * k_ + j] * p[j];
+      out[i] = sum;
+    }
+  }
+
+ private:
+  std::span<const double> m_;
+  std::size_t k_;
+};
+
+}  // namespace
+
+PowerControlResult power_control_feasible(const MetricSpace& metric,
+                                          std::span<const Request> requests,
+                                          std::span<const std::size_t> active,
+                                          const SinrParams& params, Variant variant,
+                                          const PowerIterationOptions& options) {
+  params.validate();
+  PowerControlResult result;
+  if (active.empty()) {
+    result.feasible = true;
+    return result;
+  }
+  const InterferenceMap map(metric, requests, active, params, variant);
+  if (map.degenerate()) {
+    result.spectral_radius = kInf;
+    return result;
+  }
+  EigenEstimate est = pf_eigen(map, active.size(), options);
+  result.spectral_radius = est.rho;
+  // Strict feasibility certificate: max_i T(x)_i / x_i < 1 for positive x.
+  result.feasible = est.rho < 1.0;
+  if (result.feasible) {
+    // Normalize the witness so its largest power is 1 (powers are scale-free
+    // in the noise-free model).
+    double hi = 0.0;
+    for (const double v : est.vector) hi = std::max(hi, v);
+    if (hi <= 0.0) {
+      est.vector.assign(active.size(), 1.0);
+      hi = 1.0;
+    }
+    for (double& v : est.vector) v = std::max(v / hi, 1e-300);
+    result.witness_powers = std::move(est.vector);
+  }
+  return result;
+}
+
+std::vector<double> min_powers_with_noise(const MetricSpace& metric,
+                                          std::span<const Request> requests,
+                                          std::span<const std::size_t> active,
+                                          const SinrParams& params, Variant variant,
+                                          const PowerIterationOptions& options) {
+  params.validate();
+  if (params.noise <= 0.0) return {};
+  if (active.empty()) return {};
+  const InterferenceMap map(metric, requests, active, params, variant);
+  if (map.degenerate()) return {};
+  const EigenEstimate est = pf_eigen(map, active.size(), options);
+  if (est.rho >= 1.0) return {};
+
+  // b_i = beta * l_i * noise: the noise-only power floor.
+  const std::size_t k = active.size();
+  std::vector<double> floor(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double li = link_loss(metric, requests[active[i]], params.alpha);
+    floor[i] = params.beta * li * params.noise;
+  }
+  std::vector<double> p = floor;
+  std::vector<double> tp(k, 0.0);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    map.apply(p, tp);
+    double change = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double next = tp[i] + floor[i];
+      change = std::max(change, std::abs(next - p[i]) / std::max(1e-300, next));
+      p[i] = next;
+    }
+    if (change <= options.tolerance) break;
+  }
+  // The fixed point satisfies the constraints with equality in the limit;
+  // nudge up to meet the strict inequality used throughout the library.
+  for (double& v : p) v *= 1.0 + 1e-6;
+  return p;
+}
+
+double spectral_radius(std::span<const double> matrix, std::size_t k,
+                       const PowerIterationOptions& options) {
+  require(matrix.size() == k * k, "spectral_radius: matrix must be k*k");
+  if (k == 0) return 0.0;
+  const MatrixMap map(matrix, k);
+  return pf_eigen(map, k, options).rho;
+}
+
+}  // namespace oisched

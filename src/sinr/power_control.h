@@ -1,0 +1,64 @@
+// Power-control feasibility: can a set of requests share a color under
+// *some* (arbitrary, non-oblivious) power assignment?
+//
+// The paper compares oblivious assignments against an optimal power
+// assignment (Theorem 1's O(1)-color comparator; Theorem 2's hypothesis "for
+// which there is a power assignment ... with only one color"). This module
+// decides that question exactly, via the classical power-control
+// characterization (Zander; Foschini–Miljanic): writing the SINR system as
+// p > T(p) with T a non-negative homogeneous monotone map, a positive
+// solution exists iff the (nonlinear) Perron–Frobenius eigenvalue of T is
+// < 1. For the directed variant T is linear (a matrix); for the
+// bidirectional variant it is the coordinate-wise maximum of two linear
+// maps, still a topical map to which Perron–Frobenius theory extends.
+//
+// The witness powers returned on success are the (nonlinear) PF eigenvector:
+// with eigenvalue rho < 1 it satisfies T(p) = rho * p < p strictly.
+#ifndef OISCHED_SINR_POWER_CONTROL_H
+#define OISCHED_SINR_POWER_CONTROL_H
+
+#include <span>
+#include <vector>
+
+#include "metric/metric_space.h"
+#include "sinr/model.h"
+
+namespace oisched {
+
+struct PowerControlResult {
+  bool feasible = false;
+  /// PF eigenvalue of the interference map; the set is feasible iff < 1.
+  double spectral_radius = 0.0;
+  /// Positive witness powers (aligned with `active`); empty when infeasible.
+  std::vector<double> witness_powers;
+};
+
+/// Options for the PF power iteration.
+struct PowerIterationOptions {
+  int max_iterations = 400;
+  double tolerance = 1e-10;
+};
+
+/// Decides feasibility of `active` under the best possible power assignment
+/// and produces witness powers (PF eigenvector) when feasible.
+[[nodiscard]] PowerControlResult power_control_feasible(
+    const MetricSpace& metric, std::span<const Request> requests,
+    std::span<const std::size_t> active, const SinrParams& params, Variant variant,
+    const PowerIterationOptions& options = {});
+
+/// Minimal powers meeting the SINR constraints with ambient noise > 0
+/// (least fixed point of p = T(p) + b, by monotone iteration). Returns an
+/// empty vector when the set is infeasible (rho >= 1) or noise == 0.
+[[nodiscard]] std::vector<double> min_powers_with_noise(
+    const MetricSpace& metric, std::span<const Request> requests,
+    std::span<const std::size_t> active, const SinrParams& params, Variant variant,
+    const PowerIterationOptions& options = {});
+
+/// PF eigenvalue of a dense non-negative k*k matrix (row-major) via power
+/// iteration with Collatz–Wielandt bounds. Exposed for tests.
+[[nodiscard]] double spectral_radius(std::span<const double> matrix, std::size_t k,
+                                     const PowerIterationOptions& options = {});
+
+}  // namespace oisched
+
+#endif  // OISCHED_SINR_POWER_CONTROL_H

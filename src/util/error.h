@@ -1,0 +1,46 @@
+// Error-handling helpers: precondition and invariant checks that throw.
+//
+// Following the Core Guidelines (I.5/I.6, E.12) we state preconditions
+// explicitly and signal violations with exceptions carrying a message that
+// names the violated contract.
+#ifndef OISCHED_UTIL_ERROR_H
+#define OISCHED_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace oisched {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a computation leaves the representable floating-point range
+/// (e.g. the Theorem-1 adversarial construction growing past DBL_MAX).
+class OverflowError : public std::range_error {
+ public:
+  explicit OverflowError(const std::string& what) : std::range_error(what) {}
+};
+
+/// Check a caller-facing precondition; throws PreconditionError on failure.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw PreconditionError(std::string(message));
+}
+
+/// Check an internal invariant; throws InvariantError on failure.
+inline void ensure(bool condition, std::string_view message) {
+  if (!condition) throw InvariantError(std::string(message));
+}
+
+}  // namespace oisched
+
+#endif  // OISCHED_UTIL_ERROR_H

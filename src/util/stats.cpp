@@ -1,0 +1,102 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace oisched {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+double percentile(std::span<const double> sample, double q) {
+  require(q >= 0.0 && q <= 1.0, "percentile: q must lie in [0, 1]");
+  if (sample.empty()) return 0.0;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  RunningStats rs;
+  for (const double x : sample) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.p50 = percentile(sample, 0.50);
+  s.p90 = percentile(sample, 0.90);
+  s.p99 = percentile(sample, 0.99);
+  return s;
+}
+
+double log_log_slope(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "log_log_slope: series must have equal length");
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (dn * sxy - sx * sy) / denom;
+}
+
+}  // namespace oisched

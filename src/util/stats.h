@@ -1,0 +1,59 @@
+// Streaming and batch statistics used by benchmarks and the simulator.
+#ifndef OISCHED_UTIL_STATS_H
+#define OISCHED_UTIL_STATS_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace oisched {
+
+/// Welford-style streaming accumulator: numerically stable mean/variance
+/// plus min/max, usable one observation at a time.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample using linear interpolation between order
+/// statistics. `q` in [0, 1]. Returns 0 for an empty sample.
+[[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+/// Batch summary of a sample (copies and sorts internally for percentiles).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Least-squares slope of log(y) against log(x): the growth exponent of a
+/// series (y ~ x^slope). Points with non-positive coordinates are skipped.
+[[nodiscard]] double log_log_slope(std::span<const double> x, std::span<const double> y);
+
+}  // namespace oisched
+
+#endif  // OISCHED_UTIL_STATS_H

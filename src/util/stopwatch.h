@@ -1,0 +1,28 @@
+// Monotonic wall-clock stopwatch for coarse algorithm timing in examples.
+#ifndef OISCHED_UTIL_STOPWATCH_H
+#define OISCHED_UTIL_STOPWATCH_H
+
+#include <chrono>
+
+namespace oisched {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace oisched
+
+#endif  // OISCHED_UTIL_STOPWATCH_H

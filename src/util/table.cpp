@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace oisched {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(), "Table: row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(double v) {
+  char buf[64];
+  if (v == 0.0 || (std::isfinite(v) && std::abs(v) >= 1e-3 && std::abs(v) < 1e7)) {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  }
+  return buf;
+}
+
+std::string Table::format_cell(int v) { return std::to_string(v); }
+std::string Table::format_cell(long v) { return std::to_string(v); }
+std::string Table::format_cell(unsigned v) { return std::to_string(v); }
+std::string Table::format_cell(unsigned long v) { return std::to_string(v); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c == 0 ? 0 : 2);
+  for (std::size_t i = 0; i < total; ++i) out << '-';
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace oisched

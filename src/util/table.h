@@ -1,0 +1,49 @@
+// Plain-text table and CSV emission for the benchmark harness.
+//
+// Benchmarks print the same rows/series the paper's theorems predict; this
+// small writer keeps that output aligned and machine-recoverable (CSV).
+#ifndef OISCHED_UTIL_TABLE_H
+#define OISCHED_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace oisched {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// console table or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with sensible precision.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& out) const;
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] static std::string format_cell(const std::string& s) { return s; }
+  [[nodiscard]] static std::string format_cell(const char* s) { return s; }
+  [[nodiscard]] static std::string format_cell(double v);
+  [[nodiscard]] static std::string format_cell(int v);
+  [[nodiscard]] static std::string format_cell(long v);
+  [[nodiscard]] static std::string format_cell(unsigned v);
+  [[nodiscard]] static std::string format_cell(unsigned long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oisched
+
+#endif  // OISCHED_UTIL_TABLE_H

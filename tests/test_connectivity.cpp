@@ -1,0 +1,169 @@
+// Tests for strong-connectivity request sets (MST workloads) and the
+// overlap-model robustness remark of Section 1.1.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "gen/connectivity.h"
+#include "gen/generators.h"
+#include "sinr/feasibility.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+TEST(EuclideanMst, SpansAllPointsWithoutCycles) {
+  Rng rng(5);
+  std::vector<Point> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back(Point{rng.uniform(0, 100), rng.uniform(0, 100), 0});
+  }
+  const auto edges = euclidean_mst(pts);
+  EXPECT_EQ(edges.size(), pts.size() - 1);
+  // Connectivity via union-find.
+  std::vector<std::size_t> parent(pts.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const Request& e : edges) {
+    const std::size_t a = find(e.u);
+    const std::size_t b = find(e.v);
+    EXPECT_NE(a, b) << "cycle edge";
+    parent[a] = b;
+  }
+  const std::size_t root = find(0);
+  for (std::size_t v = 1; v < pts.size(); ++v) EXPECT_EQ(find(v), root);
+}
+
+TEST(EuclideanMst, IsMinimumOnSmallInstances) {
+  // Compare total weight against brute force over all spanning trees via
+  // repeated Prim from the library vs a Kruskal re-implementation here.
+  Rng rng(6);
+  std::vector<Point> pts;
+  for (int i = 0; i < 9; ++i) {
+    pts.push_back(Point{rng.uniform(0, 10), rng.uniform(0, 10), 0});
+  }
+  const auto edges = euclidean_mst(pts);
+  double prim_weight = 0.0;
+  for (const Request& e : edges) prim_weight += euclidean_distance(pts[e.u], pts[e.v]);
+
+  // Kruskal.
+  struct E {
+    double w;
+    std::size_t a, b;
+  };
+  std::vector<E> all;
+  for (std::size_t a = 0; a < pts.size(); ++a) {
+    for (std::size_t b = a + 1; b < pts.size(); ++b) {
+      all.push_back({euclidean_distance(pts[a], pts[b]), a, b});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const E& x, const E& y) { return x.w < y.w; });
+  std::vector<std::size_t> parent(pts.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  double kruskal_weight = 0.0;
+  for (const E& e : all) {
+    if (find(e.a) != find(e.b)) {
+      parent[find(e.a)] = find(e.b);
+      kruskal_weight += e.w;
+    }
+  }
+  EXPECT_NEAR(prim_weight, kruskal_weight, 1e-9);
+}
+
+TEST(MstInstance, AdjacentEdgesNeverShareAColor) {
+  Rng rng(7);
+  const Instance inst = mst_connectivity_instance(20, 500.0, rng);
+  EXPECT_EQ(inst.size(), 19u);
+  SinrParams params;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  const Schedule schedule = greedy_coloring(inst, powers, params, Variant::bidirectional);
+  EXPECT_TRUE(validate_schedule(inst, powers, schedule, params, Variant::bidirectional)
+                  .valid);
+  // Requests sharing an endpoint are co-located interferers: same color is
+  // impossible in the physical model.
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    for (std::size_t j = i + 1; j < inst.size(); ++j) {
+      const Request& a = inst.request(i);
+      const Request& b = inst.request(j);
+      const bool share = a.u == b.u || a.u == b.v || a.v == b.u || a.v == b.v;
+      if (share) {
+        EXPECT_NE(schedule.color_of[i], schedule.color_of[j]);
+      }
+    }
+  }
+  // An MST path needs at least 2 colors; more than degree+SINR demands
+  // would be suspicious on 20 random nodes.
+  EXPECT_GE(schedule.num_colors, 2);
+}
+
+TEST(ExponentialLine, UniformCollapsesSqrtDoesNot) {
+  const Instance inst = exponential_line_connectivity(20);
+  EXPECT_EQ(inst.size(), 19u);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto uniform = UniformPower{}.assign(inst, params.alpha);
+  const auto sqrt_p = SqrtPower{}.assign(inst, params.alpha);
+  const Schedule s_uniform = greedy_coloring(inst, uniform, params, Variant::bidirectional);
+  const Schedule s_sqrt = greedy_coloring(inst, sqrt_p, params, Variant::bidirectional);
+  EXPECT_GT(s_uniform.num_colors, 2 * s_sqrt.num_colors);
+  EXPECT_LE(s_sqrt.num_colors, 6);
+}
+
+TEST(ExponentialLine, OverflowGuard) {
+  EXPECT_THROW((void)exponential_line_connectivity(400), OverflowError);
+}
+
+class OverlapSandwich : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlapSandwich, OverlapModelIsAConstantFactorAway) {
+  // Section 1.1: letting partners overlap "would increase the interference
+  // at most by a factor of two. Our results are robust against changes of
+  // the interference by constant factors."
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 71 + 3);
+  const Instance inst = random_square(14, {}, rng);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  std::vector<std::size_t> all(inst.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto kept = greedy_feasible_subset(inst.metric(), inst.requests(), powers, all,
+                                           params, Variant::bidirectional);
+
+  // min-rule feasible at beta  =>  overlap feasible at beta/2.
+  const auto half = params.with_beta(params.beta / 2.0);
+  EXPECT_TRUE(
+      check_feasible_overlap(inst.metric(), inst.requests(), powers, kept, half).feasible);
+
+  // overlap feasible at beta  =>  min-rule feasible at beta.
+  const auto overlap_kept = [&] {
+    std::vector<std::size_t> s;
+    for (const std::size_t j : all) {
+      s.push_back(j);
+      if (!check_feasible_overlap(inst.metric(), inst.requests(), powers, s, params)
+               .feasible) {
+        s.pop_back();
+      }
+    }
+    return s;
+  }();
+  EXPECT_TRUE(check_feasible(inst.metric(), inst.requests(), powers, overlap_kept, params,
+                             Variant::bidirectional)
+                  .feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlapSandwich, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,183 @@
+// Tests for core problem types: Instance, power assignments, schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/instance.h"
+#include "core/power_assignment.h"
+#include "core/schedule.h"
+#include "metric/euclidean.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+Instance line4() {
+  auto metric = std::make_shared<EuclideanMetric>(
+      EuclideanMetric::line(std::vector<double>{0.0, 1.0, 100.0, 104.0}));
+  return Instance(metric, {{0, 1}, {2, 3}});
+}
+
+TEST(Instance, PrecomputesLengthsAndLosses) {
+  const Instance inst = line4();
+  EXPECT_EQ(inst.size(), 2u);
+  EXPECT_DOUBLE_EQ(inst.length(0), 1.0);
+  EXPECT_DOUBLE_EQ(inst.length(1), 4.0);
+  EXPECT_DOUBLE_EQ(inst.loss(1, 3.0), 64.0);
+  EXPECT_EQ(inst.all_indices(), (std::vector<std::size_t>{0, 1}));
+  EXPECT_THROW((void)inst.length(5), PreconditionError);
+}
+
+TEST(Instance, RejectsDegenerateRequests) {
+  auto metric = std::make_shared<EuclideanMetric>(
+      EuclideanMetric::line(std::vector<double>{0.0, 1.0}));
+  EXPECT_THROW(Instance(metric, {{0, 0}}), PreconditionError);      // zero length
+  EXPECT_THROW(Instance(metric, {{0, 7}}), PreconditionError);      // out of range
+  EXPECT_THROW(Instance(nullptr, {{0, 1}}), PreconditionError);     // no metric
+}
+
+TEST(PowerAssignment, ValuesMatchDefinitions) {
+  const double loss = 64.0;
+  EXPECT_DOUBLE_EQ(UniformPower{}.power_for_loss(loss), 1.0);
+  EXPECT_DOUBLE_EQ(LinearPower{}.power_for_loss(loss), 64.0);
+  EXPECT_DOUBLE_EQ(SqrtPower{}.power_for_loss(loss), 8.0);
+  EXPECT_DOUBLE_EQ(ExponentPower{1.5}.power_for_loss(4.0), 8.0);
+  EXPECT_DOUBLE_EQ(ExponentPower{0.0}.power_for_loss(loss), 1.0);
+  const CustomPower c([](double l) { return 2.0 * l; }, "double-linear");
+  EXPECT_DOUBLE_EQ(c.power_for_loss(3.0), 6.0);
+  EXPECT_EQ(c.name(), "double-linear");
+}
+
+TEST(PowerAssignment, AssignEvaluatesEveryRequest) {
+  const Instance inst = line4();
+  const auto powers = SqrtPower{}.assign(inst, 2.0);
+  ASSERT_EQ(powers.size(), 2u);
+  EXPECT_DOUBLE_EQ(powers[0], 1.0);   // sqrt(1^2)
+  EXPECT_DOUBLE_EQ(powers[1], 4.0);   // sqrt(4^2)
+}
+
+TEST(PowerAssignment, AssignRejectsNonPositivePowers) {
+  const Instance inst = line4();
+  const CustomPower bad([](double) { return 0.0; }, "zero");
+  EXPECT_THROW((void)bad.assign(inst, 3.0), PreconditionError);
+}
+
+TEST(PowerAssignment, StandardFamilyIsComplete) {
+  const auto family = standard_assignments();
+  ASSERT_EQ(family.size(), 4u);
+  EXPECT_EQ(family[0]->name(), "uniform");
+  EXPECT_EQ(family[1]->name(), "sqrt");
+  EXPECT_EQ(family[2]->name(), "linear");
+}
+
+TEST(Schedule, ColorClassesGroupByColor) {
+  Schedule s;
+  s.color_of = {0, 1, 0, 2, 1};
+  s.num_colors = 3;
+  const auto classes = color_classes(s);
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(classes[1], (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(classes[2], (std::vector<std::size_t>{3}));
+  EXPECT_TRUE(s.complete());
+  s.color_of[2] = -1;
+  EXPECT_FALSE(s.complete());
+}
+
+TEST(Schedule, ValidateAcceptsSeparatedPairsRejectsJammedOnes) {
+  const Instance inst = line4();
+  SinrParams params;
+  params.alpha = 2.0;
+  const std::vector<double> powers{1.0, 1.0};
+
+  Schedule separate;
+  separate.color_of = {0, 1};
+  separate.num_colors = 2;
+  EXPECT_TRUE(
+      validate_schedule(inst, powers, separate, params, Variant::directed).valid);
+
+  Schedule together;
+  together.color_of = {0, 0};
+  together.num_colors = 1;
+  // Far-apart pairs: sharing a color is fine (interference ~ 1/99^2).
+  EXPECT_TRUE(
+      validate_schedule(inst, powers, together, params, Variant::directed).valid);
+
+  // Jam them: huge beta makes sharing impossible.
+  params.beta = 1e6;
+  const auto report = validate_schedule(inst, powers, together, params, Variant::directed);
+  EXPECT_FALSE(report.valid);
+  ASSERT_EQ(report.infeasible_colors.size(), 1u);
+  EXPECT_EQ(report.infeasible_colors[0], 0);
+}
+
+TEST(Schedule, IncompleteSchedulesAreInvalid) {
+  const Instance inst = line4();
+  const std::vector<double> powers{1.0, 1.0};
+  Schedule partial;
+  partial.color_of = {0, -1};
+  partial.num_colors = 1;
+  EXPECT_FALSE(
+      validate_schedule(inst, powers, partial, SinrParams{}, Variant::directed).valid);
+}
+
+TEST(Schedule, ClasswiseValidationUsesPerClassPowers) {
+  const Instance inst = line4();
+  SinrParams params;
+  params.alpha = 2.0;
+  Schedule s;
+  s.color_of = {0, 0};
+  s.num_colors = 1;
+  const std::vector<std::vector<double>> class_powers{{1.0, 1.0}};
+  EXPECT_TRUE(
+      validate_schedule_classwise(inst, class_powers, s, params, Variant::directed).valid);
+  const std::vector<std::vector<double>> wrong_size{{1.0}};
+  EXPECT_THROW((void)validate_schedule_classwise(inst, wrong_size, s, params,
+                                                 Variant::directed),
+               PreconditionError);
+}
+
+TEST(ScheduleEnergy, RequiresNoiseAndScalesWithIt) {
+  const Instance inst = line4();
+  SinrParams params;
+  params.alpha = 2.0;
+  const std::vector<double> powers{1.0, 1.0};
+  Schedule s;
+  s.color_of = {0, 1};
+  s.num_colors = 2;
+  EXPECT_THROW((void)schedule_energy(inst, powers, s, params, Variant::directed),
+               PreconditionError);
+  params.noise = 1e-3;
+  const double e1 = schedule_energy(inst, powers, s, params, Variant::directed);
+  EXPECT_GT(e1, 0.0);
+  params.noise = 2e-3;
+  const double e2 = schedule_energy(inst, powers, s, params, Variant::directed);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-6);  // energy is linear in the noise floor
+}
+
+TEST(ScheduleEnergy, SeparatingJammedPairsReducesEnergy) {
+  // Two close pairs: sharing a slot forces a large scale-up factor
+  // (interference eats almost all headroom); separating them needs only
+  // the noise floor.
+  auto metric = std::make_shared<EuclideanMetric>(
+      EuclideanMetric::line(std::vector<double>{0.0, 1.0, 3.0, 4.0}));
+  const Instance inst(metric, {{0, 1}, {2, 3}});
+  SinrParams params;
+  params.alpha = 2.0;
+  params.beta = 0.5;
+  params.noise = 1e-3;
+  const std::vector<double> powers{1.0, 1.0};
+  Schedule shared;
+  shared.color_of = {0, 0};
+  shared.num_colors = 1;
+  Schedule split;
+  split.color_of = {0, 1};
+  split.num_colors = 2;
+  const double e_shared = schedule_energy(inst, powers, shared, params, Variant::directed);
+  const double e_split = schedule_energy(inst, powers, split, params, Variant::directed);
+  EXPECT_GT(e_shared, e_split);
+}
+
+}  // namespace
+}  // namespace oisched

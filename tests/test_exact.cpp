@@ -1,0 +1,168 @@
+// Tests for exact optima: max feasible subset and minimum coloring.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/max_feasible.h"
+#include "core/power_assignment.h"
+#include "gen/generators.h"
+#include "sinr/power_control.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+/// Reference implementation: enumerate all subsets (no pruning).
+std::size_t brute_force_max_subset(const Instance& inst, std::span<const double> powers,
+                                   const SinrParams& params, Variant variant) {
+  const std::size_t n = inst.size();
+  std::size_t best = 0;
+  for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<std::size_t> idx;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mask & (std::size_t{1} << j)) idx.push_back(j);
+    }
+    if (idx.size() <= best) continue;
+    if (check_feasible(inst.metric(), inst.requests(), powers, idx, params, variant)
+            .feasible) {
+      best = idx.size();
+    }
+  }
+  return best;
+}
+
+class ExactAgainstBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactAgainstBruteForce, MaxSubsetMatches) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 3);
+  RandomSquareOptions opt;
+  opt.side = 30.0;  // dense: interference matters
+  const Instance inst = random_square(9, opt, rng);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  for (const Variant variant : {Variant::directed, Variant::bidirectional}) {
+    const auto powers = SqrtPower{}.assign(inst, params.alpha);
+    const auto exact = exact_max_feasible_subset(inst, powers, params, variant);
+    EXPECT_EQ(exact.size(), brute_force_max_subset(inst, powers, params, variant));
+    EXPECT_TRUE(check_feasible(inst.metric(), inst.requests(), powers, exact, params,
+                               variant)
+                    .feasible);
+    // Greedy is a lower bound.
+    const auto greedy = greedy_max_feasible_subset(inst, powers, params, variant);
+    EXPECT_LE(greedy.size(), exact.size());
+    EXPECT_GE(greedy.size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactAgainstBruteForce, ::testing::Range(1, 7));
+
+TEST(ExactMaxSubsetPowerControl, DominatesFixedPowers) {
+  Rng rng(11);
+  RandomSquareOptions opt;
+  opt.side = 30.0;
+  const Instance inst = random_square(8, opt, rng);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto pc = exact_max_feasible_subset_power_control(inst, params, Variant::directed);
+  EXPECT_TRUE(power_control_feasible(inst.metric(), inst.requests(), pc, params,
+                                     Variant::directed)
+                  .feasible);
+  for (const auto& assignment : standard_assignments()) {
+    const auto powers = assignment->assign(inst, params.alpha);
+    const auto fixed = exact_max_feasible_subset(inst, powers, params, Variant::directed);
+    EXPECT_GE(pc.size(), fixed.size()) << assignment->name();
+  }
+}
+
+class ExactColoring : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactColoring, OptimalScheduleIsValidAndMinimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 29 + 17);
+  RandomSquareOptions opt;
+  opt.side = 25.0;
+  const Instance inst = random_square(8, opt, rng);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  const ExactResult exact =
+      exact_min_colors(inst, powers, params, Variant::bidirectional);
+  const auto report =
+      validate_schedule(inst, powers, exact.schedule, params, Variant::bidirectional);
+  EXPECT_TRUE(report.valid);
+  EXPECT_EQ(exact.schedule.num_colors, exact.num_colors);
+
+  // Greedy can never beat the optimum; and the optimum can never exceed n.
+  const Schedule greedy = greedy_coloring(inst, powers, params, Variant::bidirectional);
+  EXPECT_GE(greedy.num_colors, exact.num_colors);
+  EXPECT_LE(exact.num_colors, static_cast<int>(inst.size()));
+  EXPECT_GE(exact.num_colors, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactColoring, ::testing::Range(1, 6));
+
+TEST(ExactColoringPowerControl, AtMostFixedPowerOptimum) {
+  Rng rng(23);
+  RandomSquareOptions opt;
+  opt.side = 25.0;
+  const Instance inst = random_square(7, opt, rng);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const ExactResult pc =
+      exact_min_colors_power_control(inst, params, Variant::bidirectional);
+  for (const auto& assignment : standard_assignments()) {
+    const auto powers = assignment->assign(inst, params.alpha);
+    const ExactResult fixed =
+        exact_min_colors(inst, powers, params, Variant::bidirectional);
+    EXPECT_LE(pc.num_colors, fixed.num_colors) << assignment->name();
+  }
+  // Every class of the power-control optimum is power-control feasible.
+  const auto classes = color_classes(pc.schedule);
+  for (const auto& members : classes) {
+    EXPECT_TRUE(power_control_feasible(inst.metric(), inst.requests(), members, params,
+                                       Variant::bidirectional)
+                    .feasible);
+  }
+}
+
+TEST(ExactColoring, NestedChainUniformNeedsNColors) {
+  // Inner pairs drown outer ones pairwise: with uniform powers no two
+  // nested requests share a color, so the optimum is exactly n.
+  const Instance inst = nested_chain(6, 2.0, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto uniform = UniformPower{}.assign(inst, params.alpha);
+  const ExactResult exact =
+      exact_min_colors(inst, uniform, params, Variant::bidirectional);
+  EXPECT_EQ(exact.num_colors, 6);
+  // The square root does strictly better even at the exact optimum.
+  const auto sqrt_powers = SqrtPower{}.assign(inst, params.alpha);
+  const ExactResult exact_sqrt =
+      exact_min_colors(inst, sqrt_powers, params, Variant::bidirectional);
+  EXPECT_LT(exact_sqrt.num_colors, exact.num_colors);
+}
+
+TEST(Exact, SizeLimitsAreEnforced) {
+  Rng rng(31);
+  const Instance inst = random_square(17, {}, rng);
+  const auto powers = UniformPower{}.assign(inst, 3.0);
+  EXPECT_THROW((void)exact_min_colors(inst, powers, SinrParams{}, Variant::directed),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)exact_min_colors_power_control(inst, SinrParams{}, Variant::directed),
+      PreconditionError);
+  const Instance big = random_square(21, {}, rng);
+  const auto big_powers = UniformPower{}.assign(big, 3.0);
+  EXPECT_THROW(
+      (void)exact_max_feasible_subset(big, big_powers, SinrParams{}, Variant::directed),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,132 @@
+// Tests for the FRT tree embedding (Lemma 6 machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/frt.h"
+#include "metric/checks.h"
+#include "metric/euclidean.h"
+#include "metric/matrix_metric.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+EuclideanMetric random_points(std::size_t n, std::uint64_t seed, double side = 100.0) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.uniform(0, side), rng.uniform(0, side), 0});
+  }
+  return EuclideanMetric(std::move(pts));
+}
+
+class FrtDomination : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrtDomination, TreeDistancesDominateTheMetric) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const EuclideanMetric metric = random_points(24, seed);
+  Rng rng(seed + 1000);
+  const SampledTree sampled = sample_frt_tree(metric, rng);
+  ASSERT_EQ(sampled.num_points, 24u);
+  for (NodeId u = 0; u < 24; ++u) {
+    for (NodeId v = u + 1; v < 24; ++v) {
+      EXPECT_GE(sampled.tree->distance(u, v), metric.distance(u, v) * (1.0 - 1e-9))
+          << "pair (" << u << "," << v << ")";
+    }
+  }
+  // Stretch bookkeeping matches the definition.
+  for (NodeId v = 0; v < 24; ++v) {
+    double worst = 1.0;
+    for (NodeId u = 0; u < 24; ++u) {
+      if (u == v) continue;
+      worst = std::max(worst, sampled.tree->distance(u, v) / metric.distance(u, v));
+    }
+    EXPECT_NEAR(sampled.node_stretch[v], worst, 1e-9);
+    EXPECT_GE(sampled.node_stretch[v], 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrtDomination, ::testing::Range(1, 9));
+
+TEST(Frt, SingletonMetric) {
+  const EuclideanMetric metric({Point{1, 2, 3}});
+  Rng rng(1);
+  const SampledTree sampled = sample_frt_tree(metric, rng);
+  EXPECT_EQ(sampled.num_points, 1u);
+  EXPECT_DOUBLE_EQ(sampled.node_stretch[0], 1.0);
+}
+
+TEST(Frt, ExpectedStretchIsLogarithmicInPractice) {
+  // FRT guarantees E[stretch] = O(log n); with n = 32 and many samples the
+  // average pairwise stretch should stay well under a generous bound.
+  const EuclideanMetric metric = random_points(32, 7);
+  Rng rng(42);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (int t = 0; t < 12; ++t) {
+    const SampledTree sampled = sample_frt_tree(metric, rng);
+    for (NodeId u = 0; u < 32; ++u) {
+      for (NodeId v = u + 1; v < 32; ++v) {
+        total += sampled.tree->distance(u, v) / metric.distance(u, v);
+        ++count;
+      }
+    }
+  }
+  const double avg = total / static_cast<double>(count);
+  EXPECT_LT(avg, 12.0 * std::log2(32.0));
+  EXPECT_GE(avg, 1.0);
+}
+
+TEST(FrtFamily, CoreCoverageMeetsTheTarget) {
+  const EuclideanMetric metric = random_points(20, 3);
+  Rng rng(5);
+  FrtFamilyOptions options;
+  options.target_coverage = 0.9;
+  const FrtFamily family = sample_frt_family(metric, rng, options);
+  EXPECT_GE(family.trees.size(), 10u);  // ~ 4 log2 n + 1
+  EXPECT_GE(family.core_threshold, 1.0);
+  // By construction of the threshold, every node is core in >= 90% of trees.
+  EXPECT_DOUBLE_EQ(family_core_coverage(family, 20, 0.9), 1.0);
+  // Cores are consistent with the stored stretches.
+  for (std::size_t t = 0; t < family.trees.size(); ++t) {
+    for (const NodeId v : family.core_of[t]) {
+      EXPECT_LE(family.trees[t].node_stretch[v], family.core_threshold);
+    }
+  }
+}
+
+TEST(FrtFamily, ExplicitTreeCountIsHonored) {
+  const EuclideanMetric metric = random_points(10, 11);
+  Rng rng(13);
+  FrtFamilyOptions options;
+  options.num_trees = 5;
+  const FrtFamily family = sample_frt_family(metric, rng, options);
+  EXPECT_EQ(family.trees.size(), 5u);
+  EXPECT_THROW(
+      {
+        FrtFamilyOptions bad;
+        bad.target_coverage = 0.0;
+        (void)sample_frt_family(metric, rng, bad);
+      },
+      PreconditionError);
+}
+
+TEST(Frt, WorksOnNonEuclideanMetrics) {
+  // A uniform metric (all distances equal): any tree should dominate.
+  const std::size_t n = 8;
+  std::vector<double> d(n * n, 5.0);
+  for (std::size_t i = 0; i < n; ++i) d[i * n + i] = 0.0;
+  const MatrixMetric metric(n, std::move(d));
+  Rng rng(17);
+  const SampledTree sampled = sample_frt_tree(metric, rng);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      EXPECT_GE(sampled.tree->distance(u, v), 5.0 * (1 - 1e-9));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,108 @@
+// Tests for the constructive Propositions 3 and 4 (gain rescaling).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "core/power_assignment.h"
+#include "embed/gain_scaling.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+TEST(NodeLossRescale, KeptSetIsFeasibleAtStrictGain) {
+  Rng rng(4);
+  const Instance inst = random_square(20, {}, rng);
+  const double alpha = 3.0;
+  std::vector<std::size_t> all(inst.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const NodeLossInstance split =
+      split_pairs(inst.metric_ptr(), inst.requests(), all, alpha);
+  const auto powers = node_loss_sqrt_powers(split);
+  std::vector<std::size_t> participants(split.size());
+  std::iota(participants.begin(), participants.end(), std::size_t{0});
+
+  for (const double strict_beta : {0.5, 1.0, 2.0, 8.0}) {
+    const auto kept =
+        node_loss_rescale_subset(split, powers, participants, alpha, strict_beta);
+    EXPECT_TRUE(node_loss_feasible(split, powers, kept, alpha, strict_beta));
+  }
+}
+
+TEST(NodeLossRescale, StricterGainKeepsFewer) {
+  Rng rng(8);
+  RandomSquareOptions opt;
+  opt.side = 100.0;  // dense enough that gains matter
+  const Instance inst = random_square(24, opt, rng);
+  const double alpha = 3.0;
+  std::vector<std::size_t> all(inst.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const NodeLossInstance split =
+      split_pairs(inst.metric_ptr(), inst.requests(), all, alpha);
+  const auto powers = node_loss_sqrt_powers(split);
+  std::vector<std::size_t> participants(split.size());
+  std::iota(participants.begin(), participants.end(), std::size_t{0});
+  const auto loose = node_loss_rescale_subset(split, powers, participants, alpha, 0.25);
+  const auto strict = node_loss_rescale_subset(split, powers, participants, alpha, 8.0);
+  EXPECT_GE(loose.size(), strict.size());
+  EXPECT_GE(loose.size(), 1u);
+}
+
+class GainRescaleColoring : public ::testing::TestWithParam<double> {};
+
+TEST_P(GainRescaleColoring, ClassesPartitionAndAreFeasible) {
+  const double strict_beta = GetParam();
+  Rng rng(10);
+  const Instance inst = random_square(20, {}, rng);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = strict_beta;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  std::vector<std::size_t> all(inst.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto classes = gain_rescale_coloring(inst.metric(), inst.requests(), powers, all,
+                                             params, Variant::bidirectional);
+  // Partition check.
+  std::set<std::size_t> covered;
+  for (const auto& cls : classes) {
+    for (const std::size_t i : cls) {
+      EXPECT_TRUE(covered.insert(i).second) << "request colored twice";
+    }
+  }
+  EXPECT_EQ(covered.size(), inst.size());
+  // Feasibility of every class at the strict gain.
+  for (const auto& cls : classes) {
+    EXPECT_TRUE(check_feasible(inst.metric(), inst.requests(), powers, cls, params,
+                               Variant::bidirectional)
+                    .feasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, GainRescaleColoring,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 16.0));
+
+TEST(GainRescaleColoring, MoreColorsAtStricterGain) {
+  Rng rng(11);
+  RandomSquareOptions opt;
+  opt.side = 60.0;
+  const Instance inst = random_square(24, opt, rng);
+  SinrParams params;
+  params.alpha = 3.0;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  std::vector<std::size_t> all(inst.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+
+  params.beta = 0.5;
+  const auto loose = gain_rescale_coloring(inst.metric(), inst.requests(), powers, all,
+                                           params, Variant::bidirectional);
+  params.beta = 8.0;
+  const auto strict = gain_rescale_coloring(inst.metric(), inst.requests(), powers, all,
+                                            params, Variant::bidirectional);
+  EXPECT_LE(loose.size(), strict.size());
+}
+
+}  // namespace
+}  // namespace oisched

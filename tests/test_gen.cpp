@@ -1,0 +1,171 @@
+// Tests for instance generators, including the Theorem-1 family.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/power_assignment.h"
+#include "gen/adversarial.h"
+#include "gen/generators.h"
+#include "metric/euclidean.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+TEST(RandomSquare, LengthsRespectBounds) {
+  Rng rng(1);
+  RandomSquareOptions opt;
+  opt.min_length = 2.0;
+  opt.max_length = 16.0;
+  for (const LengthLaw law : {LengthLaw::uniform, LengthLaw::log_uniform,
+                              LengthLaw::pareto}) {
+    opt.law = law;
+    const Instance inst = random_square(64, opt, rng);
+    EXPECT_EQ(inst.size(), 64u);
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      EXPECT_GE(inst.length(i), opt.min_length - 1e-9);
+      EXPECT_LE(inst.length(i), opt.max_length + 1e-9);
+    }
+  }
+}
+
+TEST(RandomSquare, DeterministicGivenSeed) {
+  Rng a(9);
+  Rng b(9);
+  const Instance ia = random_square(16, {}, a);
+  const Instance ib = random_square(16, {}, b);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(ia.length(i), ib.length(i));
+  }
+}
+
+TEST(Clustered, CrossFractionProducesLongLinks) {
+  Rng rng(2);
+  ClusteredOptions opt;
+  opt.clusters = 4;
+  opt.side = 100000.0;
+  opt.cluster_stddev = 10.0;
+  opt.max_length = 32.0;
+  opt.cross_fraction = 0.5;
+  const Instance inst = clustered(200, opt, rng);
+  std::size_t long_links = 0;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    if (inst.length(i) > 10.0 * opt.max_length) ++long_links;
+  }
+  // Roughly half the requests should be cross-cluster.
+  EXPECT_GT(long_links, 40u);
+  EXPECT_LT(long_links, 160u);
+}
+
+TEST(Clustered, ValidatesOptions) {
+  Rng rng(3);
+  ClusteredOptions opt;
+  opt.clusters = 0;
+  EXPECT_THROW((void)clustered(4, opt, rng), PreconditionError);
+  opt = ClusteredOptions{};
+  opt.cross_fraction = 1.5;
+  EXPECT_THROW((void)clustered(4, opt, rng), PreconditionError);
+}
+
+TEST(NestedChain, PositionsAreSignedPowers) {
+  const Instance inst = nested_chain(5, 2.0, 3.0);
+  ASSERT_EQ(inst.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double expected = std::pow(2.0, static_cast<double>(i + 1));
+    EXPECT_DOUBLE_EQ(inst.length(i), 2.0 * expected);
+  }
+  // Requests are nested: lengths strictly increase.
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_GT(inst.length(i), inst.length(i - 1));
+  }
+}
+
+TEST(NestedChain, OverflowGuard) {
+  EXPECT_THROW((void)nested_chain(400, 2.0, 3.0), OverflowError);
+  EXPECT_NO_THROW((void)nested_chain(40, 2.0, 3.0));
+}
+
+TEST(LineInstance, BuildsFromEndpointPairs) {
+  const std::vector<std::pair<double, double>> endpoints{{0.0, 1.0}, {5.0, 3.0}};
+  const Instance inst = line_instance(endpoints);
+  ASSERT_EQ(inst.size(), 2u);
+  EXPECT_DOUBLE_EQ(inst.length(0), 1.0);
+  EXPECT_DOUBLE_EQ(inst.length(1), 2.0);
+}
+
+TEST(ChainConstructible, MatchesAssignmentGrowth) {
+  const double alpha = 3.0;
+  EXPECT_TRUE(chain_constructible(LinearPower{}, alpha));
+  EXPECT_TRUE(chain_constructible(ExponentPower{1.5}, alpha));
+  EXPECT_TRUE(chain_constructible(ExponentPower{2.0}, alpha));
+  EXPECT_FALSE(chain_constructible(UniformPower{}, alpha));
+  EXPECT_FALSE(chain_constructible(SqrtPower{}, alpha));  // sublinear: the
+  // sketch's recursion is not solvable (see adversarial.h).
+}
+
+TEST(Theorem1Family, ChainSatisfiesTheDrowningCondition) {
+  // The defining inequality: f(x_i) >= y_i^alpha * f(x_j) / x_j^alpha
+  // for all j < i, plus x_i <= y_i. Verify on the built instance.
+  const double alpha = 3.0;
+  const LinearPower f;
+  const AdversarialFamily family = theorem1_family(10, f, alpha);
+  ASSERT_EQ(family.used, AdversarialTopology::chain);
+  ASSERT_EQ(family.built, 10u);
+  const Instance& inst = family.instance;
+
+  // Recover x_i (lengths) and y_i (gaps) from the geometry.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < inst.size(); ++i) x.push_back(inst.length(i));
+  const auto& metric = dynamic_cast<const EuclideanMetric&>(inst.metric());
+  for (std::size_t i = 1; i < inst.size(); ++i) {
+    const double gap = metric.point(inst.request(i).u).x -
+                       metric.point(inst.request(i - 1).v).x;
+    y.push_back(gap);
+  }
+  for (std::size_t i = 1; i < inst.size(); ++i) {
+    EXPECT_LE(x[i], y[i - 1] * (1.0 + 1e-9)) << "x_i <= y_i violated at " << i;
+    const double fi = f.power_for_loss(path_loss(x[i], alpha));
+    for (std::size_t j = 0; j < i; ++j) {
+      const double fj = f.power_for_loss(path_loss(x[j], alpha));
+      const double needed = path_loss(y[i - 1], alpha) * fj / path_loss(x[j], alpha);
+      EXPECT_GE(fi, needed * (1.0 - 1e-9)) << "i=" << i << " j=" << j;
+    }
+  }
+  // Gaps grow geometrically: y_{i+1} >= 2 y_i.
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    EXPECT_GE(y[i], 2.0 * y[i - 1] * (1.0 - 1e-12));
+  }
+}
+
+TEST(Theorem1Family, AutomaticFallsBackToNestedForBoundedF) {
+  const AdversarialFamily family = theorem1_family(8, UniformPower{}, 3.0);
+  EXPECT_EQ(family.used, AdversarialTopology::nested);
+  EXPECT_EQ(family.built, 8u);
+}
+
+TEST(Theorem1Family, ExplicitChainRequestRejectsUnsupportedF) {
+  AdversarialOptions opt;
+  opt.topology = AdversarialTopology::chain;
+  EXPECT_THROW((void)theorem1_family(8, UniformPower{}, 3.0, opt), PreconditionError);
+}
+
+TEST(Theorem1Family, TruncatesInsteadOfOverflowing) {
+  // Superlinear growth overflows doubles quickly; the generator must
+  // truncate gracefully and report how much it built.
+  const AdversarialFamily family = theorem1_family(400, ExponentPower{2.0}, 3.0);
+  EXPECT_EQ(family.used, AdversarialTopology::chain);
+  EXPECT_LT(family.built, 400u);
+  EXPECT_GE(family.built, 8u);
+  // All coordinates finite.
+  for (std::size_t i = 0; i < family.instance.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(family.instance.length(i)));
+  }
+}
+
+TEST(Theorem1Family, NeedsAtLeastTwoRequests) {
+  EXPECT_THROW((void)theorem1_family(1, LinearPower{}, 3.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,125 @@
+// Stress tests on the structurally hard paths: shared endpoints, extreme
+// aspect ratios, and adversarial instances pushed through every scheduler.
+#include <gtest/gtest.h>
+
+#include "core/distributed.h"
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "core/sqrt_coloring.h"
+#include "embed/pipeline.h"
+#include "gen/adversarial.h"
+#include "gen/connectivity.h"
+#include "gen/generators.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+TEST(HardPaths, PipelineHandlesSharedEndpoints) {
+  // MST instances share endpoints across requests: the node-loss split
+  // produces multiple participants on the same metric point, exercising
+  // the multimap path of the pipeline and radius-0 star members.
+  Rng rng(3);
+  const Instance inst = mst_connectivity_instance(14, 400.0, rng);
+  SinrParams params;
+  PipelineOptions options;
+  options.num_trees = 5;
+  const PipelineResult result = theorem2_schedule(inst, params, options);
+  EXPECT_TRUE(result.schedule.complete());
+  EXPECT_TRUE(validate_schedule(inst, result.powers, result.schedule, params,
+                                Variant::bidirectional)
+                  .valid);
+}
+
+TEST(HardPaths, SqrtColoringHandlesSharedEndpoints) {
+  Rng rng(4);
+  const Instance inst = mst_connectivity_instance(20, 400.0, rng);
+  SinrParams params;
+  const SqrtColoringResult result =
+      sqrt_coloring(inst, params, Variant::bidirectional);
+  EXPECT_TRUE(validate_schedule(inst, result.powers, result.schedule, params,
+                                Variant::bidirectional)
+                  .valid);
+}
+
+TEST(HardPaths, DistributedDrainsTheNestedChain) {
+  // Heavy mutual interference: only a few pairs can ever share a slot, so
+  // backoff has real work to do.
+  const Instance inst = nested_chain(12, 2.0, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  DistributedOptions options;
+  options.seed = 9;
+  const DistributedResult result =
+      distributed_coloring(inst, powers, params, Variant::bidirectional, options);
+  EXPECT_TRUE(result.drained);
+  const Schedule compacted = compact_schedule(result.schedule);
+  EXPECT_TRUE(
+      validate_schedule(inst, powers, compacted, params, Variant::bidirectional).valid);
+  EXPECT_GT(result.collisions, 0u);  // contention actually happened
+}
+
+TEST(HardPaths, SqrtColoringOnAdversarialChainDirected) {
+  // Extreme aspect ratio (the chain's gaps grow geometrically): distance
+  // classes span many exponents; the algorithm must stay exact.
+  const AdversarialFamily family = theorem1_family(24, LinearPower{}, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const SqrtColoringResult result =
+      sqrt_coloring(family.instance, params, Variant::directed);
+  EXPECT_TRUE(validate_schedule(family.instance, result.powers, result.schedule, params,
+                                Variant::directed)
+                  .valid);
+  // The square root tolerates the chain far better than the linear
+  // assignment it was built against.
+  const auto linear = LinearPower{}.assign(family.instance, params.alpha);
+  const Schedule linear_greedy =
+      greedy_coloring(family.instance, linear, params, Variant::directed);
+  EXPECT_LE(result.schedule.num_colors, linear_greedy.num_colors);
+}
+
+TEST(HardPaths, SimulatorReplaysMstSchedules) {
+  Rng rng(5);
+  const Instance inst = mst_connectivity_instance(16, 500.0, rng);
+  SinrParams params;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  const Schedule schedule = greedy_coloring(inst, powers, params, Variant::bidirectional);
+  const Simulator sim(inst, params, Variant::bidirectional);
+  EXPECT_DOUBLE_EQ(sim.run(schedule, powers).success_rate, 1.0);
+}
+
+TEST(HardPaths, ExtremeGainStillTerminates) {
+  Rng rng(6);
+  const Instance inst = random_square(20, {}, rng);
+  SinrParams params;
+  params.beta = 64.0;  // brutally strict: near-TDMA schedules
+  const SqrtColoringResult result =
+      sqrt_coloring(inst, params, Variant::bidirectional);
+  EXPECT_TRUE(validate_schedule(inst, result.powers, result.schedule, params,
+                                Variant::bidirectional)
+                  .valid);
+  params.beta = 1e-4;  // ultra-permissive: everything in one or two colors
+  const SqrtColoringResult loose = sqrt_coloring(inst, params, Variant::bidirectional);
+  EXPECT_LE(loose.schedule.num_colors, 2);
+}
+
+TEST(HardPaths, TinyAndOneRequestInstances) {
+  Rng rng(7);
+  const Instance one = random_square(1, {}, rng);
+  SinrParams params;
+  const SqrtColoringResult r1 = sqrt_coloring(one, params, Variant::bidirectional);
+  EXPECT_EQ(r1.schedule.num_colors, 1);
+  const PipelineResult p1 = theorem2_schedule(one, params, {});
+  EXPECT_EQ(p1.schedule.num_colors, 1);
+  const auto powers = SqrtPower{}.assign(one, params.alpha);
+  const DistributedResult d1 =
+      distributed_coloring(one, powers, params, Variant::bidirectional);
+  EXPECT_TRUE(d1.drained);
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,110 @@
+// Tests for instance/schedule text serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/io.h"
+#include "gen/generators.h"
+#include "metric/euclidean.h"
+#include "metric/matrix_metric.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+TEST(InstanceIo, RoundTripsThroughText) {
+  Rng rng(3);
+  const Instance original = random_square(12, {}, rng);
+  std::stringstream buffer;
+  write_instance(buffer, original);
+  const Instance restored = read_instance(buffer);
+  ASSERT_EQ(restored.size(), original.size());
+  ASSERT_EQ(restored.metric().size(), original.metric().size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.request(i), original.request(i));
+    EXPECT_DOUBLE_EQ(restored.length(i), original.length(i));
+  }
+}
+
+TEST(InstanceIo, IgnoresCommentsAndBlankLines) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "point 0 0 0\n"
+      "point 1 0 0\n"
+      "# another\n"
+      "request 0 1\n");
+  const Instance inst = read_instance(in);
+  EXPECT_EQ(inst.size(), 1u);
+  EXPECT_DOUBLE_EQ(inst.length(0), 1.0);
+}
+
+TEST(InstanceIo, RejectsMalformedInput) {
+  {
+    std::stringstream in("point 0 0\n");  // missing coordinate
+    EXPECT_THROW((void)read_instance(in), ParseError);
+  }
+  {
+    std::stringstream in("point 0 0 0\npoint 1 0 0\nrequest 0 abc\n");
+    EXPECT_THROW((void)read_instance(in), ParseError);
+  }
+  {
+    std::stringstream in("frobnicate 1 2 3\n");
+    EXPECT_THROW((void)read_instance(in), ParseError);
+  }
+  {
+    std::stringstream in("point 0 0 0\n");  // no requests
+    EXPECT_THROW((void)read_instance(in), ParseError);
+  }
+  {
+    std::stringstream in("point 0 0 0\npoint 1 0 0\nrequest 0 7\n");  // bad node
+    EXPECT_THROW((void)read_instance(in), PreconditionError);
+  }
+}
+
+TEST(ScheduleIo, RoundTripsThroughText) {
+  Schedule schedule;
+  schedule.color_of = {0, 2, 1, 0};
+  schedule.num_colors = 3;
+  std::stringstream buffer;
+  write_schedule(buffer, schedule);
+  const Schedule restored = read_schedule(buffer);
+  EXPECT_EQ(restored.color_of, schedule.color_of);
+  EXPECT_EQ(restored.num_colors, schedule.num_colors);
+}
+
+TEST(ScheduleIo, RejectsInconsistentColors) {
+  {
+    std::stringstream in("color 0 1\n");  // missing colors line
+    EXPECT_THROW((void)read_schedule(in), ParseError);
+  }
+  {
+    std::stringstream in("colors 1\ncolor 0 5\n");  // color out of range
+    EXPECT_THROW((void)read_schedule(in), ParseError);
+  }
+}
+
+TEST(FileIo, SaveAndLoadFiles) {
+  Rng rng(4);
+  const Instance original = random_square(6, {}, rng);
+  const std::string path = "/tmp/oisched_io_test_instance.txt";
+  save_instance(path, original);
+  const Instance restored = load_instance(path);
+  EXPECT_EQ(restored.size(), original.size());
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)load_instance("/nonexistent/dir/file.txt"), ParseError);
+}
+
+TEST(InstanceIo, OnlyEuclideanInstancesSerialize) {
+  // Instances over non-Euclidean metrics are rejected with a clear error.
+  auto matrix = std::make_shared<MatrixMetric>(
+      MatrixMetric(2, {0.0, 1.0, 1.0, 0.0}));
+  const Instance inst(matrix, {{0, 1}});
+  std::stringstream buffer;
+  EXPECT_THROW(write_instance(buffer, inst), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,191 @@
+// Tests for the bounded-variable simplex solver and randomized rounding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/rounding.h"
+#include "lp/simplex.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+LpProblem make_problem(std::size_t n, std::vector<double> objective,
+                       std::vector<double> upper) {
+  LpProblem p;
+  p.num_vars = n;
+  p.objective = std::move(objective);
+  p.upper_bounds = std::move(upper);
+  return p;
+}
+
+TEST(Simplex, SolvesTextbookTwoVariableProgram) {
+  // max 3x + 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0 (unbounded
+  // above). Classic optimum: x=2, y=6, objective 36.
+  LpProblem p = make_problem(2, {3.0, 5.0}, {kLpInfinity, kLpInfinity});
+  p.add_constraint({1.0, 0.0}, 4.0);
+  p.add_constraint({0.0, 2.0}, 12.0);
+  p.add_constraint({3.0, 2.0}, 18.0);
+  const LpSolution sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::optimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-8);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-8);
+}
+
+TEST(Simplex, RespectsUpperBoundsViaBoundFlips) {
+  // max x + y with x <= 0.25, y <= 0.5 (box only, no rows).
+  LpProblem p = make_problem(2, {1.0, 1.0}, {0.25, 0.5});
+  const LpSolution sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::optimal);
+  EXPECT_NEAR(sol.objective, 0.75, 1e-9);
+  EXPECT_NEAR(sol.x[0], 0.25, 1e-9);
+  EXPECT_NEAR(sol.x[1], 0.5, 1e-9);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LpProblem p = make_problem(2, {1.0, 0.0}, {kLpInfinity, 1.0});
+  p.add_constraint({0.0, 1.0}, 0.5);  // x unconstrained and improving
+  const LpSolution sol = solve_lp(p);
+  EXPECT_EQ(sol.status, LpStatus::unbounded);
+}
+
+TEST(Simplex, HandlesAllZeroObjective) {
+  LpProblem p = make_problem(2, {0.0, 0.0}, {1.0, 1.0});
+  p.add_constraint({1.0, 1.0}, 1.0);
+  const LpSolution sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::optimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-12);
+}
+
+TEST(Simplex, BindingCombinationOfBoxAndRows) {
+  // max x1 + x2 + x3, x_i <= 1, x1 + x2 + x3 <= 1.5.
+  LpProblem p = make_problem(3, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0});
+  p.add_constraint({1.0, 1.0, 1.0}, 1.5);
+  const LpSolution sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::optimal);
+  EXPECT_NEAR(sol.objective, 1.5, 1e-9);
+  double total = 0.0;
+  for (const double x : sol.x) {
+    EXPECT_GE(x, -1e-9);
+    EXPECT_LE(x, 1.0 + 1e-9);
+    total += x;
+  }
+  EXPECT_NEAR(total, 1.5, 1e-9);
+}
+
+TEST(Simplex, ValidatesInput) {
+  LpProblem p = make_problem(2, {1.0}, {1.0, 1.0});
+  EXPECT_THROW((void)solve_lp(p), PreconditionError);  // objective size
+  p = make_problem(2, {1.0, 1.0}, {1.0, 1.0});
+  EXPECT_THROW(p.add_constraint({1.0}, 1.0), PreconditionError);  // row width
+  p.add_constraint({1.0, 1.0}, -1.0);  // negative rhs rejected at solve
+  EXPECT_THROW((void)solve_lp(p), PreconditionError);
+}
+
+TEST(Simplex, DegenerateConstraintsTerminate) {
+  // Many identical constraints through the origin-adjacent vertex.
+  LpProblem p = make_problem(2, {1.0, 1.0}, {kLpInfinity, kLpInfinity});
+  for (int i = 0; i < 12; ++i) p.add_constraint({1.0, 1.0}, 2.0);
+  p.add_constraint({1.0, 0.0}, 1.0);
+  const LpSolution sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::optimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-8);
+}
+
+/// Property sweep: random box LPs validated against exhaustive search over
+/// the candidate vertex set {0, ub}^n filtered by feasibility, plus the LP
+/// solution itself (which must be feasible and at least as good).
+class SimplexRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandom, FeasibleAndBeatsLatticeCandidates) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 7);
+  const std::size_t n = 2 + rng.uniform_index(4);      // 2..5 vars
+  const std::size_t m = 1 + rng.uniform_index(4);      // 1..4 rows
+  LpProblem p = make_problem(n, {}, {});
+  p.objective.resize(n);
+  p.upper_bounds.assign(n, 1.0);
+  for (double& c : p.objective) c = rng.uniform(0.1, 2.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<double> row(n);
+    for (double& a : row) a = rng.uniform(0.0, 1.5);
+    p.add_constraint(std::move(row), rng.uniform(0.5, 2.0));
+  }
+  const LpSolution sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::optimal);
+
+  // Feasibility of the reported solution.
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_GE(sol.x[j], -1e-7);
+    EXPECT_LE(sol.x[j], 1.0 + 1e-7);
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) lhs += p.rows[r][j] * sol.x[j];
+    EXPECT_LE(lhs, p.rhs[r] + 1e-6);
+  }
+
+  // Objective value consistency.
+  double value = 0.0;
+  for (std::size_t j = 0; j < n; ++j) value += p.objective[j] * sol.x[j];
+  EXPECT_NEAR(value, sol.objective, 1e-6);
+
+  // Every feasible 0/1 lattice point must be dominated.
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<double> x(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mask & (std::size_t{1} << j)) x[j] = 1.0;
+    }
+    bool feasible = true;
+    for (std::size_t r = 0; r < m && feasible; ++r) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < n; ++j) lhs += p.rows[r][j] * x[j];
+      feasible = lhs <= p.rhs[r] + 1e-12;
+    }
+    if (!feasible) continue;
+    double candidate = 0.0;
+    for (std::size_t j = 0; j < n; ++j) candidate += p.objective[j] * x[j];
+    EXPECT_GE(sol.objective, candidate - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom, ::testing::Range(1, 25));
+
+TEST(Rounding, ProducesAcceptableSubset) {
+  Rng rng(3);
+  const std::vector<double> x{1.0, 1.0, 0.8, 0.0, 0.6};
+  // Accept any set of size <= 3.
+  auto accepts = [](std::span<const std::size_t> s) { return s.size() <= 3; };
+  auto trim = [](std::vector<std::size_t> s) {
+    while (s.size() > 3) s.pop_back();
+    return s;
+  };
+  const auto subset = randomized_round(x, rng, accepts, trim);
+  EXPECT_LE(subset.size(), 3u);
+  for (const std::size_t j : subset) EXPECT_LT(j, x.size());
+}
+
+TEST(Rounding, NeverSelectsZeroWeightItems) {
+  Rng rng(4);
+  const std::vector<double> x{0.0, 0.0, 1.0};
+  auto accepts = [](std::span<const std::size_t>) { return true; };
+  auto trim = [](std::vector<std::size_t> s) { return s; };
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto subset = randomized_round(x, rng, accepts, trim);
+    for (const std::size_t j : subset) EXPECT_EQ(j, 2u);
+  }
+}
+
+TEST(Rounding, ValidatesOptions) {
+  Rng rng(5);
+  const std::vector<double> x{1.0};
+  auto accepts = [](std::span<const std::size_t>) { return true; };
+  auto trim = [](std::vector<std::size_t> s) { return s; };
+  RoundingOptions bad;
+  bad.initial_scale = 0.5;
+  EXPECT_THROW((void)randomized_round(x, rng, accepts, trim, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oisched

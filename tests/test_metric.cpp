@@ -1,0 +1,176 @@
+// Unit and property tests for the metric-space module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "metric/checks.h"
+#include "metric/euclidean.h"
+#include "metric/matrix_metric.h"
+#include "metric/star_metric.h"
+#include "metric/tree_metric.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+TEST(Euclidean, DistancesArePythagorean) {
+  EuclideanMetric m({Point{0, 0, 0}, Point{3, 4, 0}, Point{3, 4, 12}});
+  EXPECT_DOUBLE_EQ(m.distance(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.distance(1, 2), 12.0);
+  EXPECT_DOUBLE_EQ(m.distance(0, 2), 13.0);
+  EXPECT_DOUBLE_EQ(m.distance(2, 2), 0.0);
+}
+
+TEST(Euclidean, LineFactoryPlacesPointsOnAxis) {
+  const std::vector<double> xs{-1.0, 0.0, 2.5};
+  const EuclideanMetric m = EuclideanMetric::line(xs);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.distance(0, 2), 3.5);
+  EXPECT_DOUBLE_EQ(m.point(1).y, 0.0);
+}
+
+TEST(Euclidean, RejectsEmptyAndNonFinite) {
+  EXPECT_THROW(EuclideanMetric({}), PreconditionError);
+  EXPECT_THROW(EuclideanMetric({Point{std::nan(""), 0, 0}}), PreconditionError);
+  EuclideanMetric m({Point{0, 0, 0}});
+  EXPECT_THROW((void)m.distance(0, 1), PreconditionError);
+}
+
+TEST(MatrixMetric, StoresAndValidates) {
+  MatrixMetric m(2, {0.0, 3.0, 3.0, 0.0});
+  EXPECT_DOUBLE_EQ(m.distance(0, 1), 3.0);
+  EXPECT_THROW(MatrixMetric(2, {0.0, 3.0, 2.0, 0.0}), PreconditionError);  // asymmetric
+  EXPECT_THROW(MatrixMetric(2, {1.0, 3.0, 3.0, 0.0}), PreconditionError);  // diagonal
+  EXPECT_THROW(MatrixMetric(2, {0.0, -1.0, -1.0, 0.0}), PreconditionError);
+  EXPECT_THROW(MatrixMetric(2, {0.0, 1.0}), PreconditionError);  // wrong size
+}
+
+TEST(MatrixMetric, SnapshotsAnotherMetric) {
+  const EuclideanMetric base({Point{0, 0, 0}, Point{1, 0, 0}, Point{0, 2, 0}});
+  const MatrixMetric copy = MatrixMetric::from(base);
+  for (NodeId i = 0; i < 3; ++i) {
+    for (NodeId j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(copy.distance(i, j), base.distance(i, j));
+    }
+  }
+}
+
+TEST(TreeMetric, PathDistancesOnAKnownTree) {
+  //      0
+  //     / \        edge weights: 0-1: 2, 0-2: 1, 2-3: 4
+  //    1   2 - 3
+  TreeMetric t(4, {{0, 1, 2.0}, {0, 2, 1.0}, {2, 3, 4.0}});
+  EXPECT_DOUBLE_EQ(t.distance(1, 3), 2.0 + 1.0 + 4.0);
+  EXPECT_DOUBLE_EQ(t.distance(0, 3), 5.0);
+  EXPECT_DOUBLE_EQ(t.distance(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(t.distance(3, 3), 0.0);
+  EXPECT_EQ(t.lca(1, 3), 0u);
+  EXPECT_EQ(t.lca(2, 3), 2u);
+  EXPECT_DOUBLE_EQ(t.depth(3), 5.0);
+  EXPECT_DOUBLE_EQ(t.edge_weight(2, 3), 4.0);
+  EXPECT_THROW((void)t.edge_weight(1, 3), PreconditionError);
+}
+
+TEST(TreeMetric, RejectsMalformedTrees) {
+  EXPECT_THROW(TreeMetric(3, {{0, 1, 1.0}}), PreconditionError);  // too few edges
+  EXPECT_THROW(TreeMetric(3, {{0, 1, 1.0}, {0, 1, 1.0}}), PreconditionError);  // cycle
+  EXPECT_THROW(TreeMetric(2, {{0, 1, -1.0}}), PreconditionError);  // negative weight
+  EXPECT_THROW(TreeMetric(2, {{0, 5, 1.0}}), PreconditionError);   // out of range
+}
+
+/// Random-tree property: TreeMetric distances equal brute-force path sums.
+class TreeMetricRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeMetricRandom, MatchesBruteForcePathSums) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.uniform_index(40);
+  std::vector<TreeEdge> edges;
+  // Random attachment tree.
+  for (std::size_t v = 1; v < n; ++v) {
+    const NodeId parent = static_cast<NodeId>(rng.uniform_index(v));
+    edges.push_back(TreeEdge{parent, v, rng.uniform(0.1, 10.0)});
+  }
+  const TreeMetric tree(n, edges);
+
+  // Brute force: Dijkstra is overkill on a tree; BFS accumulating weights.
+  std::vector<std::vector<std::pair<NodeId, double>>> adj(n);
+  for (const TreeEdge& e : edges) {
+    adj[e.a].push_back({e.b, e.weight});
+    adj[e.b].push_back({e.a, e.weight});
+  }
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<double> dist(n, -1.0);
+    std::vector<NodeId> stack{src};
+    dist[src] = 0.0;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const auto& [w, weight] : adj[v]) {
+        if (dist[w] >= 0.0) continue;
+        dist[w] = dist[v] + weight;
+        stack.push_back(w);
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      ASSERT_NEAR(tree.distance(src, dst), dist[dst], 1e-9)
+          << "src=" << src << " dst=" << dst << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeMetricRandom, ::testing::Range(1, 13));
+
+TEST(StarMetric, LeafDistancesAddRadii) {
+  StarMetric s({1.0, 2.0, 0.5});
+  EXPECT_DOUBLE_EQ(s.distance(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(s.distance(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(s.distance(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(s.radius(1), 2.0);
+  EXPECT_THROW(StarMetric({-1.0}), PreconditionError);
+}
+
+TEST(Checks, AcceptsRealMetrics) {
+  Rng rng(5);
+  std::vector<Point> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back(Point{rng.uniform(0, 100), rng.uniform(0, 100), 0});
+  }
+  const EuclideanMetric euclid(pts);
+  EXPECT_TRUE(verify_metric_axioms(euclid).ok);
+
+  const StarMetric star({1.0, 2.0, 3.0, 4.0});
+  EXPECT_TRUE(verify_metric_axioms(star).ok);
+
+  const TreeMetric tree(4, {{0, 1, 1.0}, {1, 2, 2.0}, {1, 3, 0.5}});
+  EXPECT_TRUE(verify_metric_axioms(tree).ok);
+}
+
+TEST(Checks, DetectsTriangleViolation) {
+  // d(0,2) = 10 but d(0,1) + d(1,2) = 2: not a metric.
+  const MatrixMetric bad(3, {0, 1, 10, 1, 0, 1, 10, 1, 0});
+  const MetricCheckReport report = verify_metric_axioms(bad);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("triangle"), std::string::npos);
+}
+
+TEST(Checks, AspectRatio) {
+  const EuclideanMetric m = EuclideanMetric::line(std::vector<double>{0.0, 1.0, 10.0});
+  EXPECT_DOUBLE_EQ(aspect_ratio(m), 10.0);
+  const EuclideanMetric single({Point{0, 0, 0}});
+  EXPECT_DOUBLE_EQ(aspect_ratio(single), 1.0);
+}
+
+TEST(Checks, DominatesComparesPointwise) {
+  const EuclideanMetric base = EuclideanMetric::line(std::vector<double>{0.0, 1.0, 3.0});
+  const MatrixMetric bigger(3, {0, 2, 6, 2, 0, 4, 6, 4, 0});
+  const MatrixMetric smaller(3, {0, 0.5, 6, 0.5, 0, 4, 6, 4, 0});
+  EXPECT_TRUE(dominates(bigger, base));
+  EXPECT_FALSE(dominates(smaller, base));
+  const EuclideanMetric mismatched = EuclideanMetric::line(std::vector<double>{0.0, 1.0});
+  EXPECT_THROW((void)dominates(mismatched, base), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,154 @@
+// Tests for the node-loss scheduling problem (Section 3.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "metric/euclidean.h"
+#include "sinr/feasibility.h"
+#include "sinr/node_loss.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+NodeLossInstance tiny_instance() {
+  auto metric = std::make_shared<EuclideanMetric>(
+      EuclideanMetric::line(std::vector<double>{0.0, 10.0, 25.0}));
+  NodeLossInstance instance;
+  instance.metric = metric;
+  instance.nodes = {0, 1, 2};
+  instance.loss = {8.0, 27.0, 1.0};
+  return instance;
+}
+
+TEST(NodeLoss, ValidationCatchesBadInput) {
+  NodeLossInstance instance = tiny_instance();
+  EXPECT_NO_THROW(instance.validate());
+  instance.loss[0] = -1.0;
+  EXPECT_THROW(instance.validate(), PreconditionError);
+  instance = tiny_instance();
+  instance.nodes[0] = 99;
+  EXPECT_THROW(instance.validate(), PreconditionError);
+  instance = tiny_instance();
+  instance.loss.pop_back();
+  EXPECT_THROW(instance.validate(), PreconditionError);
+  instance = tiny_instance();
+  instance.metric = nullptr;
+  EXPECT_THROW(instance.validate(), PreconditionError);
+}
+
+TEST(NodeLoss, InterferenceByHand) {
+  // alpha = 2: node 0 at 0, node 1 at 10, node 2 at 25; unit powers.
+  const NodeLossInstance instance = tiny_instance();
+  const std::vector<double> powers{1.0, 1.0, 1.0};
+  const std::vector<std::size_t> active{0, 1, 2};
+  const double at0 = node_loss_interference(instance, powers, active, 0, 2.0);
+  EXPECT_NEAR(at0, 1.0 / 100.0 + 1.0 / 625.0, 1e-12);
+  const double at1 = node_loss_interference(instance, powers, active, 1, 2.0);
+  EXPECT_NEAR(at1, 1.0 / 100.0 + 1.0 / 225.0, 1e-12);
+}
+
+TEST(NodeLoss, FeasibilityAndMaxGainAgree) {
+  const NodeLossInstance instance = tiny_instance();
+  const std::vector<double> powers = node_loss_sqrt_powers(instance);
+  const std::vector<std::size_t> active{0, 1, 2};
+  const double gain = node_loss_max_gain(instance, powers, active, 2.0);
+  EXPECT_TRUE(node_loss_feasible(instance, powers, active, 2.0, gain * 0.99));
+  EXPECT_FALSE(node_loss_feasible(instance, powers, active, 2.0, gain * 1.01));
+}
+
+TEST(NodeLoss, SqrtPowersAreSquareRoots) {
+  const NodeLossInstance instance = tiny_instance();
+  const auto powers = node_loss_sqrt_powers(instance);
+  ASSERT_EQ(powers.size(), 3u);
+  EXPECT_DOUBLE_EQ(powers[0], std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(powers[1], std::sqrt(27.0));
+  EXPECT_DOUBLE_EQ(powers[2], 1.0);
+}
+
+TEST(SplitPairs, BuildsTwoParticipantsPerPair) {
+  auto metric = std::make_shared<EuclideanMetric>(
+      EuclideanMetric::line(std::vector<double>{0.0, 2.0, 10.0, 13.0}));
+  const std::vector<Request> requests{{0, 1}, {2, 3}};
+  const std::vector<std::size_t> subset{0, 1};
+  const NodeLossInstance split = split_pairs(metric, requests, subset, 2.0);
+  ASSERT_EQ(split.size(), 4u);
+  EXPECT_EQ(split.nodes[0], 0u);
+  EXPECT_EQ(split.nodes[1], 1u);
+  EXPECT_DOUBLE_EQ(split.loss[0], 4.0);   // 2^2
+  EXPECT_DOUBLE_EQ(split.loss[1], 4.0);
+  EXPECT_DOUBLE_EQ(split.loss[2], 9.0);   // 3^2
+  EXPECT_DOUBLE_EQ(split.loss[3], 9.0);
+}
+
+TEST(SplitPairs, SubsetSelectsRequests) {
+  auto metric = std::make_shared<EuclideanMetric>(
+      EuclideanMetric::line(std::vector<double>{0.0, 2.0, 10.0, 13.0}));
+  const std::vector<Request> requests{{0, 1}, {2, 3}};
+  const std::vector<std::size_t> subset{1};
+  const NodeLossInstance split = split_pairs(metric, requests, subset, 2.0);
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split.nodes[0], 2u);
+}
+
+TEST(PairsWithBothEndpoints, RequiresBoth) {
+  // Pairs 0 and 1; participants 0,1 belong to pair 0 and 2,3 to pair 1.
+  const std::vector<std::size_t> selected{0, 1, 2};
+  const auto pairs = pairs_with_both_endpoints(selected, 2);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], 0u);
+  EXPECT_THROW((void)pairs_with_both_endpoints(std::vector<std::size_t>{7}, 2),
+               PreconditionError);
+}
+
+/// Section 3.2's forward reduction: if a set of pairs is beta-feasible
+/// (bidirectional), the split node set is beta/(2+beta)-feasible under the
+/// same powers (each node keeps its pair's power).
+class SplitReduction : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitReduction, FeasiblePairsGiveFeasibleNodeSet) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  std::vector<Point> pts;
+  std::vector<Request> requests;
+  const std::size_t n = 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point s{rng.uniform(0, 200), rng.uniform(0, 200), 0};
+    const double len = rng.uniform(1.0, 4.0);
+    pts.push_back(s);
+    pts.push_back(Point{s.x + len, s.y, 0});
+    requests.push_back(Request{2 * i, 2 * i + 1});
+  }
+  auto metric = std::make_shared<EuclideanMetric>(std::move(pts));
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  std::vector<double> powers(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    powers[i] = std::sqrt(link_loss(*metric, requests[i], params.alpha));
+  }
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto feasible_pairs = greedy_feasible_subset(*metric, requests, powers, all, params,
+                                                     Variant::bidirectional);
+  ASSERT_FALSE(feasible_pairs.empty());
+
+  const NodeLossInstance split = split_pairs(metric, requests, feasible_pairs, params.alpha);
+  std::vector<double> node_powers;
+  for (const std::size_t k : feasible_pairs) {
+    node_powers.push_back(powers[k]);
+    node_powers.push_back(powers[k]);
+  }
+  std::vector<std::size_t> participants(split.size());
+  std::iota(participants.begin(), participants.end(), std::size_t{0});
+  const double reduced_beta = params.beta / (2.0 + params.beta);
+  EXPECT_TRUE(
+      node_loss_feasible(split, node_powers, participants, params.alpha, reduced_beta));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitReduction, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace oisched

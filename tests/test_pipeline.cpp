@@ -1,0 +1,96 @@
+// Tests for the end-to-end Theorem-2 pipeline.
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "embed/pipeline.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+class PipelineValidity : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PipelineValidity, SchedulesAreValidBidirectional) {
+  const auto [generator, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 53 + 29);
+  Instance inst = [&] {
+    switch (generator) {
+      case 0:
+        return random_square(16, {}, rng);
+      case 1:
+        return clustered(16, {}, rng);
+      default:
+        return nested_chain(10, 2.0, 3.0);
+    }
+  }();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  PipelineOptions options;
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.num_trees = 6;  // keep the test fast
+  const PipelineResult result = theorem2_schedule(inst, params, options);
+  EXPECT_TRUE(result.schedule.complete());
+  const auto report = validate_schedule(inst, result.powers, result.schedule, params,
+                                        Variant::bidirectional);
+  EXPECT_TRUE(report.valid);
+  EXPECT_EQ(result.rounds.size(), static_cast<std::size_t>(result.schedule.num_colors));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineValidity,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Range(1, 4)));
+
+TEST(Pipeline, DiagnosticsAreConsistent) {
+  Rng rng(3);
+  const Instance inst = random_square(12, {}, rng);
+  SinrParams params;
+  PipelineOptions options;
+  options.num_trees = 5;
+  const PipelineResult result = theorem2_schedule(inst, params, options);
+  std::size_t colored_total = 0;
+  for (const auto& round : result.rounds) {
+    EXPECT_EQ(round.participants, 2 * round.uncolored);
+    EXPECT_LE(round.star_survivors, round.core_participants);
+    EXPECT_LE(2 * round.pairs_complete, round.star_survivors + 1);
+    EXPECT_GE(round.colored, 1u);
+    EXPECT_GE(round.core_threshold, 1.0);
+    colored_total += round.colored;
+  }
+  EXPECT_EQ(colored_total, inst.size());
+  // Rounds shrink monotonically.
+  for (std::size_t r = 1; r < result.rounds.size(); ++r) {
+    EXPECT_LT(result.rounds[r].uncolored, result.rounds[r - 1].uncolored);
+  }
+}
+
+TEST(Pipeline, DeterministicGivenSeed) {
+  Rng rng(6);
+  const Instance inst = random_square(10, {}, rng);
+  SinrParams params;
+  PipelineOptions options;
+  options.seed = 17;
+  options.num_trees = 5;
+  const auto a = theorem2_schedule(inst, params, options);
+  const auto b = theorem2_schedule(inst, params, options);
+  EXPECT_EQ(a.schedule.color_of, b.schedule.color_of);
+}
+
+TEST(Pipeline, NestedChainStaysFarBelowUniformGreedy) {
+  const Instance inst = nested_chain(12, 2.0, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  PipelineOptions options;
+  options.num_trees = 5;
+  const PipelineResult pipeline = theorem2_schedule(inst, params, options);
+  const auto uniform = UniformPower{}.assign(inst, params.alpha);
+  const Schedule greedy_uniform =
+      greedy_coloring(inst, uniform, params, Variant::bidirectional);
+  EXPECT_LT(pipeline.schedule.num_colors, greedy_uniform.num_colors);
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,264 @@
+// Tests for the Perron–Frobenius power-control oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "metric/euclidean.h"
+#include "sinr/feasibility.h"
+#include "sinr/power_control.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+TEST(SpectralRadius, KnownMatrices) {
+  // Diagonal-free 2x2 [[0, a], [b, 0]] has rho = sqrt(a*b).
+  const std::vector<double> m1{0.0, 4.0, 9.0, 0.0};
+  EXPECT_NEAR(spectral_radius(m1, 2), 6.0, 1e-8);
+
+  // All-ones 3x3 without diagonal: rho = 2 (row sums).
+  const std::vector<double> m2{0, 1, 1, 1, 0, 1, 1, 1, 0};
+  EXPECT_NEAR(spectral_radius(m2, 3), 2.0, 1e-8);
+
+  // Zero matrix.
+  const std::vector<double> m3(9, 0.0);
+  EXPECT_NEAR(spectral_radius(m3, 3), 0.0, 1e-12);
+
+  EXPECT_THROW((void)spectral_radius(std::vector<double>{1.0, 2.0}, 2), PreconditionError);
+}
+
+struct Scenario {
+  std::shared_ptr<EuclideanMetric> metric;
+  std::vector<Request> requests;
+};
+
+Scenario random_scenario(std::size_t n, std::uint64_t seed, double side = 80.0) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point s{rng.uniform(0, side), rng.uniform(0, side), 0};
+    const double len = rng.uniform(1.0, 6.0);
+    const double angle = rng.uniform(0, 6.28318);
+    pts.push_back(s);
+    pts.push_back(Point{s.x + len * std::cos(angle), s.y + len * std::sin(angle), 0});
+    reqs.push_back(Request{2 * i, 2 * i + 1});
+  }
+  return {std::make_shared<EuclideanMetric>(std::move(pts)), std::move(reqs)};
+}
+
+TEST(PowerControl, EmptyAndSingletonAreFeasible) {
+  const Scenario s = random_scenario(1, 5);
+  const std::vector<std::size_t> none{};
+  EXPECT_TRUE(power_control_feasible(*s.metric, s.requests, none, SinrParams{},
+                                     Variant::directed)
+                  .feasible);
+  const std::vector<std::size_t> one{0};
+  const auto result = power_control_feasible(*s.metric, s.requests, one, SinrParams{},
+                                             Variant::directed);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(result.spectral_radius, 0.0, 1e-12);
+}
+
+TEST(PowerControl, CoLocatedPairsAreInfeasible) {
+  EuclideanMetric m(std::vector<Point>{{0, 0, 0}, {1, 0, 0}, {1, 0, 0}, {2, 0, 0}});
+  const std::vector<Request> reqs{{0, 1}, {2, 3}};
+  const std::vector<std::size_t> active{0, 1};
+  const auto result =
+      power_control_feasible(m, reqs, active, SinrParams{}, Variant::directed);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(std::isinf(result.spectral_radius));
+}
+
+/// The witness powers returned on success must satisfy the constraints the
+/// oracle claims they do — for both variants, across parameter sweeps.
+class WitnessCheck : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(WitnessCheck, WitnessSatisfiesConstraints) {
+  const auto [alpha, beta, seed] = GetParam();
+  const Scenario s = random_scenario(10, static_cast<std::uint64_t>(seed) * 17 + 3);
+  SinrParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  std::vector<std::size_t> all(10);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  for (const Variant variant : {Variant::directed, Variant::bidirectional}) {
+    // Grow a set until the oracle says stop; verify the final witness.
+    std::vector<std::size_t> active;
+    PowerControlResult last;
+    for (const std::size_t j : all) {
+      active.push_back(j);
+      const auto result =
+          power_control_feasible(*s.metric, s.requests, active, params, variant);
+      if (!result.feasible) {
+        active.pop_back();
+      } else {
+        last = result;
+      }
+    }
+    ASSERT_FALSE(active.empty());
+    ASSERT_EQ(last.witness_powers.size(), active.size());
+    std::vector<double> full(s.requests.size(), 1.0);
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      full[active[k]] = last.witness_powers[k];
+    }
+    EXPECT_TRUE(
+        check_feasible(*s.metric, s.requests, full, active, params, variant).feasible)
+        << "variant=" << static_cast<int>(variant);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WitnessCheck,
+    ::testing::Combine(::testing::Values(2.0, 3.0), ::testing::Values(0.5, 1.0, 2.0),
+                       ::testing::Range(1, 5)));
+
+TEST(PowerControl, AgreesWithFixedPowerWhenFixedPowersWork) {
+  // Any set feasible under *some* fixed powers must be power-control
+  // feasible; conversely an infeasible-by-oracle set must reject every
+  // power vector we try.
+  const Scenario s = random_scenario(8, 123);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  std::vector<std::size_t> all(8);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  std::vector<double> sqrt_powers(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    sqrt_powers[i] = std::sqrt(link_loss(*s.metric, s.requests[i], params.alpha));
+  }
+  const auto kept = greedy_feasible_subset(*s.metric, s.requests, sqrt_powers, all, params,
+                                           Variant::directed);
+  EXPECT_TRUE(power_control_feasible(*s.metric, s.requests, kept, params, Variant::directed)
+                  .feasible);
+
+  // Find a set the oracle rejects, then check a few heuristic power
+  // vectors all fail on it.
+  std::vector<std::size_t> rejected;
+  for (std::size_t take = all.size(); take >= 2; --take) {
+    std::vector<std::size_t> candidate(all.begin(),
+                                       all.begin() + static_cast<std::ptrdiff_t>(take));
+    if (!power_control_feasible(*s.metric, s.requests, candidate, params, Variant::directed)
+             .feasible) {
+      rejected = candidate;
+      break;
+    }
+  }
+  if (!rejected.empty()) {
+    Rng rng(9);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<double> powers(8);
+      for (double& p : powers) p = std::exp(rng.uniform(-5.0, 5.0));
+      EXPECT_FALSE(
+          check_feasible(*s.metric, s.requests, powers, rejected, params, Variant::directed)
+              .feasible);
+    }
+  }
+}
+
+TEST(PowerControl, FeasibilityIsDownwardClosed) {
+  const Scenario s = random_scenario(9, 31);
+  SinrParams params;
+  std::vector<std::size_t> all(9);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  // Grow the largest prefix-feasible set.
+  std::vector<std::size_t> active;
+  for (const std::size_t j : all) {
+    active.push_back(j);
+    if (!power_control_feasible(*s.metric, s.requests, active, params, Variant::directed)
+             .feasible) {
+      active.pop_back();
+    }
+  }
+  Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<std::size_t> subset;
+    for (const std::size_t j : active) {
+      if (rng.bernoulli(0.5)) subset.push_back(j);
+    }
+    EXPECT_TRUE(
+        power_control_feasible(*s.metric, s.requests, subset, params, Variant::directed)
+            .feasible);
+  }
+}
+
+TEST(PowerControl, MinPowersWithNoiseSatisfyConstraints) {
+  const Scenario s = random_scenario(6, 55, 200.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 0.5;
+  params.noise = 1e-6;
+  std::vector<std::size_t> all(6);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  // Shrink until feasible.
+  std::vector<std::size_t> active = all;
+  while (!active.empty() &&
+         !power_control_feasible(*s.metric, s.requests, active, params, Variant::directed)
+              .feasible) {
+    active.pop_back();
+  }
+  ASSERT_FALSE(active.empty());
+  const auto powers = min_powers_with_noise(*s.metric, s.requests, active, params,
+                                            Variant::directed);
+  ASSERT_EQ(powers.size(), active.size());
+  std::vector<double> full(s.requests.size(), 1e-30);
+  for (std::size_t k = 0; k < active.size(); ++k) full[active[k]] = powers[k];
+  EXPECT_TRUE(
+      check_feasible(*s.metric, s.requests, full, active, params, Variant::directed)
+          .feasible);
+  // Scaling the min powers *down* by 2 must violate some constraint
+  // (minimality up to the fixed-point tolerance).
+  std::vector<double> halved = full;
+  for (double& p : halved) p *= 0.5;
+  EXPECT_FALSE(
+      check_feasible(*s.metric, s.requests, halved, active, params, Variant::directed)
+          .feasible);
+}
+
+TEST(PowerControl, MinPowersRequireNoise) {
+  const Scenario s = random_scenario(2, 3);
+  const std::vector<std::size_t> active{0, 1};
+  EXPECT_TRUE(min_powers_with_noise(*s.metric, s.requests, active, SinrParams{},
+                                    Variant::directed)
+                  .empty());
+}
+
+TEST(PowerControl, NestedChainPowerControlBeatsUniform) {
+  // The Section 1.2 nested chain: under uniform powers not even two nested
+  // pairs coexist (at alpha=3, beta=1), while power control packs several
+  // pairs per color (spacing ~log_2(2^(2*alpha)) in the nesting index).
+  std::vector<Point> pts;
+  std::vector<Request> reqs;
+  const std::size_t n = 8;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double r = std::pow(2.0, static_cast<double>(i));
+    pts.push_back(Point{-r, 0, 0});
+    pts.push_back(Point{+r, 0, 0});
+    reqs.push_back(Request{2 * (i - 1), 2 * (i - 1) + 1});
+  }
+  EuclideanMetric m(pts);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  // Uniform: even the two outermost pairs conflict.
+  const std::vector<double> uniform(n, 1.0);
+  const std::vector<std::size_t> two{0, 1};
+  EXPECT_FALSE(
+      check_feasible(m, reqs, uniform, two, params, Variant::bidirectional).feasible);
+  // Power control: widely spaced nested pairs share a color.
+  const std::vector<std::size_t> spaced{0, 5};
+  EXPECT_TRUE(
+      power_control_feasible(m, reqs, spaced, params, Variant::bidirectional).feasible);
+  // The full chain is not one color even with power control (the constants
+  // of Section 1.2 are about a constant *fraction*, not everything)...
+  const auto full = power_control_feasible(m, reqs, all, params, Variant::bidirectional);
+  EXPECT_FALSE(full.feasible);
+  EXPECT_TRUE(std::isfinite(full.spectral_radius));
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,161 @@
+// Tests for the slotted MAC simulator.
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "core/sqrt_coloring.h"
+#include "gen/generators.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+class SimulatorAgreement : public ::testing::TestWithParam<std::tuple<Variant, int>> {};
+
+TEST_P(SimulatorAgreement, ValidScheduleSucceedsWithoutFadingOrNoise) {
+  const auto [variant, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 61 + 1);
+  const Instance inst = random_square(24, {}, rng);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  const Schedule schedule = greedy_coloring(inst, powers, params, variant);
+  ASSERT_TRUE(validate_schedule(inst, powers, schedule, params, variant).valid);
+
+  const Simulator sim(inst, params, variant);
+  const SimulationResult result = sim.run(schedule, powers);
+  EXPECT_EQ(result.attempted, inst.size());
+  EXPECT_EQ(result.succeeded, inst.size());
+  EXPECT_DOUBLE_EQ(result.success_rate, 1.0);
+  EXPECT_EQ(result.slots, static_cast<std::size_t>(schedule.num_colors));
+  for (const int frame : result.first_success_frame) EXPECT_EQ(frame, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimulatorAgreement,
+    ::testing::Combine(::testing::Values(Variant::directed, Variant::bidirectional),
+                       ::testing::Range(1, 5)));
+
+TEST(Simulator, JammedScheduleFailsDeterministically) {
+  // Nested chain in one color under uniform power: inner pairs drown outer.
+  const Instance inst = nested_chain(6, 2.0, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = UniformPower{}.assign(inst, params.alpha);
+  Schedule one_color;
+  one_color.color_of.assign(inst.size(), 0);
+  one_color.num_colors = 1;
+  const Simulator sim(inst, params, Variant::bidirectional);
+  const SimulationResult result = sim.run(one_color, powers);
+  EXPECT_LT(result.succeeded, result.attempted);
+}
+
+TEST(Simulator, FadingDegradesTightSchedules) {
+  Rng rng(7);
+  RandomSquareOptions opt;
+  opt.side = 120.0;
+  const Instance inst = random_square(48, opt, rng);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  const Schedule schedule =
+      greedy_coloring(inst, powers, params, Variant::bidirectional);
+  const Simulator sim(inst, params, Variant::bidirectional);
+
+  SimulationOptions heavy;
+  heavy.frames = 8;
+  heavy.fading_sigma_db = 8.0;
+  const SimulationResult faded = sim.run(schedule, powers, heavy);
+  const SimulationResult clean = sim.run(schedule, powers);
+  EXPECT_LT(faded.success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(clean.success_rate, 1.0);
+}
+
+TEST(Simulator, RetransmitStopsSucceededRequests) {
+  Rng rng(9);
+  const Instance inst = random_square(12, {}, rng);
+  SinrParams params;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  const Schedule schedule =
+      greedy_coloring(inst, powers, params, Variant::bidirectional);
+  const Simulator sim(inst, params, Variant::bidirectional);
+  SimulationOptions options;
+  options.frames = 3;
+  options.retransmit = true;
+  const SimulationResult result = sim.run(schedule, powers, options);
+  // Everything succeeds in frame 0 (no fading), so later frames are idle.
+  EXPECT_EQ(result.attempted, inst.size());
+  EXPECT_EQ(result.succeeded, inst.size());
+  EXPECT_EQ(result.slots, static_cast<std::size_t>(schedule.num_colors) * 3);
+}
+
+TEST(Simulator, RetransmitEventuallyDeliversUnderFading) {
+  Rng rng(10);
+  const Instance inst = random_square(16, {}, rng);
+  SinrParams params;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  const Schedule schedule =
+      greedy_coloring(inst, powers, params, Variant::bidirectional);
+  const Simulator sim(inst, params, Variant::bidirectional);
+  SimulationOptions options;
+  options.frames = 40;
+  options.retransmit = true;
+  options.fading_sigma_db = 6.0;
+  const SimulationResult result = sim.run(schedule, powers, options);
+  std::size_t delivered = 0;
+  for (const int frame : result.first_success_frame) {
+    if (frame >= 0) ++delivered;
+  }
+  EXPECT_GE(delivered, inst.size() - 1);  // ~all delivered within 40 frames
+}
+
+TEST(Simulator, ClasswisePowersMatchPowerControlSchedules) {
+  Rng rng(11);
+  const Instance inst = random_square(12, {}, rng);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const PowerControlColoring pc =
+      greedy_power_control_coloring(inst, params, Variant::directed);
+  const Simulator sim(inst, params, Variant::directed);
+  const SimulationResult result = sim.run_classwise(pc.schedule, pc.class_powers);
+  EXPECT_DOUBLE_EQ(result.success_rate, 1.0);
+}
+
+TEST(Simulator, NoiseRequiresPowerHeadroom) {
+  Rng rng(12);
+  const Instance inst = random_square(6, {}, rng);
+  SinrParams params;
+  params.noise = 1e9;  // unit powers cannot clear this floor
+  const auto powers = UniformPower{}.assign(inst, params.alpha);
+  Schedule singles;
+  singles.color_of.resize(inst.size());
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    singles.color_of[i] = static_cast<int>(i);
+  }
+  singles.num_colors = static_cast<int>(inst.size());
+  const Simulator sim(inst, params, Variant::directed);
+  const SimulationResult result = sim.run(singles, powers);
+  EXPECT_EQ(result.succeeded, 0u);
+}
+
+TEST(Simulator, ValidatesArguments) {
+  Rng rng(13);
+  const Instance inst = random_square(4, {}, rng);
+  const auto powers = UniformPower{}.assign(inst, 3.0);
+  const Schedule schedule =
+      greedy_coloring(inst, powers, SinrParams{}, Variant::directed);
+  const Simulator sim(inst, SinrParams{}, Variant::directed);
+  SimulationOptions bad;
+  bad.frames = 0;
+  EXPECT_THROW((void)sim.run(schedule, powers, bad), PreconditionError);
+  const std::vector<double> wrong(3, 1.0);
+  EXPECT_THROW((void)sim.run(schedule, wrong), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,278 @@
+// Unit and property tests for the SINR feasibility module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "metric/euclidean.h"
+#include "sinr/feasibility.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+struct Scenario {
+  std::shared_ptr<EuclideanMetric> metric;
+  std::vector<Request> requests;
+};
+
+/// n random pairs in a square, lengths in [1, 8].
+Scenario random_scenario(std::size_t n, std::uint64_t seed, double side = 60.0) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  std::vector<Request> reqs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point s{rng.uniform(0, side), rng.uniform(0, side), 0};
+    const double len = rng.uniform(1.0, 8.0);
+    const double angle = rng.uniform(0, 6.28318);
+    pts.push_back(s);
+    pts.push_back(Point{s.x + len * std::cos(angle), s.y + len * std::sin(angle), 0});
+    reqs.push_back(Request{2 * i, 2 * i + 1});
+  }
+  return {std::make_shared<EuclideanMetric>(std::move(pts)), std::move(reqs)};
+}
+
+std::vector<std::size_t> iota_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  return idx;
+}
+
+TEST(Model, PathLossIsPowerOfDistance) {
+  EXPECT_DOUBLE_EQ(path_loss(2.0, 3.0), 8.0);
+  EXPECT_DOUBLE_EQ(path_loss(1.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(path_loss(0.0, 2.0), 0.0);
+}
+
+TEST(Model, MinEndpointLossTakesTheNearerEndpoint) {
+  EuclideanMetric m = EuclideanMetric::line(std::vector<double>{0.0, 10.0, 2.0});
+  const Request r{0, 1};
+  // Node 2 is at distance 2 from u=0 and 8 from v=10.
+  EXPECT_DOUBLE_EQ(min_endpoint_loss(m, r, 2, 2.0), 4.0);
+}
+
+TEST(Model, ParamValidation) {
+  SinrParams p;
+  p.alpha = 0.5;
+  EXPECT_THROW(p.validate(), PreconditionError);
+  p = SinrParams{};
+  p.beta = 0.0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+  p = SinrParams{};
+  p.noise = -1.0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+  EXPECT_NO_THROW(SinrParams{}.validate());
+  EXPECT_DOUBLE_EQ(SinrParams{}.with_beta(2.5).beta, 2.5);
+}
+
+TEST(Feasibility, SingletonIsAlwaysFeasibleWithoutNoise) {
+  const Scenario s = random_scenario(1, 7);
+  const std::vector<double> powers{1.0};
+  const std::vector<std::size_t> active{0};
+  for (const Variant variant : {Variant::directed, Variant::bidirectional}) {
+    const auto report =
+        check_feasible(*s.metric, s.requests, powers, active, SinrParams{}, variant);
+    EXPECT_TRUE(report.feasible);
+    EXPECT_TRUE(std::isinf(report.worst_margin));
+  }
+}
+
+TEST(Feasibility, HandComputedTwoPairExample) {
+  // Pairs (0,1) and (2,3) on a line: 0 --1-- 1 ...gap... 2 --1-- 3.
+  // Positions: u1=0, v1=1, u2=5, v2=6. alpha=2, uniform powers.
+  EuclideanMetric m = EuclideanMetric::line(std::vector<double>{0.0, 1.0, 5.0, 6.0});
+  const std::vector<Request> reqs{{0, 1}, {2, 3}};
+  const std::vector<double> powers{1.0, 1.0};
+  const std::vector<std::size_t> active{0, 1};
+  SinrParams params;
+  params.alpha = 2.0;
+  // Directed: at v1 (pos 1): signal 1/1, interference 1/(5-1)^2 = 1/16.
+  //           at v2 (pos 6): signal 1/1, interference 1/36.
+  // Feasible iff beta < 16.
+  params.beta = 15.0;
+  EXPECT_TRUE(check_feasible(m, reqs, powers, active, params, Variant::directed).feasible);
+  params.beta = 17.0;
+  EXPECT_FALSE(check_feasible(m, reqs, powers, active, params, Variant::directed).feasible);
+
+  // The exact crossover is the max feasible gain.
+  const double gain = max_feasible_gain(m, reqs, powers, active, 2.0, Variant::directed);
+  EXPECT_NEAR(gain, 16.0, 1e-9);
+
+  // Bidirectional: worst constraint is at v1 (pos 1) with the nearer
+  // endpoint of pair 2 at pos 5: interference 1/16; and at u2 (pos 5),
+  // nearer endpoint of pair 1 is v1=1: interference 1/16 as well.
+  const double bigain =
+      max_feasible_gain(m, reqs, powers, active, 2.0, Variant::bidirectional);
+  EXPECT_NEAR(bigain, 16.0, 1e-9);
+}
+
+TEST(Feasibility, CoLocatedInterfererDrownsEverything) {
+  // Receiver of pair 0 sits exactly on the sender of pair 1.
+  EuclideanMetric m(std::vector<Point>{{0, 0, 0}, {1, 0, 0}, {1, 0, 0}, {2, 0, 0}});
+  const std::vector<Request> reqs{{0, 1}, {2, 3}};
+  const std::vector<double> powers{1.0, 1.0};
+  const std::vector<std::size_t> active{0, 1};
+  EXPECT_FALSE(
+      check_feasible(m, reqs, powers, active, SinrParams{}, Variant::directed).feasible);
+}
+
+TEST(Feasibility, NoiseMakesWeakLinksInfeasible) {
+  const Scenario s = random_scenario(1, 3);
+  const std::vector<std::size_t> active{0};
+  SinrParams params;
+  params.noise = 1e12;  // absurd noise floor
+  const std::vector<double> powers{1.0};
+  EXPECT_FALSE(
+      check_feasible(*s.metric, s.requests, powers, active, params, Variant::directed)
+          .feasible);
+}
+
+class FeasibilityInvariants
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(FeasibilityInvariants, PowerScaleInvarianceWithoutNoise) {
+  const auto [alpha, beta, seed] = GetParam();
+  const Scenario s = random_scenario(8, static_cast<std::uint64_t>(seed));
+  const auto active = iota_indices(8);
+  SinrParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  std::vector<double> powers(8);
+  Rng rng(static_cast<std::uint64_t>(seed) + 1);
+  for (double& p : powers) p = rng.uniform(0.5, 4.0);
+  for (const Variant variant : {Variant::directed, Variant::bidirectional}) {
+    const bool base =
+        check_feasible(*s.metric, s.requests, powers, active, params, variant).feasible;
+    std::vector<double> scaled = powers;
+    for (double& p : scaled) p *= 1234.5;
+    const bool after =
+        check_feasible(*s.metric, s.requests, scaled, active, params, variant).feasible;
+    EXPECT_EQ(base, after);
+  }
+}
+
+TEST_P(FeasibilityInvariants, SubsetsOfFeasibleSetsAreFeasible) {
+  const auto [alpha, beta, seed] = GetParam();
+  const Scenario s = random_scenario(10, static_cast<std::uint64_t>(seed) * 31 + 5);
+  SinrParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  const std::vector<double> powers(10, 1.0);
+  // Find a feasible set greedily, then check all its prefixes/random subsets.
+  const auto kept = greedy_feasible_subset(*s.metric, s.requests, powers,
+                                           iota_indices(10), params, Variant::directed);
+  Rng rng(static_cast<std::uint64_t>(seed));
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::size_t> subset;
+    for (const std::size_t j : kept) {
+      if (rng.bernoulli(0.6)) subset.push_back(j);
+    }
+    EXPECT_TRUE(
+        check_feasible(*s.metric, s.requests, powers, subset, params, Variant::directed)
+            .feasible);
+  }
+}
+
+TEST_P(FeasibilityInvariants, FeasibilityIsMonotoneInBeta) {
+  const auto [alpha, beta, seed] = GetParam();
+  const Scenario s = random_scenario(6, static_cast<std::uint64_t>(seed) * 7 + 1);
+  const auto active = iota_indices(6);
+  const std::vector<double> powers(6, 1.0);
+  SinrParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  for (const Variant variant : {Variant::directed, Variant::bidirectional}) {
+    const double gain = max_feasible_gain(*s.metric, s.requests, powers, active,
+                                          params.alpha, variant);
+    const bool feasible =
+        check_feasible(*s.metric, s.requests, powers, active, params, variant).feasible;
+    EXPECT_EQ(feasible, gain > beta);
+    // Stricter gain can only break feasibility.
+    if (!feasible) {
+      SinrParams stricter = params.with_beta(beta * 4.0);
+      EXPECT_FALSE(check_feasible(*s.metric, s.requests, powers, active, stricter, variant)
+                       .feasible);
+    }
+  }
+}
+
+TEST_P(FeasibilityInvariants, BidirectionalFeasibleImpliesDirectedFeasible) {
+  const auto [alpha, beta, seed] = GetParam();
+  const Scenario s = random_scenario(9, static_cast<std::uint64_t>(seed) * 13 + 2);
+  SinrParams params;
+  params.alpha = alpha;
+  params.beta = beta;
+  const std::vector<double> powers(9, 1.0);
+  const auto kept = greedy_feasible_subset(*s.metric, s.requests, powers, iota_indices(9),
+                                           params, Variant::bidirectional);
+  EXPECT_TRUE(check_feasible(*s.metric, s.requests, powers, kept, params, Variant::directed)
+                  .feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FeasibilityInvariants,
+    ::testing::Combine(::testing::Values(2.0, 3.0, 4.0),  // alpha
+                       ::testing::Values(0.5, 1.0, 2.0),  // beta
+                       ::testing::Range(1, 5)));          // seed
+
+class IncrementalAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalAgreement, MatchesFromScratchChecker) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Scenario s = random_scenario(14, seed, 40.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 0.7;
+  std::vector<double> powers(14);
+  Rng rng(seed + 100);
+  for (double& p : powers) p = rng.uniform(0.5, 2.0);
+
+  for (const Variant variant : {Variant::directed, Variant::bidirectional}) {
+    IncrementalClass cls(*s.metric, s.requests, powers, params, variant);
+    std::vector<std::size_t> members;
+    for (std::size_t j = 0; j < 14; ++j) {
+      std::vector<std::size_t> with = members;
+      with.push_back(j);
+      const bool scratch =
+          check_feasible(*s.metric, s.requests, powers, with, params, variant).feasible;
+      EXPECT_EQ(cls.can_add(j), scratch) << "j=" << j;
+      if (scratch && rng.bernoulli(0.8)) {
+        cls.add(j);
+        members.push_back(j);
+      }
+    }
+    EXPECT_EQ(cls.members(), members);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalAgreement, ::testing::Range(1, 9));
+
+TEST(GreedySubset, OutputIsFeasibleAndContainsLeadRequest) {
+  const Scenario s = random_scenario(16, 77);
+  SinrParams params;
+  const std::vector<double> powers(16, 1.0);
+  const auto idx = iota_indices(16);
+  const auto kept = greedy_feasible_subset(*s.metric, s.requests, powers, idx, params,
+                                           Variant::directed);
+  ASSERT_FALSE(kept.empty());
+  EXPECT_EQ(kept.front(), 0u);  // first scanned request always fits alone
+  EXPECT_TRUE(
+      check_feasible(*s.metric, s.requests, powers, kept, params, Variant::directed)
+          .feasible);
+}
+
+TEST(InterferenceAt, ExcludesTheRequestedPosition) {
+  const Scenario s = random_scenario(3, 5);
+  const std::vector<double> powers(3, 1.0);
+  const std::vector<std::size_t> active{0, 1, 2};
+  const NodeId w = s.requests[0].v;
+  const double all = interference_at(*s.metric, s.requests, powers, active, w, 3.0,
+                                     Variant::directed, active.size());
+  const double without0 =
+      interference_at(*s.metric, s.requests, powers, active, w, 3.0, Variant::directed, 0);
+  EXPECT_GT(all, without0);
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,151 @@
+// Tests for the Section-5 coloring algorithm (Theorem 15).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "core/sqrt_coloring.h"
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+class SqrtColoringValidity
+    : public ::testing::TestWithParam<std::tuple<int, Variant, int>> {};
+
+TEST_P(SqrtColoringValidity, ProducesValidSchedules) {
+  const auto [generator, variant, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 271 + 9);
+  Instance inst = [&] {
+    switch (generator) {
+      case 0:
+        return random_square(32, {}, rng);
+      case 1:
+        return clustered(32, {}, rng);
+      default:
+        return nested_chain(14, 2.0, 3.0);
+    }
+  }();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  SqrtColoringOptions options;
+  options.seed = static_cast<std::uint64_t>(seed);
+  const SqrtColoringResult result = sqrt_coloring(inst, params, variant, options);
+  EXPECT_TRUE(result.schedule.complete());
+  const auto report =
+      validate_schedule(inst, result.powers, result.schedule, params, variant);
+  EXPECT_TRUE(report.valid);
+  EXPECT_EQ(result.stats.rounds, result.schedule.num_colors);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SqrtColoringValidity,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(Variant::directed, Variant::bidirectional),
+                       ::testing::Range(1, 4)));
+
+TEST(SqrtColoring, DeterministicGivenSeed) {
+  Rng rng(77);
+  const Instance inst = random_square(24, {}, rng);
+  SinrParams params;
+  SqrtColoringOptions options;
+  options.seed = 5;
+  const auto a = sqrt_coloring(inst, params, Variant::bidirectional, options);
+  const auto b = sqrt_coloring(inst, params, Variant::bidirectional, options);
+  EXPECT_EQ(a.schedule.color_of, b.schedule.color_of);
+  EXPECT_EQ(a.schedule.num_colors, b.schedule.num_colors);
+}
+
+TEST(SqrtColoring, PowersAreTheSquareRootAssignment) {
+  Rng rng(78);
+  const Instance inst = random_square(8, {}, rng);
+  SinrParams params;
+  const auto result = sqrt_coloring(inst, params, Variant::bidirectional);
+  const auto expected = SqrtPower{}.assign(inst, params.alpha);
+  ASSERT_EQ(result.powers.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.powers[i], expected[i]);
+  }
+}
+
+TEST(SqrtColoring, ApproximationAgainstExactOptimumOnSmallInstances) {
+  // Theorem 15 promises O(log n) * OPT(sqrt). On 10-request instances the
+  // ratio should comfortably stay below a small constant times log n.
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  double worst_ratio = 0.0;
+  for (int seed = 1; seed <= 6; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 5 + 1);
+    RandomSquareOptions opt;
+    opt.side = 40.0;
+    const Instance inst = random_square(10, opt, rng);
+    const auto result = sqrt_coloring(inst, params, Variant::bidirectional);
+    const auto powers = SqrtPower{}.assign(inst, params.alpha);
+    const ExactResult exact =
+        exact_min_colors(inst, powers, params, Variant::bidirectional);
+    const double ratio =
+        static_cast<double>(result.schedule.num_colors) / exact.num_colors;
+    worst_ratio = std::max(worst_ratio, ratio);
+  }
+  EXPECT_LE(worst_ratio, 3.0 * std::log2(10.0));
+}
+
+TEST(SqrtColoring, GreedyFallbackPathIsAlsoValid) {
+  Rng rng(79);
+  const Instance inst = random_square(24, {}, rng);
+  SinrParams params;
+  SqrtColoringOptions no_lp;
+  no_lp.use_lp = false;
+  const auto result = sqrt_coloring(inst, params, Variant::bidirectional, no_lp);
+  EXPECT_TRUE(
+      validate_schedule(inst, result.powers, result.schedule, params, Variant::bidirectional)
+          .valid);
+  EXPECT_EQ(result.stats.lp_solves, 0);
+  EXPECT_GT(result.stats.greedy_fallbacks, 0);
+}
+
+TEST(SqrtColoring, LpPathIsExercisedOnMultiRequestClasses) {
+  Rng rng(80);
+  RandomSquareOptions opt;
+  opt.min_length = 2.0;
+  opt.max_length = 2.5;  // one distance class with many requests
+  const Instance inst = random_square(24, opt, rng);
+  SinrParams params;
+  const auto result = sqrt_coloring(inst, params, Variant::bidirectional);
+  EXPECT_GT(result.stats.lp_solves, 0);
+}
+
+TEST(SqrtColoring, NestedChainNeedsOnlyFewColors) {
+  // The headline behaviour: polylog colors on the instance family where
+  // uniform/linear need Omega(n).
+  const Instance inst = nested_chain(16, 2.0, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto result = sqrt_coloring(inst, params, Variant::bidirectional);
+  EXPECT_TRUE(
+      validate_schedule(inst, result.powers, result.schedule, params, Variant::bidirectional)
+          .valid);
+  EXPECT_LE(result.schedule.num_colors, 6);
+  const auto uniform = UniformPower{}.assign(inst, params.alpha);
+  const Schedule greedy_uniform =
+      greedy_coloring(inst, uniform, params, Variant::bidirectional);
+  EXPECT_GT(greedy_uniform.num_colors, result.schedule.num_colors);
+}
+
+TEST(SqrtColoring, RejectsBadOptions) {
+  Rng rng(81);
+  const Instance inst = random_square(4, {}, rng);
+  SqrtColoringOptions bad;
+  bad.class_base = 1.0;
+  EXPECT_THROW((void)sqrt_coloring(inst, SinrParams{}, Variant::bidirectional, bad),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,191 @@
+// Tests for centroid star decomposition (Lemma 9) and star selection
+// (Lemma 5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "embed/star_decomposition.h"
+#include "embed/star_scheduling.h"
+#include "metric/tree_metric.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+TreeMetric random_tree(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TreeEdge> edges;
+  for (std::size_t v = 1; v < n; ++v) {
+    edges.push_back(TreeEdge{static_cast<NodeId>(rng.uniform_index(v)), v,
+                             rng.uniform(0.5, 4.0)});
+  }
+  return TreeMetric(n, edges);
+}
+
+class StarDecomposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(StarDecomposition, EveryPairSeparatedExactlyOnceWithExactDistance) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const std::size_t n = 20;
+  const TreeMetric tree = random_tree(n, seed);
+  std::vector<NodeId> participants;
+  for (NodeId v = 0; v < n; ++v) participants.push_back(v);
+  const auto levels = centroid_star_decomposition(tree, participants);
+  ASSERT_FALSE(levels.empty());
+
+  // For each pair of participants count the levels where both appear in
+  // the same star; at the (unique) separating level the star distance
+  // delta_u + delta_v equals the tree distance.
+  std::vector<std::vector<int>> together(n, std::vector<int>(n, 0));
+  std::vector<std::vector<int>> exact(n, std::vector<int>(n, 0));
+  for (const auto& level : levels) {
+    for (const StarPiece& star : level.stars) {
+      for (std::size_t a = 0; a < star.members.size(); ++a) {
+        for (std::size_t b = a + 1; b < star.members.size(); ++b) {
+          const NodeId u = std::min(star.members[a], star.members[b]);
+          const NodeId v = std::max(star.members[a], star.members[b]);
+          ++together[u][v];
+          const double star_dist = star.radii[a] + star.radii[b];
+          EXPECT_GE(star_dist, tree.distance(u, v) - 1e-9);  // domination
+          if (std::abs(star_dist - tree.distance(u, v)) < 1e-9) ++exact[u][v];
+        }
+      }
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      EXPECT_GE(exact[u][v], 1) << "pair (" << u << "," << v
+                                << ") never separated at exact distance";
+    }
+  }
+}
+
+TEST_P(StarDecomposition, DepthIsLogarithmic) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const std::size_t n = 64;
+  const TreeMetric tree = random_tree(n, seed + 100);
+  std::vector<NodeId> participants;
+  for (NodeId v = 0; v < n; ++v) participants.push_back(v);
+  const auto levels = centroid_star_decomposition(tree, participants);
+  // Component sizes halve per level: depth <= log2(n) + 1.
+  EXPECT_LE(levels.size(), static_cast<std::size_t>(std::log2(n)) + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StarDecomposition, ::testing::Range(1, 7));
+
+TEST(StarDecompositionEdge, PathGraphAndSingleNode) {
+  // Path: 0-1-2-3-4.
+  std::vector<TreeEdge> edges;
+  for (NodeId v = 1; v < 5; ++v) edges.push_back(TreeEdge{v - 1, v, 1.0});
+  const TreeMetric path(5, edges);
+  const auto levels = centroid_star_decomposition(path, {0, 1, 2, 3, 4});
+  ASSERT_FALSE(levels.empty());
+  // First level centroid of a 5-path is the middle node 2; it joins its
+  // own star at radius 0.
+  ASSERT_EQ(levels[0].stars.size(), 1u);
+  EXPECT_EQ(levels[0].stars[0].center, 2u);
+  EXPECT_EQ(levels[0].stars[0].members.size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k) {
+    if (levels[0].stars[0].members[k] == 2u) {
+      EXPECT_DOUBLE_EQ(levels[0].stars[0].radii[k], 0.0);
+    }
+  }
+
+  const TreeMetric single(1, {});
+  EXPECT_TRUE(centroid_star_decomposition(single, {0}).empty());
+}
+
+TEST(StarDecomposition, RespectsParticipantFilter) {
+  const TreeMetric tree = random_tree(12, 5);
+  const std::vector<NodeId> participants{0, 3, 7};
+  const auto levels = centroid_star_decomposition(tree, participants);
+  for (const auto& level : levels) {
+    for (const StarPiece& star : level.stars) {
+      for (const NodeId v : star.members) {
+        EXPECT_TRUE(v == 0 || v == 3 || v == 7);
+      }
+    }
+  }
+}
+
+TEST(StarSelection, OutputIsAlwaysFeasible) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(30);
+    std::vector<double> radii(n);
+    std::vector<double> losses(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      radii[i] = rng.uniform(1.0, 50.0);
+      losses[i] = std::exp(rng.uniform(0.0, 8.0));
+    }
+    const double alpha = 2.0 + rng.uniform(0.0, 2.0);
+    const double beta = 0.5 + rng.uniform(0.0, 1.5);
+    const StarSelectionReport report =
+        select_star_subset(radii, losses, alpha, beta);
+    EXPECT_TRUE(star_subset_feasible(radii, losses, report.selected, alpha, beta))
+        << "trial " << trial;
+  }
+}
+
+TEST(StarSelection, KeepsEverythingWhenInterferenceIsNegligible) {
+  // Far-apart leaves with tiny losses: everything fits.
+  const std::vector<double> radii{100.0, 200.0, 400.0, 800.0};
+  const std::vector<double> losses{1.0, 1.0, 1.0, 1.0};
+  const StarSelectionReport report = select_star_subset(radii, losses, 3.0, 1.0);
+  EXPECT_EQ(report.selected.size(), 4u);
+  EXPECT_EQ(report.dropped_final, 0u);
+}
+
+TEST(StarSelection, BalancedGeometricStarKeepsAConstantFraction) {
+  // The star analogue of the nested chain: radii 2^i with loss = decay
+  // (a_i = 1, "small" loss parameters). The square-root assignment should
+  // keep a large fraction — this is Lemma 11's regime.
+  const double alpha = 3.0;
+  const std::size_t n = 24;
+  std::vector<double> radii(n);
+  std::vector<double> losses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    radii[i] = std::pow(2.0, static_cast<double>(i) / 2.0);
+    losses[i] = std::pow(radii[i], alpha);  // a_i = 1
+  }
+  const StarSelectionReport report = select_star_subset(radii, losses, alpha, 1.0);
+  EXPECT_GE(report.selected.size(), n / 3);
+  EXPECT_TRUE(star_subset_feasible(radii, losses, report.selected, alpha, 1.0));
+}
+
+TEST(StarSelection, HandlesEmptyAndSingleton) {
+  const StarSelectionReport empty = select_star_subset({}, {}, 3.0, 1.0);
+  EXPECT_TRUE(empty.selected.empty());
+  const std::vector<double> r{5.0};
+  const std::vector<double> l{7.0};
+  const StarSelectionReport one = select_star_subset(r, l, 3.0, 1.0);
+  ASSERT_EQ(one.selected.size(), 1u);
+  EXPECT_EQ(one.selected[0], 0u);
+}
+
+TEST(StarSelection, ValidatesInput) {
+  const std::vector<double> r{1.0, 2.0};
+  const std::vector<double> l{1.0};
+  EXPECT_THROW((void)select_star_subset(r, l, 3.0, 1.0), PreconditionError);
+  const std::vector<double> l2{1.0, -2.0};
+  EXPECT_THROW((void)select_star_subset(r, l2, 3.0, 1.0), PreconditionError);
+}
+
+TEST(StarSelection, StricterGainSelectsNoMore) {
+  Rng rng(9);
+  const std::size_t n = 20;
+  std::vector<double> radii(n);
+  std::vector<double> losses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    radii[i] = rng.uniform(1.0, 30.0);
+    losses[i] = std::exp(rng.uniform(0.0, 6.0));
+  }
+  const auto loose = select_star_subset(radii, losses, 3.0, 0.5);
+  const auto strict = select_star_subset(radii, losses, 3.0, 4.0);
+  EXPECT_GE(loose.selected.size(), strict.selected.size());
+}
+
+}  // namespace
+}  // namespace oisched

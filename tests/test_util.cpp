@@ -1,0 +1,252 @@
+// Unit tests for util: RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace oisched {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0;
+  double hi = 0.0;
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexIsUnbiasedAcrossSmallRange) {
+  Rng rng(11);
+  std::array<int, 5> counts{};
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) counts[rng.uniform_index(5)]++;
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.2, 0.02);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(23);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 99u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.split();
+  // The child stream should not reproduce the parent stream.
+  Rng b(31);
+  (void)b.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  Rng rng(37);
+  std::vector<double> xs;
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    xs.push_back(x);
+    stats.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), var, 1e-9);
+  EXPECT_EQ(stats.count(), xs.size());
+}
+
+TEST(RunningStats, MergeEqualsBulk) {
+  Rng rng(41);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, EmptyAndSingleton) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.add(5.0);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(Percentile, RejectsBadQuantile) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)percentile(xs, 1.5), PreconditionError);
+}
+
+TEST(Summary, ReportsOrderedFields) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_GT(s.p90, s.p50);
+  EXPECT_GT(s.p99, s.p90);
+}
+
+TEST(LogLogSlope, RecoversPowerLawExponent) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(3.0 * std::pow(static_cast<double>(i), 1.7));
+  }
+  EXPECT_NEAR(log_log_slope(x, y), 1.7, 1e-9);
+}
+
+TEST(LogLogSlope, SkipsNonPositivePoints) {
+  const std::vector<double> x{1.0, 2.0, 0.0, 4.0};
+  const std::vector<double> y{1.0, 4.0, 9.0, 16.0};
+  EXPECT_NEAR(log_log_slope(x, y), 2.0, 1e-9);
+}
+
+TEST(Table, AlignsAndFormats) {
+  Table t({"n", "colors", "ratio"});
+  t.add(8, 3, 1.5);
+  t.add(16, 5, 1.6667);
+  std::ostringstream console;
+  t.print(console);
+  const std::string text = console.str();
+  EXPECT_NE(text.find("colors"), std::string::npos);
+  EXPECT_NE(text.find("1.667"), std::string::npos);
+
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("n,colors,ratio"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMalformedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  double x = 0.0;
+  for (int i = 0; i < 10000; ++i) x += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(x, 0.0);
+  EXPECT_GE(sw.elapsed_seconds(), 0.0);
+  EXPECT_GE(sw.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace oisched
