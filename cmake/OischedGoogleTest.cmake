@@ -1,0 +1,18 @@
+# Provides GTest::gtest_main, preferring the system package so offline
+# builds work; falls back to FetchContent when nothing is installed.
+include_guard(GLOBAL)
+
+find_package(GTest QUIET)
+if(GTest_FOUND)
+  message(STATUS "Using system GoogleTest")
+else()
+  message(STATUS "System GoogleTest not found; fetching via FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()

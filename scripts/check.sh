@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the whole test suite.
+#
+#   scripts/check.sh            # Release (default)
+#   scripts/check.sh Debug      # any CMAKE_BUILD_TYPE
+#
+# Extra arguments after the build type are passed through to ctest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_type="${1:-Release}"
+shift || true
+
+build_dir="build-check-${build_type,,}"
+cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE="$build_type" -DOISCHED_WERROR=ON
+cmake --build "$build_dir" -j
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"

@@ -136,8 +136,7 @@ TEST_P(OverlapSandwich, OverlapModelIsAConstantFactorAway) {
   params.alpha = 3.0;
   params.beta = 1.0;
   const auto powers = SqrtPower{}.assign(inst, params.alpha);
-  std::vector<std::size_t> all(inst.size());
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto all = inst.all_indices();
   const auto kept = greedy_feasible_subset(inst.metric(), inst.requests(), powers, all,
                                            params, Variant::bidirectional);
 

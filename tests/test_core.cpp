@@ -8,15 +8,14 @@
 #include "core/power_assignment.h"
 #include "core/schedule.h"
 #include "metric/euclidean.h"
+#include "test_helpers.h"
 #include "util/rng.h"
 
 namespace oisched {
 namespace {
 
 Instance line4() {
-  auto metric = std::make_shared<EuclideanMetric>(
-      EuclideanMetric::line(std::vector<double>{0.0, 1.0, 100.0, 104.0}));
-  return Instance(metric, {{0, 1}, {2, 3}});
+  return testutil::line_pairs({0.0, 1.0, 100.0, 104.0}).instance();
 }
 
 TEST(Instance, PrecomputesLengthsAndLosses) {
@@ -30,8 +29,7 @@ TEST(Instance, PrecomputesLengthsAndLosses) {
 }
 
 TEST(Instance, RejectsDegenerateRequests) {
-  auto metric = std::make_shared<EuclideanMetric>(
-      EuclideanMetric::line(std::vector<double>{0.0, 1.0}));
+  const auto metric = testutil::line_metric({0.0, 1.0});
   EXPECT_THROW(Instance(metric, {{0, 0}}), PreconditionError);      // zero length
   EXPECT_THROW(Instance(metric, {{0, 7}}), PreconditionError);      // out of range
   EXPECT_THROW(Instance(nullptr, {{0, 1}}), PreconditionError);     // no metric
@@ -160,9 +158,7 @@ TEST(ScheduleEnergy, SeparatingJammedPairsReducesEnergy) {
   // Two close pairs: sharing a slot forces a large scale-up factor
   // (interference eats almost all headroom); separating them needs only
   // the noise floor.
-  auto metric = std::make_shared<EuclideanMetric>(
-      EuclideanMetric::line(std::vector<double>{0.0, 1.0, 3.0, 4.0}));
-  const Instance inst(metric, {{0, 1}, {2, 3}});
+  const Instance inst = testutil::line_pairs({0.0, 1.0, 3.0, 4.0}).instance();
   SinrParams params;
   params.alpha = 2.0;
   params.beta = 0.5;

@@ -1,0 +1,106 @@
+// Randomized cross-check between the analytical SINR feasibility checker
+// and the MAC-layer simulator.
+//
+// On the exact path (no noise, no fading) the two are implementations of
+// the same constraint system, so for ANY schedule — valid or not — a color
+// class is check_feasible iff every one of its members succeeds when the
+// slot is simulated. Seeded and deterministic; a failure reproduces
+// everywhere from the printed parameters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "core/schedule.h"
+#include "sim/simulator.h"
+#include "sinr/feasibility.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+using testutil::random_scenario;
+
+class FeasibilitySimulatorAgreement
+    : public ::testing::TestWithParam<std::tuple<Variant, int>> {};
+
+TEST_P(FeasibilitySimulatorAgreement, ArbitraryColoringsAgreeClassByClass) {
+  const auto [variant, seed] = GetParam();
+  // Dense square so random colorings produce both feasible and jammed
+  // classes.
+  const auto s = random_scenario(10, static_cast<std::uint64_t>(seed) * 101 + 7, 40.0);
+  const Instance inst = s.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(inst, params.alpha);
+  const Simulator sim(inst, params, variant);
+
+  Rng rng(static_cast<std::uint64_t>(seed) * 13 + 1);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int k = 1 + static_cast<int>(rng.uniform_index(3));
+    Schedule schedule;
+    schedule.num_colors = k;
+    schedule.color_of.resize(inst.size());
+    for (int& c : schedule.color_of) {
+      c = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(k)));
+    }
+
+    const SimulationResult result = sim.run(schedule, powers);
+    ASSERT_EQ(result.successes.size(), inst.size());
+
+    std::set<int> simulated_infeasible;
+    const auto grouped = color_classes(schedule);
+    for (std::size_t c = 0; c < grouped.size(); ++c) {
+      const int color = static_cast<int>(c);
+      const std::vector<std::size_t>& members = grouped[c];
+      if (members.empty()) continue;
+      const bool feasible =
+          check_feasible(inst.metric(), inst.requests(), powers, members, params, variant)
+              .feasible;
+      const bool all_succeeded =
+          std::all_of(members.begin(), members.end(),
+                      [&](std::size_t i) { return result.successes[i] == 1; });
+      EXPECT_EQ(feasible, all_succeeded)
+          << "variant=" << static_cast<int>(variant) << " seed=" << seed
+          << " trial=" << trial << " color=" << color;
+      if (!all_succeeded) simulated_infeasible.insert(color);
+    }
+
+    // The schedule validator must blame exactly the classes the simulator
+    // saw fail.
+    const auto report = validate_schedule(inst, powers, schedule, params, variant);
+    const std::set<int> reported(report.infeasible_colors.begin(),
+                                 report.infeasible_colors.end());
+    EXPECT_EQ(reported, simulated_infeasible);
+    EXPECT_EQ(report.valid, simulated_infeasible.empty());
+    EXPECT_EQ(result.success_rate == 1.0, report.valid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FeasibilitySimulatorAgreement,
+    ::testing::Combine(::testing::Values(Variant::directed, Variant::bidirectional),
+                       ::testing::Range(1, 7)));
+
+TEST(FeasibilitySimulatorAgreement, GreedyScheduleAlwaysFullySucceeds) {
+  // The constructive direction: a schedule the incremental checker built
+  // must sail through the simulator untouched.
+  for (const Variant variant : {Variant::directed, Variant::bidirectional}) {
+    const Instance inst = random_scenario(16, 2024, 50.0).instance();
+    SinrParams params;
+    const auto powers = SqrtPower{}.assign(inst, params.alpha);
+    const Schedule schedule = greedy_coloring(inst, powers, params, variant);
+    const Simulator sim(inst, params, variant);
+    const SimulationResult result = sim.run(schedule, powers);
+    EXPECT_DOUBLE_EQ(result.success_rate, 1.0);
+    EXPECT_EQ(result.succeeded, inst.size());
+  }
+}
+
+}  // namespace
+}  // namespace oisched

@@ -1,0 +1,67 @@
+// The shared fixtures in test_helpers.h are load-bearing for the rest of
+// the suite, so their shapes and determinism are pinned here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+using namespace testutil;
+
+TEST(Fixtures, IotaIndicesCountFromZero) {
+  EXPECT_EQ(iota_indices(0), (std::vector<std::size_t>{}));
+  EXPECT_EQ(iota_indices(3), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Fixtures, LinePairsPairUpInOrder) {
+  const Scenario s = line_pairs({0.0, 1.0, 10.0, 12.0});
+  ASSERT_EQ(s.requests.size(), 2u);
+  EXPECT_EQ(s.requests[0], (Request{0, 1}));
+  EXPECT_EQ(s.requests[1], (Request{2, 3}));
+  const Instance inst = s.instance();
+  EXPECT_DOUBLE_EQ(inst.length(0), 1.0);
+  EXPECT_DOUBLE_EQ(inst.length(1), 2.0);
+  EXPECT_THROW((void)line_pairs({0.0, 1.0, 2.0}), PreconditionError);
+}
+
+TEST(Fixtures, GridScenarioHasRowMajorIdsAndDisjointRequests) {
+  const Scenario s = grid_scenario(2, 4, 3.0);
+  EXPECT_EQ(s.metric->size(), 8u);
+  // Row-major layout: node r*cols + c at (c*spacing, r*spacing).
+  EXPECT_EQ(s.metric->point(5), (Point{3.0, 3.0, 0.0}));
+  // Requests pair (r,c)-(r,c+1) for even c: 2 per row here.
+  ASSERT_EQ(s.requests.size(), 4u);
+  EXPECT_EQ(s.requests[0], (Request{0, 1}));
+  EXPECT_EQ(s.requests[3], (Request{6, 7}));
+  const Instance inst = s.instance();
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_DOUBLE_EQ(inst.length(i), 3.0);
+  }
+  EXPECT_THROW((void)grid_scenario(0, 4), PreconditionError);
+  EXPECT_THROW((void)grid_scenario(3, 1), PreconditionError);
+}
+
+TEST(Fixtures, RandomScenarioIsDeterministicInTheSeed) {
+  const Scenario a = random_scenario(6, 99);
+  const Scenario b = random_scenario(6, 99);
+  const Scenario c = random_scenario(6, 100);
+  ASSERT_EQ(a.requests.size(), 6u);
+  EXPECT_EQ(a.metric->points(), b.metric->points());
+  EXPECT_NE(a.metric->points(), c.metric->points());
+}
+
+TEST(Fixtures, RandomScenarioRespectsLengthBounds) {
+  const Scenario s = random_scenario(32, 5, 60.0, 2.0, 9.0);
+  const Instance inst = s.instance();
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_GE(inst.length(i), 2.0 - 1e-9);
+    EXPECT_LT(inst.length(i), 9.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace oisched

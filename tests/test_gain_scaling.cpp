@@ -8,6 +8,7 @@
 #include "core/power_assignment.h"
 #include "embed/gain_scaling.h"
 #include "gen/generators.h"
+#include "test_helpers.h"
 #include "util/rng.h"
 
 namespace oisched {
@@ -17,13 +18,11 @@ TEST(NodeLossRescale, KeptSetIsFeasibleAtStrictGain) {
   Rng rng(4);
   const Instance inst = random_square(20, {}, rng);
   const double alpha = 3.0;
-  std::vector<std::size_t> all(inst.size());
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto all = testutil::iota_indices(inst.size());
   const NodeLossInstance split =
       split_pairs(inst.metric_ptr(), inst.requests(), all, alpha);
   const auto powers = node_loss_sqrt_powers(split);
-  std::vector<std::size_t> participants(split.size());
-  std::iota(participants.begin(), participants.end(), std::size_t{0});
+  const auto participants = testutil::iota_indices(split.size());
 
   for (const double strict_beta : {0.5, 1.0, 2.0, 8.0}) {
     const auto kept =
@@ -38,13 +37,11 @@ TEST(NodeLossRescale, StricterGainKeepsFewer) {
   opt.side = 100.0;  // dense enough that gains matter
   const Instance inst = random_square(24, opt, rng);
   const double alpha = 3.0;
-  std::vector<std::size_t> all(inst.size());
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto all = testutil::iota_indices(inst.size());
   const NodeLossInstance split =
       split_pairs(inst.metric_ptr(), inst.requests(), all, alpha);
   const auto powers = node_loss_sqrt_powers(split);
-  std::vector<std::size_t> participants(split.size());
-  std::iota(participants.begin(), participants.end(), std::size_t{0});
+  const auto participants = testutil::iota_indices(split.size());
   const auto loose = node_loss_rescale_subset(split, powers, participants, alpha, 0.25);
   const auto strict = node_loss_rescale_subset(split, powers, participants, alpha, 8.0);
   EXPECT_GE(loose.size(), strict.size());
@@ -61,8 +58,7 @@ TEST_P(GainRescaleColoring, ClassesPartitionAndAreFeasible) {
   params.alpha = 3.0;
   params.beta = strict_beta;
   const auto powers = SqrtPower{}.assign(inst, params.alpha);
-  std::vector<std::size_t> all(inst.size());
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto all = testutil::iota_indices(inst.size());
   const auto classes = gain_rescale_coloring(inst.metric(), inst.requests(), powers, all,
                                              params, Variant::bidirectional);
   // Partition check.
@@ -92,8 +88,7 @@ TEST(GainRescaleColoring, MoreColorsAtStricterGain) {
   SinrParams params;
   params.alpha = 3.0;
   const auto powers = SqrtPower{}.assign(inst, params.alpha);
-  std::vector<std::size_t> all(inst.size());
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto all = testutil::iota_indices(inst.size());
 
   params.beta = 0.5;
   const auto loose = gain_rescale_coloring(inst.metric(), inst.requests(), powers, all,

@@ -7,15 +7,15 @@
 #include "core/power_assignment.h"
 #include "gen/generators.h"
 #include "metric/euclidean.h"
+#include "test_helpers.h"
 #include "util/rng.h"
 
 namespace oisched {
 namespace {
 
 TEST(OrderedIndices, OrdersByLength) {
-  auto metric = std::make_shared<EuclideanMetric>(
-      EuclideanMetric::line(std::vector<double>{0, 5, 10, 11, 20, 23}));
-  const Instance inst(metric, {{0, 1}, {2, 3}, {4, 5}});  // lengths 5, 1, 3
+  // Lengths 5, 1, 3.
+  const Instance inst = testutil::line_pairs({0, 5, 10, 11, 20, 23}).instance();
   EXPECT_EQ(ordered_indices(inst, RequestOrder::as_given),
             (std::vector<std::size_t>{0, 1, 2}));
   EXPECT_EQ(ordered_indices(inst, RequestOrder::longest_first),
@@ -62,9 +62,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Range(1, 4)));
 
 TEST(Greedy, SeparatedPairsShareOneColor) {
-  auto metric = std::make_shared<EuclideanMetric>(
-      EuclideanMetric::line(std::vector<double>{0, 1, 1000, 1001, 2000, 2001}));
-  const Instance inst(metric, {{0, 1}, {2, 3}, {4, 5}});
+  const Instance inst = testutil::line_pairs({0, 1, 1000, 1001, 2000, 2001}).instance();
   SinrParams params;
   const auto powers = UniformPower{}.assign(inst, params.alpha);
   const Schedule s = greedy_coloring(inst, powers, params, Variant::directed);

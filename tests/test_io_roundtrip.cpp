@@ -1,0 +1,102 @@
+// Save/load round-trip through core/io at full fidelity.
+//
+// write_instance emits coordinates at precision 17, which is enough to
+// reconstruct every finite double exactly — so a round-trip must preserve
+// lengths, losses and request sets BITWISE, not just approximately. Runs
+// over the three fixture shapes (line, grid, random) plus malformed-file
+// rejection.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/io.h"
+#include "test_helpers.h"
+
+namespace oisched {
+namespace {
+
+/// Bitwise double equality: exact representation survived the round-trip.
+::testing::AssertionResult bitwise_equal(double expected, double actual) {
+  const auto eb = std::bit_cast<std::uint64_t>(expected);
+  const auto ab = std::bit_cast<std::uint64_t>(actual);
+  if (eb == ab) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "bit patterns differ: expected " << expected << " (0x" << std::hex << eb
+         << "), got " << actual << " (0x" << ab << ")";
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "oisched_" + name + ".txt";
+}
+
+void expect_exact_round_trip(const Instance& original, const std::string& name) {
+  const std::string path = temp_path(name);
+  save_instance(path, original);
+  const Instance restored = load_instance(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(restored.size(), original.size()) << name;
+  ASSERT_EQ(restored.metric().size(), original.metric().size()) << name;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.request(i), original.request(i)) << name << " request " << i;
+    EXPECT_TRUE(bitwise_equal(original.length(i), restored.length(i)))
+        << name << " length " << i;
+    for (const double alpha : {1.0, 2.5, 3.0}) {
+      EXPECT_TRUE(bitwise_equal(original.loss(i, alpha), restored.loss(i, alpha)))
+          << name << " loss " << i << " alpha " << alpha;
+    }
+  }
+  // Distances between arbitrary node pairs survive too (the metric itself,
+  // not just the per-request summaries).
+  for (std::size_t a = 0; a < original.metric().size(); ++a) {
+    EXPECT_TRUE(bitwise_equal(original.metric().distance(a, 0),
+                              restored.metric().distance(a, 0)))
+        << name << " distance " << a;
+  }
+}
+
+TEST(IoRoundTrip, LineInstanceIsBitwiseExact) {
+  // Deliberately awkward coordinates: negatives, non-representable
+  // decimals, wide magnitude spread.
+  expect_exact_round_trip(
+      testutil::line_pairs({-1.0e-7, 0.1, 3.3333333333333335, 1.0e9}).instance(), "line");
+}
+
+TEST(IoRoundTrip, GridInstanceIsBitwiseExact) {
+  expect_exact_round_trip(testutil::grid_scenario(4, 6, 2.5).instance(), "grid");
+}
+
+TEST(IoRoundTrip, RandomInstancesAreBitwiseExact) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    expect_exact_round_trip(testutil::random_scenario(12, seed).instance(),
+                            "random_" + std::to_string(seed));
+  }
+}
+
+TEST(IoRoundTrip, MalformedFilesAreRejected) {
+  const std::string path = temp_path("malformed");
+  {
+    std::ofstream out(path);
+    out << "point 0 0 0\npoint 1 0 0\nrequest 0 1 extra-token\n";
+  }
+  EXPECT_THROW((void)load_instance(path), ParseError);
+  {
+    std::ofstream out(path);
+    out << "point 0 0 nonsense\npoint 1 0 0\nrequest 0 1\n";
+  }
+  EXPECT_THROW((void)load_instance(path), ParseError);
+  {
+    std::ofstream out(path);
+    out << "point 0 0 0\npoint 1 0 0\nrequest 0 5\n";  // node out of range
+  }
+  EXPECT_THROW((void)load_instance(path), PreconditionError);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_instance(path), ParseError);  // file gone
+}
+
+}  // namespace
+}  // namespace oisched

@@ -8,16 +8,15 @@
 #include "metric/euclidean.h"
 #include "sinr/feasibility.h"
 #include "sinr/node_loss.h"
+#include "test_helpers.h"
 #include "util/rng.h"
 
 namespace oisched {
 namespace {
 
 NodeLossInstance tiny_instance() {
-  auto metric = std::make_shared<EuclideanMetric>(
-      EuclideanMetric::line(std::vector<double>{0.0, 10.0, 25.0}));
   NodeLossInstance instance;
-  instance.metric = metric;
+  instance.metric = testutil::line_metric({0.0, 10.0, 25.0});
   instance.nodes = {0, 1, 2};
   instance.loss = {8.0, 27.0, 1.0};
   return instance;
@@ -69,8 +68,7 @@ TEST(NodeLoss, SqrtPowersAreSquareRoots) {
 }
 
 TEST(SplitPairs, BuildsTwoParticipantsPerPair) {
-  auto metric = std::make_shared<EuclideanMetric>(
-      EuclideanMetric::line(std::vector<double>{0.0, 2.0, 10.0, 13.0}));
+  const auto metric = testutil::line_metric({0.0, 2.0, 10.0, 13.0});
   const std::vector<Request> requests{{0, 1}, {2, 3}};
   const std::vector<std::size_t> subset{0, 1};
   const NodeLossInstance split = split_pairs(metric, requests, subset, 2.0);
@@ -84,8 +82,7 @@ TEST(SplitPairs, BuildsTwoParticipantsPerPair) {
 }
 
 TEST(SplitPairs, SubsetSelectsRequests) {
-  auto metric = std::make_shared<EuclideanMetric>(
-      EuclideanMetric::line(std::vector<double>{0.0, 2.0, 10.0, 13.0}));
+  const auto metric = testutil::line_metric({0.0, 2.0, 10.0, 13.0});
   const std::vector<Request> requests{{0, 1}, {2, 3}};
   const std::vector<std::size_t> subset{1};
   const NodeLossInstance split = split_pairs(metric, requests, subset, 2.0);
@@ -129,8 +126,7 @@ TEST_P(SplitReduction, FeasiblePairsGiveFeasibleNodeSet) {
   for (std::size_t i = 0; i < n; ++i) {
     powers[i] = std::sqrt(link_loss(*metric, requests[i], params.alpha));
   }
-  std::vector<std::size_t> all(n);
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto all = testutil::iota_indices(n);
   const auto feasible_pairs = greedy_feasible_subset(*metric, requests, powers, all, params,
                                                      Variant::bidirectional);
   ASSERT_FALSE(feasible_pairs.empty());
@@ -141,8 +137,7 @@ TEST_P(SplitReduction, FeasiblePairsGiveFeasibleNodeSet) {
     node_powers.push_back(powers[k]);
     node_powers.push_back(powers[k]);
   }
-  std::vector<std::size_t> participants(split.size());
-  std::iota(participants.begin(), participants.end(), std::size_t{0});
+  const auto participants = testutil::iota_indices(split.size());
   const double reduced_beta = params.beta / (2.0 + params.beta);
   EXPECT_TRUE(
       node_loss_feasible(split, node_powers, participants, params.alpha, reduced_beta));

@@ -8,10 +8,14 @@
 #include "metric/euclidean.h"
 #include "sinr/feasibility.h"
 #include "sinr/power_control.h"
+#include "test_helpers.h"
 #include "util/rng.h"
 
 namespace oisched {
 namespace {
+
+using testutil::Scenario;
+using testutil::iota_indices;
 
 TEST(SpectralRadius, KnownMatrices) {
   // Diagonal-free 2x2 [[0, a], [b, 0]] has rho = sqrt(a*b).
@@ -29,24 +33,9 @@ TEST(SpectralRadius, KnownMatrices) {
   EXPECT_THROW((void)spectral_radius(std::vector<double>{1.0, 2.0}, 2), PreconditionError);
 }
 
-struct Scenario {
-  std::shared_ptr<EuclideanMetric> metric;
-  std::vector<Request> requests;
-};
-
+/// Suite-local shape: denser square (side 80) with lengths in [1, 6).
 Scenario random_scenario(std::size_t n, std::uint64_t seed, double side = 80.0) {
-  Rng rng(seed);
-  std::vector<Point> pts;
-  std::vector<Request> reqs;
-  for (std::size_t i = 0; i < n; ++i) {
-    const Point s{rng.uniform(0, side), rng.uniform(0, side), 0};
-    const double len = rng.uniform(1.0, 6.0);
-    const double angle = rng.uniform(0, 6.28318);
-    pts.push_back(s);
-    pts.push_back(Point{s.x + len * std::cos(angle), s.y + len * std::sin(angle), 0});
-    reqs.push_back(Request{2 * i, 2 * i + 1});
-  }
-  return {std::make_shared<EuclideanMetric>(std::move(pts)), std::move(reqs)};
+  return testutil::random_scenario(n, seed, side, 1.0, 6.0);
 }
 
 TEST(PowerControl, EmptyAndSingletonAreFeasible) {
@@ -82,8 +71,7 @@ TEST_P(WitnessCheck, WitnessSatisfiesConstraints) {
   SinrParams params;
   params.alpha = alpha;
   params.beta = beta;
-  std::vector<std::size_t> all(10);
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto all = iota_indices(10);
   for (const Variant variant : {Variant::directed, Variant::bidirectional}) {
     // Grow a set until the oracle says stop; verify the final witness.
     std::vector<std::size_t> active;
@@ -123,8 +111,7 @@ TEST(PowerControl, AgreesWithFixedPowerWhenFixedPowersWork) {
   SinrParams params;
   params.alpha = 3.0;
   params.beta = 1.0;
-  std::vector<std::size_t> all(8);
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto all = iota_indices(8);
   std::vector<double> sqrt_powers(8);
   for (std::size_t i = 0; i < 8; ++i) {
     sqrt_powers[i] = std::sqrt(link_loss(*s.metric, s.requests[i], params.alpha));
@@ -161,8 +148,7 @@ TEST(PowerControl, AgreesWithFixedPowerWhenFixedPowersWork) {
 TEST(PowerControl, FeasibilityIsDownwardClosed) {
   const Scenario s = random_scenario(9, 31);
   SinrParams params;
-  std::vector<std::size_t> all(9);
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto all = iota_indices(9);
   // Grow the largest prefix-feasible set.
   std::vector<std::size_t> active;
   for (const std::size_t j : all) {
@@ -190,8 +176,7 @@ TEST(PowerControl, MinPowersWithNoiseSatisfyConstraints) {
   params.alpha = 3.0;
   params.beta = 0.5;
   params.noise = 1e-6;
-  std::vector<std::size_t> all(6);
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto all = iota_indices(6);
   // Shrink until feasible.
   std::vector<std::size_t> active = all;
   while (!active.empty() &&
@@ -242,8 +227,7 @@ TEST(PowerControl, NestedChainPowerControlBeatsUniform) {
   SinrParams params;
   params.alpha = 3.0;
   params.beta = 1.0;
-  std::vector<std::size_t> all(n);
-  std::iota(all.begin(), all.end(), std::size_t{0});
+  const auto all = iota_indices(n);
   // Uniform: even the two outermost pairs conflict.
   const std::vector<double> uniform(n, 1.0);
   const std::vector<std::size_t> two{0, 1};

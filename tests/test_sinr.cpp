@@ -3,41 +3,18 @@
 
 #include <cmath>
 #include <memory>
-#include <numeric>
 
 #include "metric/euclidean.h"
 #include "sinr/feasibility.h"
+#include "test_helpers.h"
 #include "util/rng.h"
 
 namespace oisched {
 namespace {
 
-struct Scenario {
-  std::shared_ptr<EuclideanMetric> metric;
-  std::vector<Request> requests;
-};
-
-/// n random pairs in a square, lengths in [1, 8].
-Scenario random_scenario(std::size_t n, std::uint64_t seed, double side = 60.0) {
-  Rng rng(seed);
-  std::vector<Point> pts;
-  std::vector<Request> reqs;
-  for (std::size_t i = 0; i < n; ++i) {
-    const Point s{rng.uniform(0, side), rng.uniform(0, side), 0};
-    const double len = rng.uniform(1.0, 8.0);
-    const double angle = rng.uniform(0, 6.28318);
-    pts.push_back(s);
-    pts.push_back(Point{s.x + len * std::cos(angle), s.y + len * std::sin(angle), 0});
-    reqs.push_back(Request{2 * i, 2 * i + 1});
-  }
-  return {std::make_shared<EuclideanMetric>(std::move(pts)), std::move(reqs)};
-}
-
-std::vector<std::size_t> iota_indices(std::size_t n) {
-  std::vector<std::size_t> idx(n);
-  std::iota(idx.begin(), idx.end(), std::size_t{0});
-  return idx;
-}
+using testutil::Scenario;
+using testutil::iota_indices;
+using testutil::random_scenario;
 
 TEST(Model, PathLossIsPowerOfDistance) {
   EXPECT_DOUBLE_EQ(path_loss(2.0, 3.0), 8.0);
