@@ -1,20 +1,26 @@
 // File-driven scheduling tool: the library as a command-line utility.
 //
 //   $ ./schedule_tool gen  <out.inst> <n> [seed]       generate a workload
-//   $ ./schedule_tool run  <in.inst> <out.sched>       schedule it (sqrt/S5)
+//   $ ./schedule_tool run  <in.inst> <out.sched> [sqrt|greedy] [gain|incremental|direct]
 //   $ ./schedule_tool check <in.inst> <in.sched>       validate a schedule
 //
+// `run` defaults to the Section-5 sqrt coloring on the gain-matrix engine;
+// the other engines answer the same queries from scratch and exist for
+// cross-checking (identical schedules, different wall time — reported).
+//
 // Demonstrates the serialization API (core/io.h) and how downstream tools
-// can mix and match generators, algorithms and validators.
+// can mix and match generators, algorithms, engines and validators.
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "core/greedy.h"
 #include "core/io.h"
 #include "core/power_assignment.h"
 #include "core/sqrt_coloring.h"
 #include "gen/generators.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -23,9 +29,23 @@ using namespace oisched;
 int usage() {
   std::cerr << "usage:\n"
                "  schedule_tool gen   <out.inst> <n> [seed]\n"
-               "  schedule_tool run   <in.inst> <out.sched>\n"
+               "  schedule_tool run   <in.inst> <out.sched> [sqrt|greedy] "
+               "[gain|incremental|direct]\n"
                "  schedule_tool check <in.inst> <in.sched>\n";
   return 2;
+}
+
+bool parse_engine(const std::string& word, FeasibilityEngine& engine) {
+  if (word == "gain" || word == "gain_matrix") {
+    engine = FeasibilityEngine::gain_matrix;
+  } else if (word == "incremental") {
+    engine = FeasibilityEngine::incremental;
+  } else if (word == "direct") {
+    engine = FeasibilityEngine::direct;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 int cmd_gen(int argc, char** argv) {
@@ -43,14 +63,35 @@ int cmd_gen(int argc, char** argv) {
 int cmd_run(int argc, char** argv) {
   if (argc < 4) return usage();
   const Instance instance = load_instance(argv[2]);
+  const std::string algo = argc > 4 ? argv[4] : "sqrt";
+  FeasibilityEngine engine = FeasibilityEngine::gain_matrix;
+  if (argc > 5 && !parse_engine(argv[5], engine)) return usage();
   SinrParams params;
   params.alpha = 3.0;
   params.beta = 1.0;
-  const SqrtColoringResult result =
-      sqrt_coloring(instance, params, Variant::bidirectional);
-  save_schedule(argv[3], result.schedule);
+
+  Schedule schedule;
+  Stopwatch watch;
+  if (algo == "sqrt") {
+    if (engine == FeasibilityEngine::incremental) {
+      std::cerr << "sqrt has no incremental engine; use gain or direct\n";
+      return 2;
+    }
+    SqrtColoringOptions options;
+    options.engine = engine;
+    schedule = sqrt_coloring(instance, params, Variant::bidirectional, options).schedule;
+  } else if (algo == "greedy") {
+    const auto powers = SqrtPower{}.assign(instance, params.alpha);
+    schedule = greedy_coloring(instance, powers, params, Variant::bidirectional,
+                               RequestOrder::longest_first, engine);
+  } else {
+    return usage();
+  }
+  const double elapsed_ms = watch.elapsed_ms();
+  save_schedule(argv[3], schedule);
   std::cout << "scheduled " << instance.size() << " requests into "
-            << result.schedule.num_colors << " colors -> " << argv[3] << '\n';
+            << schedule.num_colors << " colors (" << algo << ", engine "
+            << to_string(engine) << ", " << elapsed_ms << " ms) -> " << argv[3] << '\n';
   return 0;
 }
 

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the whole test suite.
+# Tier-1 verification: configure, build, run the whole test suite, and (when
+# clang-format is available) apply the same format check CI enforces.
 #
 #   scripts/check.sh            # Release (default)
 #   scripts/check.sh Debug      # any CMAKE_BUILD_TYPE
@@ -15,3 +16,10 @@ build_dir="build-check-${build_type,,}"
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE="$build_type" -DOISCHED_WERROR=ON
 cmake --build "$build_dir" -j
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "clang-format check ($(clang-format --version))"
+  git ls-files '*.h' '*.cpp' | xargs clang-format --dry-run -Werror
+else
+  echo "clang-format not found; skipping the format check (CI runs it)"
+fi

@@ -1,6 +1,7 @@
 #include "core/distributed.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "sinr/feasibility.h"
@@ -23,6 +24,11 @@ DistributedResult distributed_coloring(const Instance& instance,
 
   DistributedResult result;
   result.schedule.color_of.assign(instance.size(), -1);
+
+  std::optional<GainMatrix> gains;
+  if (options.engine == FeasibilityEngine::gain_matrix) {
+    gains.emplace(instance, powers, params.alpha, variant);
+  }
 
   Rng rng(options.seed);
   std::vector<double> probability(instance.size(), options.initial_probability);
@@ -49,18 +55,30 @@ DistributedResult distributed_coloring(const Instance& instance,
 
     // Reception: each transmitting pair checks its own SINR constraints
     // against all simultaneous transmitters (purely local information).
+    // The gain path sums the same precomputed contributions in the same
+    // order interference_at would, so slot outcomes are bit-identical.
+    auto slot_interference = [&](std::size_t pos, bool at_receiver) {
+      if (gains) {
+        const std::size_t i = transmitting[pos];
+        double total = 0.0;
+        for (std::size_t other = 0; other < transmitting.size(); ++other) {
+          if (other == pos) continue;
+          const std::size_t j = transmitting[other];
+          total += at_receiver ? gains->at_v(j, i) : gains->at_u(j, i);
+        }
+        return total;
+      }
+      const Request& r = instance.request(transmitting[pos]);
+      return interference_at(instance.metric(), instance.requests(), powers, transmitting,
+                             at_receiver ? r.v : r.u, params.alpha, variant, pos);
+    };
     for (std::size_t pos = 0; pos < transmitting.size(); ++pos) {
       const std::size_t i = transmitting[pos];
-      const Request& r = instance.request(i);
       const double signal = powers[i] / instance.loss(i, params.alpha);
-      const double at_v =
-          interference_at(instance.metric(), instance.requests(), powers, transmitting,
-                          r.v, params.alpha, variant, pos);
+      const double at_v = slot_interference(pos, true);
       bool ok = signal > params.beta * (at_v + params.noise);
       if (ok && variant == Variant::bidirectional) {
-        const double at_u =
-            interference_at(instance.metric(), instance.requests(), powers, transmitting,
-                            r.u, params.alpha, variant, pos);
+        const double at_u = slot_interference(pos, false);
         ok = signal > params.beta * (at_u + params.noise);
       }
       if (ok) {

@@ -26,6 +26,7 @@
 
 #include "core/instance.h"
 #include "core/schedule.h"
+#include "sinr/gain_matrix.h"
 
 namespace oisched {
 
@@ -37,6 +38,9 @@ struct DistributedOptions {
   double min_probability = 1e-3;
   double max_probability = 0.5;
   int max_slots = 1 << 20;     // safety bound; the protocol drains long before
+  /// gain_matrix answers the per-slot SINR checks from precomputed tables;
+  /// any other value recomputes from the metric. Identical results.
+  FeasibilityEngine engine = FeasibilityEngine::gain_matrix;
 };
 
 struct DistributedResult {

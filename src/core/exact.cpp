@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "sinr/gain_matrix.h"
 #include "sinr/power_control.h"
 #include "util/error.h"
 
@@ -88,11 +89,12 @@ ExactResult exact_min_colors(const Instance& instance, std::span<const double> p
   require(n >= 1 && n <= 16, "exact_min_colors: limited to 1 <= n <= 16");
   require(powers.size() == n, "exact_min_colors: one power per request");
   params.validate();
+  // The oracle runs up to 2^n times over the same requests — exactly the
+  // access pattern the shared gain-matrix engine exists for.
+  const GainMatrix gains(instance, powers, params.alpha, variant);
   auto oracle = [&](Mask mask) {
     const auto idx = mask_to_indices(mask);
-    return check_feasible(instance.metric(), instance.requests(), powers, idx, params,
-                          variant)
-        .feasible;
+    return check_feasible(gains, idx, params).feasible;
   };
   return partition_dp(n, feasible_table(n, oracle));
 }

@@ -1,13 +1,71 @@
 #include "core/greedy.h"
 
 #include <algorithm>
-#include <memory>
 #include <numeric>
 
 #include "sinr/power_control.h"
 #include "util/error.h"
 
 namespace oisched {
+namespace {
+
+/// The from-scratch engine: a membership test re-validates the whole class
+/// plus the candidate through check_feasible, exactly as an external caller
+/// of the public API would.
+class RecheckClass {
+ public:
+  RecheckClass(const MetricSpace& metric, std::span<const Request> requests,
+               std::span<const double> powers, const SinrParams& params, Variant variant)
+      : metric_(metric),
+        requests_(requests),
+        powers_(powers),
+        params_(params),
+        variant_(variant) {}
+
+  [[nodiscard]] bool can_add(std::size_t request_index) const {
+    std::vector<std::size_t> with(members_);
+    with.push_back(request_index);
+    return check_feasible(metric_, requests_, powers_, with, params_, variant_).feasible;
+  }
+  void add(std::size_t request_index) { members_.push_back(request_index); }
+
+ private:
+  const MetricSpace& metric_;
+  std::span<const Request> requests_;
+  std::span<const double> powers_;
+  SinrParams params_;
+  Variant variant_;
+  std::vector<std::size_t> members_;
+};
+
+/// First-fit over any class representation exposing can_add/add.
+template <typename ClassT, typename Factory>
+Schedule first_fit_coloring(const Instance& instance, RequestOrder order,
+                            const Factory& make_class) {
+  Schedule schedule;
+  schedule.color_of.assign(instance.size(), -1);
+  std::vector<ClassT> classes;
+  for (const std::size_t i : ordered_indices(instance, order)) {
+    bool placed = false;
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      if (classes[c].can_add(i)) {
+        classes[c].add(i);
+        schedule.color_of[i] = static_cast<int>(c);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      classes.push_back(make_class());
+      classes.back().add(i);
+      schedule.color_of[i] = static_cast<int>(classes.size() - 1);
+    }
+  }
+  schedule.num_colors = static_cast<int>(classes.size());
+  return schedule;
+}
+
+}  // namespace
 
 std::vector<std::size_t> ordered_indices(const Instance& instance, RequestOrder order) {
   std::vector<std::size_t> idx = instance.all_indices();
@@ -29,31 +87,26 @@ std::vector<std::size_t> ordered_indices(const Instance& instance, RequestOrder 
 }
 
 Schedule greedy_coloring(const Instance& instance, std::span<const double> powers,
-                         const SinrParams& params, Variant variant, RequestOrder order) {
+                         const SinrParams& params, Variant variant, RequestOrder order,
+                         FeasibilityEngine engine) {
   require(powers.size() == instance.size(), "greedy_coloring: one power per request");
-  Schedule schedule;
-  schedule.color_of.assign(instance.size(), -1);
-
-  std::vector<std::unique_ptr<IncrementalClass>> classes;
-  for (const std::size_t i : ordered_indices(instance, order)) {
-    bool placed = false;
-    for (std::size_t c = 0; c < classes.size(); ++c) {
-      if (classes[c]->can_add(i)) {
-        classes[c]->add(i);
-        schedule.color_of[i] = static_cast<int>(c);
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) {
-      classes.push_back(std::make_unique<IncrementalClass>(
-          instance.metric(), instance.requests(), powers, params, variant));
-      classes.back()->add(i);
-      schedule.color_of[i] = static_cast<int>(classes.size() - 1);
-    }
+  switch (engine) {
+    case FeasibilityEngine::direct:
+      return first_fit_coloring<RecheckClass>(instance, order, [&] {
+        return RecheckClass(instance.metric(), instance.requests(), powers, params,
+                            variant);
+      });
+    case FeasibilityEngine::incremental:
+      return first_fit_coloring<IncrementalClass>(instance, order, [&] {
+        return IncrementalClass(instance.metric(), instance.requests(), powers, params,
+                                variant);
+      });
+    case FeasibilityEngine::gain_matrix:
+      break;
   }
-  schedule.num_colors = static_cast<int>(classes.size());
-  return schedule;
+  const GainMatrix gains(instance, powers, params.alpha, variant);
+  return first_fit_coloring<IncrementalGainClass>(
+      instance, order, [&] { return IncrementalGainClass(gains, params); });
 }
 
 PowerControlColoring greedy_power_control_coloring(const Instance& instance,

@@ -16,6 +16,7 @@
 
 #include "core/instance.h"
 #include "core/schedule.h"
+#include "sinr/gain_matrix.h"
 
 namespace oisched {
 
@@ -30,11 +31,14 @@ enum class RequestOrder {
 [[nodiscard]] std::vector<std::size_t> ordered_indices(const Instance& instance,
                                                        RequestOrder order);
 
-/// First-fit coloring under a fixed power vector.
-[[nodiscard]] Schedule greedy_coloring(const Instance& instance,
-                                       std::span<const double> powers,
-                                       const SinrParams& params, Variant variant,
-                                       RequestOrder order = RequestOrder::longest_first);
+/// First-fit coloring under a fixed power vector. All engines produce
+/// bit-for-bit identical schedules; gain_matrix precomputes the pairwise
+/// gains once and answers membership tests from tables, direct re-validates
+/// whole classes per test, incremental is the metric-based middle ground.
+[[nodiscard]] Schedule greedy_coloring(
+    const Instance& instance, std::span<const double> powers, const SinrParams& params,
+    Variant variant, RequestOrder order = RequestOrder::longest_first,
+    FeasibilityEngine engine = FeasibilityEngine::gain_matrix);
 
 struct PowerControlColoring {
   Schedule schedule;

@@ -1,71 +1,14 @@
 #include "core/max_feasible.h"
 
 #include <algorithm>
-#include <limits>
 
 #include "sinr/feasibility.h"
+#include "sinr/gain_matrix.h"
 #include "sinr/power_control.h"
 #include "util/error.h"
 
 namespace oisched {
 namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Pairwise interference tables enabling O(k) incremental feasibility with
-/// undo — the engine of the exact branch-and-bound searches.
-class PairwiseTables {
- public:
-  PairwiseTables(const Instance& instance, std::span<const double> powers,
-                 const SinrParams& params, Variant variant)
-      : n_(instance.size()), variant_(variant), beta_(params.beta) {
-    signal_.resize(n_);
-    at_v_.assign(n_ * n_, 0.0);
-    if (variant == Variant::bidirectional) at_u_.assign(n_ * n_, 0.0);
-    const MetricSpace& metric = instance.metric();
-    for (std::size_t i = 0; i < n_; ++i) {
-      signal_[i] = powers[i] / instance.loss(i, params.alpha);
-      const Request& ri = instance.request(i);
-      for (std::size_t j = 0; j < n_; ++j) {
-        if (j == i) continue;
-        const Request& rj = instance.request(j);
-        at_v_[j * n_ + i] =
-            contribution(metric, rj, powers[j], ri.v, params.alpha, variant);
-        if (variant == Variant::bidirectional) {
-          at_u_[j * n_ + i] =
-              contribution(metric, rj, powers[j], ri.u, params.alpha, variant);
-        }
-      }
-    }
-  }
-
-  [[nodiscard]] std::size_t size() const noexcept { return n_; }
-  [[nodiscard]] double signal(std::size_t i) const { return signal_[i]; }
-  [[nodiscard]] double at_v(std::size_t j, std::size_t i) const { return at_v_[j * n_ + i]; }
-  [[nodiscard]] double at_u(std::size_t j, std::size_t i) const {
-    return variant_ == Variant::bidirectional ? at_u_[j * n_ + i] : 0.0;
-  }
-  [[nodiscard]] bool bidirectional() const noexcept {
-    return variant_ == Variant::bidirectional;
-  }
-  [[nodiscard]] double beta() const noexcept { return beta_; }
-
- private:
-  static double contribution(const MetricSpace& metric, const Request& r, double power,
-                             NodeId w, double alpha, Variant variant) {
-    const double l = variant == Variant::directed
-                         ? path_loss(metric.distance(r.u, w), alpha)
-                         : min_endpoint_loss(metric, r, w, alpha);
-    return l == 0.0 ? kInf : power / l;
-  }
-
-  std::size_t n_;
-  Variant variant_;
-  double beta_;
-  std::vector<double> signal_;
-  std::vector<double> at_v_;
-  std::vector<double> at_u_;
-};
 
 /// Branch and bound maximizing |S| over feasible S, exploiting downward
 /// closure (subsets of feasible sets are feasible). The feasibility oracle
@@ -129,7 +72,9 @@ std::vector<std::size_t> exact_max_feasible_subset(const Instance& instance,
   require(instance.size() <= 20, "exact_max_feasible_subset: limited to n <= 20");
   require(powers.size() == instance.size(), "exact_max_feasible_subset: power per request");
   params.validate();
-  const PairwiseTables t(instance, powers, params, variant);
+  const GainMatrix t(instance, powers, params.alpha, variant);
+  const bool bidirectional = variant == Variant::bidirectional;
+  const double beta = params.beta;
   const std::size_t n = instance.size();
 
   // Running interference sums at the constraint nodes of each request.
@@ -139,8 +84,8 @@ std::vector<std::size_t> exact_max_feasible_subset(const Instance& instance,
   auto feasible_with = [&](const std::vector<std::size_t>& current, std::size_t j) {
     // Members must tolerate j; j must tolerate members.
     for (const std::size_t i : current) {
-      if (!(t.signal(i) > t.beta() * (sum_v[i] + t.at_v(j, i)))) return false;
-      if (t.bidirectional() && !(t.signal(i) > t.beta() * (sum_u[i] + t.at_u(j, i)))) {
+      if (!(t.signal(i) > beta * (sum_v[i] + t.at_v(j, i)))) return false;
+      if (bidirectional && !(t.signal(i) > beta * (sum_u[i] + t.at_u(j, i)))) {
         return false;
       }
     }
@@ -148,24 +93,24 @@ std::vector<std::size_t> exact_max_feasible_subset(const Instance& instance,
     double j_u = 0.0;
     for (const std::size_t i : current) {
       j_v += t.at_v(i, j);
-      if (t.bidirectional()) j_u += t.at_u(i, j);
+      if (bidirectional) j_u += t.at_u(i, j);
     }
-    if (!(t.signal(j) > t.beta() * j_v)) return false;
-    if (t.bidirectional() && !(t.signal(j) > t.beta() * j_u)) return false;
+    if (!(t.signal(j) > beta * j_v)) return false;
+    if (bidirectional && !(t.signal(j) > beta * j_u)) return false;
     return true;
   };
   auto commit = [&](const std::vector<std::size_t>& current, std::size_t j) {
     (void)current;
     for (std::size_t i = 0; i < n; ++i) {
       sum_v[i] += t.at_v(j, i);
-      if (t.bidirectional()) sum_u[i] += t.at_u(j, i);
+      if (bidirectional) sum_u[i] += t.at_u(j, i);
     }
   };
   auto rollback = [&](const std::vector<std::size_t>& current, std::size_t j) {
     (void)current;
     for (std::size_t i = 0; i < n; ++i) {
       sum_v[i] -= t.at_v(j, i);
-      if (t.bidirectional()) sum_u[i] -= t.at_u(j, i);
+      if (bidirectional) sum_u[i] -= t.at_u(j, i);
     }
   };
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <set>
+#include <utility>
 
 #include "core/power_assignment.h"
 #include "lp/simplex.h"
@@ -18,16 +20,25 @@ namespace {
 /// (after thinning) shares one color under the square-root assignment.
 class RoundSelector {
  public:
+  /// `gains` enables the precomputed-gain path (pass nullptr for the
+  /// metric-recomputing one); both paths are bit-for-bit equivalent.
   RoundSelector(const Instance& instance, std::span<const double> powers,
                 const SinrParams& params, Variant variant,
-                const SqrtColoringOptions& options, Rng& rng, SqrtColoringStats& stats)
+                const SqrtColoringOptions& options, const GainMatrix* gains, Rng& rng,
+                SqrtColoringStats& stats)
       : instance_(instance),
         powers_(powers),
         params_(params),
         variant_(variant),
         options_(options),
+        gains_(gains),
         rng_(rng),
-        stats_(stats) {}
+        stats_(stats) {
+    if (gains_ != nullptr) {
+      acc_v_.assign(instance_.size(), 0.0);
+      if (variant_ == Variant::bidirectional) acc_u_.assign(instance_.size(), 0.0);
+    }
+  }
 
   [[nodiscard]] std::vector<std::size_t> select(std::span<const std::size_t> uncolored) {
     selection_.clear();
@@ -41,8 +52,11 @@ class RoundSelector {
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return instance_.length(a) > instance_.length(b);
     });
-    std::vector<std::size_t> final_set = greedy_feasible_subset(
-        instance_.metric(), instance_.requests(), powers_, order, params_, variant_);
+    std::vector<std::size_t> final_set =
+        gains_ != nullptr
+            ? greedy_feasible_subset(*gains_, order, params_)
+            : greedy_feasible_subset(instance_.metric(), instance_.requests(), powers_,
+                                     order, params_, variant_);
     if (final_set.empty() && !uncolored.empty()) {
       // Safety net: a singleton is always feasible in the noise-free model.
       final_set.push_back(uncolored.front());
@@ -73,10 +87,30 @@ class RoundSelector {
                            params_.alpha, variant_, selection_.size());
   }
 
+  /// Appends `chosen` to the selection, keeping the per-request interference
+  /// accumulators of the gain path in sync (accumulation order matches the
+  /// order selection_interference sums in, so both paths agree bit-for-bit).
+  void extend_selection(std::span<const std::size_t> chosen) {
+    selection_.insert(selection_.end(), chosen.begin(), chosen.end());
+    if (gains_ == nullptr) return;
+    for (const std::size_t s : chosen) {
+      for (std::size_t i = 0; i < instance_.size(); ++i) {
+        acc_v_[i] += gains_->at_v(s, i);
+        if (variant_ == Variant::bidirectional) acc_u_[i] += gains_->at_u(s, i);
+      }
+    }
+  }
+
   /// The set V' of the paper: a request of the current class survives when
   /// both of its endpoints still tolerate the already-selected requests with
   /// a factor-2 slack (gain beta/2).
   [[nodiscard]] bool endpoints_tolerate(std::size_t j) const {
+    if (gains_ != nullptr) {
+      const double tolerance = gains_->signal(j) / (2.0 * params_.beta);
+      if (acc_v_[j] > tolerance) return false;
+      if (variant_ == Variant::bidirectional && acc_u_[j] > tolerance) return false;
+      return true;
+    }
     const Request& r = instance_.request(j);
     const double tolerance =
         powers_[j] / instance_.loss(j, params_.alpha) / (2.0 * params_.beta);
@@ -93,6 +127,7 @@ class RoundSelector {
   /// paper bounds that backwash separately, Lemma 19, and the final
   /// Proposition-3 thinning repairs it.)
   [[nodiscard]] bool sample_feasible(std::span<const std::size_t> sample) const {
+    if (gains_ != nullptr) return sample_feasible_gains(sample);
     std::vector<std::size_t> combined(selection_.begin(), selection_.end());
     combined.insert(combined.end(), sample.begin(), sample.end());
     const SinrParams relaxed = params_.with_beta(params_.beta / 2.0);
@@ -109,6 +144,32 @@ class RoundSelector {
         const double at_u =
             interference_at(instance_.metric(), instance_.requests(), powers_, combined,
                             r.u, params_.alpha, variant_, pos_in_combined);
+        if (!(signal > relaxed.beta * at_u)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Gain-path sample_feasible: the selection's contribution comes from the
+  /// accumulators (same partial sums selection_interference would produce),
+  /// the sample's from table lookups in the same order as the direct scan.
+  [[nodiscard]] bool sample_feasible_gains(std::span<const std::size_t> sample) const {
+    const SinrParams relaxed = params_.with_beta(params_.beta / 2.0);
+    for (std::size_t pos = 0; pos < sample.size(); ++pos) {
+      const std::size_t j = sample[pos];
+      const double signal = gains_->signal(j);
+      double at_v = acc_v_[j];
+      for (std::size_t other = 0; other < sample.size(); ++other) {
+        if (other == pos) continue;
+        at_v += gains_->at_v(sample[other], j);
+      }
+      if (!(signal > relaxed.beta * at_v)) return false;
+      if (variant_ == Variant::bidirectional) {
+        double at_u = acc_u_[j];
+        for (std::size_t other = 0; other < sample.size(); ++other) {
+          if (other == pos) continue;
+          at_u += gains_->at_u(sample[other], j);
+        }
         if (!(signal > relaxed.beta * at_u)) return false;
       }
     }
@@ -142,18 +203,21 @@ class RoundSelector {
       chosen = trim_sample(candidates);
       ++stats_.greedy_fallbacks;
     }
-    selection_.insert(selection_.end(), chosen.begin(), chosen.end());
+    extend_selection(chosen);
   }
 
   /// Lemma 16: LP relaxation of the Claim-17 interference budgets, then
   /// randomized rounding with alteration.
   [[nodiscard]] std::vector<std::size_t> lp_select(
       const std::vector<std::size_t>& candidates) {
-    // Budget nodes: every endpoint of a candidate.
-    std::set<NodeId> node_set;
+    // Budget nodes: every endpoint of a candidate, keyed with a
+    // (request, endpoint-side) representative so the gain path can address
+    // the tables; any candidate touching the node works since gains depend
+    // only on the node itself.
+    std::map<NodeId, std::pair<std::size_t, bool>> node_rep;  // node -> (request, is_u)
     for (const std::size_t j : candidates) {
-      node_set.insert(instance_.request(j).u);
-      node_set.insert(instance_.request(j).v);
+      node_rep.emplace(instance_.request(j).u, std::make_pair(j, true));
+      node_rep.emplace(instance_.request(j).v, std::make_pair(j, false));
     }
 
     double min_len = std::numeric_limits<double>::infinity();
@@ -170,17 +234,26 @@ class RoundSelector {
     lp.num_vars = candidates.size();
     lp.objective.assign(lp.num_vars, 1.0);
     lp.upper_bounds.assign(lp.num_vars, 1.0);
-    for (const NodeId w : node_set) {
+    for (const auto& [w, rep_entry] : node_rep) {
       std::vector<double> row(lp.num_vars, 0.0);
       bool nontrivial = false;
+      const auto [rep, rep_is_u] = rep_entry;
       for (std::size_t k = 0; k < candidates.size(); ++k) {
         const Request& r = instance_.request(candidates[k]);
         if (r.u == w || r.v == w) continue;  // own-endpoint terms are excluded
-        const double l = variant_ == Variant::directed
-                             ? path_loss(instance_.metric().distance(r.u, w), params_.alpha)
-                             : min_endpoint_loss(instance_.metric(), r, w, params_.alpha);
-        if (l <= 0.0) continue;
-        row[k] = powers_[candidates[k]] / l;
+        if (gains_ != nullptr) {
+          const double g = rep_is_u ? gains_->at_u(candidates[k], rep)
+                                    : gains_->at_v(candidates[k], rep);
+          if (std::isinf(g)) continue;  // co-located: the direct path skips l == 0
+          row[k] = g;
+        } else {
+          const double l =
+              variant_ == Variant::directed
+                  ? path_loss(instance_.metric().distance(r.u, w), params_.alpha)
+                  : min_endpoint_loss(instance_.metric(), r, w, params_.alpha);
+          if (l <= 0.0) continue;
+          row[k] = powers_[candidates[k]] / l;
+        }
         if (row[k] > 0.0) nontrivial = true;
       }
       if (nontrivial) lp.add_constraint(std::move(row), budget);
@@ -253,9 +326,13 @@ class RoundSelector {
   SinrParams params_;
   Variant variant_;
   const SqrtColoringOptions& options_;
+  const GainMatrix* gains_;
   Rng& rng_;
   SqrtColoringStats& stats_;
   std::vector<std::size_t> selection_;
+  /// Gain path only: interference from selection_ at v_i / u_i for every i.
+  std::vector<double> acc_v_;
+  std::vector<double> acc_u_;
 };
 
 }  // namespace
@@ -269,12 +346,20 @@ SqrtColoringResult sqrt_coloring(const Instance& instance, const SinrParams& par
   result.powers = SqrtPower{}.assign(instance, params.alpha);
   result.schedule.color_of.assign(instance.size(), -1);
 
+  std::optional<GainMatrix> gains;
+  if (options.engine == FeasibilityEngine::gain_matrix) {
+    // The LP budgets interference at sender nodes too, so the directed
+    // variant also needs the at_u table here.
+    gains.emplace(instance, result.powers, params.alpha, variant,
+                  /*with_sender_gains=*/true);
+  }
+
   Rng rng(options.seed);
   std::vector<std::size_t> uncolored = instance.all_indices();
   int color = 0;
   while (!uncolored.empty()) {
-    RoundSelector selector(instance, result.powers, params, variant, options, rng,
-                           result.stats);
+    RoundSelector selector(instance, result.powers, params, variant, options,
+                           gains ? &*gains : nullptr, rng, result.stats);
     const std::vector<std::size_t> chosen = selector.select(uncolored);
     ensure(!chosen.empty(), "sqrt_coloring: a round must color at least one request");
     for (const std::size_t j : chosen) {

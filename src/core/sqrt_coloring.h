@@ -29,6 +29,7 @@
 #include "core/instance.h"
 #include "core/schedule.h"
 #include "lp/rounding.h"
+#include "sinr/gain_matrix.h"
 
 namespace oisched {
 
@@ -42,6 +43,11 @@ struct SqrtColoringOptions {
   bool use_lp = true;
   std::size_t lp_variable_limit = 384;
   RoundingOptions rounding;
+  /// gain_matrix precomputes the pairwise gains once per call and keeps
+  /// incremental per-round interference accumulators; any other value runs
+  /// the original metric-recomputing path. Results are bit-for-bit
+  /// identical either way.
+  FeasibilityEngine engine = FeasibilityEngine::gain_matrix;
 };
 
 struct SqrtColoringStats {

@@ -55,6 +55,18 @@ SimulationResult Simulator::run_classwise(const Schedule& schedule,
   SimulationResult result;
   result.successes.assign(instance_.size(), 0);
   result.first_success_frame.assign(instance_.size(), -1);
+  std::call_once(link_losses_once_, [this] {
+    // The n^2 tables pay off across slots but would dwarf the per-slot
+    // work (and memory) on very large instances with small classes; past
+    // the threshold the loop below recomputes losses on the fly instead
+    // (bit-identical arithmetic either way).
+    constexpr std::size_t kMaxTabulatedRequests = 4096;
+    if (instance_.size() <= kMaxTabulatedRequests) {
+      link_losses_ = std::make_unique<LinkLossMatrix>(instance_.metric(),
+                                                      instance_.requests(),
+                                                      params_.alpha, variant_);
+    }
+  });
   Rng rng(options.seed);
   Channel channel(options.fading_sigma_db, rng);
 
@@ -79,21 +91,23 @@ SimulationResult Simulator::run_classwise(const Schedule& schedule,
       std::vector<char> ok(active.size(), 1);
       for (int phase = 0; phase < phases; ++phase) {
         // Phase 0: u transmits to v. Phase 1 (bidirectional): v to u.
-        std::vector<NodeId> tx(active.size());
-        std::vector<NodeId> rx(active.size());
-        for (std::size_t k = 0; k < active.size(); ++k) {
-          const Request& r = instance_.request(active[k]);
-          tx[k] = phase == 0 ? r.u : r.v;
-          rx[k] = phase == 0 ? r.v : r.u;
-        }
         for (std::size_t k = 0; k < active.size(); ++k) {
           const double own_loss = instance_.loss(active[k], params_.alpha);
           const double signal = active_power[k] * channel.gain() / own_loss;
           double interference = 0.0;
           for (std::size_t m = 0; m < active.size(); ++m) {
             if (m == k) continue;
-            const double l =
-                path_loss(instance_.metric().distance(tx[m], rx[k]), params_.alpha);
+            double l;
+            if (link_losses_) {
+              l = phase == 0 ? link_losses_->loss_uv(active[m], active[k])
+                             : link_losses_->loss_vu(active[m], active[k]);
+            } else {
+              const Request& rm = instance_.request(active[m]);
+              const Request& rk = instance_.request(active[k]);
+              l = path_loss(instance_.metric().distance(phase == 0 ? rm.u : rm.v,
+                                                        phase == 0 ? rk.v : rk.u),
+                            params_.alpha);
+            }
             if (l <= 0.0) {
               interference = std::numeric_limits<double>::infinity();
               break;

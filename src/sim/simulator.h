@@ -17,11 +17,14 @@
 #define OISCHED_SIM_SIMULATOR_H
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "core/instance.h"
 #include "core/schedule.h"
+#include "sinr/gain_matrix.h"
 
 namespace oisched {
 
@@ -68,6 +71,13 @@ class Simulator {
   const Instance& instance_;
   SinrParams params_;
   Variant variant_;
+  /// Half-slot link losses, tabulated on first run: per-slot interference
+  /// then needs no distance or pow work. Lazy so constructing a Simulator
+  /// stays O(1); built under call_once so concurrent const runs on one
+  /// Simulator stay safe. Arithmetic is bit-identical to the on-the-fly
+  /// path.
+  mutable std::once_flag link_losses_once_;
+  mutable std::unique_ptr<LinkLossMatrix> link_losses_;
 };
 
 }  // namespace oisched

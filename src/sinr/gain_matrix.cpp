@@ -1,0 +1,194 @@
+#include "sinr/gain_matrix.h"
+
+#include <limits>
+
+#include "core/instance.h"
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+const char* to_string(FeasibilityEngine engine) {
+  switch (engine) {
+    case FeasibilityEngine::direct:
+      return "direct";
+    case FeasibilityEngine::incremental:
+      return "incremental";
+    case FeasibilityEngine::gain_matrix:
+      return "gain_matrix";
+  }
+  return "unknown";
+}
+
+GainMatrix::GainMatrix(const MetricSpace& metric, std::span<const Request> requests,
+                       std::span<const double> powers, double alpha, Variant variant,
+                       bool with_sender_gains)
+    : n_(requests.size()), alpha_(alpha), variant_(variant), requests_(requests) {
+  require(requests.size() == powers.size(),
+          "GainMatrix: powers must be given for every request");
+  const bool build_at_u = variant_ == Variant::bidirectional || with_sender_gains;
+  signal_.resize(n_);
+  at_v_.assign(n_ * n_, 0.0);
+  if (build_at_u) at_u_.assign(n_ * n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double l = link_loss(metric, requests[i], alpha_);
+    require(l > 0.0, "GainMatrix: request endpoints must be distinct points");
+    signal_[i] = powers[i] / l;
+  }
+  for (std::size_t j = 0; j < n_; ++j) {
+    const Request& rj = requests[j];
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (i == j) continue;
+      const Request& ri = requests[i];
+      const double lv = variant_ == Variant::directed
+                            ? path_loss(metric.distance(rj.u, ri.v), alpha_)
+                            : min_endpoint_loss(metric, rj, ri.v, alpha_);
+      at_v_[j * n_ + i] = lv == 0.0 ? kInf : powers[j] / lv;
+      if (build_at_u) {
+        const double lu = variant_ == Variant::directed
+                              ? path_loss(metric.distance(rj.u, ri.u), alpha_)
+                              : min_endpoint_loss(metric, rj, ri.u, alpha_);
+        at_u_[j * n_ + i] = lu == 0.0 ? kInf : powers[j] / lu;
+      }
+    }
+  }
+}
+
+GainMatrix::GainMatrix(const Instance& instance, std::span<const double> powers,
+                       double alpha, Variant variant, bool with_sender_gains)
+    : GainMatrix(instance.metric(), instance.requests(), powers, alpha, variant,
+                 with_sender_gains) {}
+
+FeasibilityReport check_feasible(const GainMatrix& gains,
+                                 std::span<const std::size_t> active,
+                                 const SinrParams& params) {
+  params.validate();
+  FeasibilityReport report;
+  report.worst_margin = kInf;
+  const bool bidirectional = gains.variant() == Variant::bidirectional;
+  for (std::size_t pos = 0; pos < active.size(); ++pos) {
+    const std::size_t i = active[pos];
+    const double signal = gains.signal(i);
+    const int num_constraints = bidirectional ? 2 : 1;
+    for (int c = 0; c < num_constraints; ++c) {
+      double interference = 0.0;
+      for (std::size_t other = 0; other < active.size(); ++other) {
+        if (other == pos) continue;
+        const std::size_t j = active[other];
+        interference += c == 0 ? gains.at_v(j, i) : gains.at_u(j, i);
+      }
+      const double demand = params.beta * (interference + params.noise);
+      const double margin = demand > 0.0 ? signal / demand : kInf;
+      if (margin < report.worst_margin) {
+        report.worst_margin = margin;
+        report.worst_request = pos;
+      }
+      if (!(signal > demand)) report.feasible = false;
+    }
+  }
+  return report;
+}
+
+double max_feasible_gain(const GainMatrix& gains, std::span<const std::size_t> active) {
+  double best = kInf;
+  const bool bidirectional = gains.variant() == Variant::bidirectional;
+  for (std::size_t pos = 0; pos < active.size(); ++pos) {
+    const std::size_t i = active[pos];
+    const double signal = gains.signal(i);
+    const int num_constraints = bidirectional ? 2 : 1;
+    for (int c = 0; c < num_constraints; ++c) {
+      double interference = 0.0;
+      for (std::size_t other = 0; other < active.size(); ++other) {
+        if (other == pos) continue;
+        const std::size_t j = active[other];
+        interference += c == 0 ? gains.at_v(j, i) : gains.at_u(j, i);
+      }
+      if (interference > 0.0) best = std::min(best, signal / interference);
+    }
+  }
+  return best;
+}
+
+IncrementalGainClass::IncrementalGainClass(const GainMatrix& gains,
+                                           const SinrParams& params)
+    : gains_(gains), params_(params) {
+  params_.validate();
+  acc_v_.assign(gains_.size(), 0.0);
+  if (gains_.variant() == Variant::bidirectional) acc_u_.assign(gains_.size(), 0.0);
+}
+
+bool IncrementalGainClass::can_add(std::size_t request_index) const {
+  const bool bidirectional = gains_.variant() == Variant::bidirectional;
+  const double cand_signal = gains_.signal(request_index);
+
+  // Existing members must tolerate the newcomer's extra interference.
+  for (const std::size_t m : members_) {
+    const double extra_v = gains_.at_v(request_index, m);
+    if (!(gains_.signal(m) > params_.beta * (acc_v_[m] + extra_v + params_.noise))) {
+      return false;
+    }
+    if (bidirectional) {
+      const double extra_u = gains_.at_u(request_index, m);
+      if (!(gains_.signal(m) > params_.beta * (acc_u_[m] + extra_u + params_.noise))) {
+        return false;
+      }
+    }
+  }
+
+  // The newcomer must decode against everyone already in the class.
+  if (!(cand_signal > params_.beta * (acc_v_[request_index] + params_.noise))) return false;
+  if (bidirectional &&
+      !(cand_signal > params_.beta * (acc_u_[request_index] + params_.noise))) {
+    return false;
+  }
+  return true;
+}
+
+void IncrementalGainClass::add(std::size_t request_index) {
+  const bool bidirectional = gains_.variant() == Variant::bidirectional;
+  for (std::size_t i = 0; i < gains_.size(); ++i) {
+    if (i == request_index) continue;  // a member never interferes with itself
+    acc_v_[i] += gains_.at_v(request_index, i);
+    if (bidirectional) acc_u_[i] += gains_.at_u(request_index, i);
+  }
+  members_.push_back(request_index);
+}
+
+std::vector<std::size_t> greedy_feasible_subset(const GainMatrix& gains,
+                                                std::span<const std::size_t> candidates,
+                                                const SinrParams& params) {
+  IncrementalGainClass cls(gains, params);
+  for (const std::size_t j : candidates) {
+    if (cls.can_add(j)) cls.add(j);
+  }
+  return cls.members();
+}
+
+double LinkLossMatrix::loss_vu(std::size_t j, std::size_t i) const {
+  require(!loss_vu_.empty(), "LinkLossMatrix: loss_vu is bidirectional-only");
+  return loss_vu_[j * n_ + i];
+}
+
+LinkLossMatrix::LinkLossMatrix(const MetricSpace& metric,
+                               std::span<const Request> requests, double alpha,
+                               Variant variant)
+    : n_(requests.size()) {
+  loss_uv_.assign(n_ * n_, 0.0);
+  if (variant == Variant::bidirectional) loss_vu_.assign(n_ * n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j) {
+    const Request& rj = requests[j];
+    for (std::size_t i = 0; i < n_; ++i) {
+      const Request& ri = requests[i];
+      loss_uv_[j * n_ + i] = path_loss(metric.distance(rj.u, ri.v), alpha);
+      if (variant == Variant::bidirectional) {
+        loss_vu_[j * n_ + i] = path_loss(metric.distance(rj.v, ri.u), alpha);
+      }
+    }
+  }
+}
+
+}  // namespace oisched

@@ -1,0 +1,173 @@
+// Shared gain-matrix engine: precomputed pairwise SINR gains.
+//
+// Every algorithm in the library keeps asking the same two questions: "how
+// strong is request i's own signal?" and "how strongly does request j
+// interfere at one of request i's endpoints?". Answered directly, each
+// query costs a metric distance plus a std::pow — and the coloring
+// algorithms ask them Theta(n^2) times and more, recomputing identical
+// values inside every feasibility test. A GainMatrix answers them once per
+// (metric, requests, powers, variant): all n^2 variant-resolved
+// contributions are tabulated up front and the hot loops become table
+// lookups.
+//
+// The tables store exactly the values the direct path computes
+// (power / path_loss with the min-endpoint rule applied per variant), and
+// the query-side overloads below sum them in the same order as their
+// direct counterparts in sinr/feasibility.h — so verdicts, margins and the
+// resulting colorings are bit-for-bit identical. The direct path stays
+// alive behind the same APIs (see FeasibilityEngine) for cross-checking.
+#ifndef OISCHED_SINR_GAIN_MATRIX_H
+#define OISCHED_SINR_GAIN_MATRIX_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "metric/metric_space.h"
+#include "sinr/feasibility.h"
+#include "sinr/model.h"
+
+namespace oisched {
+
+class Instance;
+
+/// Which machinery answers feasibility queries inside an algorithm. All
+/// three produce bit-for-bit identical results; they differ only in cost.
+enum class FeasibilityEngine {
+  /// Re-evaluate the whole color class from scratch on every query
+  /// (check_feasible): O(k^2) distance/pow work per insertion test. The
+  /// reference semantics; kept for cross-checking and benchmarking.
+  direct,
+  /// Metric-based incremental accumulators (IncrementalClass): O(k)
+  /// distance/pow work per insertion test.
+  incremental,
+  /// Precomputed GainMatrix plus incremental accumulators: O(n^2) pow work
+  /// once per instance, then O(k) table lookups per insertion test.
+  gain_matrix,
+};
+
+/// Human-readable engine name ("direct" / "incremental" / "gain_matrix").
+[[nodiscard]] const char* to_string(FeasibilityEngine engine);
+
+/// Precomputed pairwise gains for one (metric, requests, powers, variant).
+///
+/// at_v(j, i) is the interference request j contributes at request i's
+/// receiver v_i under the variant's rule (sender u_j radiates in the
+/// directed variant; the nearer endpoint radiates in the bidirectional
+/// one); at_u(j, i) is the same at u_i. The bidirectional constraints need
+/// at_u, so its table is always built for that variant; the directed ones
+/// never consult it, so directed callers only get it (and pay its n^2
+/// build) by passing with_sender_gains = true — the sqrt-coloring LP does,
+/// because it budgets interference at sender nodes too. Without the table
+/// at_u reads as 0, matching the direct path that never evaluates it.
+/// Co-located interferers yield +infinity, like the direct path.
+/// signal(i) is p_i / l_i; construction requires all links to have
+/// positive loss, mirroring the precondition of every direct checker.
+class GainMatrix {
+ public:
+  GainMatrix(const MetricSpace& metric, std::span<const Request> requests,
+             std::span<const double> powers, double alpha, Variant variant,
+             bool with_sender_gains = false);
+  GainMatrix(const Instance& instance, std::span<const double> powers, double alpha,
+             Variant variant, bool with_sender_gains = false);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] Variant variant() const noexcept { return variant_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] std::span<const Request> requests() const noexcept { return requests_; }
+
+  /// Own-link signal strength p_i / l_i.
+  [[nodiscard]] double signal(std::size_t i) const { return signal_[i]; }
+  /// Contribution of request j at request i's receiver v_i (j != i).
+  [[nodiscard]] double at_v(std::size_t j, std::size_t i) const {
+    return at_v_[j * n_ + i];
+  }
+  /// Contribution of request j at request i's sender u_i (j != i); 0 when
+  /// the sender-side table was not built (directed default).
+  [[nodiscard]] double at_u(std::size_t j, std::size_t i) const {
+    return at_u_.empty() ? 0.0 : at_u_[j * n_ + i];
+  }
+
+ private:
+  std::size_t n_;
+  double alpha_;
+  Variant variant_;
+  std::span<const Request> requests_;
+  std::vector<double> signal_;
+  std::vector<double> at_v_;
+  std::vector<double> at_u_;
+};
+
+/// check_feasible over precomputed gains; identical to the direct overload.
+[[nodiscard]] FeasibilityReport check_feasible(const GainMatrix& gains,
+                                               std::span<const std::size_t> active,
+                                               const SinrParams& params);
+
+/// max_feasible_gain over precomputed gains; identical to the direct one.
+[[nodiscard]] double max_feasible_gain(const GainMatrix& gains,
+                                       std::span<const std::size_t> active);
+
+/// Incrementally maintained color class over a GainMatrix.
+///
+/// Same contract as IncrementalClass, but the interference every member
+/// suffers is kept in per-request accumulators covering *all* n requests,
+/// so can_add costs O(|class|) comparisons with no distance or pow work
+/// and the candidate's own constraint is a single lookup; add costs O(n)
+/// table additions. Accumulation follows insertion order, making verdicts
+/// bit-for-bit identical to IncrementalClass.
+class IncrementalGainClass {
+ public:
+  IncrementalGainClass(const GainMatrix& gains, const SinrParams& params);
+
+  [[nodiscard]] bool can_add(std::size_t request_index) const;
+  void add(std::size_t request_index);
+
+  [[nodiscard]] const std::vector<std::size_t>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+
+ private:
+  const GainMatrix& gains_;
+  SinrParams params_;
+  std::vector<std::size_t> members_;
+  /// Interference from the members at v_i / u_i, for every request i. The
+  /// slots of members themselves exclude their own contribution.
+  std::vector<double> acc_v_;
+  std::vector<double> acc_u_;
+};
+
+/// greedy_feasible_subset over precomputed gains; identical selection.
+[[nodiscard]] std::vector<std::size_t> greedy_feasible_subset(
+    const GainMatrix& gains, std::span<const std::size_t> candidates,
+    const SinrParams& params);
+
+/// Precomputed directed link losses for the MAC simulator: the path loss
+/// between the half-slot transmitter of pair j and the half-slot receiver
+/// of pair i. Phase 0 sends u -> v (loss_uv), phase 1 sends v -> u
+/// (loss_vu, bidirectional only). Losses — not gains — are stored so the
+/// simulator's power / loss arithmetic stays bit-identical while skipping
+/// the per-slot distance and pow work.
+class LinkLossMatrix {
+ public:
+  LinkLossMatrix(const MetricSpace& metric, std::span<const Request> requests,
+                 double alpha, Variant variant);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  /// Path loss l(u_j, v_i).
+  [[nodiscard]] double loss_uv(std::size_t j, std::size_t i) const {
+    return loss_uv_[j * n_ + i];
+  }
+  /// Path loss l(v_j, u_i); only built for the bidirectional variant
+  /// (the directed simulator has no phase-1 half-slot).
+  [[nodiscard]] double loss_vu(std::size_t j, std::size_t i) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> loss_uv_;
+  std::vector<double> loss_vu_;
+};
+
+}  // namespace oisched
+
+#endif  // OISCHED_SINR_GAIN_MATRIX_H

@@ -1,0 +1,287 @@
+#include "util/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "core/schedule.h"
+#include "core/sqrt_coloring.h"
+#include "gen/adversarial.h"
+#include "gen/generators.h"
+#include "metric/euclidean.h"
+#include "sinr/gain_matrix.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace oisched {
+namespace {
+
+const char* variant_name(Variant variant) {
+  return variant == Variant::directed ? "directed" : "bidirectional";
+}
+
+std::unique_ptr<PowerAssignment> make_assignment(const std::string& power) {
+  if (power == "uniform") return std::make_unique<UniformPower>();
+  if (power == "linear") return std::make_unique<LinearPower>();
+  if (power == "sqrt") return std::make_unique<SqrtPower>();
+  throw PreconditionError("experiment: unknown power assignment '" + power + "'");
+}
+
+/// n sender/receiver pairs along the x-axis, senders 40 apart, lengths
+/// uniform in [1, 8) — a deterministic corridor-of-links workload.
+Instance line_topology(std::size_t n, Rng& rng) {
+  std::vector<std::pair<double, double>> endpoints;
+  endpoints.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sender = static_cast<double>(i) * 40.0;
+    endpoints.emplace_back(sender, sender + rng.uniform(1.0, 8.0));
+  }
+  return line_instance(endpoints);
+}
+
+/// n horizontally adjacent pairs on a regular planar grid, 10 apart.
+Instance grid_topology(std::size_t n) {
+  const auto per_row = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  std::vector<Point> points;
+  std::vector<Request> requests;
+  requests.reserve(n);
+  for (std::size_t row = 0; requests.size() < n; ++row) {
+    for (std::size_t pair = 0; pair < per_row && requests.size() < n; ++pair) {
+      const double y = static_cast<double>(row) * 10.0;
+      const double x = static_cast<double>(2 * pair) * 10.0;
+      points.push_back(Point{x, y, 0.0});
+      points.push_back(Point{x + 10.0, y, 0.0});
+      requests.push_back(Request{points.size() - 2, points.size() - 1});
+    }
+  }
+  return Instance(std::make_shared<EuclideanMetric>(std::move(points)),
+                  std::move(requests));
+}
+
+/// Builds the scenario's instance; adversarial families may truncate, the
+/// others produce exactly spec.n requests.
+Instance build_instance(const ScenarioSpec& spec, const SinrParams& params) {
+  Rng rng(spec.seed);
+  if (spec.topology == "line") return line_topology(spec.n, rng);
+  if (spec.topology == "grid") return grid_topology(spec.n);
+  if (spec.topology == "random") return random_square(spec.n, {}, rng);
+  if (spec.topology == "adversarial") {
+    const auto assignment = make_assignment(spec.power);
+    return theorem1_family(spec.n, *assignment, params.alpha).instance;
+  }
+  throw PreconditionError("experiment: unknown topology '" + spec.topology + "'");
+}
+
+/// Times one run of `algorithm` and returns (schedule, milliseconds).
+template <typename Algorithm>
+std::pair<Schedule, double> timed(const Algorithm& algorithm) {
+  Stopwatch watch;
+  Schedule schedule = algorithm();
+  return {std::move(schedule), watch.elapsed_ms()};
+}
+
+bool same_schedule(const Schedule& a, const Schedule& b) {
+  return a.num_colors == b.num_colors && a.color_of == b.color_of;
+}
+
+JsonValue comparison_json(const EngineComparison& comparison, bool with_incremental) {
+  JsonValue value = JsonValue::object();
+  value["colors"] = comparison.colors;
+  value["identical"] = comparison.identical;
+  value["ms_direct"] = comparison.ms_direct;
+  if (with_incremental) value["ms_incremental"] = comparison.ms_incremental;
+  value["ms_gain"] = comparison.ms_gain;
+  value["speedup"] = comparison.speedup;
+  return value;
+}
+
+}  // namespace
+
+bool scenario_failed(const ScenarioResult& result) {
+  if (!result.ok) return true;
+  if (!result.greedy.identical || !result.valid) return true;
+  if (result.has_sqrt && !result.sqrt.identical) return true;
+  return false;
+}
+
+std::string ScenarioSpec::name() const {
+  return topology + "/n" + std::to_string(n) + "/" + power + "/" + variant_name(variant);
+}
+
+std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
+  const std::vector<std::string> topologies = {"line", "grid", "random", "adversarial"};
+  std::vector<ScenarioSpec> grid;
+  const auto add = [&](const std::string& topology, std::size_t n,
+                       const std::string& power) {
+    ScenarioSpec spec;
+    spec.topology = topology;
+    spec.n = n;
+    spec.power = power;
+    // The Theorem-1 adversarial family lives in the directed variant.
+    spec.variant = topology == "adversarial" ? Variant::directed : Variant::bidirectional;
+    // Seed derives from the scenario name (FNV-1a), not the grid index, so
+    // the same scenario measures the same instance in quick and full mode
+    // — the CI speedup gate then gates the recorded baseline's instance.
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const char c : spec.name()) {
+      hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    }
+    spec.seed = options.base_seed + (hash % 1000000007ULL);
+    grid.push_back(std::move(spec));
+  };
+  if (options.quick) {
+    for (const std::string& topology : topologies) add(topology, 32, "sqrt");
+    add("random", 256, "sqrt");  // the flagship speedup scenario
+    return grid;
+  }
+  for (const std::string& topology : topologies) {
+    for (const std::size_t n : {std::size_t{64}, std::size_t{256}}) {
+      for (const char* power : {"uniform", "linear", "sqrt"}) {
+        add(topology, n, power);
+      }
+    }
+  }
+  add("random", 512, "sqrt");
+  return grid;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const SinrParams& params) {
+  ScenarioResult result;
+  result.spec = spec;
+  try {
+    const Instance instance = build_instance(spec, params);
+    result.built_n = instance.size();
+    const auto assignment = make_assignment(spec.power);
+    const std::vector<double> powers = assignment->assign(instance, params.alpha);
+
+    {
+      Stopwatch watch;
+      const GainMatrix gains(instance, powers, params.alpha, spec.variant);
+      result.gain_build_ms = watch.elapsed_ms();
+    }
+
+    const auto greedy_with = [&](FeasibilityEngine engine) {
+      return timed([&] {
+        return greedy_coloring(instance, powers, params, spec.variant,
+                               RequestOrder::longest_first, engine);
+      });
+    };
+    const auto [direct, ms_direct] = greedy_with(FeasibilityEngine::direct);
+    const auto [incremental, ms_incremental] = greedy_with(FeasibilityEngine::incremental);
+    const auto [gain, ms_gain] = greedy_with(FeasibilityEngine::gain_matrix);
+    result.greedy.colors = gain.num_colors;
+    result.greedy.identical = same_schedule(direct, gain) && same_schedule(incremental, gain);
+    result.greedy.ms_direct = ms_direct;
+    result.greedy.ms_incremental = ms_incremental;
+    result.greedy.ms_gain = ms_gain;
+    result.greedy.speedup = ms_gain > 0.0 ? ms_direct / ms_gain : 0.0;
+
+    result.valid = validate_schedule(instance, powers, gain, params, spec.variant).valid;
+
+    if (spec.power == "sqrt") {
+      const auto sqrt_with = [&](FeasibilityEngine engine) {
+        Stopwatch watch;
+        SqrtColoringOptions options;
+        options.seed = spec.seed;
+        options.engine = engine;
+        SqrtColoringResult run = sqrt_coloring(instance, params, spec.variant, options);
+        return std::make_pair(std::move(run), watch.elapsed_ms());
+      };
+      const auto [sqrt_direct, sqrt_ms_direct] = sqrt_with(FeasibilityEngine::direct);
+      const auto [sqrt_gain, sqrt_ms_gain] = sqrt_with(FeasibilityEngine::gain_matrix);
+      result.has_sqrt = true;
+      result.sqrt.colors = sqrt_gain.schedule.num_colors;
+      result.sqrt.identical = same_schedule(sqrt_direct.schedule, sqrt_gain.schedule);
+      result.sqrt.ms_direct = sqrt_ms_direct;
+      result.sqrt.ms_gain = sqrt_ms_gain;
+      result.sqrt.speedup = sqrt_ms_gain > 0.0 ? sqrt_ms_direct / sqrt_ms_gain : 0.0;
+      // Re-validate the sqrt schedule too, under the powers it was built
+      // for — identical-but-infeasible engines must not read as success.
+      result.valid = result.valid &&
+                     validate_schedule(instance, sqrt_gain.powers, sqrt_gain.schedule,
+                                       params, spec.variant)
+                         .valid;
+    }
+
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+std::vector<ScenarioResult> run_experiment_grid(std::span<const ScenarioSpec> grid,
+                                                const SinrParams& params,
+                                                std::size_t threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<ScenarioResult> results(grid.size());
+  parallel_for(grid.size(), threads,
+               [&](std::size_t i) { results[i] = run_scenario(grid[i], params); });
+  return results;
+}
+
+JsonValue experiment_report(std::span<const ScenarioResult> results,
+                            const ExperimentOptions& options) {
+  JsonValue root = JsonValue::object();
+  root["schema"] = "oisched-bench-schedule/1";
+  root["generator"] = "bench/run_experiments";
+  root["mode"] = options.quick ? "quick" : "full";
+  root["threads"] = options.threads;
+  root["base_seed"] = static_cast<std::int64_t>(options.base_seed);
+  JsonValue params = JsonValue::object();
+  params["alpha"] = options.params.alpha;
+  params["beta"] = options.params.beta;
+  params["noise"] = options.params.noise;
+  root["params"] = std::move(params);
+
+  JsonValue entries = JsonValue::array();
+  std::size_t failures = 0;
+  std::vector<double> speedups;
+  for (const ScenarioResult& result : results) {
+    if (scenario_failed(result)) ++failures;
+    JsonValue entry = JsonValue::object();
+    entry["scenario"] = result.spec.name();
+    entry["topology"] = result.spec.topology;
+    entry["n"] = result.spec.n;
+    entry["built_n"] = result.built_n;
+    entry["power"] = result.spec.power;
+    entry["variant"] = variant_name(result.spec.variant);
+    entry["seed"] = static_cast<std::int64_t>(result.spec.seed);
+    entry["ok"] = result.ok;
+    if (!result.ok) {
+      entry["error"] = result.error;
+    } else {
+      entry["gain_build_ms"] = result.gain_build_ms;
+      entry["greedy"] = comparison_json(result.greedy, /*with_incremental=*/true);
+      if (result.has_sqrt) {
+        entry["sqrt"] = comparison_json(result.sqrt, /*with_incremental=*/false);
+      }
+      entry["valid"] = result.valid;
+      speedups.push_back(result.greedy.speedup);
+    }
+    entries.push_back(std::move(entry));
+  }
+  root["results"] = std::move(entries);
+
+  JsonValue summary = JsonValue::object();
+  summary["scenarios"] = results.size();
+  summary["failures"] = failures;
+  if (!speedups.empty()) {
+    std::sort(speedups.begin(), speedups.end());
+    summary["greedy_speedup_min"] = speedups.front();
+    summary["greedy_speedup_median"] = speedups[speedups.size() / 2];
+    summary["greedy_speedup_max"] = speedups.back();
+  }
+  root["summary"] = std::move(summary);
+  return root;
+}
+
+}  // namespace oisched

@@ -1,0 +1,99 @@
+// Batch experiment harness: a scenario grid, a parallel runner, and a
+// machine-readable JSON report (the BENCH_schedule.json CI regresses on).
+//
+// One scenario = (topology, n, power assignment, variant, seed). Running it
+// builds the instance, times greedy first-fit under all three feasibility
+// engines (direct re-check, metric-incremental, gain-matrix) plus the
+// Section-5 sqrt coloring under the direct and gain-matrix paths, verifies
+// the engines agree bit-for-bit, and re-validates the produced schedule
+// from scratch. The grid fans across a ThreadPool; every scenario is
+// deterministic in its own seed, so results are independent of thread
+// count and arrival order.
+#ifndef OISCHED_UTIL_EXPERIMENT_H
+#define OISCHED_UTIL_EXPERIMENT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sinr/model.h"
+#include "util/json_writer.h"
+
+namespace oisched {
+
+/// One cell of the scenario grid.
+struct ScenarioSpec {
+  std::string topology;  // "line" | "grid" | "random" | "adversarial"
+  std::size_t n = 0;     // requested instance size
+  std::string power;     // "uniform" | "linear" | "sqrt"
+  Variant variant = Variant::bidirectional;
+  std::uint64_t seed = 1;
+
+  /// "random/n256/sqrt/bidirectional" — stable scenario identifier.
+  [[nodiscard]] std::string name() const;
+};
+
+/// Engine comparison for one algorithm on one scenario. Colors are counted
+/// after the engines are checked for bit-for-bit equality, so a single
+/// `colors` field suffices; `identical` reports that check.
+struct EngineComparison {
+  int colors = 0;
+  bool identical = false;     // all engines produced the same schedule
+  double ms_direct = 0.0;     // from-scratch re-check per query
+  double ms_incremental = 0.0;  // metric-based accumulators (greedy only)
+  double ms_gain = 0.0;       // gain-matrix engine
+  double speedup = 0.0;       // ms_direct / ms_gain
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  bool ok = false;      // ran to completion (false => see error)
+  std::string error;
+  std::size_t built_n = 0;  // adversarial families may truncate
+  double gain_build_ms = 0.0;
+  EngineComparison greedy;
+  /// Only measured when spec.power == "sqrt" (the algorithm fixes its own
+  /// square-root powers, so other grid cells would duplicate the numbers).
+  bool has_sqrt = false;
+  EngineComparison sqrt;
+  /// Every produced schedule (greedy, and sqrt when measured) re-validated
+  /// from scratch with the direct checker.
+  bool valid = false;
+};
+
+/// A scenario counts as failed when it threw, when any engine pair
+/// disagreed, or when a schedule failed re-validation — the definition
+/// both the runner's exit code and the report's summary.failures use.
+[[nodiscard]] bool scenario_failed(const ScenarioResult& result);
+
+struct ExperimentOptions {
+  /// Quick mode: the small CI-smoke grid (a few n=32 scenarios plus the
+  /// flagship n=256 random one). Full mode sweeps topologies x sizes x
+  /// power assignments.
+  bool quick = false;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  std::uint64_t base_seed = 1;
+  SinrParams params;        // alpha/beta/noise shared by every scenario
+};
+
+/// The scenario grid for the given options; deterministic in base_seed.
+[[nodiscard]] std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options);
+
+/// Runs one scenario (never throws: failures land in .error).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          const SinrParams& params);
+
+/// Fans the grid across a thread pool; results align with `grid` by index.
+[[nodiscard]] std::vector<ScenarioResult> run_experiment_grid(
+    std::span<const ScenarioSpec> grid, const SinrParams& params, std::size_t threads);
+
+/// Bundles results into the BENCH_schedule.json document
+/// (schema "oisched-bench-schedule/1"; layout documented in README.md).
+[[nodiscard]] JsonValue experiment_report(std::span<const ScenarioResult> results,
+                                          const ExperimentOptions& options);
+
+}  // namespace oisched
+
+#endif  // OISCHED_UTIL_EXPERIMENT_H

@@ -1,0 +1,155 @@
+#include "util/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace oisched {
+namespace {
+
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (type_ == Type::null) type_ = Type::object;
+  require(type_ == Type::object, "JsonValue: operator[] requires an object");
+  for (auto& [name, value] : members_) {
+    if (name == key) return value;
+  }
+  members_.emplace_back(std::string(key), JsonValue());
+  return members_.back().second;
+}
+
+void JsonValue::push_back(JsonValue element) {
+  if (type_ == Type::null) type_ = Type::array;
+  require(type_ == Type::array, "JsonValue: push_back requires an array");
+  items_.push_back(std::move(element));
+}
+
+std::size_t JsonValue::size() const noexcept {
+  switch (type_) {
+    case Type::array:
+      return items_.size();
+    case Type::object:
+      return members_.size();
+    default:
+      return 0;
+  }
+}
+
+std::string JsonValue::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const auto newline_at = [&](int level) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  switch (type_) {
+    case Type::null:
+      out += "null";
+      break;
+    case Type::boolean:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::integer:
+      out += std::to_string(int_);
+      break;
+    case Type::number:
+      append_double(out, number_);
+      break;
+    case Type::string:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Type::array:
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_at(depth + 1);
+        items_[i].write(out, indent, depth + 1);
+      }
+      newline_at(depth);
+      out += ']';
+      break;
+    case Type::object:
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_at(depth + 1);
+        out += '"';
+        out += escape(members_[i].first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        members_[i].second.write(out, indent, depth + 1);
+      }
+      newline_at(depth);
+      out += '}';
+      break;
+  }
+}
+
+}  // namespace oisched

@@ -1,0 +1,76 @@
+// Minimal JSON document builder and serializer (no external dependencies).
+//
+// Just enough JSON for the experiment runner's machine-readable reports:
+// null/bool/integer/double/string scalars, arrays, and objects with
+// insertion-ordered keys (stable, diffable output). Doubles serialize via
+// std::to_chars, the shortest representation that round-trips exactly;
+// non-finite doubles become null (JSON has no inf/nan).
+#ifndef OISCHED_UTIL_JSON_WRITER_H
+#define OISCHED_UTIL_JSON_WRITER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace oisched {
+
+class JsonValue {
+ public:
+  enum class Type { null, boolean, integer, number, string, array, object };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : type_(Type::boolean), bool_(b) {}
+  JsonValue(std::int64_t i) : type_(Type::integer), int_(i) {}
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}
+  JsonValue(std::size_t i) : JsonValue(static_cast<std::int64_t>(i)) {}
+  JsonValue(double d) : type_(Type::number), number_(d) {}
+  JsonValue(std::string s) : type_(Type::string), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::array;
+    return v;
+  }
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::object;
+    return v;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+
+  /// Object member access; inserts a null member on first use. The value
+  /// must be an object (or null, which becomes one).
+  JsonValue& operator[](std::string_view key);
+
+  /// Array append. The value must be an array (or null, which becomes one).
+  void push_back(JsonValue element);
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Serializes the document. indent == 0 produces compact one-line JSON;
+  /// indent > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// RFC 8259 string escaping (quotes, backslash, control characters).
+  [[nodiscard]] static std::string escape(std::string_view raw);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace oisched
+
+#endif  // OISCHED_UTIL_JSON_WRITER_H

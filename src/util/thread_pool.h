@@ -1,0 +1,64 @@
+// Fixed-size worker pool for fanning independent jobs across cores.
+//
+// The experiment runner uses it to spread a scenario grid over a thread
+// pool; anything else that needs coarse-grained parallelism (whole
+// scenarios, whole instances — never the inner SINR loops, which stay
+// single-threaded and cache-hot) can share it. Tasks must synchronize any
+// shared state themselves; the first exception escaping a task is captured
+// and rethrown from wait_idle()/the destructor's caller via wait_idle.
+#ifndef OISCHED_UTIL_THREAD_POOL_H
+#define OISCHED_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oisched {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(std::size_t num_threads);
+  /// Drains the queue, then joins all workers. Pending exceptions from
+  /// tasks are swallowed here — call wait_idle() first to observe them.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; runs as soon as a worker frees up.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted job has finished, then rethrows the
+  /// first exception a job raised (if any). The pool stays usable.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t num_threads() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(0), ..., body(count - 1) across `num_threads` workers and
+/// waits for all of them; rethrows the first exception a call raised.
+/// Iterations are claimed dynamically, so uneven work still balances.
+void parallel_for(std::size_t count, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace oisched
+
+#endif  // OISCHED_UTIL_THREAD_POOL_H

@@ -1,0 +1,184 @@
+// The experiment substrate: JSON writer, thread pool, and the batch runner
+// (grid shape, determinism across thread counts, report schema).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/experiment.h"
+#include "util/json_writer.h"
+#include "util/thread_pool.h"
+
+namespace oisched {
+namespace {
+
+TEST(JsonWriter, ScalarsAndCompactLayout) {
+  JsonValue root = JsonValue::object();
+  root["int"] = 42;
+  root["negative"] = -7;
+  root["bool"] = true;
+  root["null"];  // touched but never assigned stays null
+  root["text"] = "hello";
+  EXPECT_EQ(root.dump(0),
+            R"({"int":42,"negative":-7,"bool":true,"null":null,"text":"hello"})");
+}
+
+TEST(JsonWriter, DoublesRoundTripShortest) {
+  JsonValue root = JsonValue::array();
+  root.push_back(0.5);
+  root.push_back(1.0 / 3.0);
+  root.push_back(1e300);
+  EXPECT_EQ(root.dump(0), "[0.5,0.3333333333333333,1e+300]");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  JsonValue root = JsonValue::array();
+  root.push_back(std::numeric_limits<double>::infinity());
+  root.push_back(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(root.dump(0), "[null,null]");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  JsonValue root = JsonValue::object();
+  root["k"] = "a\"b\\c\nd\te\x01"
+              "f";
+  EXPECT_EQ(root.dump(0), "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001f\"}");
+}
+
+TEST(JsonWriter, PrettyPrintNests) {
+  JsonValue root = JsonValue::object();
+  root["list"].push_back(1);
+  root["list"].push_back(2);
+  EXPECT_EQ(root.dump(2), "{\n  \"list\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool stays usable after wait_idle.
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed; the pool keeps working.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{16}}) {
+    std::vector<std::atomic<int>> hits(57);
+    parallel_for(hits.size(), threads, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+  // Degenerate cases.
+  parallel_for(0, 4, [](std::size_t) { FAIL() << "no work expected"; });
+}
+
+TEST(ExperimentGrid, QuickGridCoversEveryTopologyPlusFlagship) {
+  ExperimentOptions options;
+  options.quick = true;
+  const auto grid = experiment_grid(options);
+  std::set<std::string> topologies;
+  bool has_flagship = false;
+  for (const auto& spec : grid) {
+    topologies.insert(spec.topology);
+    if (spec.topology == "random" && spec.n == 256) has_flagship = true;
+  }
+  EXPECT_EQ(topologies,
+            (std::set<std::string>{"line", "grid", "random", "adversarial"}));
+  EXPECT_TRUE(has_flagship);
+}
+
+TEST(ExperimentGrid, FullGridSweepsSizesAndPowers) {
+  ExperimentOptions options;
+  const auto grid = experiment_grid(options);
+  EXPECT_EQ(grid.size(), 25u);
+  // Seeds are distinct so scenarios are independent draws.
+  std::set<std::uint64_t> seeds;
+  for (const auto& spec : grid) seeds.insert(spec.seed);
+  EXPECT_EQ(seeds.size(), grid.size());
+}
+
+TEST(ExperimentRunner, ScenarioRunsEnginesIdenticalAndValid) {
+  ScenarioSpec spec;
+  spec.topology = "random";
+  spec.n = 24;
+  spec.power = "sqrt";
+  spec.variant = Variant::bidirectional;
+  spec.seed = 3;
+  SinrParams params;
+  const ScenarioResult result = run_scenario(spec, params);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.built_n, 24u);
+  EXPECT_GT(result.greedy.colors, 0);
+  EXPECT_TRUE(result.greedy.identical);
+  EXPECT_TRUE(result.has_sqrt);
+  EXPECT_TRUE(result.sqrt.identical);
+  EXPECT_TRUE(result.valid);
+}
+
+TEST(ExperimentRunner, UnknownTopologyFailsSoftly) {
+  ScenarioSpec spec;
+  spec.topology = "moebius";
+  spec.n = 4;
+  spec.power = "sqrt";
+  const ScenarioResult result = run_scenario(spec, SinrParams{});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown topology"), std::string::npos);
+}
+
+TEST(ExperimentRunner, ResultsIndependentOfThreadCount) {
+  ExperimentOptions options;
+  options.quick = true;
+  SinrParams params;
+  auto grid = experiment_grid(options);
+  // Trim to the cheap scenarios to keep the suite fast.
+  grid.resize(4);
+  const auto serial = run_experiment_grid(grid, params, 1);
+  const auto parallel = run_experiment_grid(grid, params, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].ok, parallel[i].ok);
+    EXPECT_EQ(serial[i].built_n, parallel[i].built_n);
+    EXPECT_EQ(serial[i].greedy.colors, parallel[i].greedy.colors);
+    EXPECT_EQ(serial[i].greedy.identical, parallel[i].greedy.identical);
+    EXPECT_EQ(serial[i].valid, parallel[i].valid);
+  }
+}
+
+TEST(ExperimentReport, EmitsSchemaResultsAndSummary) {
+  ExperimentOptions options;
+  options.quick = true;
+  options.threads = 2;
+  SinrParams params;
+  auto grid = experiment_grid(options);
+  grid.resize(2);
+  const auto results = run_experiment_grid(grid, params, 2);
+  const JsonValue report = experiment_report(results, options);
+  const std::string text = report.dump();
+  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/1\""), std::string::npos);
+  EXPECT_NE(text.find("\"results\""), std::string::npos);
+  EXPECT_NE(text.find("\"greedy\""), std::string::npos);
+  EXPECT_NE(text.find("\"summary\""), std::string::npos);
+  EXPECT_NE(text.find("\"failures\": 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oisched
