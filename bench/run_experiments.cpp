@@ -67,7 +67,13 @@ int main(int argc, char** argv) {
 
     int failures = 0;
     for (const ScenarioResult& result : results) {
-      if (result.ok) {
+      if (result.ok && result.spec.is_dynamic()) {
+        std::cerr << "  " << result.spec.name() << ": " << result.dynamic.events
+                  << " events at " << result.dynamic.events_per_sec << " events/sec, "
+                  << result.dynamic.final_colors << " final colors, "
+                  << result.dynamic.migrations << " migrations"
+                  << (result.valid ? "" : " [INVALID FINAL STATE]") << '\n';
+      } else if (result.ok) {
         std::cerr << "  " << result.spec.name() << ": greedy " << result.greedy.colors
                   << " colors, speedup " << result.greedy.speedup << "x"
                   << (result.greedy.identical ? "" : " [ENGINES DISAGREE]")

@@ -3,13 +3,22 @@
 //   $ ./schedule_tool gen  <out.inst> <n> [seed]       generate a workload
 //   $ ./schedule_tool run  <in.inst> <out.sched> [sqrt|greedy] [gain|incremental|direct]
 //   $ ./schedule_tool check <in.inst> <in.sched>       validate a schedule
+//   $ ./schedule_tool gen-trace <in.inst> <out.trace> [poisson|flash|adversarial]
+//                               [events] [seed]        generate a churn trace
+//   $ ./schedule_tool replay <in.inst> --trace <in.trace> [--out <final.sched>]
+//                                                      replay it online
 //
 // `run` defaults to the Section-5 sqrt coloring on the gain-matrix engine;
 // the other engines answer the same queries from scratch and exist for
 // cross-checking (identical schedules, different wall time — reported).
+// `replay` drives the trace through the online scheduler (arrivals first-fit
+// into the live coloring, departures shrink and compact it), reports
+// events/sec, colors and migrations, and re-validates the final state
+// bit-for-bit against the direct feasibility engine.
 //
-// Demonstrates the serialization API (core/io.h) and how downstream tools
-// can mix and match generators, algorithms, engines and validators.
+// Demonstrates the serialization API (core/io.h, gen/churn.h) and how
+// downstream tools can mix and match generators, algorithms, engines and
+// validators.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -18,7 +27,9 @@
 #include "core/io.h"
 #include "core/power_assignment.h"
 #include "core/sqrt_coloring.h"
+#include "gen/churn.h"
 #include "gen/generators.h"
+#include "online/online_scheduler.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -31,8 +42,21 @@ int usage() {
                "  schedule_tool gen   <out.inst> <n> [seed]\n"
                "  schedule_tool run   <in.inst> <out.sched> [sqrt|greedy] "
                "[gain|incremental|direct]\n"
-               "  schedule_tool check <in.inst> <in.sched>\n";
+               "  schedule_tool check <in.inst> <in.sched>\n"
+               "  schedule_tool gen-trace <in.inst> <out.trace> "
+               "[poisson|flash|adversarial] [events] [seed]\n"
+               "  schedule_tool replay <in.inst> --trace <in.trace> "
+               "[--out <final.sched>]\n";
   return 2;
+}
+
+/// The fixed SINR parameters every subcommand evaluates under — one place,
+/// so run/check/replay can never drift apart.
+SinrParams default_params() {
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  return params;
 }
 
 bool parse_engine(const std::string& word, FeasibilityEngine& engine) {
@@ -66,9 +90,7 @@ int cmd_run(int argc, char** argv) {
   const std::string algo = argc > 4 ? argv[4] : "sqrt";
   FeasibilityEngine engine = FeasibilityEngine::gain_matrix;
   if (argc > 5 && !parse_engine(argv[5], engine)) return usage();
-  SinrParams params;
-  params.alpha = 3.0;
-  params.beta = 1.0;
+  const SinrParams params = default_params();
 
   Schedule schedule;
   Stopwatch watch;
@@ -99,9 +121,7 @@ int cmd_check(int argc, char** argv) {
   if (argc < 4) return usage();
   const Instance instance = load_instance(argv[2]);
   const Schedule schedule = load_schedule(argv[3]);
-  SinrParams params;
-  params.alpha = 3.0;
-  params.beta = 1.0;
+  const SinrParams params = default_params();
   const auto powers = SqrtPower{}.assign(instance, params.alpha);
   const ScheduleReport report =
       validate_schedule(instance, powers, schedule, params, Variant::bidirectional);
@@ -113,6 +133,62 @@ int cmd_check(int argc, char** argv) {
   return report.valid ? 0 : 1;
 }
 
+int cmd_gen_trace(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const Instance instance = load_instance(argv[2]);
+  const std::string path = argv[3];
+  const std::string kind = argc > 4 ? argv[4] : "poisson";
+  const std::size_t events = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
+  const std::uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1;
+  if (kind != "poisson" && kind != "flash" && kind != "adversarial") return usage();
+  Rng rng(seed);
+  const ChurnTrace trace = make_churn_trace(kind, instance.size(), events, rng);
+  save_trace(path, trace);
+  std::cout << "wrote " << trace.events.size() << " " << kind << " events over "
+            << trace.universe << " links to " << path << '\n';
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Instance instance = load_instance(argv[2]);
+  std::string trace_path;
+  std::string out_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (trace_path.empty()) return usage();
+  const ChurnTrace trace = load_trace(trace_path);
+  const SinrParams params = default_params();
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional);
+  const ReplayResult result = replay_trace(scheduler, trace);
+  const OnlineStats& stats = result.stats;
+  std::cout << "replayed " << stats.events() << " events (" << stats.arrivals
+            << " arrivals, " << stats.departures << " departures) in "
+            << result.wall_seconds * 1e3 << " ms: " << result.events_per_sec
+            << " events/sec\n"
+            << "final state: " << result.final_active << " active links in "
+            << result.final_colors << " colors (peak " << stats.peak_colors
+            << "), " << stats.migrations << " migrations, worst event "
+            << stats.max_event_seconds * 1e3 << " ms\n"
+            << "final validation vs direct engine: "
+            << (result.validated ? "BIT-IDENTICAL, FEASIBLE" : "FAILED") << '\n';
+  if (!out_path.empty()) {
+    save_schedule(out_path, result.final_schedule);
+    std::cout << "wrote final schedule -> " << out_path << '\n';
+  }
+  return result.validated ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,6 +198,8 @@ int main(int argc, char** argv) {
     if (command == "gen") return cmd_gen(argc, argv);
     if (command == "run") return cmd_run(argc, argv);
     if (command == "check") return cmd_check(argc, argv);
+    if (command == "gen-trace") return cmd_gen_trace(argc, argv);
+    if (command == "replay") return cmd_replay(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -25,9 +25,9 @@ DistributedResult distributed_coloring(const Instance& instance,
   DistributedResult result;
   result.schedule.color_of.assign(instance.size(), -1);
 
-  std::optional<GainMatrix> gains;
+  std::shared_ptr<const GainMatrix> gains;
   if (options.engine == FeasibilityEngine::gain_matrix) {
-    gains.emplace(instance, powers, params.alpha, variant);
+    gains = instance.gains(powers, params.alpha, variant);
   }
 
   Rng rng(options.seed);

@@ -91,10 +91,10 @@ ExactResult exact_min_colors(const Instance& instance, std::span<const double> p
   params.validate();
   // The oracle runs up to 2^n times over the same requests — exactly the
   // access pattern the shared gain-matrix engine exists for.
-  const GainMatrix gains(instance, powers, params.alpha, variant);
+  const auto gains = instance.gains(powers, params.alpha, variant);
   auto oracle = [&](Mask mask) {
     const auto idx = mask_to_indices(mask);
-    return check_feasible(gains, idx, params).feasible;
+    return check_feasible(*gains, idx, params).feasible;
   };
   return partition_dp(n, feasible_table(n, oracle));
 }

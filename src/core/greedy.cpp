@@ -104,9 +104,9 @@ Schedule greedy_coloring(const Instance& instance, std::span<const double> power
     case FeasibilityEngine::gain_matrix:
       break;
   }
-  const GainMatrix gains(instance, powers, params.alpha, variant);
+  const auto gains = instance.gains(powers, params.alpha, variant);
   return first_fit_coloring<IncrementalGainClass>(
-      instance, order, [&] { return IncrementalGainClass(gains, params); });
+      instance, order, [&] { return IncrementalGainClass(*gains, params); });
 }
 
 PowerControlColoring greedy_power_control_coloring(const Instance& instance,

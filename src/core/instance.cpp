@@ -1,14 +1,58 @@
 #include "core/instance.h"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 
+#include "sinr/gain_matrix.h"
 #include "util/error.h"
 
 namespace oisched {
 
+/// Shared (across copies) cache of gain tables. Every entry owns a copy of
+/// the requests and the metric handle, so a GainMatrix handed out stays
+/// valid regardless of eviction or the originating Instance's lifetime.
+struct Instance::GainCache {
+  struct Entry {
+    Entry(std::shared_ptr<const MetricSpace> metric_in, std::vector<Request> requests_in,
+          std::vector<double> powers_in, double alpha_in, Variant variant_in,
+          bool with_sender_gains_in)
+        : metric(std::move(metric_in)),
+          requests(std::move(requests_in)),
+          powers(std::move(powers_in)),
+          alpha(alpha_in),
+          variant(variant_in),
+          with_sender_gains(with_sender_gains_in),
+          gains(*metric, requests, powers, alpha, variant, with_sender_gains) {}
+
+    std::shared_ptr<const MetricSpace> metric;
+    std::vector<Request> requests;
+    std::vector<double> powers;
+    double alpha;
+    Variant variant;
+    bool with_sender_gains;
+    GainMatrix gains;  // declared last: references the members above
+
+    [[nodiscard]] bool matches(std::span<const double> p, double a, Variant v,
+                               bool sender) const {
+      return a == alpha && v == variant && sender == with_sender_gains &&
+             std::equal(p.begin(), p.end(), powers.begin(), powers.end());
+    }
+  };
+
+  /// Bounds the O(n^2)-sized tables kept alive per instance; in practice an
+  /// instance sees at most (powers x variant) ~ 2-3 distinct keys.
+  static constexpr std::size_t kMaxEntries = 4;
+
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Entry>> entries;  // most recently used first
+};
+
 Instance::Instance(std::shared_ptr<const MetricSpace> metric, std::vector<Request> requests)
-    : metric_(std::move(metric)), requests_(std::move(requests)) {
+    : metric_(std::move(metric)),
+      requests_(std::move(requests)),
+      gain_cache_(std::make_shared<GainCache>()) {
   require(metric_ != nullptr, "Instance: metric must be set");
   lengths_.reserve(requests_.size());
   for (const Request& r : requests_) {
@@ -19,6 +63,41 @@ Instance::Instance(std::shared_ptr<const MetricSpace> metric, std::vector<Reques
             "Instance: request endpoints must be distinct points at finite distance");
     lengths_.push_back(d);
   }
+}
+
+std::shared_ptr<const GainMatrix> Instance::gains(std::span<const double> powers,
+                                                  double alpha, Variant variant,
+                                                  bool with_sender_gains) const {
+  require(powers.size() == requests_.size(), "Instance::gains: one power per request");
+  // The bidirectional variant always builds the sender-side table, so the
+  // flag changes nothing there — normalize it out of the key to avoid a
+  // bit-identical duplicate build.
+  if (variant == Variant::bidirectional) with_sender_gains = false;
+  std::lock_guard<std::mutex> lock(gain_cache_->mutex);
+  auto& entries = gain_cache_->entries;
+  // The aliasing shared_ptr pins the whole entry (metric handle, request
+  // and power copies) for as long as any caller holds the matrix.
+  const auto alias = [](const std::shared_ptr<GainCache::Entry>& entry) {
+    return std::shared_ptr<const GainMatrix>(entry, &entry->gains);
+  };
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    if (entries[k]->matches(powers, alpha, variant, with_sender_gains)) {
+      if (k != 0) std::rotate(entries.begin(), entries.begin() + k, entries.begin() + k + 1);
+      return alias(entries.front());
+    }
+  }
+  auto entry = std::make_shared<GainCache::Entry>(
+      metric_, std::vector<Request>(requests_.begin(), requests_.end()),
+      std::vector<double>(powers.begin(), powers.end()), alpha, variant,
+      with_sender_gains);
+  entries.insert(entries.begin(), std::move(entry));
+  if (entries.size() > GainCache::kMaxEntries) entries.pop_back();
+  return alias(entries.front());
+}
+
+std::size_t Instance::cached_gain_tables() const {
+  std::lock_guard<std::mutex> lock(gain_cache_->mutex);
+  return gain_cache_->entries.size();
 }
 
 const Request& Instance::request(std::size_t i) const {

@@ -11,8 +11,16 @@
 
 namespace oisched {
 
+class GainMatrix;
+
 /// Bundles the point set and the communication requests of one problem
 /// instance. Immutable after construction; request lengths are precomputed.
+///
+/// Instances also own a small cache of GainMatrix tables keyed by
+/// (powers, alpha, variant, sender-gains) — repeated queries across
+/// algorithms and replay steps share one O(n^2) build instead of paying it
+/// per call. Copies and moves share the cache (the underlying data is
+/// immutable either way).
 class Instance {
  public:
   Instance(std::shared_ptr<const MetricSpace> metric, std::vector<Request> requests);
@@ -33,10 +41,28 @@ class Instance {
   /// {0, 1, ..., size()-1}; handy for whole-instance algorithm calls.
   [[nodiscard]] std::vector<std::size_t> all_indices() const;
 
+  /// The gain-matrix tables for (powers, alpha, variant, with_sender_gains),
+  /// built on first use and cached (bitwise power equality keys the cache; a
+  /// handful of entries are kept, least-recently-used first out; the
+  /// sender-gains flag is ignored for the bidirectional variant, which
+  /// always builds that table). The returned matrix owns copies of
+  /// everything it references, so it stays valid even after eviction or the
+  /// instance's destruction. Thread-safe, though a cold O(n^2) build holds
+  /// the cache lock, so concurrent requests serialize behind it.
+  [[nodiscard]] std::shared_ptr<const GainMatrix> gains(
+      std::span<const double> powers, double alpha, Variant variant,
+      bool with_sender_gains = false) const;
+
+  /// Number of gain tables currently cached (tests observe eviction).
+  [[nodiscard]] std::size_t cached_gain_tables() const;
+
  private:
+  struct GainCache;
+
   std::shared_ptr<const MetricSpace> metric_;
   std::vector<Request> requests_;
   std::vector<double> lengths_;
+  std::shared_ptr<GainCache> gain_cache_;
 };
 
 }  // namespace oisched

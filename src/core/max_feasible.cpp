@@ -72,7 +72,8 @@ std::vector<std::size_t> exact_max_feasible_subset(const Instance& instance,
   require(instance.size() <= 20, "exact_max_feasible_subset: limited to n <= 20");
   require(powers.size() == instance.size(), "exact_max_feasible_subset: power per request");
   params.validate();
-  const GainMatrix t(instance, powers, params.alpha, variant);
+  const auto gains = instance.gains(powers, params.alpha, variant);
+  const GainMatrix& t = *gains;
   const bool bidirectional = variant == Variant::bidirectional;
   const double beta = params.beta;
   const std::size_t n = instance.size();

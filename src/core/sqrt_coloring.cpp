@@ -346,12 +346,12 @@ SqrtColoringResult sqrt_coloring(const Instance& instance, const SinrParams& par
   result.powers = SqrtPower{}.assign(instance, params.alpha);
   result.schedule.color_of.assign(instance.size(), -1);
 
-  std::optional<GainMatrix> gains;
+  std::shared_ptr<const GainMatrix> gains;
   if (options.engine == FeasibilityEngine::gain_matrix) {
     // The LP budgets interference at sender nodes too, so the directed
     // variant also needs the at_u table here.
-    gains.emplace(instance, result.powers, params.alpha, variant,
-                  /*with_sender_gains=*/true);
+    gains = instance.gains(result.powers, params.alpha, variant,
+                           /*with_sender_gains=*/true);
   }
 
   Rng rng(options.seed);
@@ -359,7 +359,7 @@ SqrtColoringResult sqrt_coloring(const Instance& instance, const SinrParams& par
   int color = 0;
   while (!uncolored.empty()) {
     RoundSelector selector(instance, result.powers, params, variant, options,
-                           gains ? &*gains : nullptr, rng, result.stats);
+                           gains.get(), rng, result.stats);
     const std::vector<std::size_t> chosen = selector.select(uncolored);
     ensure(!chosen.empty(), "sqrt_coloring: a round must color at least one request");
     for (const std::size_t j : chosen) {

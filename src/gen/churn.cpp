@@ -1,0 +1,317 @@
+#include "gen/churn.h"
+
+#include <algorithm>
+#include <fstream>
+#include <queue>
+#include <sstream>
+#include <tuple>
+
+#include "util/error.h"
+#include "util/json_reader.h"
+
+namespace oisched {
+namespace {
+
+/// A pending departure: ordered by time, ties broken by insertion sequence
+/// so the stream is deterministic however the heap reorders equal times.
+struct PendingDeparture {
+  double time = 0.0;
+  std::size_t seq = 0;
+  std::size_t link = 0;
+
+  bool operator>(const PendingDeparture& other) const {
+    return std::tie(time, seq) > std::tie(other.time, other.seq);
+  }
+};
+
+using DepartureQueue =
+    std::priority_queue<PendingDeparture, std::vector<PendingDeparture>,
+                        std::greater<PendingDeparture>>;
+
+/// Removes and returns a uniformly random element of `pool` (swap-remove,
+/// so the pick is O(1) and deterministic in the rng stream).
+std::size_t pick_from_pool(std::vector<std::size_t>& pool, Rng& rng) {
+  const std::size_t k = static_cast<std::size_t>(rng.uniform_index(pool.size()));
+  const std::size_t link = pool[k];
+  pool[k] = pool.back();
+  pool.pop_back();
+  return link;
+}
+
+const char* kind_name(ChurnEvent::Kind kind) {
+  return kind == ChurnEvent::Kind::arrival ? "arrival" : "departure";
+}
+
+}  // namespace
+
+void ChurnTrace::validate() const {
+  std::vector<char> active(universe, 0);
+  double last_time = 0.0;
+  for (const ChurnEvent& event : events) {
+    require(event.link < universe, "ChurnTrace: link index out of universe");
+    require(event.time >= last_time, "ChurnTrace: time must be non-decreasing");
+    last_time = event.time;
+    if (event.kind == ChurnEvent::Kind::arrival) {
+      require(!active[event.link], "ChurnTrace: arrival of an already active link");
+      active[event.link] = 1;
+    } else {
+      require(active[event.link], "ChurnTrace: departure of an inactive link");
+      active[event.link] = 0;
+    }
+  }
+}
+
+std::vector<std::size_t> ChurnTrace::final_active() const {
+  std::vector<char> active(universe, 0);
+  for (const ChurnEvent& event : events) {
+    active[event.link] = event.kind == ChurnEvent::Kind::arrival ? 1 : 0;
+  }
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < universe; ++i) {
+    if (active[i]) result.push_back(i);
+  }
+  return result;
+}
+
+std::size_t ChurnTrace::peak_active() const {
+  std::size_t now = 0;
+  std::size_t peak = 0;
+  for (const ChurnEvent& event : events) {
+    if (event.kind == ChurnEvent::Kind::arrival) {
+      peak = std::max(peak, ++now);
+    } else {
+      --now;
+    }
+  }
+  return peak;
+}
+
+ChurnTrace poisson_trace(std::size_t universe, const PoissonChurnOptions& options,
+                         Rng& rng) {
+  require(universe > 0, "poisson_trace: universe must be non-empty");
+  require(options.arrival_rate > 0.0, "poisson_trace: arrival rate must be positive");
+  require(options.mean_holding_time > 0.0,
+          "poisson_trace: mean holding time must be positive");
+
+  ChurnTrace trace;
+  trace.universe = universe;
+  trace.events.reserve(options.max_events);
+
+  std::vector<std::size_t> inactive(universe);
+  for (std::size_t i = 0; i < universe; ++i) inactive[i] = i;
+  DepartureQueue pending;
+  std::size_t seq = 0;
+
+  double t = 0.0;
+  double next_arrival = rng.exponential(options.arrival_rate);
+  while (trace.events.size() < options.max_events) {
+    const bool can_arrive = !inactive.empty();
+    const bool can_depart = !pending.empty();
+    if (!can_arrive && !can_depart) break;  // universe exhausted both ways
+    if (can_arrive && (!can_depart || next_arrival <= pending.top().time)) {
+      // When the universe was saturated the arrival waited for a free link;
+      // it then fires immediately, never before the freeing departure.
+      t = std::max(t, next_arrival);
+      const std::size_t link = pick_from_pool(inactive, rng);
+      trace.events.push_back({ChurnEvent::Kind::arrival, link, t});
+      pending.push({t + rng.exponential(1.0 / options.mean_holding_time), seq++, link});
+      next_arrival += rng.exponential(options.arrival_rate);
+    } else {
+      const PendingDeparture departure = pending.top();
+      pending.pop();
+      t = std::max(t, departure.time);
+      trace.events.push_back({ChurnEvent::Kind::departure, departure.link, t});
+      inactive.push_back(departure.link);
+    }
+  }
+  return trace;
+}
+
+ChurnTrace flash_crowd_trace(std::size_t universe, const FlashCrowdOptions& options,
+                             Rng& rng) {
+  require(universe > 0, "flash_crowd_trace: universe must be non-empty");
+  require(options.bursts > 0, "flash_crowd_trace: need at least one burst");
+  require(options.burst_spacing > 0.0 && options.burst_width > 0.0,
+          "flash_crowd_trace: burst geometry must be positive");
+  require(options.mean_holding_time > 0.0,
+          "flash_crowd_trace: mean holding time must be positive");
+  const std::size_t burst_size =
+      options.burst_size > 0 ? options.burst_size : std::max<std::size_t>(1, universe / 4);
+
+  // All crowd arrival instants first (one rng pass), then a deterministic
+  // time sweep that merges them with the departures they trigger.
+  std::vector<double> arrivals;
+  arrivals.reserve(options.bursts * burst_size);
+  for (std::size_t b = 0; b < options.bursts; ++b) {
+    const double front = static_cast<double>(b) * options.burst_spacing;
+    for (std::size_t k = 0; k < burst_size; ++k) {
+      arrivals.push_back(front + rng.uniform(0.0, options.burst_width));
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end());
+
+  ChurnTrace trace;
+  trace.universe = universe;
+  std::vector<std::size_t> inactive(universe);
+  for (std::size_t i = 0; i < universe; ++i) inactive[i] = i;
+  DepartureQueue pending;
+  std::size_t seq = 0;
+  std::size_t next = 0;
+  double t = 0.0;
+  while (next < arrivals.size() || !pending.empty()) {
+    if (next < arrivals.size() &&
+        (pending.empty() || arrivals[next] <= pending.top().time)) {
+      t = std::max(t, arrivals[next]);
+      ++next;
+      if (inactive.empty()) continue;  // crowd overflow: the universe is full
+      const std::size_t link = pick_from_pool(inactive, rng);
+      trace.events.push_back({ChurnEvent::Kind::arrival, link, t});
+      pending.push({t + rng.exponential(1.0 / options.mean_holding_time), seq++, link});
+    } else {
+      const PendingDeparture departure = pending.top();
+      pending.pop();
+      t = std::max(t, departure.time);
+      trace.events.push_back({ChurnEvent::Kind::departure, departure.link, t});
+      inactive.push_back(departure.link);
+    }
+  }
+  return trace;
+}
+
+ChurnTrace adversarial_chain_trace(std::size_t universe,
+                                   const AdversarialChurnOptions& options, Rng& rng) {
+  require(universe > 0, "adversarial_chain_trace: universe must be non-empty");
+  require(options.chain_length >= 2,
+          "adversarial_chain_trace: chains need at least two links");
+  require(options.chain_length <= universe,
+          "adversarial_chain_trace: chain cannot exceed the universe");
+  // Every round retires one link for good, so only so many rounds fit.
+  const std::size_t max_rounds = universe - options.chain_length + 1;
+  std::size_t rounds = options.rounds > 0 ? options.rounds : universe / 2;
+  rounds = std::min(rounds, max_rounds);
+
+  ChurnTrace trace;
+  trace.universe = universe;
+  std::vector<std::size_t> inactive(universe);
+  for (std::size_t i = 0; i < universe; ++i) inactive[i] = i;
+  double t = 0.0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<std::size_t> chain;
+    chain.reserve(options.chain_length);
+    for (std::size_t k = 0; k < options.chain_length; ++k) {
+      chain.push_back(pick_from_pool(inactive, rng));
+    }
+    for (const std::size_t link : chain) {
+      trace.events.push_back({ChurnEvent::Kind::arrival, link, t});
+      t += 1.0;
+    }
+    // Delete all but the last insert; the survivor fragments every future
+    // first-fit pass a little more.
+    for (std::size_t k = 0; k + 1 < chain.size(); ++k) {
+      trace.events.push_back({ChurnEvent::Kind::departure, chain[k], t});
+      t += 1.0;
+      inactive.push_back(chain[k]);
+    }
+  }
+  return trace;
+}
+
+ChurnTrace make_churn_trace(const std::string& kind, std::size_t universe,
+                            std::size_t target_events, Rng& rng) {
+  if (kind == "poisson") {
+    PoissonChurnOptions options;
+    // Arrival rate scaled so steady state keeps ~half the universe active
+    // (rate * holding ≈ n/2); enough events by default that steady-state
+    // churn dominates the warm-up ramp.
+    options.arrival_rate =
+        std::max(1.0, static_cast<double>(universe) / (2.0 * options.mean_holding_time));
+    options.max_events = target_events > 0 ? target_events : 16 * universe;
+    return poisson_trace(universe, options, rng);
+  }
+  if (kind == "flash") {
+    FlashCrowdOptions options;
+    // Every crowd arrival eventually departs: ~2 * bursts * burst_size
+    // events total.
+    if (target_events > 0) {
+      options.burst_size = std::max<std::size_t>(1, target_events / (2 * options.bursts));
+    }
+    return flash_crowd_trace(universe, options, rng);
+  }
+  if (kind == "adversarial") {
+    require(universe >= 2, "make_churn_trace: adversarial chains need >= 2 links");
+    AdversarialChurnOptions options;
+    // Chains cannot exceed the universe (tiny instances get short chains).
+    options.chain_length = std::min(options.chain_length, universe);
+    // Each round emits chain_length arrivals + (chain_length - 1) departures.
+    if (target_events > 0) {
+      options.rounds =
+          std::max<std::size_t>(1, target_events / (2 * options.chain_length - 1));
+    }
+    return adversarial_chain_trace(universe, options, rng);
+  }
+  throw PreconditionError("make_churn_trace: unknown trace kind '" + kind + "'");
+}
+
+JsonValue trace_to_json(const ChurnTrace& trace) {
+  JsonValue root = JsonValue::object();
+  root["schema"] = "oisched-trace/1";
+  root["universe"] = trace.universe;
+  JsonValue events = JsonValue::array();
+  for (const ChurnEvent& event : trace.events) {
+    JsonValue entry = JsonValue::object();
+    entry["t"] = event.time;
+    entry["kind"] = kind_name(event.kind);
+    entry["link"] = event.link;
+    events.push_back(std::move(entry));
+  }
+  root["events"] = std::move(events);
+  return root;
+}
+
+ChurnTrace trace_from_json(const JsonValue& document) {
+  require(document.at("schema").as_string() == "oisched-trace/1",
+          "trace_from_json: unsupported trace schema");
+  const std::int64_t universe = document.at("universe").as_int();
+  require(universe >= 0, "trace_from_json: universe must be non-negative");
+
+  ChurnTrace trace;
+  trace.universe = static_cast<std::size_t>(universe);
+  const JsonValue& events = document.at("events");
+  trace.events.reserve(events.size());
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const JsonValue& entry = events.item(k);
+    ChurnEvent event;
+    event.time = entry.at("t").as_double();
+    const std::string& kind = entry.at("kind").as_string();
+    if (kind == "arrival") {
+      event.kind = ChurnEvent::Kind::arrival;
+    } else if (kind == "departure") {
+      event.kind = ChurnEvent::Kind::departure;
+    } else {
+      throw PreconditionError("trace_from_json: unknown event kind '" + kind + "'");
+    }
+    const std::int64_t link = entry.at("link").as_int();
+    require(link >= 0, "trace_from_json: link must be non-negative");
+    event.link = static_cast<std::size_t>(link);
+    trace.events.push_back(event);
+  }
+  trace.validate();
+  return trace;
+}
+
+void save_trace(const std::string& path, const ChurnTrace& trace) {
+  std::ofstream out(path);
+  require(out.good(), "save_trace: cannot open '" + path + "' for writing");
+  out << trace_to_json(trace).dump() << '\n';
+  require(out.good(), "save_trace: write to '" + path + "' failed");
+}
+
+ChurnTrace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "load_trace: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return trace_from_json(parse_json(buffer.str()));
+}
+
+}  // namespace oisched

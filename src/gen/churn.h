@@ -1,0 +1,117 @@
+// Link-churn event traces: the workloads of the online scheduling subsystem.
+//
+// A ChurnTrace is a time-ordered stream of arrival/departure events over a
+// fixed universe of links (the requests of one Instance, indexed 0..n-1).
+// The generators cover the three regimes the dynamic benchmarks exercise:
+// Poisson arrivals with exponential holding times (steady churn), flash
+// crowds (correlated bursts), and adversarial insert-then-delete chains
+// (maximum recoloring pressure on a first-fit maintainer). All generators
+// are deterministic given an Rng, independent of thread count or call
+// site, and traces serialize to JSON (schema "oisched-trace/1") for
+// scripted replay via `schedule_tool replay --trace`.
+#ifndef OISCHED_GEN_CHURN_H
+#define OISCHED_GEN_CHURN_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/json_writer.h"
+#include "util/rng.h"
+
+namespace oisched {
+
+struct ChurnEvent {
+  enum class Kind { arrival, departure };
+
+  Kind kind = Kind::arrival;
+  std::size_t link = 0;  // request index into the instance the trace targets
+  double time = 0.0;
+
+  friend bool operator==(const ChurnEvent&, const ChurnEvent&) = default;
+};
+
+/// A validated event stream: times are non-decreasing and every link
+/// alternates arrival/departure starting from inactive.
+struct ChurnTrace {
+  std::size_t universe = 0;  // links are indices in [0, universe)
+  std::vector<ChurnEvent> events;
+
+  friend bool operator==(const ChurnTrace&, const ChurnTrace&) = default;
+
+  /// Throws PreconditionError when the stream is inconsistent (link out of
+  /// range, time running backwards, double arrival, departure of an
+  /// inactive link).
+  void validate() const;
+
+  /// Links still active after the last event, in increasing index order.
+  [[nodiscard]] std::vector<std::size_t> final_active() const;
+
+  /// Largest number of simultaneously active links over the stream.
+  [[nodiscard]] std::size_t peak_active() const;
+};
+
+struct PoissonChurnOptions {
+  double arrival_rate = 4.0;       // expected arrivals per unit time
+  double mean_holding_time = 8.0;  // expected lifetime of an arrived link
+  std::size_t max_events = 1024;   // trace length (arrivals + departures)
+};
+
+/// Steady-state churn: arrivals form a Poisson process over the inactive
+/// links, each arrival holds for an exponential duration. When every link
+/// is active, the stream idles until the next departure.
+[[nodiscard]] ChurnTrace poisson_trace(std::size_t universe,
+                                       const PoissonChurnOptions& options, Rng& rng);
+
+struct FlashCrowdOptions {
+  std::size_t bursts = 8;          // number of crowd spikes
+  std::size_t burst_size = 0;      // links per spike (0 = universe / 4)
+  double burst_spacing = 32.0;     // time between spike fronts
+  double burst_width = 1.0;        // arrivals spread uniformly over this window
+  double mean_holding_time = 8.0;  // exponential lifetime after arrival
+};
+
+/// Correlated load spikes: every `burst_spacing` time units a crowd of
+/// links arrives nearly at once and drains away exponentially.
+[[nodiscard]] ChurnTrace flash_crowd_trace(std::size_t universe,
+                                           const FlashCrowdOptions& options, Rng& rng);
+
+struct AdversarialChurnOptions {
+  std::size_t rounds = 0;        // insert-then-delete rounds (0 = universe / 2)
+  std::size_t chain_length = 8;  // links inserted per round
+};
+
+/// Insert-then-delete chains: each round inserts `chain_length` links and
+/// immediately deletes all but the last, which stays forever. The residue
+/// accumulates, so every later round first-fits against an ever more
+/// fragmented coloring — the worst case for incremental maintenance.
+[[nodiscard]] ChurnTrace adversarial_chain_trace(std::size_t universe,
+                                                 const AdversarialChurnOptions& options,
+                                                 Rng& rng);
+
+/// Dispatches over the generator kinds by name ("poisson" | "flash" |
+/// "adversarial") — the single registry the CLI, the benchmark harness and
+/// the tests share. target_events sizes the stream (0 picks a default
+/// proportional to the universe for poisson, the generator defaults
+/// otherwise); the Poisson arrival rate scales with the universe so steady
+/// state keeps ~half the links active. Throws PreconditionError on an
+/// unknown kind.
+[[nodiscard]] ChurnTrace make_churn_trace(const std::string& kind, std::size_t universe,
+                                          std::size_t target_events, Rng& rng);
+
+/// JSON document for a trace (schema "oisched-trace/1"):
+///   {"schema": "oisched-trace/1", "universe": 256,
+///    "events": [{"t": 0.25, "kind": "arrival", "link": 3}, ...]}
+[[nodiscard]] JsonValue trace_to_json(const ChurnTrace& trace);
+
+/// Parses a trace document; throws PreconditionError on schema mismatch or
+/// an invalid stream (the result is validate()d).
+[[nodiscard]] ChurnTrace trace_from_json(const JsonValue& document);
+
+/// File convenience wrappers around the JSON form.
+void save_trace(const std::string& path, const ChurnTrace& trace);
+[[nodiscard]] ChurnTrace load_trace(const std::string& path);
+
+}  // namespace oisched
+
+#endif  // OISCHED_GEN_CHURN_H

@@ -1,0 +1,197 @@
+#include "online/online_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sinr/feasibility.h"
+#include "util/error.h"
+#include "util/stopwatch.h"
+
+namespace oisched {
+
+OnlineScheduler::OnlineScheduler(const Instance& instance, std::span<const double> powers,
+                                 const SinrParams& params, Variant variant,
+                                 OnlineSchedulerOptions options)
+    : instance_(instance),
+      powers_(powers.begin(), powers.end()),
+      params_(params),
+      variant_(variant),
+      options_(options),
+      gains_(instance.gains(powers_, params.alpha, variant)),
+      color_of_(instance.size(), -1) {
+  require(powers_.size() == instance_.size(), "OnlineScheduler: one power per link");
+  params_.validate();
+}
+
+int OnlineScheduler::color_of(std::size_t link) const {
+  require(link < color_of_.size(), "OnlineScheduler: link index out of range");
+  return color_of_[link];
+}
+
+int OnlineScheduler::place(std::size_t link) {
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (classes_[c].can_add(link)) {
+      classes_[c].add(link);
+      return static_cast<int>(c);
+    }
+  }
+  classes_.emplace_back(*gains_, params_, options_.remove_policy,
+                        options_.rebuild_interval);
+  classes_.back().add(link);
+  ++stats_.classes_opened;
+  return static_cast<int>(classes_.size() - 1);
+}
+
+int OnlineScheduler::on_arrival(std::size_t link) {
+  require(link < color_of_.size(), "OnlineScheduler: link index out of range");
+  require(color_of_[link] < 0, "OnlineScheduler: arrival of an already active link");
+  Stopwatch watch;
+  const int color = place(link);
+  color_of_[link] = color;
+  ++active_count_;
+  ++stats_.arrivals;
+  stats_.peak_colors = std::max(stats_.peak_colors, num_colors());
+  const double elapsed = watch.elapsed_seconds();
+  stats_.total_event_seconds += elapsed;
+  stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
+  return color;
+}
+
+void OnlineScheduler::on_departure(std::size_t link) {
+  require(link < color_of_.size(), "OnlineScheduler: link index out of range");
+  const int color = color_of_[link];
+  require(color >= 0, "OnlineScheduler: departure of an inactive link");
+  Stopwatch watch;
+  classes_[static_cast<std::size_t>(color)].remove(link);
+  color_of_[link] = -1;
+  --active_count_;
+  ++stats_.departures;
+  compact_from(static_cast<std::size_t>(color));
+  const double elapsed = watch.elapsed_seconds();
+  stats_.total_event_seconds += elapsed;
+  stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
+}
+
+void OnlineScheduler::compact_from(std::size_t color) {
+  // Drop the shrunken class outright when the departure emptied it.
+  if (classes_[color].size() == 0) {
+    classes_.erase(classes_.begin() + static_cast<std::ptrdiff_t>(color));
+    ++stats_.classes_closed;
+    for (int& c : color_of_) {
+      if (c > static_cast<int>(color)) --c;
+    }
+  }
+  if (!options_.compact_on_departure) return;
+  // Opportunistic compaction: migrate members of the trailing class into
+  // earlier classes; when the trailing class drains completely the color
+  // count shrinks, and the now-trailing class gets the same chance.
+  while (!classes_.empty()) {
+    const std::size_t last = classes_.size() - 1;
+    if (last == 0) break;  // a single class has nowhere to migrate to
+    const std::vector<std::size_t> members = classes_[last].members();
+    bool stuck = false;
+    for (const std::size_t m : members) {
+      bool moved = false;
+      for (std::size_t c = 0; c < last; ++c) {
+        if (classes_[c].can_add(m)) {
+          classes_[last].remove(m);
+          classes_[c].add(m);
+          color_of_[m] = static_cast<int>(c);
+          ++stats_.migrations;
+          moved = true;
+          break;
+        }
+      }
+      // The first immovable member ends the pass: the class cannot drain
+      // this round, and bailing keeps the common (nothing-fits) departure
+      // at one cheap scan instead of |class| of them.
+      if (!moved) {
+        stuck = true;
+        break;
+      }
+    }
+    if (stuck || classes_[last].size() > 0) break;
+    classes_.pop_back();
+    ++stats_.classes_closed;
+  }
+}
+
+void OnlineScheduler::apply(const ChurnEvent& event) {
+  if (event.kind == ChurnEvent::Kind::arrival) {
+    (void)on_arrival(event.link);
+  } else {
+    on_departure(event.link);
+  }
+}
+
+Schedule OnlineScheduler::snapshot() const {
+  Schedule schedule;
+  schedule.color_of = color_of_;
+  schedule.num_colors = num_colors();
+  return schedule;
+}
+
+bool OnlineScheduler::validate_against_direct(double* worst_margin) const {
+  double min_margin = std::numeric_limits<double>::infinity();
+  std::size_t members_seen = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const std::vector<std::size_t>& members = classes_[c].members();
+    ensure(!members.empty(), "OnlineScheduler: compaction must drop empty classes");
+    members_seen += members.size();
+    for (const std::size_t m : members) {
+      ensure(color_of_[m] == static_cast<int>(c),
+             "OnlineScheduler: class membership and coloring diverged");
+    }
+    const FeasibilityReport direct =
+        check_feasible(instance_.metric(), instance_.requests(), powers_, members,
+                       params_, variant_);
+    const FeasibilityReport tabled = check_feasible(*gains_, members, params_);
+    // Bit-for-bit agreement of the two engines, and actual feasibility.
+    if (direct.feasible != tabled.feasible ||
+        direct.worst_margin != tabled.worst_margin ||
+        direct.worst_request != tabled.worst_request || !direct.feasible) {
+      return false;
+    }
+    min_margin = std::min(min_margin, direct.worst_margin);
+  }
+  ensure(members_seen == active_count_,
+         "OnlineScheduler: active count and class sizes diverged");
+  if (worst_margin != nullptr) *worst_margin = min_margin;
+  return true;
+}
+
+ReplayResult replay_trace(OnlineScheduler& scheduler, const ChurnTrace& trace,
+                          bool validate_final) {
+  require(trace.universe == scheduler.instance().size(),
+          "replay_trace: trace universe must match the scheduler's instance");
+  ReplayResult result;
+  const OnlineStats before = scheduler.stats();
+  Stopwatch watch;
+  for (const ChurnEvent& event : trace.events) {
+    scheduler.apply(event);
+  }
+  result.wall_seconds = watch.elapsed_seconds();
+  // Counters are reported per replay, so reusing one scheduler across
+  // several traces stays internally consistent; peak_colors and
+  // max_event_seconds remain lifetime highs (they cannot be differenced).
+  result.stats = scheduler.stats();
+  result.stats.arrivals -= before.arrivals;
+  result.stats.departures -= before.departures;
+  result.stats.classes_opened -= before.classes_opened;
+  result.stats.classes_closed -= before.classes_closed;
+  result.stats.migrations -= before.migrations;
+  result.stats.total_event_seconds -= before.total_event_seconds;
+  result.events_per_sec =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(trace.events.size()) / result.wall_seconds
+          : 0.0;
+  result.final_schedule = scheduler.snapshot();
+  result.final_colors = scheduler.num_colors();
+  result.final_active = scheduler.active_count();
+  if (validate_final) {
+    result.validated = scheduler.validate_against_direct(&result.final_worst_margin);
+  }
+  return result;
+}
+
+}  // namespace oisched

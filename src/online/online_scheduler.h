@@ -1,0 +1,149 @@
+// Online scheduling: incremental maintenance of a valid coloring under a
+// stream of link arrivals and departures.
+//
+// The paper's oblivious power assignments are exactly the regime where the
+// request set is NOT known in advance — a power depends only on a link's
+// own length, so links can come and go without re-deriving anything global.
+// OnlineScheduler exploits that: it precomputes the gain tables for the
+// whole link universe once (via the per-Instance cache), then serves each
+// arrival with a first-fit scan over IncrementalGainClass accumulators
+// (O(colors * class size) table lookups, no distance or pow work) and each
+// departure with an O(n) class shrink plus an opportunistic compaction pass
+// that migrates members out of the last class when earlier ones can absorb
+// them. Throughput (events/sec), recolorings and per-event latency are the
+// headline metrics; replay_trace drives a whole ChurnTrace and reports
+// them. The final state re-validates bit-for-bit against the direct
+// metric-recomputing feasibility engine (validate_against_direct), which is
+// what the dynamic benchmark family and the tests gate on.
+#ifndef OISCHED_ONLINE_ONLINE_SCHEDULER_H
+#define OISCHED_ONLINE_ONLINE_SCHEDULER_H
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "gen/churn.h"
+#include "sinr/gain_matrix.h"
+
+namespace oisched {
+
+struct OnlineSchedulerOptions {
+  /// How classes restore their accumulators on departure. The default
+  /// (rebuild) keeps every class bit-identical to a from-scratch replay of
+  /// its surviving members; compensated trades that exactness for O(n)
+  /// removals with a drift-bounded rebuild trigger.
+  RemovePolicy remove_policy = RemovePolicy::rebuild;
+  /// Forced-rebuild interval of the compensated policy (see
+  /// IncrementalGainClass).
+  std::size_t rebuild_interval = 16;
+  /// After a departure, try to dissolve the trailing class by migrating its
+  /// members into earlier classes — keeps the color count tight under
+  /// churn at the cost of recolorings (counted in stats().migrations).
+  bool compact_on_departure = true;
+};
+
+/// Counters and timings over the scheduler's lifetime.
+struct OnlineStats {
+  std::size_t arrivals = 0;
+  std::size_t departures = 0;
+  std::size_t classes_opened = 0;
+  std::size_t classes_closed = 0;
+  /// Links recolored by compaction (beyond their original placement).
+  std::size_t migrations = 0;
+  int peak_colors = 0;
+  double total_event_seconds = 0.0;
+  double max_event_seconds = 0.0;
+
+  [[nodiscard]] std::size_t events() const noexcept { return arrivals + departures; }
+};
+
+class OnlineScheduler {
+ public:
+  /// The instance fixes the link universe; traces address links by request
+  /// index. Powers/params/variant are fixed for the scheduler's lifetime —
+  /// oblivious assignments make that sound, since a link's power never
+  /// depends on who else is active. The gain tables come from the
+  /// instance's shared cache, so repeated replays (and offline algorithms
+  /// on the same instance) pay the O(n^2) build once.
+  OnlineScheduler(const Instance& instance, std::span<const double> powers,
+                  const SinrParams& params, Variant variant,
+                  OnlineSchedulerOptions options = {});
+
+  /// Activates a link (must be inactive): first-fits it into the existing
+  /// classes, opening a new one when none is feasible. Returns its color.
+  int on_arrival(std::size_t link);
+
+  /// Deactivates a link (must be active), compacting classes per options.
+  void on_departure(std::size_t link);
+
+  /// Dispatches one trace event to on_arrival/on_departure.
+  void apply(const ChurnEvent& event);
+
+  [[nodiscard]] int color_of(std::size_t link) const;
+  [[nodiscard]] bool is_active(std::size_t link) const { return color_of(link) >= 0; }
+  [[nodiscard]] std::size_t active_count() const noexcept { return active_count_; }
+  [[nodiscard]] int num_colors() const noexcept {
+    return static_cast<int>(classes_.size());
+  }
+  [[nodiscard]] const OnlineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Instance& instance() const noexcept { return instance_; }
+  [[nodiscard]] const GainMatrix& gains() const noexcept { return *gains_; }
+  [[nodiscard]] std::span<const double> powers() const noexcept { return powers_; }
+
+  /// The current coloring: -1 for inactive links, colors dense in
+  /// [0, num_colors) otherwise.
+  [[nodiscard]] Schedule snapshot() const;
+
+  /// Re-checks every class from scratch with BOTH engines — the direct
+  /// metric-recomputing checker and the gain tables — and demands
+  /// bit-for-bit agreement (verdict, worst margin, worst request) plus
+  /// feasibility of every class. This is the online subsystem's exactness
+  /// gate; `worst_margin` (optional) receives the minimum class margin.
+  [[nodiscard]] bool validate_against_direct(double* worst_margin = nullptr) const;
+
+ private:
+  int place(std::size_t link);           // first-fit; returns the color used
+  void compact_from(std::size_t color);  // drop empty / migrate trailing classes
+
+  const Instance& instance_;
+  std::vector<double> powers_;
+  SinrParams params_;
+  Variant variant_;
+  OnlineSchedulerOptions options_;
+  std::shared_ptr<const GainMatrix> gains_;
+  std::vector<IncrementalGainClass> classes_;
+  std::vector<int> color_of_;
+  std::size_t active_count_ = 0;
+  OnlineStats stats_;
+};
+
+/// Outcome of replaying one trace through an OnlineScheduler.
+struct ReplayResult {
+  /// Per-replay counters (deltas over the scheduler's lifetime stats, so a
+  /// reused scheduler reports each trace separately); peak_colors and
+  /// max_event_seconds are lifetime highs.
+  OnlineStats stats;
+  double wall_seconds = 0.0;   // event loop only (excludes validation)
+  double events_per_sec = 0.0;
+  Schedule final_schedule;     // -1 for links inactive at the end
+  int final_colors = 0;
+  std::size_t final_active = 0;
+  /// Set when validate_final: the final state passed
+  /// validate_against_direct.
+  bool validated = false;
+  double final_worst_margin = 0.0;
+};
+
+/// Feeds every event of `trace` to `scheduler` (which must target the
+/// trace's universe) and measures throughput. With validate_final the final
+/// state is re-validated bit-for-bit against the direct engine.
+[[nodiscard]] ReplayResult replay_trace(OnlineScheduler& scheduler,
+                                        const ChurnTrace& trace,
+                                        bool validate_final = true);
+
+}  // namespace oisched
+
+#endif  // OISCHED_ONLINE_ONLINE_SCHEDULER_H

@@ -1,5 +1,7 @@
 #include "sinr/gain_matrix.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/instance.h"
@@ -9,6 +11,12 @@ namespace oisched {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+/// One unit in the last place of a double — the per-operation rounding loss.
+constexpr double kUlp = std::numeric_limits<double>::epsilon();
+/// Compensated removals trigger a rebuild once the cancelled magnitude of a
+/// slot exceeds this multiple of what remains: beyond it the slot has lost
+/// ~log10(kDriftRatio) of its ~16 significant digits to cancellation.
+constexpr double kDriftRatio = 1e6;
 
 }  // namespace
 
@@ -114,26 +122,37 @@ double max_feasible_gain(const GainMatrix& gains, std::span<const std::size_t> a
 }
 
 IncrementalGainClass::IncrementalGainClass(const GainMatrix& gains,
-                                           const SinrParams& params)
-    : gains_(gains), params_(params) {
+                                           const SinrParams& params,
+                                           RemovePolicy policy,
+                                           std::size_t rebuild_interval)
+    : gains_(&gains),
+      params_(params),
+      policy_(policy),
+      rebuild_interval_(rebuild_interval) {
   params_.validate();
-  acc_v_.assign(gains_.size(), 0.0);
-  if (gains_.variant() == Variant::bidirectional) acc_u_.assign(gains_.size(), 0.0);
+  require(rebuild_interval_ > 0,
+          "IncrementalGainClass: rebuild interval must be positive");
+  acc_v_.assign(gains_->size(), 0.0);
+  if (gains_->variant() == Variant::bidirectional) acc_u_.assign(gains_->size(), 0.0);
+  if (policy_ == RemovePolicy::compensated) {
+    cancelled_v_.assign(acc_v_.size(), 0.0);
+    cancelled_u_.assign(acc_u_.size(), 0.0);
+  }
 }
 
 bool IncrementalGainClass::can_add(std::size_t request_index) const {
-  const bool bidirectional = gains_.variant() == Variant::bidirectional;
-  const double cand_signal = gains_.signal(request_index);
+  const bool bidirectional = gains_->variant() == Variant::bidirectional;
+  const double cand_signal = gains_->signal(request_index);
 
   // Existing members must tolerate the newcomer's extra interference.
   for (const std::size_t m : members_) {
-    const double extra_v = gains_.at_v(request_index, m);
-    if (!(gains_.signal(m) > params_.beta * (acc_v_[m] + extra_v + params_.noise))) {
+    const double extra_v = gains_->at_v(request_index, m);
+    if (!(gains_->signal(m) > params_.beta * (acc_v_[m] + extra_v + params_.noise))) {
       return false;
     }
     if (bidirectional) {
-      const double extra_u = gains_.at_u(request_index, m);
-      if (!(gains_.signal(m) > params_.beta * (acc_u_[m] + extra_u + params_.noise))) {
+      const double extra_u = gains_->at_u(request_index, m);
+      if (!(gains_->signal(m) > params_.beta * (acc_u_[m] + extra_u + params_.noise))) {
         return false;
       }
     }
@@ -149,13 +168,122 @@ bool IncrementalGainClass::can_add(std::size_t request_index) const {
 }
 
 void IncrementalGainClass::add(std::size_t request_index) {
-  const bool bidirectional = gains_.variant() == Variant::bidirectional;
-  for (std::size_t i = 0; i < gains_.size(); ++i) {
+  const bool bidirectional = gains_->variant() == Variant::bidirectional;
+  for (std::size_t i = 0; i < gains_->size(); ++i) {
     if (i == request_index) continue;  // a member never interferes with itself
-    acc_v_[i] += gains_.at_v(request_index, i);
-    if (bidirectional) acc_u_[i] += gains_.at_u(request_index, i);
+    acc_v_[i] += gains_->at_v(request_index, i);
+    if (bidirectional) acc_u_[i] += gains_->at_u(request_index, i);
   }
   members_.push_back(request_index);
+}
+
+bool IncrementalGainClass::contains(std::size_t request_index) const {
+  return std::find(members_.begin(), members_.end(), request_index) != members_.end();
+}
+
+void IncrementalGainClass::remove(std::size_t request_index) {
+  const auto it = std::find(members_.begin(), members_.end(), request_index);
+  require(it != members_.end(), "IncrementalGainClass: remove of a non-member");
+  members_.erase(it);
+
+  if (policy_ == RemovePolicy::rebuild) {
+    rebuild();
+    return;
+  }
+
+  // Compensated fast path: subtract the departed contributions and grow the
+  // per-slot cancellation bound by their magnitude.
+  const bool bidirectional = gains_->variant() == Variant::bidirectional;
+  for (std::size_t i = 0; i < gains_->size(); ++i) {
+    if (i == request_index) continue;
+    const double gone_v = gains_->at_v(request_index, i);
+    acc_v_[i] -= gone_v;
+    cancelled_v_[i] += std::abs(gone_v);
+    if (bidirectional) {
+      const double gone_u = gains_->at_u(request_index, i);
+      acc_u_[i] -= gone_u;
+      cancelled_u_[i] += std::abs(gone_u);
+    }
+  }
+  ++removes_since_rebuild_;
+  maybe_rebuild_after_remove();
+#ifndef NDEBUG
+  // Debug cross-check (drift guard): after long add/remove sequences the
+  // compensated accumulators must stay within the rounding budget of the
+  // from-scratch replay — each of the O(members + removes) float ops loses
+  // at most one ulp of the magnitudes that passed through the slot.
+  if (removes_since_rebuild_ > 0 && removes_since_rebuild_ % 8 == 0) {
+    std::vector<double> fresh_v, fresh_u;
+    replay_accumulators(fresh_v, fresh_u);
+    const double ops =
+        static_cast<double>(members_.size() + removes_since_rebuild_ + 4);
+    for (std::size_t i = 0; i < acc_v_.size(); ++i) {
+      const double bound =
+          ops * kUlp * (cancelled_v_[i] + std::abs(fresh_v[i]) + std::abs(acc_v_[i]));
+      ensure(std::abs(acc_v_[i] - fresh_v[i]) <= bound,
+             "IncrementalGainClass: compensated accumulator drifted past its bound");
+    }
+    for (std::size_t i = 0; i < acc_u_.size(); ++i) {
+      const double bound =
+          ops * kUlp * (cancelled_u_[i] + std::abs(fresh_u[i]) + std::abs(acc_u_[i]));
+      ensure(std::abs(acc_u_[i] - fresh_u[i]) <= bound,
+             "IncrementalGainClass: compensated accumulator drifted past its bound");
+    }
+  }
+#endif
+}
+
+void IncrementalGainClass::maybe_rebuild_after_remove() {
+  bool drifted = removes_since_rebuild_ >= rebuild_interval_;
+  if (!drifted) {
+    // Rebuild-on-drift: once the cancelled magnitude dwarfs what is left in
+    // a slot, the remaining digits are rounding residue, not information.
+    for (std::size_t i = 0; i < acc_v_.size() && !drifted; ++i) {
+      drifted = cancelled_v_[i] > kDriftRatio * std::abs(acc_v_[i]) &&
+                cancelled_v_[i] > 0.0;
+    }
+    for (std::size_t i = 0; i < acc_u_.size() && !drifted; ++i) {
+      drifted = cancelled_u_[i] > kDriftRatio * std::abs(acc_u_[i]) &&
+                cancelled_u_[i] > 0.0;
+    }
+  }
+  if (drifted) rebuild();
+}
+
+void IncrementalGainClass::replay_accumulators(std::vector<double>& acc_v,
+                                               std::vector<double>& acc_u) const {
+  const bool bidirectional = gains_->variant() == Variant::bidirectional;
+  acc_v.assign(gains_->size(), 0.0);
+  acc_u.assign(bidirectional ? gains_->size() : 0, 0.0);
+  for (const std::size_t m : members_) {
+    for (std::size_t i = 0; i < gains_->size(); ++i) {
+      if (i == m) continue;
+      acc_v[i] += gains_->at_v(m, i);
+      if (bidirectional) acc_u[i] += gains_->at_u(m, i);
+    }
+  }
+}
+
+void IncrementalGainClass::rebuild() {
+  replay_accumulators(acc_v_, acc_u_);
+  if (policy_ == RemovePolicy::compensated) {
+    std::fill(cancelled_v_.begin(), cancelled_v_.end(), 0.0);
+    std::fill(cancelled_u_.begin(), cancelled_u_.end(), 0.0);
+  }
+  removes_since_rebuild_ = 0;
+}
+
+double IncrementalGainClass::accumulator_drift() const {
+  std::vector<double> fresh_v, fresh_u;
+  replay_accumulators(fresh_v, fresh_u);
+  double drift = 0.0;
+  for (std::size_t i = 0; i < acc_v_.size(); ++i) {
+    drift = std::max(drift, std::abs(acc_v_[i] - fresh_v[i]));
+  }
+  for (std::size_t i = 0; i < acc_u_.size(); ++i) {
+    drift = std::max(drift, std::abs(acc_u_[i] - fresh_u[i]));
+  }
+  return drift;
 }
 
 std::vector<std::size_t> greedy_feasible_subset(const GainMatrix& gains,

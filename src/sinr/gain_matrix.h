@@ -107,6 +107,27 @@ class GainMatrix {
 [[nodiscard]] double max_feasible_gain(const GainMatrix& gains,
                                        std::span<const std::size_t> active);
 
+/// How IncrementalGainClass restores its accumulators when a member leaves.
+///
+/// Floating-point accumulators are order-sensitive: subtracting a departed
+/// member's contributions does not, in general, reproduce the sum a fresh
+/// replay of the surviving adds would compute, so a class that only ever
+/// subtracts drifts away from the from-scratch evaluation.
+enum class RemovePolicy {
+  /// Replay the surviving members' contributions in insertion order after
+  /// every removal. O(|class| * n) per remove, but the accumulators are
+  /// bit-for-bit identical to a freshly built class at all times — the
+  /// default, and the mode the online scheduler's exactness guarantee
+  /// rests on.
+  rebuild,
+  /// Subtract the departed member's contributions (O(n) per remove) and
+  /// track the accumulated cancellation magnitude per slot; replay from
+  /// scratch only when the bound drifts past a relative tolerance or a
+  /// removal-count interval. Verdicts may differ from the from-scratch
+  /// evaluation by at most the tracked drift between rebuilds.
+  compensated,
+};
+
 /// Incrementally maintained color class over a GainMatrix.
 ///
 /// Same contract as IncrementalClass, but the interference every member
@@ -114,13 +135,30 @@ class GainMatrix {
 /// so can_add costs O(|class|) comparisons with no distance or pow work
 /// and the candidate's own constraint is a single lookup; add costs O(n)
 /// table additions. Accumulation follows insertion order, making verdicts
-/// bit-for-bit identical to IncrementalClass.
+/// bit-for-bit identical to IncrementalClass. Classes also shrink:
+/// remove() evicts a member under the configured RemovePolicy.
 class IncrementalGainClass {
  public:
-  IncrementalGainClass(const GainMatrix& gains, const SinrParams& params);
+  IncrementalGainClass(const GainMatrix& gains, const SinrParams& params,
+                       RemovePolicy policy = RemovePolicy::rebuild,
+                       std::size_t rebuild_interval = 16);
 
   [[nodiscard]] bool can_add(std::size_t request_index) const;
   void add(std::size_t request_index);
+  /// Evicts a member (precondition: it is one). Under RemovePolicy::rebuild
+  /// the accumulators afterwards equal a fresh replay of the surviving adds
+  /// in insertion order, bit for bit; under compensated they are within the
+  /// drift bound of that replay.
+  void remove(std::size_t request_index);
+
+  [[nodiscard]] bool contains(std::size_t request_index) const;
+  /// Re-derives the accumulators by replaying the members in insertion
+  /// order — the canonical from-scratch state both policies converge to.
+  void rebuild();
+  /// Largest absolute deviation of the live accumulators from a replayed
+  /// rebuild — the debug cross-check of the compensated policy (always 0.0
+  /// under RemovePolicy::rebuild). Does not modify the class.
+  [[nodiscard]] double accumulator_drift() const;
 
   [[nodiscard]] const std::vector<std::size_t>& members() const noexcept {
     return members_;
@@ -128,13 +166,23 @@ class IncrementalGainClass {
   [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
 
  private:
-  const GainMatrix& gains_;
+  void replay_accumulators(std::vector<double>& acc_v, std::vector<double>& acc_u) const;
+  void maybe_rebuild_after_remove();
+
+  const GainMatrix* gains_;
   SinrParams params_;
+  RemovePolicy policy_;
+  std::size_t rebuild_interval_;
+  std::size_t removes_since_rebuild_ = 0;
   std::vector<std::size_t> members_;
   /// Interference from the members at v_i / u_i, for every request i. The
   /// slots of members themselves exclude their own contribution.
   std::vector<double> acc_v_;
   std::vector<double> acc_u_;
+  /// Compensated mode only: accumulated magnitude cancelled out of each
+  /// slot since the last rebuild — an upper bound on the lost precision.
+  std::vector<double> cancelled_v_;
+  std::vector<double> cancelled_u_;
 };
 
 /// greedy_feasible_subset over precomputed gains; identical selection.

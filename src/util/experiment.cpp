@@ -12,8 +12,10 @@
 #include "core/schedule.h"
 #include "core/sqrt_coloring.h"
 #include "gen/adversarial.h"
+#include "gen/churn.h"
 #include "gen/generators.h"
 #include "metric/euclidean.h"
+#include "online/online_scheduler.h"
 #include "sinr/gain_matrix.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -88,6 +90,35 @@ std::pair<Schedule, double> timed(const Algorithm& algorithm) {
   return {std::move(schedule), watch.elapsed_ms()};
 }
 
+/// The trace of a dynamic scenario: kind x universe, deterministic in the
+/// seed (a distinct stream from the instance geometry's).
+ChurnTrace build_trace(const ScenarioSpec& spec, std::size_t universe) {
+  Rng rng(spec.seed ^ 0xc2b2ae3d27d4eb4fULL);
+  return make_churn_trace(spec.trace, universe, /*target_events=*/0, rng);
+}
+
+/// Runs one dynamic scenario: replay the trace through the OnlineScheduler
+/// and re-validate the final state bit-for-bit against the direct engine.
+void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
+                          const Instance& instance, std::span<const double> powers,
+                          ScenarioResult& result) {
+  const ChurnTrace trace = build_trace(spec, instance.size());
+  trace.validate();
+  OnlineScheduler scheduler(instance, powers, params, spec.variant);
+  const ReplayResult replay = replay_trace(scheduler, trace, /*validate_final=*/true);
+  result.dynamic.events = trace.events.size();
+  result.dynamic.wall_ms = replay.wall_seconds * 1e3;
+  result.dynamic.events_per_sec = replay.events_per_sec;
+  result.dynamic.peak_colors = replay.stats.peak_colors;
+  result.dynamic.final_colors = replay.final_colors;
+  result.dynamic.final_active = replay.final_active;
+  result.dynamic.migrations = replay.stats.migrations;
+  result.dynamic.classes_opened = replay.stats.classes_opened;
+  result.dynamic.classes_closed = replay.stats.classes_closed;
+  result.dynamic.max_event_ms = replay.stats.max_event_seconds * 1e3;
+  result.valid = replay.validated;
+}
+
 bool same_schedule(const Schedule& a, const Schedule& b) {
   return a.num_colors == b.num_colors && a.color_of == b.color_of;
 }
@@ -103,28 +134,49 @@ JsonValue comparison_json(const EngineComparison& comparison, bool with_incremen
   return value;
 }
 
+JsonValue dynamic_json(const DynamicResult& dynamic) {
+  JsonValue value = JsonValue::object();
+  value["events"] = dynamic.events;
+  value["wall_ms"] = dynamic.wall_ms;
+  value["events_per_sec"] = dynamic.events_per_sec;
+  value["peak_colors"] = dynamic.peak_colors;
+  value["final_colors"] = dynamic.final_colors;
+  value["final_active"] = dynamic.final_active;
+  value["migrations"] = dynamic.migrations;
+  value["classes_opened"] = dynamic.classes_opened;
+  value["classes_closed"] = dynamic.classes_closed;
+  value["max_event_ms"] = dynamic.max_event_ms;
+  return value;
+}
+
 }  // namespace
 
 bool scenario_failed(const ScenarioResult& result) {
   if (!result.ok) return true;
-  if (!result.greedy.identical || !result.valid) return true;
+  if (!result.valid) return true;
+  if (result.spec.is_dynamic()) return result.dynamic.events_per_sec <= 0.0;
+  if (!result.greedy.identical) return true;
   if (result.has_sqrt && !result.sqrt.identical) return true;
   return false;
 }
 
 std::string ScenarioSpec::name() const {
-  return topology + "/n" + std::to_string(n) + "/" + power + "/" + variant_name(variant);
+  const std::string base = topology + "/n" + std::to_string(n);
+  const std::string tail = power + "/" + std::string(variant_name(variant));
+  if (is_dynamic()) return "dynamic/" + base + "/" + trace + "/" + tail;
+  return base + "/" + tail;
 }
 
 std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
   const std::vector<std::string> topologies = {"line", "grid", "random", "adversarial"};
   std::vector<ScenarioSpec> grid;
   const auto add = [&](const std::string& topology, std::size_t n,
-                       const std::string& power) {
+                       const std::string& power, const std::string& trace = "") {
     ScenarioSpec spec;
     spec.topology = topology;
     spec.n = n;
     spec.power = power;
+    spec.trace = trace;
     // The Theorem-1 adversarial family lives in the directed variant.
     spec.variant = topology == "adversarial" ? Variant::directed : Variant::bidirectional;
     // Seed derives from the scenario name (FNV-1a), not the grid index, so
@@ -140,6 +192,10 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
   if (options.quick) {
     for (const std::string& topology : topologies) add(topology, 32, "sqrt");
     add("random", 256, "sqrt");  // the flagship speedup scenario
+    // The CI-smoke dynamic subset: the flagship churn scenario plus the
+    // adversarial chain stressor.
+    add("random", 256, "sqrt", "poisson");
+    add("random", 64, "sqrt", "adversarial");
     return grid;
   }
   for (const std::string& topology : topologies) {
@@ -150,6 +206,11 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
     }
   }
   add("random", 512, "sqrt");
+  for (const char* trace : {"poisson", "flash", "adversarial"}) {
+    for (const std::size_t n : {std::size_t{64}, std::size_t{256}}) {
+      add("random", n, "sqrt", trace);
+    }
+  }
   return grid;
 }
 
@@ -163,9 +224,17 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const SinrParams& params) 
     const std::vector<double> powers = assignment->assign(instance, params.alpha);
 
     {
+      // Cold build of the shared gain tables; the greedy gain-engine run
+      // and the online replay below then hit the per-instance cache.
       Stopwatch watch;
-      const GainMatrix gains(instance, powers, params.alpha, spec.variant);
+      (void)instance.gains(powers, params.alpha, spec.variant);
       result.gain_build_ms = watch.elapsed_ms();
+    }
+
+    if (spec.is_dynamic()) {
+      run_dynamic_scenario(spec, params, instance, powers, result);
+      result.ok = true;
+      return result;
     }
 
     const auto greedy_with = [&](FeasibilityEngine engine) {
@@ -187,6 +256,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const SinrParams& params) 
     result.valid = validate_schedule(instance, powers, gain, params, spec.variant).valid;
 
     if (spec.power == "sqrt") {
+      // The sqrt LP also budgets interference at senders, which is a
+      // different cache key (with_sender_gains) — warm it outside the timed
+      // region so the direct-vs-gain sqrt comparison measures queries, not
+      // a table build the greedy comparison no longer pays either.
+      (void)instance.gains(powers, params.alpha, spec.variant,
+                           /*with_sender_gains=*/true);
       const auto sqrt_with = [&](FeasibilityEngine engine) {
         Stopwatch watch;
         SqrtColoringOptions options;
@@ -231,7 +306,7 @@ std::vector<ScenarioResult> run_experiment_grid(std::span<const ScenarioSpec> gr
 JsonValue experiment_report(std::span<const ScenarioResult> results,
                             const ExperimentOptions& options) {
   JsonValue root = JsonValue::object();
-  root["schema"] = "oisched-bench-schedule/1";
+  root["schema"] = "oisched-bench-schedule/2";
   root["generator"] = "bench/run_experiments";
   root["mode"] = options.quick ? "quick" : "full";
   root["threads"] = options.threads;
@@ -245,10 +320,12 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
   JsonValue entries = JsonValue::array();
   std::size_t failures = 0;
   std::vector<double> speedups;
+  std::vector<double> event_rates;
   for (const ScenarioResult& result : results) {
     if (scenario_failed(result)) ++failures;
     JsonValue entry = JsonValue::object();
     entry["scenario"] = result.spec.name();
+    entry["family"] = result.spec.is_dynamic() ? "dynamic" : "static";
     entry["topology"] = result.spec.topology;
     entry["n"] = result.spec.n;
     entry["built_n"] = result.built_n;
@@ -258,6 +335,12 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
     entry["ok"] = result.ok;
     if (!result.ok) {
       entry["error"] = result.error;
+    } else if (result.spec.is_dynamic()) {
+      entry["trace"] = result.spec.trace;
+      entry["gain_build_ms"] = result.gain_build_ms;
+      entry["dynamic"] = dynamic_json(result.dynamic);
+      entry["valid"] = result.valid;
+      event_rates.push_back(result.dynamic.events_per_sec);
     } else {
       entry["gain_build_ms"] = result.gain_build_ms;
       entry["greedy"] = comparison_json(result.greedy, /*with_incremental=*/true);
@@ -279,6 +362,13 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
     summary["greedy_speedup_min"] = speedups.front();
     summary["greedy_speedup_median"] = speedups[speedups.size() / 2];
     summary["greedy_speedup_max"] = speedups.back();
+  }
+  if (!event_rates.empty()) {
+    std::sort(event_rates.begin(), event_rates.end());
+    summary["dynamic_scenarios"] = event_rates.size();
+    summary["events_per_sec_min"] = event_rates.front();
+    summary["events_per_sec_median"] = event_rates[event_rates.size() / 2];
+    summary["events_per_sec_max"] = event_rates.back();
   }
   root["summary"] = std::move(summary);
   return root;

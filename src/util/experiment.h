@@ -30,8 +30,17 @@ struct ScenarioSpec {
   std::string power;     // "uniform" | "linear" | "sqrt"
   Variant variant = Variant::bidirectional;
   std::uint64_t seed = 1;
+  /// Empty for the static (one-shot coloring) family; a ChurnTrace kind
+  /// ("poisson" | "flash" | "adversarial") selects the dynamic family,
+  /// which replays a generated trace through the OnlineScheduler and
+  /// reports throughput instead of one-shot coloring time.
+  std::string trace;
 
-  /// "random/n256/sqrt/bidirectional" — stable scenario identifier.
+  [[nodiscard]] bool is_dynamic() const noexcept { return !trace.empty(); }
+
+  /// "random/n256/sqrt/bidirectional", or
+  /// "dynamic/random/n256/poisson/sqrt/bidirectional" for the dynamic
+  /// family — stable scenario identifiers.
   [[nodiscard]] std::string name() const;
 };
 
@@ -47,6 +56,21 @@ struct EngineComparison {
   double speedup = 0.0;       // ms_direct / ms_gain
 };
 
+/// Replay measurement of one dynamic (trace-driven) scenario. Throughput —
+/// events/sec through the OnlineScheduler — is the headline number.
+struct DynamicResult {
+  std::size_t events = 0;
+  double wall_ms = 0.0;          // event loop only
+  double events_per_sec = 0.0;
+  int peak_colors = 0;
+  int final_colors = 0;
+  std::size_t final_active = 0;
+  std::size_t migrations = 0;     // compaction recolorings
+  std::size_t classes_opened = 0;
+  std::size_t classes_closed = 0;
+  double max_event_ms = 0.0;      // worst single-event latency
+};
+
 struct ScenarioResult {
   ScenarioSpec spec;
   bool ok = false;      // ran to completion (false => see error)
@@ -58,8 +82,11 @@ struct ScenarioResult {
   /// square-root powers, so other grid cells would duplicate the numbers).
   bool has_sqrt = false;
   EngineComparison sqrt;
-  /// Every produced schedule (greedy, and sqrt when measured) re-validated
-  /// from scratch with the direct checker.
+  /// Dynamic family only (spec.is_dynamic()).
+  DynamicResult dynamic;
+  /// Static family: every produced schedule re-validated from scratch with
+  /// the direct checker. Dynamic family: the replayed final state
+  /// re-validated bit-for-bit against the direct feasibility engine.
   bool valid = false;
 };
 
@@ -90,7 +117,7 @@ struct ExperimentOptions {
     std::span<const ScenarioSpec> grid, const SinrParams& params, std::size_t threads);
 
 /// Bundles results into the BENCH_schedule.json document
-/// (schema "oisched-bench-schedule/1"; layout documented in README.md).
+/// (schema "oisched-bench-schedule/2"; layout documented in README.md).
 [[nodiscard]] JsonValue experiment_report(std::span<const ScenarioResult> results,
                                           const ExperimentOptions& options);
 

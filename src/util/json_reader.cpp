@@ -1,0 +1,294 @@
+#include "util/json_reader.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+
+namespace oisched {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_whitespace();
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  /// Deeply nested inputs must exhaust this budget, not the call stack.
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonParseError("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                         message);
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue();
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return JsonValue(false);
+      case '"':
+        return JsonValue(parse_string());
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue array = JsonValue::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      skip_whitespace();
+      array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = take();
+      if (c == ']') return array;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue object = JsonValue::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected string key in object");
+      const std::string key = parse_string();
+      if (object.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      skip_whitespace();
+      expect(':');
+      skip_whitespace();
+      object[key] = parse_value(depth + 1);
+      skip_whitespace();
+      const char c = take();
+      if (c == '}') return object;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = take();
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid \\u escape");
+      }
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if (take() != '\\' || take() != 'u') {
+              fail("high surrogate without low surrogate");
+            }
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("stray low surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          --pos_;
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && text_[pos_] == '-') ++pos_;
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      fail("invalid value");
+    }
+    // Leading zeros are forbidden: "0" is fine, "01" is not.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      fail("leading zero in number");
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool integral = true;
+    if (!at_end() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit required after decimal point");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (!at_end() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!at_end() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit required in exponent");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      std::int64_t value = 0;
+      const auto res = std::from_chars(token.data(), token.data() + token.size(), value);
+      if (res.ec == std::errc() && res.ptr == token.data() + token.size()) {
+        return JsonValue(value);
+      }
+      // Out of std::int64_t range: fall through to double.
+    }
+    double value = 0.0;
+    const auto res = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (res.ec != std::errc() || res.ptr != token.data() + token.size()) {
+      fail("invalid number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace oisched

@@ -1,0 +1,32 @@
+// Minimal strict JSON parser, the read side of util/json_writer.h.
+//
+// Parses RFC 8259 documents into JsonValue trees: scalars, arrays, objects
+// (insertion-ordered, duplicate keys rejected), string escapes including
+// \uXXXX with surrogate pairs. Numbers parse as integer when they carry no
+// fraction or exponent and fit std::int64_t, as double otherwise — the
+// inverse of JsonValue::dump, so dump/parse round-trips are lossless
+// (doubles serialize via shortest-round-trip to_chars). No extensions: no
+// comments, trailing commas, NaN/Infinity.
+#ifndef OISCHED_UTIL_JSON_READER_H
+#define OISCHED_UTIL_JSON_READER_H
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/json_writer.h"
+
+namespace oisched {
+
+/// Thrown on malformed JSON; the message carries the byte offset.
+class JsonParseError : public std::runtime_error {
+ public:
+  explicit JsonParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace oisched
+
+#endif  // OISCHED_UTIL_JSON_READER_H

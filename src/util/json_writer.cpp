@@ -37,6 +37,47 @@ void JsonValue::push_back(JsonValue element) {
   items_.push_back(std::move(element));
 }
 
+bool JsonValue::as_bool() const {
+  require(type_ == Type::boolean, "JsonValue: as_bool requires a boolean");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  require(type_ == Type::integer, "JsonValue: as_int requires an integer");
+  return int_;
+}
+
+double JsonValue::as_double() const {
+  if (type_ == Type::integer) return static_cast<double>(int_);
+  require(type_ == Type::number, "JsonValue: as_double requires a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  require(type_ == Type::string, "JsonValue: as_string requires a string");
+  return string_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (type_ != Type::object) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* value = find(key);
+  require(value != nullptr, "JsonValue: missing object member '" + std::string(key) + "'");
+  return *value;
+}
+
+const JsonValue& JsonValue::item(std::size_t index) const {
+  require(type_ == Type::array, "JsonValue: item requires an array");
+  require(index < items_.size(), "JsonValue: array index out of range");
+  return items_[index];
+}
+
 std::size_t JsonValue::size() const noexcept {
   switch (type_) {
     case Type::array:

@@ -52,6 +52,21 @@ class JsonValue {
 
   [[nodiscard]] std::size_t size() const noexcept;
 
+  // Read-side accessors (used by the parser in util/json_reader.h and its
+  // consumers). The typed as_* getters throw PreconditionError on a type
+  // mismatch; as_double additionally accepts integers.
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::null; }
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  /// Object member lookup; nullptr when the key is absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  /// Object member access; throws PreconditionError when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  /// Array element access; throws PreconditionError when out of range.
+  [[nodiscard]] const JsonValue& item(std::size_t index) const;
+
   /// Serializes the document. indent == 0 produces compact one-line JSON;
   /// indent > 0 pretty-prints with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = 2) const;

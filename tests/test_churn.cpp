@@ -1,0 +1,179 @@
+// Churn-trace suite: generator determinism (same seed, same stream — on any
+// thread count), stream validation, the JSON round trip, and the minimal
+// JSON parser feeding it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/churn.h"
+#include "util/error.h"
+#include "util/json_reader.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace oisched {
+namespace {
+
+ChurnTrace make_trace(const std::string& kind, std::size_t universe, std::uint64_t seed) {
+  Rng rng(seed);
+  return make_churn_trace(kind, universe, /*target_events=*/400, rng);
+}
+
+const std::vector<std::string>& trace_kinds() {
+  static const std::vector<std::string> kinds = {"poisson", "flash", "adversarial"};
+  return kinds;
+}
+
+TEST(ChurnTrace, GeneratedStreamsValidate) {
+  for (const std::string& kind : trace_kinds()) {
+    const ChurnTrace trace = make_trace(kind, 48, 7);
+    EXPECT_NO_THROW(trace.validate()) << kind;
+    EXPECT_GT(trace.events.size(), 0u) << kind;
+    EXPECT_LE(trace.peak_active(), trace.universe) << kind;
+    // Arrivals can only outnumber departures by the links still active.
+    std::size_t arrivals = 0;
+    std::size_t departures = 0;
+    for (const ChurnEvent& event : trace.events) {
+      (event.kind == ChurnEvent::Kind::arrival ? arrivals : departures) += 1;
+    }
+    EXPECT_EQ(arrivals - departures, trace.final_active().size()) << kind;
+  }
+}
+
+TEST(ChurnTrace, SameSeedSameStream) {
+  for (const std::string& kind : trace_kinds()) {
+    const ChurnTrace a = make_trace(kind, 32, 99);
+    const ChurnTrace b = make_trace(kind, 32, 99);
+    EXPECT_EQ(a, b) << kind;
+    const ChurnTrace c = make_trace(kind, 32, 100);
+    EXPECT_NE(a, c) << kind;  // and the seed actually matters
+  }
+}
+
+TEST(ChurnTrace, StreamIndependentOfThreadCount) {
+  // The generators draw only from their explicit Rng, so producing the
+  // trace inside worker pools of different sizes changes nothing.
+  for (const std::string& kind : trace_kinds()) {
+    const ChurnTrace reference = make_trace(kind, 40, 1234);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+      std::vector<ChurnTrace> produced(threads);
+      parallel_for(threads, threads,
+                   [&](std::size_t i) { produced[i] = make_trace(kind, 40, 1234); });
+      for (const ChurnTrace& trace : produced) {
+        EXPECT_EQ(trace, reference) << kind << " on " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ChurnTrace, ValidateRejectsMalformedStreams) {
+  ChurnTrace trace;
+  trace.universe = 4;
+  trace.events = {{ChurnEvent::Kind::arrival, 9, 0.0}};
+  EXPECT_THROW(trace.validate(), PreconditionError);  // link out of universe
+
+  trace.events = {{ChurnEvent::Kind::arrival, 1, 0.0},
+                  {ChurnEvent::Kind::arrival, 1, 1.0}};
+  EXPECT_THROW(trace.validate(), PreconditionError);  // double arrival
+
+  trace.events = {{ChurnEvent::Kind::departure, 1, 0.0}};
+  EXPECT_THROW(trace.validate(), PreconditionError);  // departure while inactive
+
+  trace.events = {{ChurnEvent::Kind::arrival, 1, 2.0},
+                  {ChurnEvent::Kind::departure, 1, 1.0}};
+  EXPECT_THROW(trace.validate(), PreconditionError);  // time runs backwards
+}
+
+TEST(ChurnTrace, JsonRoundTripIsExact) {
+  for (const std::string& kind : trace_kinds()) {
+    const ChurnTrace trace = make_trace(kind, 24, 5);
+    const std::string text = trace_to_json(trace).dump();
+    const ChurnTrace parsed = trace_from_json(parse_json(text));
+    // Bitwise equality: doubles serialize via shortest-round-trip to_chars.
+    EXPECT_EQ(parsed, trace) << kind;
+  }
+}
+
+TEST(ChurnTrace, FileRoundTrip) {
+  const ChurnTrace trace = make_trace("poisson", 16, 11);
+  const std::string path = ::testing::TempDir() + "oisched_trace_roundtrip.json";
+  save_trace(path, trace);
+  const ChurnTrace loaded = load_trace(path);
+  EXPECT_EQ(loaded, trace);
+  std::remove(path.c_str());
+}
+
+TEST(ChurnTrace, FromJsonRejectsBadDocuments) {
+  EXPECT_THROW(trace_from_json(parse_json(R"({"schema": "other/1"})")),
+               PreconditionError);
+  EXPECT_THROW(trace_from_json(parse_json(
+                   R"({"schema": "oisched-trace/1", "universe": 2,
+                       "events": [{"t": 0, "kind": "warp", "link": 0}]})")),
+               PreconditionError);
+  // Structurally fine but an invalid stream: departure of an inactive link.
+  EXPECT_THROW(trace_from_json(parse_json(
+                   R"({"schema": "oisched-trace/1", "universe": 2,
+                       "events": [{"t": 0, "kind": "departure", "link": 0}]})")),
+               PreconditionError);
+}
+
+TEST(JsonReader, ParsesScalarsArraysObjects) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("-42").as_int(), -42);
+  EXPECT_EQ(parse_json("0.5").as_double(), 0.5);
+  EXPECT_EQ(parse_json("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse_json(R"("hi")").as_string(), "hi");
+
+  const JsonValue doc = parse_json(R"({"a": [1, 2.5, "x"], "b": {"c": false}})");
+  EXPECT_EQ(doc.at("a").size(), 3u);
+  EXPECT_EQ(doc.at("a").item(0).as_int(), 1);
+  EXPECT_EQ(doc.at("a").item(1).as_double(), 2.5);
+  EXPECT_EQ(doc.at("a").item(2).as_string(), "x");
+  EXPECT_EQ(doc.at("b").at("c").as_bool(), false);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonReader, DecodesEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\n\t")").as_string(), "a\"b\\c\n\t");
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("\u00e9")").as_string(), "\xc3\xa9");  // e-acute
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");  // surrogate pair for U+1F600
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), JsonParseError);
+  EXPECT_THROW(parse_json("{"), JsonParseError);
+  EXPECT_THROW(parse_json("[1,]"), JsonParseError);
+  EXPECT_THROW(parse_json("01"), JsonParseError);
+  EXPECT_THROW(parse_json("nul"), JsonParseError);
+  EXPECT_THROW(parse_json("1 2"), JsonParseError);           // trailing garbage
+  EXPECT_THROW(parse_json(R"({"a": 1, "a": 2})"), JsonParseError);  // dup key
+  EXPECT_THROW(parse_json(R"("\ud83d")"), JsonParseError);   // lone surrogate
+  EXPECT_THROW(parse_json(R"("\q")"), JsonParseError);       // bad escape
+}
+
+TEST(JsonReader, RoundTripsWriterOutput) {
+  JsonValue doc = JsonValue::object();
+  doc["name"] = "trace";
+  doc["count"] = 3;
+  doc["rate"] = 0.1 + 0.2;  // a value with no short decimal form
+  JsonValue list = JsonValue::array();
+  list.push_back(JsonValue(true));
+  list.push_back(JsonValue());
+  doc["list"] = std::move(list);
+  for (const int indent : {0, 2}) {
+    const JsonValue parsed = parse_json(doc.dump(indent));
+    EXPECT_EQ(parsed.at("name").as_string(), "trace");
+    EXPECT_EQ(parsed.at("count").as_int(), 3);
+    EXPECT_EQ(parsed.at("rate").as_double(), 0.1 + 0.2);  // bitwise
+    EXPECT_EQ(parsed.at("list").item(0).as_bool(), true);
+    EXPECT_TRUE(parsed.at("list").item(1).is_null());
+  }
+}
+
+}  // namespace
+}  // namespace oisched

@@ -109,11 +109,49 @@ TEST(ExperimentGrid, QuickGridCoversEveryTopologyPlusFlagship) {
 TEST(ExperimentGrid, FullGridSweepsSizesAndPowers) {
   ExperimentOptions options;
   const auto grid = experiment_grid(options);
-  EXPECT_EQ(grid.size(), 25u);
+  // 24 static cells + the n512 flagship + 6 dynamic (3 trace kinds x 2 sizes).
+  EXPECT_EQ(grid.size(), 31u);
+  std::set<std::string> trace_kinds;
+  for (const auto& spec : grid) {
+    if (spec.is_dynamic()) trace_kinds.insert(spec.trace);
+  }
+  EXPECT_EQ(trace_kinds,
+            (std::set<std::string>{"poisson", "flash", "adversarial"}));
   // Seeds are distinct so scenarios are independent draws.
   std::set<std::uint64_t> seeds;
   for (const auto& spec : grid) seeds.insert(spec.seed);
   EXPECT_EQ(seeds.size(), grid.size());
+}
+
+TEST(ExperimentGrid, QuickGridIncludesDynamicFamily) {
+  ExperimentOptions options;
+  options.quick = true;
+  const auto grid = experiment_grid(options);
+  bool has_flagship_churn = false;
+  for (const auto& spec : grid) {
+    if (spec.name() == "dynamic/random/n256/poisson/sqrt/bidirectional") {
+      has_flagship_churn = true;
+    }
+  }
+  EXPECT_TRUE(has_flagship_churn);
+}
+
+TEST(ExperimentRunner, DynamicScenarioReplaysAndValidates) {
+  ScenarioSpec spec;
+  spec.topology = "random";
+  spec.n = 32;
+  spec.power = "sqrt";
+  spec.variant = Variant::bidirectional;
+  spec.seed = 11;
+  spec.trace = "poisson";
+  SinrParams params;
+  const ScenarioResult result = run_scenario(spec, params);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.valid);  // final state bit-identical + feasible
+  EXPECT_GT(result.dynamic.events, 0u);
+  EXPECT_GT(result.dynamic.events_per_sec, 0.0);
+  EXPECT_GE(result.dynamic.peak_colors, result.dynamic.final_colors);
+  EXPECT_FALSE(scenario_failed(result));
 }
 
 TEST(ExperimentRunner, ScenarioRunsEnginesIdenticalAndValid) {
@@ -173,7 +211,7 @@ TEST(ExperimentReport, EmitsSchemaResultsAndSummary) {
   const auto results = run_experiment_grid(grid, params, 2);
   const JsonValue report = experiment_report(results, options);
   const std::string text = report.dump();
-  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/1\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/2\""), std::string::npos);
   EXPECT_NE(text.find("\"results\""), std::string::npos);
   EXPECT_NE(text.find("\"greedy\""), std::string::npos);
   EXPECT_NE(text.find("\"summary\""), std::string::npos);

@@ -247,6 +247,71 @@ TEST(ExactEngines, GainBackedOracleMatchesDirectPartition) {
   }
 }
 
+TEST(GainCache, SameKeyReturnsSameTable) {
+  const auto scenario = random_scenario(12, /*seed=*/3);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  const auto first = instance.gains(powers, 3.0, Variant::bidirectional);
+  const auto second = instance.gains(powers, 3.0, Variant::bidirectional);
+  EXPECT_EQ(first.get(), second.get());  // one build, shared
+  EXPECT_EQ(instance.cached_gain_tables(), 1u);
+
+  // The bidirectional variant always builds the sender table, so the flag
+  // is normalized out of the key — no duplicate build.
+  EXPECT_EQ(instance.gains(powers, 3.0, Variant::bidirectional, true).get(),
+            first.get());
+
+  // Any key component actually changing forces (and caches) a fresh build;
+  // for the directed variant the sender-side table is a real distinction.
+  const auto directed = instance.gains(powers, 3.0, Variant::directed);
+  EXPECT_NE(directed.get(), first.get());
+  EXPECT_NE(instance.gains(powers, 3.0, Variant::directed, true).get(),
+            directed.get());
+  const auto uniform = UniformPower{}.assign(instance, 3.0);
+  EXPECT_NE(instance.gains(uniform, 3.0, Variant::bidirectional).get(), first.get());
+  EXPECT_EQ(instance.cached_gain_tables(), 4u);
+}
+
+TEST(GainCache, SharedAcrossCopiesAndBoundedWithSafeEviction) {
+  const auto scenario = random_scenario(10, /*seed=*/9);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  const auto table = instance.gains(powers, 3.0, Variant::bidirectional);
+
+  // Copies share the cache: the copy sees the same table.
+  const Instance copy = instance;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.gains(powers, 3.0, Variant::bidirectional).get(), table.get());
+
+  // Flood the cache with distinct keys; the original entry gets evicted but
+  // the handed-out shared_ptr stays fully usable (entries own their data).
+  for (int k = 1; k <= 6; ++k) {
+    (void)instance.gains(powers, 3.0 + k, Variant::bidirectional);
+  }
+  EXPECT_LE(instance.cached_gain_tables(), 4u);
+  EXPECT_NE(instance.gains(powers, 3.0, Variant::bidirectional).get(), table.get());
+  EXPECT_EQ(table->size(), instance.size());
+  EXPECT_GT(table->signal(0), 0.0);  // still answers queries after eviction
+}
+
+TEST(GainCache, CachedTableMatchesDirectBuild) {
+  const auto scenario = random_scenario(14, /*seed=*/21);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  for (const Variant variant : both_variants()) {
+    const auto cached = instance.gains(powers, 3.0, variant);
+    const GainMatrix direct(instance, powers, 3.0, variant);
+    ASSERT_EQ(cached->size(), direct.size());
+    for (std::size_t j = 0; j < direct.size(); ++j) {
+      EXPECT_EQ(cached->signal(j), direct.signal(j));
+      for (std::size_t i = 0; i < direct.size(); ++i) {
+        if (i == j) continue;
+        EXPECT_EQ(cached->at_v(j, i), direct.at_v(j, i));
+        EXPECT_EQ(cached->at_u(j, i), direct.at_u(j, i));
+      }
+    }
+  }
+}
+
 TEST(MaxFeasibleEngines, ExactSubsetStillDominatesGreedy) {
   const auto scenario = random_scenario(12, /*seed=*/77);
   const Instance instance = scenario.instance();

@@ -1,0 +1,330 @@
+// Online subsystem suite: IncrementalGainClass::remove exactness under both
+// policies, OnlineScheduler bookkeeping and compaction, and the
+// online-vs-offline equivalence gate — replaying any trace to its final
+// state must yield classes the direct (offline) feasibility engine
+// re-validates bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "core/schedule.h"
+#include "gen/churn.h"
+#include "online/online_scheduler.h"
+#include "sinr/feasibility.h"
+#include "sinr/gain_matrix.h"
+#include "test_helpers.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+using testutil::grid_scenario;
+using testutil::line_pairs;
+using testutil::random_scenario;
+
+std::vector<testutil::Scenario> fixtures() {
+  std::vector<testutil::Scenario> scenarios;
+  scenarios.push_back(line_pairs({0.0, 2.0, 50.0, 53.0, 120.0, 121.0, 200.0, 207.0}));
+  scenarios.push_back(grid_scenario(4, 6));
+  scenarios.push_back(random_scenario(32, /*seed=*/17));
+  return scenarios;
+}
+
+std::vector<Variant> both_variants() {
+  return {Variant::directed, Variant::bidirectional};
+}
+
+/// A fresh class with the same members added in the same order — the
+/// from-scratch evaluation remove() must stay bit-identical to.
+IncrementalGainClass replayed_twin(const GainMatrix& gains, const SinrParams& params,
+                                   const std::vector<std::size_t>& members) {
+  IncrementalGainClass twin(gains, params);
+  for (const std::size_t m : members) twin.add(m);
+  return twin;
+}
+
+TEST(IncrementalGainClassRemove, RebuildPolicyIsBitIdenticalToReplay) {
+  Rng rng(2024);
+  for (const auto& scenario : fixtures()) {
+    const Instance instance = scenario.instance();
+    const auto powers = SqrtPower{}.assign(instance, 3.0);
+    SinrParams params;
+    params.alpha = 3.0;
+    params.beta = 0.5;  // loose enough that classes actually grow
+    for (const Variant variant : both_variants()) {
+      const auto gains = instance.gains(powers, params.alpha, variant);
+      IncrementalGainClass cls(*gains, params);
+      std::vector<std::size_t> in_class;
+      for (int step = 0; step < 200; ++step) {
+        const bool do_remove = !in_class.empty() && rng.bernoulli(0.45);
+        if (do_remove) {
+          const std::size_t pos = rng.uniform_index(in_class.size());
+          const std::size_t victim = in_class[pos];
+          in_class.erase(in_class.begin() + static_cast<std::ptrdiff_t>(pos));
+          cls.remove(victim);
+        } else {
+          const std::size_t cand = rng.uniform_index(instance.size());
+          if (cls.contains(cand)) continue;
+          if (cls.can_add(cand)) {
+            cls.add(cand);
+            in_class.push_back(cand);
+          }
+        }
+        // After every operation the class must be indistinguishable from a
+        // fresh replay: same members, zero accumulator drift, and the same
+        // verdict for every possible candidate.
+        EXPECT_EQ(cls.members(), in_class);
+        EXPECT_EQ(cls.accumulator_drift(), 0.0);
+        const IncrementalGainClass twin = replayed_twin(*gains, params, in_class);
+        for (std::size_t cand = 0; cand < instance.size(); ++cand) {
+          if (cls.contains(cand)) continue;
+          ASSERT_EQ(cls.can_add(cand), twin.can_add(cand))
+              << "step " << step << " candidate " << cand;
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalGainClassRemove, CompensatedPolicyStaysWithinDriftBound) {
+  Rng rng(7);
+  const auto scenario = random_scenario(24, /*seed=*/3);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 0.5;
+  const auto gains = instance.gains(powers, params.alpha, Variant::bidirectional);
+  IncrementalGainClass cls(*gains, params, RemovePolicy::compensated,
+                           /*rebuild_interval=*/8);
+  std::vector<std::size_t> in_class;
+  double max_drift = 0.0;
+  for (int step = 0; step < 500; ++step) {
+    if (!in_class.empty() && rng.bernoulli(0.5)) {
+      const std::size_t pos = rng.uniform_index(in_class.size());
+      cls.remove(in_class[pos]);
+      in_class.erase(in_class.begin() + static_cast<std::ptrdiff_t>(pos));
+    } else {
+      const std::size_t cand = rng.uniform_index(instance.size());
+      if (!cls.contains(cand) && cls.can_add(cand)) {
+        cls.add(cand);
+        in_class.push_back(cand);
+      }
+    }
+    max_drift = std::max(max_drift, cls.accumulator_drift());
+  }
+  // The drift guard keeps the deviation at rounding-noise scale even after
+  // hundreds of compensated removals...
+  EXPECT_LT(max_drift, 1e-9);
+  // ...and an explicit rebuild erases it entirely.
+  cls.rebuild();
+  EXPECT_EQ(cls.accumulator_drift(), 0.0);
+  EXPECT_EQ(cls.members(), in_class);
+}
+
+TEST(IncrementalGainClassRemove, RemoveOfNonMemberThrows) {
+  const auto scenario = line_pairs({0.0, 1.0, 100.0, 101.0});
+  const Instance instance = scenario.instance();
+  const auto powers = UniformPower{}.assign(instance, 3.0);
+  SinrParams params;
+  const auto gains = instance.gains(powers, params.alpha, Variant::directed);
+  IncrementalGainClass cls(*gains, params);
+  cls.add(0);
+  EXPECT_THROW(cls.remove(1), PreconditionError);
+  cls.remove(0);
+  EXPECT_EQ(cls.size(), 0u);
+}
+
+TEST(OnlineScheduler, BookkeepingAndErrors) {
+  const auto scenario = random_scenario(16, /*seed=*/5);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional);
+
+  EXPECT_EQ(scheduler.active_count(), 0u);
+  EXPECT_EQ(scheduler.num_colors(), 0);
+  EXPECT_THROW(scheduler.on_departure(0), PreconditionError);
+
+  const int c0 = scheduler.on_arrival(0);
+  EXPECT_EQ(c0, 0);
+  EXPECT_THROW((void)scheduler.on_arrival(0), PreconditionError);
+  EXPECT_EQ(scheduler.color_of(0), 0);
+  EXPECT_TRUE(scheduler.is_active(0));
+  EXPECT_EQ(scheduler.active_count(), 1u);
+
+  scheduler.on_departure(0);
+  EXPECT_FALSE(scheduler.is_active(0));
+  EXPECT_EQ(scheduler.active_count(), 0u);
+  EXPECT_EQ(scheduler.num_colors(), 0);  // the emptied class was dropped
+  EXPECT_EQ(scheduler.stats().arrivals, 1u);
+  EXPECT_EQ(scheduler.stats().departures, 1u);
+  EXPECT_TRUE(scheduler.validate_against_direct());
+}
+
+TEST(OnlineScheduler, FullArriveThenDepartEndsEmpty) {
+  const auto scenario = grid_scenario(4, 6);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional);
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    (void)scheduler.on_arrival(i);
+  }
+  EXPECT_EQ(scheduler.active_count(), instance.size());
+  EXPECT_TRUE(scheduler.validate_against_direct());
+  const Schedule full = scheduler.snapshot();
+  EXPECT_TRUE(full.complete());
+  EXPECT_TRUE(
+      validate_schedule(instance, powers, full, params, Variant::bidirectional).valid);
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    scheduler.on_departure(i);
+  }
+  EXPECT_EQ(scheduler.active_count(), 0u);
+  EXPECT_EQ(scheduler.num_colors(), 0);
+  EXPECT_GE(scheduler.stats().peak_colors, 1);
+}
+
+TEST(OnlineScheduler, ArrivalOrderMatchesOfflineFirstFit) {
+  // Pure arrivals in as-given order ARE offline greedy first-fit (no
+  // departures, no compaction), so the colorings must coincide exactly.
+  for (const auto& scenario : fixtures()) {
+    const Instance instance = scenario.instance();
+    SinrParams params;
+    params.alpha = 3.0;
+    params.beta = 1.0;
+    for (const Variant variant : both_variants()) {
+      const auto powers = SqrtPower{}.assign(instance, params.alpha);
+      OnlineScheduler scheduler(instance, powers, params, variant);
+      for (std::size_t i = 0; i < instance.size(); ++i) {
+        (void)scheduler.on_arrival(i);
+      }
+      const Schedule offline = greedy_coloring(instance, powers, params, variant,
+                                               RequestOrder::as_given);
+      EXPECT_EQ(scheduler.snapshot().color_of, offline.color_of);
+      EXPECT_EQ(scheduler.snapshot().num_colors, offline.num_colors);
+    }
+  }
+}
+
+ChurnTrace trace_for(const std::string& kind, std::size_t universe, std::uint64_t seed) {
+  Rng rng(seed);
+  return make_churn_trace(kind, universe, /*target_events=*/600, rng);
+}
+
+TEST(OnlineScheduler, ReplayedFinalStateRevalidatesAgainstOfflineEngines) {
+  for (const std::string kind : {"poisson", "flash", "adversarial"}) {
+    for (const auto& scenario : fixtures()) {
+      const Instance instance = scenario.instance();
+      SinrParams params;
+      params.alpha = 3.0;
+      params.beta = 1.0;
+      const auto powers = SqrtPower{}.assign(instance, params.alpha);
+      for (const Variant variant : both_variants()) {
+        const ChurnTrace trace = trace_for(kind, instance.size(), 42);
+        OnlineScheduler scheduler(instance, powers, params, variant);
+        const ReplayResult result = replay_trace(scheduler, trace);
+        // The exactness gate: direct and gain engines agree bit-for-bit on
+        // every class, and every class is feasible.
+        EXPECT_TRUE(result.validated) << kind;
+        EXPECT_EQ(result.final_active, trace.final_active().size()) << kind;
+        EXPECT_EQ(result.stats.events(), trace.events.size()) << kind;
+        EXPECT_GE(result.stats.peak_colors, result.final_colors) << kind;
+        // Offline re-validation of the final coloring, class by class, with
+        // the from-scratch direct checker (inactive links excluded).
+        const auto classes = color_classes(result.final_schedule);
+        for (const auto& members : classes) {
+          EXPECT_TRUE(check_feasible(instance.metric(), instance.requests(), powers,
+                                     members, params, variant)
+                          .feasible)
+              << kind;
+        }
+      }
+    }
+  }
+}
+
+TEST(OnlineScheduler, CompensatedPolicyAlsoRevalidates) {
+  const auto scenario = random_scenario(32, /*seed=*/23);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  OnlineSchedulerOptions options;
+  options.remove_policy = RemovePolicy::compensated;
+  options.rebuild_interval = 32;
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional, options);
+  const ChurnTrace trace = trace_for("poisson", instance.size(), 77);
+  const ReplayResult result = replay_trace(scheduler, trace);
+  EXPECT_TRUE(result.validated);
+}
+
+TEST(OnlineScheduler, CompactionDisabledKeepsTrailingClasses) {
+  const auto scenario = random_scenario(32, /*seed=*/31);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  OnlineSchedulerOptions no_compact;
+  no_compact.compact_on_departure = false;
+  OnlineScheduler plain(instance, powers, params, Variant::bidirectional, no_compact);
+  OnlineScheduler compacting(instance, powers, params, Variant::bidirectional);
+  const ChurnTrace trace = trace_for("poisson", instance.size(), 13);
+  const ReplayResult plain_result = replay_trace(plain, trace);
+  const ReplayResult compact_result = replay_trace(compacting, trace);
+  EXPECT_TRUE(plain_result.validated);
+  EXPECT_TRUE(compact_result.validated);
+  EXPECT_EQ(plain_result.stats.migrations, 0u);
+  // Compaction can only help the color count.
+  EXPECT_LE(compact_result.final_colors, plain_result.final_colors);
+}
+
+TEST(OnlineScheduler, ReusedSchedulerReportsPerReplayStats) {
+  const auto scenario = random_scenario(16, /*seed=*/3);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional);
+  const ChurnTrace first = trace_for("poisson", instance.size(), 1);
+  const ChurnTrace second = trace_for("adversarial", instance.size(), 2);
+  // The second trace must start from the first's final state: replay it
+  // only over the links the first left inactive.
+  const ReplayResult a = replay_trace(scheduler, first);
+  EXPECT_EQ(a.stats.events(), first.events.size());
+  for (const std::size_t link : first.final_active()) {
+    scheduler.on_departure(link);
+  }
+  const std::size_t drained = first.final_active().size();
+  const ReplayResult b = replay_trace(scheduler, second);
+  // Per-replay counters: the second result covers only the second trace.
+  EXPECT_EQ(b.stats.events(), second.events.size());
+  EXPECT_TRUE(b.validated);
+  EXPECT_EQ(scheduler.stats().events(),
+            first.events.size() + drained + second.events.size());
+}
+
+TEST(OnlineScheduler, ReplayRejectsMismatchedUniverse) {
+  const auto scenario = random_scenario(8, /*seed=*/1);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional);
+  ChurnTrace trace;
+  trace.universe = 9;
+  EXPECT_THROW((void)replay_trace(scheduler, trace), PreconditionError);
+}
+
+}  // namespace
+}  // namespace oisched
