@@ -24,7 +24,10 @@ using namespace oisched;
 
 int usage() {
   std::cerr << "usage: run_experiments [--quick] [--out PATH] [--threads N] [--seed S]\n"
-               "                       [--alpha A] [--beta B]\n";
+               "                       [--alpha A] [--beta B] [--storage dense|tiled]\n"
+               "  --storage sets the default gain-table backend of the grid cells that\n"
+               "  do not pin one (the large-n tiled and growing appendable cells always\n"
+               "  do); scenario names grow a suffix for non-dense backends.\n";
   return 2;
 }
 
@@ -47,6 +50,9 @@ int main(int argc, char** argv) {
       options.params.alpha = std::strtod(argv[++i], nullptr);
     } else if (arg == "--beta" && i + 1 < argc) {
       options.params.beta = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--storage" && i + 1 < argc) {
+      options.storage = argv[++i];
+      if (options.storage != "dense" && options.storage != "tiled") return usage();
     } else {
       return usage();
     }

@@ -2,26 +2,36 @@
 //
 //   $ ./schedule_tool gen  <out.inst> <n> [seed]       generate a workload
 //   $ ./schedule_tool run  <in.inst> <out.sched> [sqrt|greedy] [gain|incremental|direct]
+//                          [--storage dense|tiled]
 //   $ ./schedule_tool check <in.inst> <in.sched>       validate a schedule
-//   $ ./schedule_tool gen-trace <in.inst> <out.trace> [poisson|flash|adversarial]
+//   $ ./schedule_tool gen-trace <in.inst> <out.trace>
+//                               [poisson|flash|adversarial|hotspot|growing]
 //                               [events] [seed]        generate a churn trace
 //   $ ./schedule_tool replay <in.inst> --trace <in.trace> [--out <final.sched>]
-//                                                      replay it online
+//                            [--storage dense|tiled]   replay it online
 //
 // `run` defaults to the Section-5 sqrt coloring on the gain-matrix engine;
 // the other engines answer the same queries from scratch and exist for
 // cross-checking (identical schedules, different wall time — reported).
-// `replay` drives the trace through the online scheduler (arrivals first-fit
-// into the live coloring, departures shrink and compact it), reports
-// events/sec, colors and migrations, and re-validates the final state
-// bit-for-bit against the direct feasibility engine.
+// `--storage` picks the gain-table backend (identical results; tiled keeps
+// huge sparsely-active universes memory-bounded). `replay` drives the trace
+// through the online scheduler (arrivals first-fit into the live coloring,
+// departures shrink and compact it), reports events/sec, colors and
+// migrations, and re-validates the final state bit-for-bit against the
+// direct feasibility engine. A `growing` trace targets the first half of
+// the instance as its starting universe and introduces the second half as
+// fresh links; replay then runs the appendable backend, growing the gain
+// tables online with square-root powers derived per fresh link.
 //
 // Demonstrates the serialization API (core/io.h, gen/churn.h) and how
 // downstream tools can mix and match generators, algorithms, engines and
 // validators.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/greedy.h"
 #include "core/io.h"
@@ -41,12 +51,12 @@ int usage() {
   std::cerr << "usage:\n"
                "  schedule_tool gen   <out.inst> <n> [seed]\n"
                "  schedule_tool run   <in.inst> <out.sched> [sqrt|greedy] "
-               "[gain|incremental|direct]\n"
+               "[gain|incremental|direct] [--storage dense|tiled]\n"
                "  schedule_tool check <in.inst> <in.sched>\n"
                "  schedule_tool gen-trace <in.inst> <out.trace> "
-               "[poisson|flash|adversarial] [events] [seed]\n"
+               "[poisson|flash|adversarial|hotspot|growing] [events] [seed]\n"
                "  schedule_tool replay <in.inst> --trace <in.trace> "
-               "[--out <final.sched>]\n";
+               "[--out <final.sched>] [--storage dense|tiled]\n";
   return 2;
 }
 
@@ -84,12 +94,33 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
+/// Parses a trailing [--storage BACKEND] pair (dense/tiled only — an
+/// appendable table has a single owner and is chosen automatically by
+/// replay when the trace grows the universe).
+bool parse_storage_flag(int argc, char** argv, int& i, GainBackend& storage) {
+  if (std::string(argv[i]) != "--storage" || i + 1 >= argc) return false;
+  GainBackend parsed = GainBackend::dense;
+  if (!parse_gain_backend(argv[++i], parsed) || parsed == GainBackend::appendable) {
+    return false;
+  }
+  storage = parsed;
+  return true;
+}
+
 int cmd_run(int argc, char** argv) {
   if (argc < 4) return usage();
   const Instance instance = load_instance(argv[2]);
   const std::string algo = argc > 4 ? argv[4] : "sqrt";
   FeasibilityEngine engine = FeasibilityEngine::gain_matrix;
-  if (argc > 5 && !parse_engine(argv[5], engine)) return usage();
+  GainBackend storage = GainBackend::dense;
+  int i = 5;
+  if (i < argc && std::string(argv[i]) != "--storage") {
+    if (!parse_engine(argv[i], engine)) return usage();
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    if (!parse_storage_flag(argc, argv, i, storage)) return usage();
+  }
   const SinrParams params = default_params();
 
   Schedule schedule;
@@ -101,11 +132,12 @@ int cmd_run(int argc, char** argv) {
     }
     SqrtColoringOptions options;
     options.engine = engine;
+    options.storage = storage;
     schedule = sqrt_coloring(instance, params, Variant::bidirectional, options).schedule;
   } else if (algo == "greedy") {
     const auto powers = SqrtPower{}.assign(instance, params.alpha);
     schedule = greedy_coloring(instance, powers, params, Variant::bidirectional,
-                               RequestOrder::longest_first, engine);
+                               RequestOrder::longest_first, engine, storage);
   } else {
     return usage();
   }
@@ -113,7 +145,8 @@ int cmd_run(int argc, char** argv) {
   save_schedule(argv[3], schedule);
   std::cout << "scheduled " << instance.size() << " requests into "
             << schedule.num_colors << " colors (" << algo << ", engine "
-            << to_string(engine) << ", " << elapsed_ms << " ms) -> " << argv[3] << '\n';
+            << to_string(engine) << ", storage " << to_string(storage) << ", "
+            << elapsed_ms << " ms) -> " << argv[3] << '\n';
   return 0;
 }
 
@@ -140,12 +173,28 @@ int cmd_gen_trace(int argc, char** argv) {
   const std::string kind = argc > 4 ? argv[4] : "poisson";
   const std::size_t events = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
   const std::uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1;
-  if (kind != "poisson" && kind != "flash" && kind != "adversarial") return usage();
+  if (kind != "poisson" && kind != "flash" && kind != "adversarial" &&
+      kind != "hotspot" && kind != "growing") {
+    return usage();
+  }
   Rng rng(seed);
-  const ChurnTrace trace = make_churn_trace(kind, instance.size(), events, rng);
+  ChurnTrace trace;
+  if (kind == "growing") {
+    // The first half of the instance is the starting universe; the second
+    // half arrives as fresh links over the appendable backend.
+    const std::size_t n0 = std::max<std::size_t>(1, instance.size() / 2);
+    if (n0 >= instance.size()) {
+      std::cerr << "growing traces need an instance with at least 2 requests\n";
+      return 2;
+    }
+    trace = make_churn_trace(kind, n0, events, rng, instance.requests().subspan(n0));
+  } else {
+    trace = make_churn_trace(kind, instance.size(), events, rng);
+  }
   save_trace(path, trace);
   std::cout << "wrote " << trace.events.size() << " " << kind << " events over "
-            << trace.universe << " links to " << path << '\n';
+            << trace.universe << " links (final universe " << trace.final_universe()
+            << ") to " << path << '\n';
   return 0;
 }
 
@@ -154,12 +203,15 @@ int cmd_replay(int argc, char** argv) {
   const Instance instance = load_instance(argv[2]);
   std::string trace_path;
   std::string out_path;
+  GainBackend storage = GainBackend::dense;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (parse_storage_flag(argc, argv, i, storage)) {
+      continue;
     } else {
       return usage();
     }
@@ -167,19 +219,43 @@ int cmd_replay(int argc, char** argv) {
   if (trace_path.empty()) return usage();
   const ChurnTrace trace = load_trace(trace_path);
   const SinrParams params = default_params();
-  const auto powers = SqrtPower{}.assign(instance, params.alpha);
 
-  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional);
+  // A trace targeting fewer links than the instance starts from that
+  // prefix (the rest of the requests are the growth reservoir of growing
+  // traces); fresh-link events force the appendable backend.
+  if (trace.universe > instance.size()) {
+    std::cerr << "trace universe exceeds the instance\n";
+    return 2;
+  }
+  const std::span<const Request> all = instance.requests();
+  const Instance base =
+      trace.universe == instance.size()
+          ? instance
+          : Instance(instance.metric_ptr(),
+                     std::vector<Request>(all.begin(),
+                                          all.begin() + static_cast<std::ptrdiff_t>(
+                                                            trace.universe)));
+  const auto powers = SqrtPower{}.assign(base, params.alpha);
+  OnlineSchedulerOptions options;
+  options.storage = trace.has_fresh_links() ? GainBackend::appendable : storage;
+  if (trace.has_fresh_links()) {
+    options.fresh_power = std::make_shared<SqrtPower>();
+  }
+
+  OnlineScheduler scheduler(base, powers, params, Variant::bidirectional, options);
   const ReplayResult result = replay_trace(scheduler, trace);
   const OnlineStats& stats = result.stats;
   std::cout << "replayed " << stats.events() << " events (" << stats.arrivals
-            << " arrivals, " << stats.departures << " departures) in "
-            << result.wall_seconds * 1e3 << " ms: " << result.events_per_sec
-            << " events/sec\n"
-            << "final state: " << result.final_active << " active links in "
-            << result.final_colors << " colors (peak " << stats.peak_colors
-            << "), " << stats.migrations << " migrations, worst event "
-            << stats.max_event_seconds * 1e3 << " ms\n"
+            << " arrivals incl. " << stats.fresh_links << " fresh links, "
+            << stats.departures << " departures) in " << result.wall_seconds * 1e3
+            << " ms: " << result.events_per_sec << " events/sec (storage "
+            << to_string(options.storage) << ")\n"
+            << "final state: " << result.final_active << " active links of "
+            << result.final_universe << " in " << result.final_colors
+            << " colors (peak " << stats.peak_colors << "), " << stats.migrations
+            << " migrations (" << stats.compaction_skips
+            << " compaction skips), worst event " << stats.max_event_seconds * 1e3
+            << " ms\n"
             << "final validation vs direct engine: "
             << (result.validated ? "BIT-IDENTICAL, FEASIBLE" : "FAILED") << '\n';
   if (!out_path.empty()) {

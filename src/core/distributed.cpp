@@ -27,7 +27,8 @@ DistributedResult distributed_coloring(const Instance& instance,
 
   std::shared_ptr<const GainMatrix> gains;
   if (options.engine == FeasibilityEngine::gain_matrix) {
-    gains = instance.gains(powers, params.alpha, variant);
+    gains = instance.gains(powers, params.alpha, variant, /*with_sender_gains=*/false,
+                           options.storage);
   }
 
   Rng rng(options.seed);

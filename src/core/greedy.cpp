@@ -88,7 +88,7 @@ std::vector<std::size_t> ordered_indices(const Instance& instance, RequestOrder 
 
 Schedule greedy_coloring(const Instance& instance, std::span<const double> powers,
                          const SinrParams& params, Variant variant, RequestOrder order,
-                         FeasibilityEngine engine) {
+                         FeasibilityEngine engine, GainBackend storage) {
   require(powers.size() == instance.size(), "greedy_coloring: one power per request");
   switch (engine) {
     case FeasibilityEngine::direct:
@@ -104,7 +104,8 @@ Schedule greedy_coloring(const Instance& instance, std::span<const double> power
     case FeasibilityEngine::gain_matrix:
       break;
   }
-  const auto gains = instance.gains(powers, params.alpha, variant);
+  const auto gains =
+      instance.gains(powers, params.alpha, variant, /*with_sender_gains=*/false, storage);
   return first_fit_coloring<IncrementalGainClass>(
       instance, order, [&] { return IncrementalGainClass(*gains, params); });
 }

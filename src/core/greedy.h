@@ -35,10 +35,14 @@ enum class RequestOrder {
 /// bit-for-bit identical schedules; gain_matrix precomputes the pairwise
 /// gains once and answers membership tests from tables, direct re-validates
 /// whole classes per test, incremental is the metric-based middle ground.
+/// `storage` picks the table backend of the gain_matrix engine (results are
+/// backend-independent; tiled bounds resident memory on large sparse
+/// workloads) and is ignored by the other engines.
 [[nodiscard]] Schedule greedy_coloring(
     const Instance& instance, std::span<const double> powers, const SinrParams& params,
     Variant variant, RequestOrder order = RequestOrder::longest_first,
-    FeasibilityEngine engine = FeasibilityEngine::gain_matrix);
+    FeasibilityEngine engine = FeasibilityEngine::gain_matrix,
+    GainBackend storage = GainBackend::dense);
 
 struct PowerControlColoring {
   Schedule schedule;

@@ -10,39 +10,33 @@
 
 namespace oisched {
 
-/// Shared (across copies) cache of gain tables. Every entry owns a copy of
-/// the requests and the metric handle, so a GainMatrix handed out stays
-/// valid regardless of eviction or the originating Instance's lifetime.
+/// Shared (across copies) cache of gain tables. Every entry owns the
+/// metric handle (the matrix itself copies the requests and powers), so a
+/// GainMatrix handed out stays valid regardless of eviction or the
+/// originating Instance's lifetime. Entries are inserted key-only under the
+/// list mutex and built afterwards through a per-entry once_flag — the
+/// O(n^2) cold build never holds the cache lock, so hits on other keys
+/// proceed while a miss builds (ROADMAP's cold-build serialization item).
 struct Instance::GainCache {
   struct Entry {
-    Entry(std::shared_ptr<const MetricSpace> metric_in, std::vector<Request> requests_in,
-          std::vector<double> powers_in, double alpha_in, Variant variant_in,
-          bool with_sender_gains_in)
-        : metric(std::move(metric_in)),
-          requests(std::move(requests_in)),
-          powers(std::move(powers_in)),
-          alpha(alpha_in),
-          variant(variant_in),
-          with_sender_gains(with_sender_gains_in),
-          gains(*metric, requests, powers, alpha, variant, with_sender_gains) {}
-
     std::shared_ptr<const MetricSpace> metric;
-    std::vector<Request> requests;
     std::vector<double> powers;
-    double alpha;
-    Variant variant;
-    bool with_sender_gains;
-    GainMatrix gains;  // declared last: references the members above
+    double alpha = 0.0;
+    Variant variant = Variant::directed;
+    bool with_sender_gains = false;
+    GainBackend backend = GainBackend::dense;
+    std::once_flag built;
+    std::unique_ptr<const GainMatrix> gains;  // set exactly once via `built`
 
     [[nodiscard]] bool matches(std::span<const double> p, double a, Variant v,
-                               bool sender) const {
+                               bool sender, GainBackend b) const {
       return a == alpha && v == variant && sender == with_sender_gains &&
-             std::equal(p.begin(), p.end(), powers.begin(), powers.end());
+             b == backend && std::equal(p.begin(), p.end(), powers.begin(), powers.end());
     }
   };
 
   /// Bounds the O(n^2)-sized tables kept alive per instance; in practice an
-  /// instance sees at most (powers x variant) ~ 2-3 distinct keys.
+  /// instance sees at most (powers x variant x backend) ~ 2-4 distinct keys.
   static constexpr std::size_t kMaxEntries = 4;
 
   std::mutex mutex;
@@ -67,32 +61,55 @@ Instance::Instance(std::shared_ptr<const MetricSpace> metric, std::vector<Reques
 
 std::shared_ptr<const GainMatrix> Instance::gains(std::span<const double> powers,
                                                   double alpha, Variant variant,
-                                                  bool with_sender_gains) const {
+                                                  bool with_sender_gains,
+                                                  GainBackend backend) const {
   require(powers.size() == requests_.size(), "Instance::gains: one power per request");
+  require(backend != GainBackend::appendable,
+          "Instance::gains: appendable tables grow and cannot be shared through the "
+          "cache; construct a GainMatrix directly");
   // The bidirectional variant always builds the sender-side table, so the
   // flag changes nothing there — normalize it out of the key to avoid a
   // bit-identical duplicate build.
   if (variant == Variant::bidirectional) with_sender_gains = false;
-  std::lock_guard<std::mutex> lock(gain_cache_->mutex);
-  auto& entries = gain_cache_->entries;
-  // The aliasing shared_ptr pins the whole entry (metric handle, request
-  // and power copies) for as long as any caller holds the matrix.
-  const auto alias = [](const std::shared_ptr<GainCache::Entry>& entry) {
-    return std::shared_ptr<const GainMatrix>(entry, &entry->gains);
-  };
-  for (std::size_t k = 0; k < entries.size(); ++k) {
-    if (entries[k]->matches(powers, alpha, variant, with_sender_gains)) {
-      if (k != 0) std::rotate(entries.begin(), entries.begin() + k, entries.begin() + k + 1);
-      return alias(entries.front());
+  std::shared_ptr<GainCache::Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(gain_cache_->mutex);
+    auto& entries = gain_cache_->entries;
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      if (entries[k]->matches(powers, alpha, variant, with_sender_gains, backend)) {
+        if (k != 0) {
+          std::rotate(entries.begin(), entries.begin() + k, entries.begin() + k + 1);
+        }
+        entry = entries.front();
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      // Insert the key only; the build happens below, outside the lock.
+      entry = std::make_shared<GainCache::Entry>();
+      entry->metric = metric_;
+      entry->powers.assign(powers.begin(), powers.end());
+      entry->alpha = alpha;
+      entry->variant = variant;
+      entry->with_sender_gains = with_sender_gains;
+      entry->backend = backend;
+      entries.insert(entries.begin(), entry);
+      // Eviction is safe mid-build elsewhere: every caller of an entry holds
+      // its shared_ptr, so a popped entry finishes building and stays valid
+      // for them.
+      if (entries.size() > GainCache::kMaxEntries) entries.pop_back();
     }
   }
-  auto entry = std::make_shared<GainCache::Entry>(
-      metric_, std::vector<Request>(requests_.begin(), requests_.end()),
-      std::vector<double>(powers.begin(), powers.end()), alpha, variant,
-      with_sender_gains);
-  entries.insert(entries.begin(), std::move(entry));
-  if (entries.size() > GainCache::kMaxEntries) entries.pop_back();
-  return alias(entries.front());
+  // Per-entry once-initialization: only callers of THIS key wait here;
+  // a failed build leaves the flag unset so the next caller retries.
+  std::call_once(entry->built, [&] {
+    entry->gains = std::make_unique<const GainMatrix>(
+        *entry->metric, requests_, entry->powers, entry->alpha, entry->variant,
+        entry->with_sender_gains, entry->backend);
+  });
+  // The aliasing shared_ptr pins the whole entry (metric handle and the
+  // matrix's own request/power copies) for as long as any caller holds it.
+  return std::shared_ptr<const GainMatrix>(entry, entry->gains.get());
 }
 
 std::size_t Instance::cached_gain_tables() const {

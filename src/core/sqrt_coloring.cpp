@@ -351,7 +351,7 @@ SqrtColoringResult sqrt_coloring(const Instance& instance, const SinrParams& par
     // The LP budgets interference at sender nodes too, so the directed
     // variant also needs the at_u table here.
     gains = instance.gains(result.powers, params.alpha, variant,
-                           /*with_sender_gains=*/true);
+                           /*with_sender_gains=*/true, options.storage);
   }
 
   Rng rng(options.seed);

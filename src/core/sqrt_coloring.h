@@ -48,6 +48,9 @@ struct SqrtColoringOptions {
   /// the original metric-recomputing path. Results are bit-for-bit
   /// identical either way.
   FeasibilityEngine engine = FeasibilityEngine::gain_matrix;
+  /// Storage backend of the gain_matrix engine's tables (results are
+  /// backend-independent).
+  GainBackend storage = GainBackend::dense;
 };
 
 struct SqrtColoringStats {

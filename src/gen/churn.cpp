@@ -39,7 +39,15 @@ std::size_t pick_from_pool(std::vector<std::size_t>& pool, Rng& rng) {
 }
 
 const char* kind_name(ChurnEvent::Kind kind) {
-  return kind == ChurnEvent::Kind::arrival ? "arrival" : "departure";
+  switch (kind) {
+    case ChurnEvent::Kind::arrival:
+      return "arrival";
+    case ChurnEvent::Kind::departure:
+      return "departure";
+    case ChurnEvent::Kind::link_arrival:
+      return "link_arrival";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -48,9 +56,15 @@ void ChurnTrace::validate() const {
   std::vector<char> active(universe, 0);
   double last_time = 0.0;
   for (const ChurnEvent& event : events) {
-    require(event.link < universe, "ChurnTrace: link index out of universe");
     require(event.time >= last_time, "ChurnTrace: time must be non-decreasing");
     last_time = event.time;
+    if (event.kind == ChurnEvent::Kind::link_arrival) {
+      require(event.link == active.size(),
+              "ChurnTrace: fresh links must take the next universe index");
+      active.push_back(1);  // a fresh link arrives active
+      continue;
+    }
+    require(event.link < active.size(), "ChurnTrace: link index out of universe");
     if (event.kind == ChurnEvent::Kind::arrival) {
       require(!active[event.link], "ChurnTrace: arrival of an already active link");
       active[event.link] = 1;
@@ -61,13 +75,32 @@ void ChurnTrace::validate() const {
   }
 }
 
+std::size_t ChurnTrace::final_universe() const {
+  std::size_t total = universe;
+  for (const ChurnEvent& event : events) {
+    if (event.kind == ChurnEvent::Kind::link_arrival) ++total;
+  }
+  return total;
+}
+
+bool ChurnTrace::has_fresh_links() const {
+  for (const ChurnEvent& event : events) {
+    if (event.kind == ChurnEvent::Kind::link_arrival) return true;
+  }
+  return false;
+}
+
 std::vector<std::size_t> ChurnTrace::final_active() const {
   std::vector<char> active(universe, 0);
   for (const ChurnEvent& event : events) {
-    active[event.link] = event.kind == ChurnEvent::Kind::arrival ? 1 : 0;
+    if (event.kind == ChurnEvent::Kind::link_arrival) {
+      active.push_back(1);
+    } else {
+      active[event.link] = event.kind == ChurnEvent::Kind::arrival ? 1 : 0;
+    }
   }
   std::vector<std::size_t> result;
-  for (std::size_t i = 0; i < universe; ++i) {
+  for (std::size_t i = 0; i < active.size(); ++i) {
     if (active[i]) result.push_back(i);
   }
   return result;
@@ -77,14 +110,52 @@ std::size_t ChurnTrace::peak_active() const {
   std::size_t now = 0;
   std::size_t peak = 0;
   for (const ChurnEvent& event : events) {
-    if (event.kind == ChurnEvent::Kind::arrival) {
-      peak = std::max(peak, ++now);
-    } else {
+    if (event.kind == ChurnEvent::Kind::departure) {
       --now;
+    } else {
+      peak = std::max(peak, ++now);
     }
   }
   return peak;
 }
+
+namespace {
+
+/// The shared Poisson churn loop: arrivals drawn from `inactive`,
+/// exponential holding times, until `max_events` events (or the pool dries
+/// up both ways). poisson_trace runs it over the whole universe,
+/// hotspot_trace over a window of it.
+void poisson_churn_over_pool(ChurnTrace& trace, std::vector<std::size_t>& inactive,
+                             double arrival_rate, double mean_holding_time,
+                             std::size_t max_events, Rng& rng) {
+  DepartureQueue pending;
+  std::size_t seq = 0;
+
+  double t = 0.0;
+  double next_arrival = rng.exponential(arrival_rate);
+  while (trace.events.size() < max_events) {
+    const bool can_arrive = !inactive.empty();
+    const bool can_depart = !pending.empty();
+    if (!can_arrive && !can_depart) break;  // pool exhausted both ways
+    if (can_arrive && (!can_depart || next_arrival <= pending.top().time)) {
+      // When the pool was saturated the arrival waited for a free link; it
+      // then fires immediately, never before the freeing departure.
+      t = std::max(t, next_arrival);
+      const std::size_t link = pick_from_pool(inactive, rng);
+      trace.events.push_back({ChurnEvent::Kind::arrival, link, t, {}});
+      pending.push({t + rng.exponential(1.0 / mean_holding_time), seq++, link});
+      next_arrival += rng.exponential(arrival_rate);
+    } else {
+      const PendingDeparture departure = pending.top();
+      pending.pop();
+      t = std::max(t, departure.time);
+      trace.events.push_back({ChurnEvent::Kind::departure, departure.link, t, {}});
+      inactive.push_back(departure.link);
+    }
+  }
+}
+
+}  // namespace
 
 ChurnTrace poisson_trace(std::size_t universe, const PoissonChurnOptions& options,
                          Rng& rng) {
@@ -96,31 +167,112 @@ ChurnTrace poisson_trace(std::size_t universe, const PoissonChurnOptions& option
   ChurnTrace trace;
   trace.universe = universe;
   trace.events.reserve(options.max_events);
-
   std::vector<std::size_t> inactive(universe);
   for (std::size_t i = 0; i < universe; ++i) inactive[i] = i;
+  poisson_churn_over_pool(trace, inactive, options.arrival_rate,
+                          options.mean_holding_time, options.max_events, rng);
+  return trace;
+}
+
+ChurnTrace hotspot_trace(std::size_t universe, const HotspotChurnOptions& options,
+                         Rng& rng) {
+  require(universe > 0, "hotspot_trace: universe must be non-empty");
+  const std::size_t window =
+      options.window > 0 ? options.window : std::min<std::size_t>(universe, 128);
+  require(window <= universe, "hotspot_trace: window cannot exceed the universe");
+  require(options.mean_holding_time > 0.0,
+          "hotspot_trace: mean holding time must be positive");
+  const double rate =
+      options.arrival_rate > 0.0
+          ? options.arrival_rate
+          : std::max(1.0, static_cast<double>(window) / (2.0 * options.mean_holding_time));
+  const std::size_t max_events =
+      options.max_events > 0 ? options.max_events : 8 * window;
+
+  ChurnTrace trace;
+  trace.universe = universe;
+  trace.events.reserve(max_events);
+  std::vector<std::size_t> inactive(window);
+  for (std::size_t i = 0; i < window; ++i) inactive[i] = i;
+  poisson_churn_over_pool(trace, inactive, rate, options.mean_holding_time, max_events,
+                          rng);
+  return trace;
+}
+
+ChurnTrace growing_trace(std::size_t initial_universe,
+                         std::span<const Request> fresh_links,
+                         const GrowingChurnOptions& options, Rng& rng) {
+  require(initial_universe > 0, "growing_trace: initial universe must be non-empty");
+  require(!fresh_links.empty(), "growing_trace: need at least one fresh link");
+  require(options.mean_holding_time > 0.0,
+          "growing_trace: mean holding time must be positive");
+  const std::size_t final_universe = initial_universe + fresh_links.size();
+  const double rate = options.arrival_rate > 0.0
+                          ? options.arrival_rate
+                          : std::max(1.0, static_cast<double>(final_universe) /
+                                              (2.0 * options.mean_holding_time));
+  const std::size_t max_events =
+      options.max_events > 0 ? options.max_events : 16 * final_universe;
+  // The generator's contract is that EVERY fresh link gets introduced; a
+  // budget at or below the pool size could not keep it, so it is rejected
+  // rather than silently truncating the growth.
+  require(max_events > fresh_links.size(),
+          "growing_trace: event budget must exceed the fresh-link pool");
+  // Fresh links are introduced evenly across the event budget (by ordinal
+  // event position — deterministic regardless of how the churn falls).
+  // interval >= 1 and fresh * interval < max_events, so the last
+  // introduction always lands inside the budget.
+  const std::size_t interval =
+      std::max<std::size_t>(1, max_events / (fresh_links.size() + 1));
+
+  ChurnTrace trace;
+  trace.universe = initial_universe;
+  trace.events.reserve(max_events);
+
+  std::vector<std::size_t> inactive(initial_universe);
+  for (std::size_t i = 0; i < initial_universe; ++i) inactive[i] = i;
   DepartureQueue pending;
   std::size_t seq = 0;
+  std::size_t introduced = 0;
 
   double t = 0.0;
-  double next_arrival = rng.exponential(options.arrival_rate);
-  while (trace.events.size() < options.max_events) {
+  double next_arrival = rng.exponential(rate);
+  while (trace.events.size() < max_events) {
+    if (introduced < fresh_links.size() &&
+        trace.events.size() >= (introduced + 1) * interval) {
+      // Grow the universe: the fresh link takes the next index, arrives
+      // active at the current time, and drains like any other link.
+      const std::size_t link = initial_universe + introduced;
+      trace.events.push_back(
+          {ChurnEvent::Kind::link_arrival, link, t, fresh_links[introduced]});
+      pending.push({t + rng.exponential(1.0 / options.mean_holding_time), seq++, link});
+      ++introduced;
+      continue;
+    }
     const bool can_arrive = !inactive.empty();
     const bool can_depart = !pending.empty();
-    if (!can_arrive && !can_depart) break;  // universe exhausted both ways
+    if (!can_arrive && !can_depart) {
+      if (introduced >= fresh_links.size()) break;
+      // Nothing to churn yet, but fresh links remain: introduce the next
+      // one early rather than stall.
+      const std::size_t link = initial_universe + introduced;
+      trace.events.push_back(
+          {ChurnEvent::Kind::link_arrival, link, t, fresh_links[introduced]});
+      pending.push({t + rng.exponential(1.0 / options.mean_holding_time), seq++, link});
+      ++introduced;
+      continue;
+    }
     if (can_arrive && (!can_depart || next_arrival <= pending.top().time)) {
-      // When the universe was saturated the arrival waited for a free link;
-      // it then fires immediately, never before the freeing departure.
       t = std::max(t, next_arrival);
       const std::size_t link = pick_from_pool(inactive, rng);
-      trace.events.push_back({ChurnEvent::Kind::arrival, link, t});
+      trace.events.push_back({ChurnEvent::Kind::arrival, link, t, {}});
       pending.push({t + rng.exponential(1.0 / options.mean_holding_time), seq++, link});
-      next_arrival += rng.exponential(options.arrival_rate);
+      next_arrival += rng.exponential(rate);
     } else {
       const PendingDeparture departure = pending.top();
       pending.pop();
       t = std::max(t, departure.time);
-      trace.events.push_back({ChurnEvent::Kind::departure, departure.link, t});
+      trace.events.push_back({ChurnEvent::Kind::departure, departure.link, t, {}});
       inactive.push_back(departure.link);
     }
   }
@@ -217,7 +369,22 @@ ChurnTrace adversarial_chain_trace(std::size_t universe,
 }
 
 ChurnTrace make_churn_trace(const std::string& kind, std::size_t universe,
-                            std::size_t target_events, Rng& rng) {
+                            std::size_t target_events, Rng& rng,
+                            std::span<const Request> fresh_links) {
+  if (kind == "hotspot") {
+    HotspotChurnOptions options;
+    if (target_events > 0) options.max_events = target_events;
+    return hotspot_trace(universe, options, rng);
+  }
+  if (kind == "growing") {
+    require(!fresh_links.empty(),
+            "make_churn_trace: growing traces need the fresh-link pool");
+    GrowingChurnOptions options;
+    if (target_events > 0) options.max_events = target_events;
+    return growing_trace(universe, fresh_links, options, rng);
+  }
+  require(fresh_links.empty(),
+          "make_churn_trace: only growing traces take fresh links");
   if (kind == "poisson") {
     PoissonChurnOptions options;
     // Arrival rate scaled so steady state keeps ~half the universe active
@@ -254,7 +421,7 @@ ChurnTrace make_churn_trace(const std::string& kind, std::size_t universe,
 
 JsonValue trace_to_json(const ChurnTrace& trace) {
   JsonValue root = JsonValue::object();
-  root["schema"] = "oisched-trace/1";
+  root["schema"] = "oisched-trace/2";
   root["universe"] = trace.universe;
   JsonValue events = JsonValue::array();
   for (const ChurnEvent& event : trace.events) {
@@ -262,6 +429,10 @@ JsonValue trace_to_json(const ChurnTrace& trace) {
     entry["t"] = event.time;
     entry["kind"] = kind_name(event.kind);
     entry["link"] = event.link;
+    if (event.kind == ChurnEvent::Kind::link_arrival) {
+      entry["u"] = event.request.u;
+      entry["v"] = event.request.v;
+    }
     events.push_back(std::move(entry));
   }
   root["events"] = std::move(events);
@@ -269,7 +440,11 @@ JsonValue trace_to_json(const ChurnTrace& trace) {
 }
 
 ChurnTrace trace_from_json(const JsonValue& document) {
-  require(document.at("schema").as_string() == "oisched-trace/1",
+  const std::string& schema = document.at("schema").as_string();
+  // "/1" is the legacy fixed-universe schema: same layout, no
+  // universe-growing events — still read for old trace files.
+  const bool fixed_universe_only = schema == "oisched-trace/1";
+  require(fixed_universe_only || schema == "oisched-trace/2",
           "trace_from_json: unsupported trace schema");
   const std::int64_t universe = document.at("universe").as_int();
   require(universe >= 0, "trace_from_json: universe must be non-negative");
@@ -287,6 +462,13 @@ ChurnTrace trace_from_json(const JsonValue& document) {
       event.kind = ChurnEvent::Kind::arrival;
     } else if (kind == "departure") {
       event.kind = ChurnEvent::Kind::departure;
+    } else if (kind == "link_arrival" && !fixed_universe_only) {
+      event.kind = ChurnEvent::Kind::link_arrival;
+      const std::int64_t u = entry.at("u").as_int();
+      const std::int64_t v = entry.at("v").as_int();
+      require(u >= 0 && v >= 0, "trace_from_json: endpoints must be non-negative");
+      event.request.u = static_cast<NodeId>(u);
+      event.request.v = static_cast<NodeId>(v);
     } else {
       throw PreconditionError("trace_from_json: unknown event kind '" + kind + "'");
     }

@@ -1,48 +1,69 @@
 // Link-churn event traces: the workloads of the online scheduling subsystem.
 //
-// A ChurnTrace is a time-ordered stream of arrival/departure events over a
-// fixed universe of links (the requests of one Instance, indexed 0..n-1).
-// The generators cover the three regimes the dynamic benchmarks exercise:
-// Poisson arrivals with exponential holding times (steady churn), flash
-// crowds (correlated bursts), and adversarial insert-then-delete chains
-// (maximum recoloring pressure on a first-fit maintainer). All generators
-// are deterministic given an Rng, independent of thread count or call
-// site, and traces serialize to JSON (schema "oisched-trace/1") for
+// A ChurnTrace is a time-ordered stream of events over a universe of links
+// (the requests of one Instance, indexed 0..n-1). Besides arrival and
+// departure of known links, a trace may GROW the universe: a link_arrival
+// event introduces a brand-new link (its endpoints are metric node ids)
+// that immediately becomes active and takes the next free index — the
+// regime the paper's oblivious power assignments make sound, since a fresh
+// link's power depends only on its own length. The generators cover the
+// regimes the dynamic benchmarks exercise: Poisson arrivals with
+// exponential holding times (steady churn), flash crowds (correlated
+// bursts), adversarial insert-then-delete chains (maximum recoloring
+// pressure on a first-fit maintainer), hotspot churn confined to a small
+// window of a huge universe (the tiled-backend workload), and growing
+// traces that interleave churn with fresh-link introductions (the
+// appendable-backend workload). All generators are deterministic given an
+// Rng, independent of thread count or call site, and traces serialize to
+// JSON (schema "oisched-trace/2"; "/1" documents remain readable) for
 // scripted replay via `schedule_tool replay --trace`.
 #ifndef OISCHED_GEN_CHURN_H
 #define OISCHED_GEN_CHURN_H
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "sinr/model.h"
 #include "util/json_writer.h"
 #include "util/rng.h"
 
 namespace oisched {
 
 struct ChurnEvent {
-  enum class Kind { arrival, departure };
+  enum class Kind { arrival, departure, link_arrival };
 
   Kind kind = Kind::arrival;
   std::size_t link = 0;  // request index into the instance the trace targets
   double time = 0.0;
+  /// link_arrival only: the fresh link's endpoints (metric node ids); for a
+  /// link_arrival, `link` is the index the new link receives and must equal
+  /// the universe size at that point in the stream.
+  Request request{};
 
   friend bool operator==(const ChurnEvent&, const ChurnEvent&) = default;
 };
 
-/// A validated event stream: times are non-decreasing and every link
-/// alternates arrival/departure starting from inactive.
+/// A validated event stream: times are non-decreasing, every known link
+/// alternates arrival/departure starting from inactive, and fresh links
+/// extend the universe one index at a time (arriving active).
 struct ChurnTrace {
-  std::size_t universe = 0;  // links are indices in [0, universe)
+  std::size_t universe = 0;  // INITIAL universe; link_arrival events grow it
   std::vector<ChurnEvent> events;
 
   friend bool operator==(const ChurnTrace&, const ChurnTrace&) = default;
 
   /// Throws PreconditionError when the stream is inconsistent (link out of
   /// range, time running backwards, double arrival, departure of an
-  /// inactive link).
+  /// inactive link, fresh link not taking the next index).
   void validate() const;
+
+  /// Universe size after the last event (initial + fresh links).
+  [[nodiscard]] std::size_t final_universe() const;
+
+  /// True when the trace contains link_arrival (universe-growing) events.
+  [[nodiscard]] bool has_fresh_links() const;
 
   /// Links still active after the last event, in increasing index order.
   [[nodiscard]] std::vector<std::size_t> final_active() const;
@@ -89,23 +110,60 @@ struct AdversarialChurnOptions {
                                                  const AdversarialChurnOptions& options,
                                                  Rng& rng);
 
-/// Dispatches over the generator kinds by name ("poisson" | "flash" |
-/// "adversarial") — the single registry the CLI, the benchmark harness and
-/// the tests share. target_events sizes the stream (0 picks a default
-/// proportional to the universe for poisson, the generator defaults
-/// otherwise); the Poisson arrival rate scales with the universe so steady
-/// state keeps ~half the links active. Throws PreconditionError on an
-/// unknown kind.
-[[nodiscard]] ChurnTrace make_churn_trace(const std::string& kind, std::size_t universe,
-                                          std::size_t target_events, Rng& rng);
+struct HotspotChurnOptions {
+  std::size_t window = 0;          // links drawn from [0, window); 0 = min(n, 128)
+  double arrival_rate = 0.0;       // 0 = window / (2 * mean_holding_time)
+  double mean_holding_time = 8.0;  // exponential lifetime of an arrived link
+  std::size_t max_events = 0;      // 0 = 8 * window
+};
 
-/// JSON document for a trace (schema "oisched-trace/1"):
-///   {"schema": "oisched-trace/1", "universe": 256,
-///    "events": [{"t": 0.25, "kind": "arrival", "link": 3}, ...]}
+/// Poisson churn confined to a small window of a huge universe — the
+/// workload of the tiled gain backend, whose resident memory follows the
+/// touched rows rather than the universe size (the large-scale
+/// locally-active regime of distributed SIR-aware scheduling).
+[[nodiscard]] ChurnTrace hotspot_trace(std::size_t universe,
+                                       const HotspotChurnOptions& options, Rng& rng);
+
+struct GrowingChurnOptions {
+  double arrival_rate = 0.0;       // 0 = final universe / (2 * mean_holding_time)
+  double mean_holding_time = 8.0;  // exponential lifetime of an arrived link
+  /// Total event budget (0 = 16 * final universe). Must exceed the
+  /// fresh-link pool — every fresh link is introduced, always.
+  std::size_t max_events = 0;
+};
+
+/// Poisson churn over a universe that grows: the fresh links are introduced
+/// (active, taking indices initial_universe, initial_universe + 1, ...)
+/// evenly across the event budget, join the churn pool, and depart like any
+/// other link — the appendable-backend workload. Throws PreconditionError
+/// when max_events is too small to introduce the whole pool.
+[[nodiscard]] ChurnTrace growing_trace(std::size_t initial_universe,
+                                       std::span<const Request> fresh_links,
+                                       const GrowingChurnOptions& options, Rng& rng);
+
+/// Dispatches over the generator kinds by name ("poisson" | "flash" |
+/// "adversarial" | "hotspot" | "growing") — the single registry the CLI,
+/// the benchmark harness and the tests share. target_events sizes the
+/// stream (0 picks a default proportional to the universe — or the window
+/// for hotspot; the generator defaults otherwise); the Poisson arrival
+/// rate scales with the universe so steady state keeps ~half the links
+/// active. "growing" requires a non-empty fresh_links pool (the requests
+/// the universe will grow by). Throws PreconditionError on an unknown
+/// kind.
+[[nodiscard]] ChurnTrace make_churn_trace(const std::string& kind, std::size_t universe,
+                                          std::size_t target_events, Rng& rng,
+                                          std::span<const Request> fresh_links = {});
+
+/// JSON document for a trace (schema "oisched-trace/2"):
+///   {"schema": "oisched-trace/2", "universe": 256,
+///    "events": [{"t": 0.25, "kind": "arrival", "link": 3},
+///               {"t": 2.5, "kind": "link_arrival", "link": 256,
+///                "u": 12, "v": 13}, ...]}
 [[nodiscard]] JsonValue trace_to_json(const ChurnTrace& trace);
 
-/// Parses a trace document; throws PreconditionError on schema mismatch or
-/// an invalid stream (the result is validate()d).
+/// Parses a trace document — schema "oisched-trace/2" or the legacy
+/// fixed-universe "oisched-trace/1"; throws PreconditionError on schema
+/// mismatch or an invalid stream (the result is validate()d).
 [[nodiscard]] ChurnTrace trace_from_json(const JsonValue& document);
 
 /// File convenience wrappers around the JSON form.

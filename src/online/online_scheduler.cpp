@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "sinr/feasibility.h"
 #include "util/error.h"
@@ -16,11 +17,22 @@ OnlineScheduler::OnlineScheduler(const Instance& instance, std::span<const doubl
       powers_(powers.begin(), powers.end()),
       params_(params),
       variant_(variant),
-      options_(options),
-      gains_(instance.gains(powers_, params.alpha, variant)),
+      options_(std::move(options)),
       color_of_(instance.size(), -1) {
   require(powers_.size() == instance_.size(), "OnlineScheduler: one power per link");
   params_.validate();
+  if (options_.storage == GainBackend::appendable) {
+    // A growable matrix cannot be shared through the instance cache — the
+    // scheduler owns it and is the only writer.
+    owned_gains_ = std::make_shared<GainMatrix>(instance_.metric(), instance_.requests(),
+                                                powers_, params_.alpha, variant_,
+                                                /*with_sender_gains=*/false,
+                                                GainBackend::appendable);
+    gains_ = owned_gains_;
+  } else {
+    gains_ = instance.gains(powers_, params_.alpha, variant_,
+                            /*with_sender_gains=*/false, options_.storage);
+  }
 }
 
 int OnlineScheduler::color_of(std::size_t link) const {
@@ -57,6 +69,35 @@ int OnlineScheduler::on_arrival(std::size_t link) {
   return color;
 }
 
+int OnlineScheduler::on_link_arrival(const Request& request) {
+  require(options_.storage == GainBackend::appendable,
+          "OnlineScheduler: growing the universe needs the appendable backend");
+  require(options_.fresh_power != nullptr,
+          "OnlineScheduler: fresh links need an oblivious power rule (fresh_power)");
+  require(request.u < instance_.metric().size() && request.v < instance_.metric().size(),
+          "OnlineScheduler: fresh link endpoint out of metric range");
+  Stopwatch watch;
+  // Oblivious by construction: the power is a function of the link's own
+  // loss, so nothing already scheduled needs revisiting.
+  const double loss = link_loss(instance_.metric(), request, params_.alpha);
+  require(loss > 0.0, "OnlineScheduler: fresh link endpoints must be distinct points");
+  const double power = options_.fresh_power->power_for_loss(loss);
+  const std::size_t link = owned_gains_->append_request(request, power);
+  powers_.push_back(power);
+  color_of_.push_back(-1);
+  for (IncrementalGainClass& cls : classes_) cls.sync_universe();
+  const int color = place(link);
+  color_of_[link] = color;
+  ++active_count_;
+  ++stats_.arrivals;
+  ++stats_.fresh_links;
+  stats_.peak_colors = std::max(stats_.peak_colors, num_colors());
+  const double elapsed = watch.elapsed_seconds();
+  stats_.total_event_seconds += elapsed;
+  stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
+  return color;
+}
+
 void OnlineScheduler::on_departure(std::size_t link) {
   require(link < color_of_.size(), "OnlineScheduler: link index out of range");
   const int color = color_of_[link];
@@ -84,12 +125,13 @@ void OnlineScheduler::compact_from(std::size_t color) {
   if (!options_.compact_on_departure) return;
   // Opportunistic compaction: migrate members of the trailing class into
   // earlier classes; when the trailing class drains completely the color
-  // count shrinks, and the now-trailing class gets the same chance.
+  // count shrinks, and the now-trailing class gets the same chance. An
+  // immovable member is skipped (and counted), not pass-ending — partial
+  // compaction still reclaims the slots of the movable members behind it.
   while (!classes_.empty()) {
     const std::size_t last = classes_.size() - 1;
     if (last == 0) break;  // a single class has nowhere to migrate to
     const std::vector<std::size_t> members = classes_[last].members();
-    bool stuck = false;
     for (const std::size_t m : members) {
       bool moved = false;
       for (std::size_t c = 0; c < last; ++c) {
@@ -102,25 +144,29 @@ void OnlineScheduler::compact_from(std::size_t color) {
           break;
         }
       }
-      // The first immovable member ends the pass: the class cannot drain
-      // this round, and bailing keeps the common (nothing-fits) departure
-      // at one cheap scan instead of |class| of them.
-      if (!moved) {
-        stuck = true;
-        break;
-      }
+      if (!moved) ++stats_.compaction_skips;
     }
-    if (stuck || classes_[last].size() > 0) break;
+    // Immovable members keep the trailing class (and the pass ends); a
+    // fully drained class frees its color and the next one gets a turn.
+    if (classes_[last].size() > 0) break;
     classes_.pop_back();
     ++stats_.classes_closed;
   }
 }
 
 void OnlineScheduler::apply(const ChurnEvent& event) {
-  if (event.kind == ChurnEvent::Kind::arrival) {
-    (void)on_arrival(event.link);
-  } else {
-    on_departure(event.link);
+  switch (event.kind) {
+    case ChurnEvent::Kind::arrival:
+      (void)on_arrival(event.link);
+      break;
+    case ChurnEvent::Kind::departure:
+      on_departure(event.link);
+      break;
+    case ChurnEvent::Kind::link_arrival:
+      require(event.link == universe(),
+              "OnlineScheduler: fresh link index must extend the universe");
+      (void)on_link_arrival(event.request);
+      break;
   }
 }
 
@@ -142,9 +188,11 @@ bool OnlineScheduler::validate_against_direct(double* worst_margin) const {
       ensure(color_of_[m] == static_cast<int>(c),
              "OnlineScheduler: class membership and coloring diverged");
     }
-    const FeasibilityReport direct =
-        check_feasible(instance_.metric(), instance_.requests(), powers_, members,
-                       params_, variant_);
+    // The matrix's own request copy covers links appended after
+    // construction; for a fixed universe it equals the instance's.
+    const FeasibilityReport direct = check_feasible(instance_.metric(),
+                                                    gains_->requests(), powers_, members,
+                                                    params_, variant_);
     const FeasibilityReport tabled = check_feasible(*gains_, members, params_);
     // Bit-for-bit agreement of the two engines, and actual feasibility.
     if (direct.feasible != tabled.feasible ||
@@ -162,8 +210,8 @@ bool OnlineScheduler::validate_against_direct(double* worst_margin) const {
 
 ReplayResult replay_trace(OnlineScheduler& scheduler, const ChurnTrace& trace,
                           bool validate_final) {
-  require(trace.universe == scheduler.instance().size(),
-          "replay_trace: trace universe must match the scheduler's instance");
+  require(trace.universe == scheduler.universe(),
+          "replay_trace: trace universe must match the scheduler's");
   ReplayResult result;
   const OnlineStats before = scheduler.stats();
   Stopwatch watch;
@@ -177,9 +225,11 @@ ReplayResult replay_trace(OnlineScheduler& scheduler, const ChurnTrace& trace,
   result.stats = scheduler.stats();
   result.stats.arrivals -= before.arrivals;
   result.stats.departures -= before.departures;
+  result.stats.fresh_links -= before.fresh_links;
   result.stats.classes_opened -= before.classes_opened;
   result.stats.classes_closed -= before.classes_closed;
   result.stats.migrations -= before.migrations;
+  result.stats.compaction_skips -= before.compaction_skips;
   result.stats.total_event_seconds -= before.total_event_seconds;
   result.events_per_sec =
       result.wall_seconds > 0.0
@@ -188,6 +238,7 @@ ReplayResult replay_trace(OnlineScheduler& scheduler, const ChurnTrace& trace,
   result.final_schedule = scheduler.snapshot();
   result.final_colors = scheduler.num_colors();
   result.final_active = scheduler.active_count();
+  result.final_universe = scheduler.universe();
   if (validate_final) {
     result.validated = scheduler.validate_against_direct(&result.final_worst_margin);
   }

@@ -1,20 +1,24 @@
 // Online scheduling: incremental maintenance of a valid coloring under a
-// stream of link arrivals and departures.
+// stream of link arrivals and departures — and, on the appendable gain
+// backend, under universe growth.
 //
 // The paper's oblivious power assignments are exactly the regime where the
 // request set is NOT known in advance — a power depends only on a link's
-// own length, so links can come and go without re-deriving anything global.
-// OnlineScheduler exploits that: it precomputes the gain tables for the
-// whole link universe once (via the per-Instance cache), then serves each
-// arrival with a first-fit scan over IncrementalGainClass accumulators
-// (O(colors * class size) table lookups, no distance or pow work) and each
-// departure with an O(n) class shrink plus an opportunistic compaction pass
-// that migrates members out of the last class when earlier ones can absorb
-// them. Throughput (events/sec), recolorings and per-event latency are the
-// headline metrics; replay_trace drives a whole ChurnTrace and reports
-// them. The final state re-validates bit-for-bit against the direct
-// metric-recomputing feasibility engine (validate_against_direct), which is
-// what the dynamic benchmark family and the tests gate on.
+// own length, so links can come and go (and brand-new links can appear)
+// without re-deriving anything global. OnlineScheduler exploits that: it
+// obtains the gain tables for the link universe once (via the per-Instance
+// cache, or an appendable matrix of its own when the universe may grow),
+// then serves each arrival with a first-fit scan over IncrementalGainClass
+// accumulators (O(colors * class size) table lookups, no distance or pow
+// work), each fresh link with an O(n) table append plus the same first-fit
+// placement, and each departure with an O(n) class shrink plus an
+// opportunistic compaction pass that migrates members out of the last
+// class when earlier ones can absorb them. Throughput (events/sec),
+// recolorings and per-event latency are the headline metrics; replay_trace
+// drives a whole ChurnTrace and reports them. The final state re-validates
+// bit-for-bit against the direct metric-recomputing feasibility engine
+// (validate_against_direct), which is what the dynamic benchmark family
+// and the tests gate on.
 #ifndef OISCHED_ONLINE_ONLINE_SCHEDULER_H
 #define OISCHED_ONLINE_ONLINE_SCHEDULER_H
 
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/power_assignment.h"
 #include "core/schedule.h"
 #include "gen/churn.h"
 #include "sinr/gain_matrix.h"
@@ -42,17 +47,34 @@ struct OnlineSchedulerOptions {
   /// After a departure, try to dissolve the trailing class by migrating its
   /// members into earlier classes — keeps the color count tight under
   /// churn at the cost of recolorings (counted in stats().migrations).
+  /// Immovable members are skipped, not pass-ending: the rest of the class
+  /// still gets its chance to move (skips land in
+  /// stats().compaction_skips).
   bool compact_on_departure = true;
+  /// Gain-table backend. dense/tiled serve a fixed universe from the
+  /// instance's shared cache (tiled keeps huge, sparsely active universes
+  /// memory-bounded); appendable gives the scheduler its own growable
+  /// matrix and unlocks on_link_arrival.
+  GainBackend storage = GainBackend::dense;
+  /// Oblivious power rule for fresh links (required to accept
+  /// link_arrival events): a new link's power is derived from its own
+  /// length alone, never from the rest of the request set.
+  std::shared_ptr<const PowerAssignment> fresh_power;
 };
 
 /// Counters and timings over the scheduler's lifetime.
 struct OnlineStats {
   std::size_t arrivals = 0;
   std::size_t departures = 0;
+  /// Of the arrivals, how many were fresh links growing the universe.
+  std::size_t fresh_links = 0;
   std::size_t classes_opened = 0;
   std::size_t classes_closed = 0;
   /// Links recolored by compaction (beyond their original placement).
   std::size_t migrations = 0;
+  /// Immovable members compaction skipped over (the pass continues past
+  /// them, so partial compaction still reclaims slots).
+  std::size_t compaction_skips = 0;
   int peak_colors = 0;
   double total_event_seconds = 0.0;
   double max_event_seconds = 0.0;
@@ -62,12 +84,15 @@ struct OnlineStats {
 
 class OnlineScheduler {
  public:
-  /// The instance fixes the link universe; traces address links by request
+  /// The instance seeds the link universe; traces address links by request
   /// index. Powers/params/variant are fixed for the scheduler's lifetime —
   /// oblivious assignments make that sound, since a link's power never
-  /// depends on who else is active. The gain tables come from the
-  /// instance's shared cache, so repeated replays (and offline algorithms
-  /// on the same instance) pay the O(n^2) build once.
+  /// depends on who else is active. On the dense/tiled backends the gain
+  /// tables come from the instance's shared cache, so repeated replays
+  /// (and offline algorithms on the same instance) pay the build once; the
+  /// appendable backend builds a private growable matrix instead, and
+  /// on_link_arrival extends the universe past the instance (fresh
+  /// endpoints must be nodes of the instance's metric).
   OnlineScheduler(const Instance& instance, std::span<const double> powers,
                   const SinrParams& params, Variant variant,
                   OnlineSchedulerOptions options = {});
@@ -76,15 +101,25 @@ class OnlineScheduler {
   /// classes, opening a new one when none is feasible. Returns its color.
   int on_arrival(std::size_t link);
 
+  /// Grows the universe by one brand-new link (appendable backend with a
+  /// fresh_power rule only): derives its oblivious power from its own
+  /// length, appends its gain row/column in O(n), and places it like any
+  /// arrival. Returns its color; the link owns index universe() - 1
+  /// afterwards.
+  int on_link_arrival(const Request& request);
+
   /// Deactivates a link (must be active), compacting classes per options.
   void on_departure(std::size_t link);
 
-  /// Dispatches one trace event to on_arrival/on_departure.
+  /// Dispatches one trace event to on_arrival/on_link_arrival/
+  /// on_departure.
   void apply(const ChurnEvent& event);
 
   [[nodiscard]] int color_of(std::size_t link) const;
   [[nodiscard]] bool is_active(std::size_t link) const { return color_of(link) >= 0; }
   [[nodiscard]] std::size_t active_count() const noexcept { return active_count_; }
+  /// Current number of links (instance size plus fresh links so far).
+  [[nodiscard]] std::size_t universe() const noexcept { return color_of_.size(); }
   [[nodiscard]] int num_colors() const noexcept {
     return static_cast<int>(classes_.size());
   }
@@ -113,6 +148,9 @@ class OnlineScheduler {
   SinrParams params_;
   Variant variant_;
   OnlineSchedulerOptions options_;
+  /// Set only on the appendable backend: the scheduler's private growable
+  /// matrix (gains_ aliases it there).
+  std::shared_ptr<GainMatrix> owned_gains_;
   std::shared_ptr<const GainMatrix> gains_;
   std::vector<IncrementalGainClass> classes_;
   std::vector<int> color_of_;
@@ -131,15 +169,19 @@ struct ReplayResult {
   Schedule final_schedule;     // -1 for links inactive at the end
   int final_colors = 0;
   std::size_t final_active = 0;
+  /// Universe size after the replay (grows past the trace's initial
+  /// universe when it carries fresh-link events).
+  std::size_t final_universe = 0;
   /// Set when validate_final: the final state passed
   /// validate_against_direct.
   bool validated = false;
   double final_worst_margin = 0.0;
 };
 
-/// Feeds every event of `trace` to `scheduler` (which must target the
-/// trace's universe) and measures throughput. With validate_final the final
-/// state is re-validated bit-for-bit against the direct engine.
+/// Feeds every event of `trace` to `scheduler` (whose current universe
+/// must match the trace's initial one) and measures throughput. With
+/// validate_final the final state is re-validated bit-for-bit against the
+/// direct engine.
 [[nodiscard]] ReplayResult replay_trace(OnlineScheduler& scheduler,
                                         const ChurnTrace& trace,
                                         bool validate_final = true);

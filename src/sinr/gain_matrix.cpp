@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "core/instance.h"
 #include "util/error.h"
@@ -17,6 +19,28 @@ constexpr double kUlp = std::numeric_limits<double>::epsilon();
 /// slot exceeds this multiple of what remains: beyond it the slot has lost
 /// ~log10(kDriftRatio) of its ~16 significant digits to cancellation.
 constexpr double kDriftRatio = 1e6;
+
+/// Element generator for one table side: the exact formula of the
+/// historical eager build, evaluated per entry. Captures the shared
+/// request/power stores (not the matrix), so a lazily materialized tile or
+/// an appended row reads the same data — and a grown store is visible to
+/// later fills without rewiring anything.
+GainFiller make_gain_filler(const MetricSpace* metric,
+                            std::shared_ptr<std::vector<Request>> requests,
+                            std::shared_ptr<std::vector<double>> powers, double alpha,
+                            Variant variant, bool sender_side) {
+  return [metric, requests = std::move(requests), powers = std::move(powers), alpha,
+          variant, sender_side](std::size_t j, std::size_t i) -> double {
+    if (i == j) return 0.0;
+    const Request& rj = (*requests)[j];
+    const Request& ri = (*requests)[i];
+    const NodeId target = sender_side ? ri.u : ri.v;
+    const double loss = variant == Variant::directed
+                            ? path_loss(metric->distance(rj.u, target), alpha)
+                            : min_endpoint_loss(*metric, rj, target, alpha);
+    return loss == 0.0 ? kInf : (*powers)[j] / loss;
+  };
+}
 
 }  // namespace
 
@@ -34,42 +58,95 @@ const char* to_string(FeasibilityEngine engine) {
 
 GainMatrix::GainMatrix(const MetricSpace& metric, std::span<const Request> requests,
                        std::span<const double> powers, double alpha, Variant variant,
-                       bool with_sender_gains)
-    : n_(requests.size()), alpha_(alpha), variant_(variant), requests_(requests) {
+                       bool with_sender_gains, GainBackend backend)
+    : n_(requests.size()),
+      alpha_(alpha),
+      variant_(variant),
+      backend_(backend),
+      metric_(&metric),
+      requests_store_(std::make_shared<std::vector<Request>>(requests.begin(), requests.end())),
+      powers_store_(std::make_shared<std::vector<double>>(powers.begin(), powers.end())) {
   require(requests.size() == powers.size(),
           "GainMatrix: powers must be given for every request");
-  const bool build_at_u = variant_ == Variant::bidirectional || with_sender_gains;
-  signal_.resize(n_);
-  at_v_.assign(n_ * n_, 0.0);
-  if (build_at_u) at_u_.assign(n_ * n_, 0.0);
+  signal_.reserve(n_);
   for (std::size_t i = 0; i < n_; ++i) {
     const double l = link_loss(metric, requests[i], alpha_);
     require(l > 0.0, "GainMatrix: request endpoints must be distinct points");
-    signal_[i] = powers[i] / l;
+    signal_.push_back(powers[i] / l);
   }
-  for (std::size_t j = 0; j < n_; ++j) {
-    const Request& rj = requests[j];
-    for (std::size_t i = 0; i < n_; ++i) {
-      if (i == j) continue;
-      const Request& ri = requests[i];
-      const double lv = variant_ == Variant::directed
-                            ? path_loss(metric.distance(rj.u, ri.v), alpha_)
-                            : min_endpoint_loss(metric, rj, ri.v, alpha_);
-      at_v_[j * n_ + i] = lv == 0.0 ? kInf : powers[j] / lv;
-      if (build_at_u) {
-        const double lu = variant_ == Variant::directed
-                              ? path_loss(metric.distance(rj.u, ri.u), alpha_)
-                              : min_endpoint_loss(metric, rj, ri.u, alpha_);
-        at_u_[j * n_ + i] = lu == 0.0 ? kInf : powers[j] / lu;
+  const bool build_at_u = variant_ == Variant::bidirectional || with_sender_gains;
+  if (backend_ == GainBackend::dense) {
+    // Fused native build (the historical eager loop): one metric/pow pass
+    // fills both tables with no per-element filler dispatch. Same formula,
+    // same values, bit for bit — just the fast path for the default
+    // backend that every offline run cold-builds.
+    std::vector<double> table_v(n_ * n_, 0.0);
+    std::vector<double> table_u;
+    if (build_at_u) table_u.assign(n_ * n_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      const Request& rj = requests[j];
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (i == j) continue;
+        const Request& ri = requests[i];
+        const double lv = variant_ == Variant::directed
+                              ? path_loss(metric.distance(rj.u, ri.v), alpha_)
+                              : min_endpoint_loss(metric, rj, ri.v, alpha_);
+        table_v[j * n_ + i] = lv == 0.0 ? kInf : powers[j] / lv;
+        if (build_at_u) {
+          const double lu = variant_ == Variant::directed
+                                ? path_loss(metric.distance(rj.u, ri.u), alpha_)
+                                : min_endpoint_loss(metric, rj, ri.u, alpha_);
+          table_u[j * n_ + i] = lu == 0.0 ? kInf : powers[j] / lu;
+        }
       }
     }
+    at_v_ = std::make_shared<DenseGainStorage>(n_, std::move(table_v));
+    if (build_at_u) at_u_ = std::make_shared<DenseGainStorage>(n_, std::move(table_u));
+  } else {
+    at_v_ = make_gain_storage(backend_, n_,
+                              make_gain_filler(metric_, requests_store_, powers_store_,
+                                               alpha_, variant_, /*sender_side=*/false));
+    if (build_at_u) {
+      at_u_ = make_gain_storage(backend_, n_,
+                                make_gain_filler(metric_, requests_store_, powers_store_,
+                                                 alpha_, variant_, /*sender_side=*/true));
+    }
   }
+  dense_v_ = at_v_->dense_data();
+  dense_u_ = at_u_ == nullptr ? nullptr : at_u_->dense_data();
 }
 
 GainMatrix::GainMatrix(const Instance& instance, std::span<const double> powers,
-                       double alpha, Variant variant, bool with_sender_gains)
+                       double alpha, Variant variant, bool with_sender_gains,
+                       GainBackend backend)
     : GainMatrix(instance.metric(), instance.requests(), powers, alpha, variant,
-                 with_sender_gains) {}
+                 with_sender_gains, backend) {}
+
+std::size_t GainMatrix::append_request(const Request& request, double power) {
+  require(backend_ == GainBackend::appendable,
+          "GainMatrix: only the appendable backend can grow");
+  require(request.u < metric_->size() && request.v < metric_->size(),
+          "GainMatrix: request endpoint out of metric range");
+  const double l = link_loss(*metric_, request, alpha_);
+  require(l > 0.0, "GainMatrix: request endpoints must be distinct points");
+  require(std::isfinite(power) && power > 0.0,
+          "GainMatrix: powers must be positive and finite");
+  // Grow the stores first so the fillers see the new link, then extend the
+  // tables by its row and column.
+  requests_store_->push_back(request);
+  powers_store_->push_back(power);
+  n_ = requests_store_->size();
+  signal_.push_back(power / l);
+  static_cast<AppendableGainStorage&>(*at_v_).grow_to(n_);
+  if (at_u_ != nullptr) static_cast<AppendableGainStorage&>(*at_u_).grow_to(n_);
+  return n_ - 1;
+}
+
+std::size_t GainMatrix::resident_doubles() const noexcept {
+  std::size_t total = signal_.size() + at_v_->resident_doubles();
+  if (at_u_ != nullptr) total += at_u_->resident_doubles();
+  return total;
+}
 
 FeasibilityReport check_feasible(const GainMatrix& gains,
                                  std::span<const std::size_t> active,
@@ -141,6 +218,8 @@ IncrementalGainClass::IncrementalGainClass(const GainMatrix& gains,
 }
 
 bool IncrementalGainClass::can_add(std::size_t request_index) const {
+  require(acc_v_.size() == gains_->size(),
+          "IncrementalGainClass: the gain matrix grew; call sync_universe() first");
   const bool bidirectional = gains_->variant() == Variant::bidirectional;
   const double cand_signal = gains_->signal(request_index);
 
@@ -168,6 +247,8 @@ bool IncrementalGainClass::can_add(std::size_t request_index) const {
 }
 
 void IncrementalGainClass::add(std::size_t request_index) {
+  require(acc_v_.size() == gains_->size(),
+          "IncrementalGainClass: the gain matrix grew; call sync_universe() first");
   const bool bidirectional = gains_->variant() == Variant::bidirectional;
   for (std::size_t i = 0; i < gains_->size(); ++i) {
     if (i == request_index) continue;  // a member never interferes with itself
@@ -182,6 +263,8 @@ bool IncrementalGainClass::contains(std::size_t request_index) const {
 }
 
 void IncrementalGainClass::remove(std::size_t request_index) {
+  require(acc_v_.size() == gains_->size(),
+          "IncrementalGainClass: the gain matrix grew; call sync_universe() first");
   const auto it = std::find(members_.begin(), members_.end(), request_index);
   require(it != members_.end(), "IncrementalGainClass: remove of a non-member");
   members_.erase(it);
@@ -231,6 +314,29 @@ void IncrementalGainClass::remove(std::size_t request_index) {
     }
   }
 #endif
+}
+
+void IncrementalGainClass::sync_universe() {
+  const std::size_t n = gains_->size();
+  if (acc_v_.size() == n) return;
+  require(acc_v_.size() < n, "IncrementalGainClass: gain matrices never shrink");
+  const std::size_t old_n = acc_v_.size();
+  const bool bidirectional = gains_->variant() == Variant::bidirectional;
+  acc_v_.resize(n, 0.0);
+  if (bidirectional) acc_u_.resize(n, 0.0);
+  if (policy_ == RemovePolicy::compensated) {
+    cancelled_v_.resize(acc_v_.size(), 0.0);
+    cancelled_u_.resize(acc_u_.size(), 0.0);
+  }
+  // The fresh slots accumulate the members' contributions in insertion
+  // order — exactly the sums a from-scratch replay over the grown universe
+  // produces, so exactness guarantees survive growth.
+  for (const std::size_t m : members_) {
+    for (std::size_t i = old_n; i < n; ++i) {
+      acc_v_[i] += gains_->at_v(m, i);
+      if (bidirectional) acc_u_[i] += gains_->at_u(m, i);
+    }
+  }
 }
 
 void IncrementalGainClass::maybe_rebuild_after_remove() {

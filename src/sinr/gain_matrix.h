@@ -20,11 +20,13 @@
 #define OISCHED_SINR_GAIN_MATRIX_H
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "metric/metric_space.h"
 #include "sinr/feasibility.h"
+#include "sinr/gain_storage.h"
 #include "sinr/model.h"
 
 namespace oisched {
@@ -63,39 +65,87 @@ enum class FeasibilityEngine {
 /// Co-located interferers yield +infinity, like the direct path.
 /// signal(i) is p_i / l_i; construction requires all links to have
 /// positive loss, mirroring the precondition of every direct checker.
+///
+/// The tables live behind a GainStorage policy (gain_storage.h). `dense`
+/// keeps the historical eager layout (and its raw-pointer fast path);
+/// `tiled` materializes B x B tiles lazily so huge universes with
+/// localized activity stay memory-bounded; `appendable` grows —
+/// append_request gives a fresh link its row and column in O(n), the
+/// foundation of the online scheduler's growing universe. Every backend
+/// computes each entry with the same formula from the same inputs, so
+/// queries are bit-for-bit identical across backends.
+///
+/// Lifetime: the matrix copies the requests and powers it was built from
+/// (requests()/powers() view the copies), but only references the metric —
+/// the caller keeps it alive, as Instance's gain cache does. Lazy and
+/// appendable backends consult the metric after construction; dense never
+/// does, but the contract is uniform.
 class GainMatrix {
  public:
   GainMatrix(const MetricSpace& metric, std::span<const Request> requests,
              std::span<const double> powers, double alpha, Variant variant,
-             bool with_sender_gains = false);
+             bool with_sender_gains = false, GainBackend backend = GainBackend::dense);
   GainMatrix(const Instance& instance, std::span<const double> powers, double alpha,
-             Variant variant, bool with_sender_gains = false);
+             Variant variant, bool with_sender_gains = false,
+             GainBackend backend = GainBackend::dense);
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
   [[nodiscard]] Variant variant() const noexcept { return variant_; }
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
-  [[nodiscard]] std::span<const Request> requests() const noexcept { return requests_; }
+  [[nodiscard]] GainBackend backend() const noexcept { return backend_; }
+  [[nodiscard]] const MetricSpace& metric() const noexcept { return *metric_; }
+  [[nodiscard]] std::span<const Request> requests() const noexcept {
+    return *requests_store_;
+  }
+  [[nodiscard]] std::span<const double> powers() const noexcept { return *powers_store_; }
 
   /// Own-link signal strength p_i / l_i.
   [[nodiscard]] double signal(std::size_t i) const { return signal_[i]; }
   /// Contribution of request j at request i's receiver v_i (j != i).
   [[nodiscard]] double at_v(std::size_t j, std::size_t i) const {
-    return at_v_[j * n_ + i];
+    if (dense_v_ != nullptr) return dense_v_[j * n_ + i];
+    return at_v_->at(j, i);
   }
   /// Contribution of request j at request i's sender u_i (j != i); 0 when
   /// the sender-side table was not built (directed default).
   [[nodiscard]] double at_u(std::size_t j, std::size_t i) const {
-    return at_u_.empty() ? 0.0 : at_u_[j * n_ + i];
+    if (dense_u_ != nullptr) return dense_u_[j * n_ + i];
+    return at_u_ == nullptr ? 0.0 : at_u_->at(j, i);
   }
+
+  /// Grows the universe by one link (appendable backend only): copies the
+  /// request, computes its signal and its table row/column in O(n), and
+  /// returns the new link's index. Spans handed out by requests()/powers()
+  /// before the append are invalidated. Not thread-safe.
+  std::size_t append_request(const Request& request, double power);
+
+  /// The receiver-side storage — tests and the memory model observe tile
+  /// residency through it.
+  [[nodiscard]] const GainStorage& receiver_storage() const noexcept { return *at_v_; }
+  /// The sender-side storage; nullptr when that table was not built.
+  [[nodiscard]] const GainStorage* sender_storage() const noexcept {
+    return at_u_.get();
+  }
+  /// Doubles currently resident across signal and both tables.
+  [[nodiscard]] std::size_t resident_doubles() const noexcept;
 
  private:
   std::size_t n_;
   double alpha_;
   Variant variant_;
-  std::span<const Request> requests_;
+  GainBackend backend_;
+  const MetricSpace* metric_;
+  /// Owned copies shared with the storage fillers, so lazily materialized
+  /// entries read the same data the eager build would have — including the
+  /// rows appended after construction.
+  std::shared_ptr<std::vector<Request>> requests_store_;
+  std::shared_ptr<std::vector<double>> powers_store_;
   std::vector<double> signal_;
-  std::vector<double> at_v_;
-  std::vector<double> at_u_;
+  std::shared_ptr<GainStorage> at_v_;
+  std::shared_ptr<GainStorage> at_u_;
+  /// Raw fast-path pointers into dense storage (nullptr otherwise).
+  const double* dense_v_ = nullptr;
+  const double* dense_u_ = nullptr;
 };
 
 /// check_feasible over precomputed gains; identical to the direct overload.
@@ -152,6 +202,12 @@ class IncrementalGainClass {
   void remove(std::size_t request_index);
 
   [[nodiscard]] bool contains(std::size_t request_index) const;
+  /// Extends the accumulators after the gain matrix grew (appendable
+  /// backend): fresh slots receive the members' contributions in insertion
+  /// order, bit-identical to a from-scratch replay over the grown
+  /// universe. Must be called before the next can_add/add/remove once the
+  /// matrix has appended rows; a no-op when sizes already agree.
+  void sync_universe();
   /// Re-derives the accumulators by replaying the members in insertion
   /// order — the canonical from-scratch state both policies converge to.
   void rebuild();

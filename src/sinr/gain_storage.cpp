@@ -1,0 +1,136 @@
+#include "sinr/gain_storage.h"
+
+#include "util/error.h"
+
+namespace oisched {
+
+const char* to_string(GainBackend backend) {
+  switch (backend) {
+    case GainBackend::dense:
+      return "dense";
+    case GainBackend::tiled:
+      return "tiled";
+    case GainBackend::appendable:
+      return "appendable";
+  }
+  return "unknown";
+}
+
+bool parse_gain_backend(const std::string& word, GainBackend& backend) {
+  if (word == "dense") {
+    backend = GainBackend::dense;
+  } else if (word == "tiled") {
+    backend = GainBackend::tiled;
+  } else if (word == "appendable") {
+    backend = GainBackend::appendable;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+DenseGainStorage::DenseGainStorage(std::size_t n, const GainFiller& fill)
+    : n_(n), data_(n * n, 0.0) {
+  for (std::size_t j = 0; j < n_; ++j) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (i == j) continue;
+      data_[j * n_ + i] = fill(j, i);
+    }
+  }
+}
+
+DenseGainStorage::DenseGainStorage(std::size_t n, std::vector<double> data)
+    : n_(n), data_(std::move(data)) {
+  require(data_.size() == n_ * n_, "DenseGainStorage: need an n x n table");
+}
+
+TiledGainStorage::TiledGainStorage(std::size_t n, GainFiller fill)
+    : n_(n),
+      tiles_per_side_((n + kTileSize - 1) / kTileSize),
+      fill_(std::move(fill)),
+      tiles_(std::make_unique<Tile[]>(tiles_per_side_ * tiles_per_side_)) {
+  require(static_cast<bool>(fill_), "TiledGainStorage: filler must be callable");
+}
+
+double TiledGainStorage::at(std::size_t j, std::size_t i) const {
+  const std::size_t jb = j / kTileSize;
+  const std::size_t ib = i / kTileSize;
+  Tile& tile = tiles_[jb * tiles_per_side_ + ib];
+  const double* data = tile.ready.load(std::memory_order_acquire);
+  if (data == nullptr) data = materialize(tile, jb, ib);
+  return data[(j % kTileSize) * kTileSize + (i % kTileSize)];
+}
+
+const double* TiledGainStorage::materialize(Tile& tile, std::size_t jb,
+                                            std::size_t ib) const {
+  std::call_once(tile.once, [&] {
+    const std::size_t j0 = jb * kTileSize;
+    const std::size_t i0 = ib * kTileSize;
+    auto data = std::make_unique<double[]>(kTileSize * kTileSize);
+    for (std::size_t dj = 0; dj < kTileSize; ++dj) {
+      const std::size_t j = j0 + dj;
+      for (std::size_t di = 0; di < kTileSize; ++di) {
+        const std::size_t i = i0 + di;
+        // Edge tiles pad with zeros beyond n; the diagonal is the filler's
+        // contract (it returns 0 there).
+        data[dj * kTileSize + di] = (j < n_ && i < n_ && i != j) ? fill_(j, i) : 0.0;
+      }
+    }
+    tile.data = std::move(data);
+    touched_.fetch_add(1, std::memory_order_relaxed);
+    tile.ready.store(tile.data.get(), std::memory_order_release);
+  });
+  return tile.ready.load(std::memory_order_acquire);
+}
+
+AppendableGainStorage::AppendableGainStorage(std::size_t n, GainFiller fill)
+    : fill_(std::move(fill)), rows_(n) {
+  require(static_cast<bool>(fill_), "AppendableGainStorage: filler must be callable");
+  for (std::size_t j = 0; j < n; ++j) {
+    rows_[j].assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == j) continue;
+      rows_[j][i] = fill_(j, i);
+    }
+  }
+}
+
+std::size_t AppendableGainStorage::resident_doubles() const noexcept {
+  std::size_t total = 0;
+  for (const std::vector<double>& row : rows_) total += row.size();
+  return total;
+}
+
+void AppendableGainStorage::grow_to(std::size_t new_n) {
+  const std::size_t old_n = rows_.size();
+  require(new_n >= old_n, "AppendableGainStorage: tables never shrink");
+  // New columns of the existing rows, then the fresh rows in full.
+  for (std::size_t j = 0; j < old_n; ++j) {
+    for (std::size_t i = old_n; i < new_n; ++i) {
+      rows_[j].push_back(fill_(j, i));
+    }
+  }
+  rows_.resize(new_n);
+  for (std::size_t j = old_n; j < new_n; ++j) {
+    rows_[j].assign(new_n, 0.0);
+    for (std::size_t i = 0; i < new_n; ++i) {
+      if (i == j) continue;
+      rows_[j][i] = fill_(j, i);
+    }
+  }
+}
+
+std::unique_ptr<GainStorage> make_gain_storage(GainBackend backend, std::size_t n,
+                                               GainFiller fill) {
+  switch (backend) {
+    case GainBackend::dense:
+      return std::make_unique<DenseGainStorage>(n, fill);
+    case GainBackend::tiled:
+      return std::make_unique<TiledGainStorage>(n, std::move(fill));
+    case GainBackend::appendable:
+      return std::make_unique<AppendableGainStorage>(n, std::move(fill));
+  }
+  throw PreconditionError("make_gain_storage: unknown backend");
+}
+
+}  // namespace oisched

@@ -1,0 +1,190 @@
+// Storage policies for pairwise gain tables.
+//
+// A GainMatrix used to be a monolithic dense std::vector<double> — O(n^2)
+// doubles per variant table, materialized eagerly, frozen at construction.
+// That is the right trade for the n <= 10^3 instances the offline
+// algorithms sweep, but it walls off two regimes the paper's oblivious
+// power assignments make perfectly sound: very large universes where only
+// a small working set of links is ever active (a row of the table depends
+// only on the link it describes, so rows can be materialized on first
+// touch), and online growth (a new link's power depends only on its own
+// length, so its row/column can be appended without touching anything
+// already computed).
+//
+// GainStorage is the seam: one n x n table of doubles behind a tiny
+// virtual interface, with three backends —
+//
+//   DenseGainStorage       today's layout, filled eagerly; exposes its
+//                          contiguous buffer so the hot path stays a raw
+//                          row-major load (no virtual call).
+//   TiledGainStorage       B x B tiles materialized lazily on first touch
+//                          (thread-safe, each tile filled exactly once);
+//                          resident memory is bounded by the touched
+//                          tiles, not n^2.
+//   AppendableGainStorage  per-row vectors with amortized growth; a fresh
+//                          link gets its row and column in O(n).
+//
+// Entries are computed per element by a GainFiller, so every backend holds
+// bit-for-bit the values the dense build would — backends differ in cost
+// and residency, never in results.
+#ifndef OISCHED_SINR_GAIN_STORAGE_H
+#define OISCHED_SINR_GAIN_STORAGE_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace oisched {
+
+/// Which storage policy a gain table lives in. All backends answer queries
+/// bit-for-bit identically; they differ in memory residency and in whether
+/// the table can grow.
+enum class GainBackend {
+  /// Contiguous row-major array, filled eagerly. O(n^2) resident; the
+  /// fastest lookups and the default for moderate n.
+  dense,
+  /// Lazy B x B tiles, each materialized (thread-safely, exactly once) on
+  /// first touch. Resident memory is proportional to the touched tiles, so
+  /// huge universes with localized activity fit where dense cannot.
+  tiled,
+  /// Per-row vectors with amortized growth: append_request extends the
+  /// table by one row and one column in O(n) without rebuilding.
+  appendable,
+};
+
+/// Human-readable backend name ("dense" / "tiled" / "appendable").
+[[nodiscard]] const char* to_string(GainBackend backend);
+
+/// Parses a backend name (as printed by to_string); returns false on an
+/// unknown word.
+[[nodiscard]] bool parse_gain_backend(const std::string& word, GainBackend& backend);
+
+/// Computes one table entry. Must be pure (same (j, i) -> same double) and
+/// return 0.0 on the diagonal; lazy backends keep it alive and call it long
+/// after construction.
+using GainFiller = std::function<double(std::size_t j, std::size_t i)>;
+
+/// One square table of pairwise gains behind a storage policy.
+class GainStorage {
+ public:
+  virtual ~GainStorage() = default;
+
+  [[nodiscard]] virtual GainBackend kind() const noexcept = 0;
+  /// Current number of rows (== columns).
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+  /// Entry (j, i); lazy backends materialize on demand (thread-safe).
+  [[nodiscard]] virtual double at(std::size_t j, std::size_t i) const = 0;
+  /// Contiguous row-major buffer when the layout has one, else nullptr —
+  /// lets callers skip the virtual dispatch on the dense fast path.
+  [[nodiscard]] virtual const double* dense_data() const noexcept { return nullptr; }
+  /// Doubles currently resident — the observable of the memory model.
+  [[nodiscard]] virtual std::size_t resident_doubles() const noexcept = 0;
+};
+
+/// Eager contiguous table (the historical layout).
+class DenseGainStorage final : public GainStorage {
+ public:
+  DenseGainStorage(std::size_t n, const GainFiller& fill);
+  /// Adopts an already-filled row-major table (n * n entries) — the fused
+  /// native build path, which skips the per-element filler dispatch.
+  DenseGainStorage(std::size_t n, std::vector<double> data);
+
+  [[nodiscard]] GainBackend kind() const noexcept override { return GainBackend::dense; }
+  [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+  [[nodiscard]] double at(std::size_t j, std::size_t i) const override {
+    return data_[j * n_ + i];
+  }
+  [[nodiscard]] const double* dense_data() const noexcept override { return data_.data(); }
+  [[nodiscard]] std::size_t resident_doubles() const noexcept override {
+    return data_.size();
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// Lazy blocked table: kTileSize x kTileSize tiles materialized on first
+/// touch. at() is thread-safe; concurrent first touches of one tile fill it
+/// exactly once (per-tile once_flag) and everyone else waits only for that
+/// tile, never for the whole table.
+class TiledGainStorage final : public GainStorage {
+ public:
+  /// Power of two so the hot-path index math is shifts and masks;
+  /// 64 x 64 doubles = 32 KiB per tile.
+  static constexpr std::size_t kTileSize = 64;
+
+  TiledGainStorage(std::size_t n, GainFiller fill);
+
+  [[nodiscard]] GainBackend kind() const noexcept override { return GainBackend::tiled; }
+  [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+  [[nodiscard]] double at(std::size_t j, std::size_t i) const override;
+  [[nodiscard]] std::size_t resident_doubles() const noexcept override {
+    return touched_tiles() * kTileSize * kTileSize;
+  }
+
+  /// Tiles materialized so far — what the sparse-schedule smoke tests and
+  /// the memory model reason about.
+  [[nodiscard]] std::size_t touched_tiles() const noexcept {
+    return touched_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t total_tiles() const noexcept {
+    return tiles_per_side_ * tiles_per_side_;
+  }
+
+ private:
+  struct Tile {
+    std::once_flag once;
+    std::atomic<const double*> ready{nullptr};
+    std::unique_ptr<double[]> data;
+  };
+
+  const double* materialize(Tile& tile, std::size_t jb, std::size_t ib) const;
+
+  std::size_t n_;
+  std::size_t tiles_per_side_;
+  GainFiller fill_;
+  std::unique_ptr<Tile[]> tiles_;
+  mutable std::atomic<std::size_t> touched_{0};
+};
+
+/// Growable table: one vector per row, filled eagerly for the initial
+/// universe and extended by grow_to. Appending one link costs O(n) filler
+/// calls (its row plus its column) with amortized O(1) reallocation per
+/// entry. Growth is NOT thread-safe; the online scheduler (its only
+/// mutating owner) is single-threaded per instance.
+class AppendableGainStorage final : public GainStorage {
+ public:
+  AppendableGainStorage(std::size_t n, GainFiller fill);
+
+  [[nodiscard]] GainBackend kind() const noexcept override {
+    return GainBackend::appendable;
+  }
+  [[nodiscard]] std::size_t size() const noexcept override { return rows_.size(); }
+  [[nodiscard]] double at(std::size_t j, std::size_t i) const override {
+    return rows_[j][i];
+  }
+  [[nodiscard]] std::size_t resident_doubles() const noexcept override;
+
+  /// Extends the table to new_n rows/columns, filling the fresh row and
+  /// column entries through the stored filler (which must already see the
+  /// grown request universe).
+  void grow_to(std::size_t new_n);
+
+ private:
+  GainFiller fill_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Factory over the backend enum.
+[[nodiscard]] std::unique_ptr<GainStorage> make_gain_storage(GainBackend backend,
+                                                             std::size_t n,
+                                                             GainFiller fill);
+
+}  // namespace oisched
+
+#endif  // OISCHED_SINR_GAIN_STORAGE_H

@@ -92,31 +92,85 @@ std::pair<Schedule, double> timed(const Algorithm& algorithm) {
 
 /// The trace of a dynamic scenario: kind x universe, deterministic in the
 /// seed (a distinct stream from the instance geometry's).
-ChurnTrace build_trace(const ScenarioSpec& spec, std::size_t universe) {
+ChurnTrace build_trace(const ScenarioSpec& spec, std::size_t universe,
+                       std::span<const Request> fresh_links = {}) {
   Rng rng(spec.seed ^ 0xc2b2ae3d27d4eb4fULL);
-  return make_churn_trace(spec.trace, universe, /*target_events=*/0, rng);
+  return make_churn_trace(spec.trace, universe, /*target_events=*/0, rng, fresh_links);
 }
 
-/// Runs one dynamic scenario: replay the trace through the OnlineScheduler
-/// and re-validate the final state bit-for-bit against the direct engine.
-void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
-                          const Instance& instance, std::span<const double> powers,
-                          ScenarioResult& result) {
-  const ChurnTrace trace = build_trace(spec, instance.size());
-  trace.validate();
-  OnlineScheduler scheduler(instance, powers, params, spec.variant);
-  const ReplayResult replay = replay_trace(scheduler, trace, /*validate_final=*/true);
+void record_replay(const ChurnTrace& trace, const ReplayResult& replay,
+                   ScenarioResult& result) {
   result.dynamic.events = trace.events.size();
   result.dynamic.wall_ms = replay.wall_seconds * 1e3;
   result.dynamic.events_per_sec = replay.events_per_sec;
   result.dynamic.peak_colors = replay.stats.peak_colors;
   result.dynamic.final_colors = replay.final_colors;
   result.dynamic.final_active = replay.final_active;
+  result.dynamic.final_universe = replay.final_universe;
+  result.dynamic.fresh_links = replay.stats.fresh_links;
   result.dynamic.migrations = replay.stats.migrations;
+  result.dynamic.compaction_skips = replay.stats.compaction_skips;
   result.dynamic.classes_opened = replay.stats.classes_opened;
   result.dynamic.classes_closed = replay.stats.classes_closed;
   result.dynamic.max_event_ms = replay.stats.max_event_seconds * 1e3;
   result.valid = replay.validated;
+}
+
+/// Runs one dynamic scenario: replay the trace through the OnlineScheduler
+/// (on the cell's storage backend) and re-validate the final state
+/// bit-for-bit against the direct engine. A "growing" trace starts the
+/// scheduler on the first half of the instance and introduces the second
+/// half as fresh links over the appendable backend.
+void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
+                          const Instance& instance,
+                          std::shared_ptr<const PowerAssignment> assignment,
+                          GainBackend backend, ScenarioResult& result) {
+  if (spec.trace == "growing") {
+    require(backend == GainBackend::appendable,
+            "experiment: growing scenarios need the appendable backend");
+    const std::size_t n0 = std::max<std::size_t>(1, instance.size() / 2);
+    const std::span<const Request> all = instance.requests();
+    const Instance base(instance.metric_ptr(),
+                        std::vector<Request>(all.begin(), all.begin() + n0));
+    const std::vector<double> base_powers = assignment->assign(base, params.alpha);
+    const ChurnTrace trace = build_trace(spec, n0, all.subspan(n0));
+    trace.validate();
+    OnlineSchedulerOptions options;
+    options.storage = GainBackend::appendable;
+    options.fresh_power = std::move(assignment);
+    Stopwatch watch;
+    OnlineScheduler scheduler(base, base_powers, params, spec.variant, options);
+    result.gain_build_ms = watch.elapsed_ms();
+    const ReplayResult replay = replay_trace(scheduler, trace, /*validate_final=*/true);
+    record_replay(trace, replay, result);
+    return;
+  }
+  const std::vector<double> powers = assignment->assign(instance, params.alpha);
+  {
+    // Cold build of the shared gain tables on the cell's backend (lazy ones
+    // only pay their signal pass here); the replay hits the cache.
+    Stopwatch watch;
+    (void)instance.gains(powers, params.alpha, spec.variant,
+                         /*with_sender_gains=*/false, backend);
+    result.gain_build_ms = watch.elapsed_ms();
+  }
+  OnlineSchedulerOptions options;
+  options.storage = backend;
+  OnlineScheduler scheduler(instance, powers, params, spec.variant, options);
+  const ChurnTrace trace = build_trace(spec, instance.size());
+  trace.validate();
+  const ReplayResult replay = replay_trace(scheduler, trace, /*validate_final=*/true);
+  record_replay(trace, replay, result);
+  if (const auto* tiled =
+          dynamic_cast<const TiledGainStorage*>(&scheduler.gains().receiver_storage())) {
+    result.dynamic.touched_tiles = tiled->touched_tiles();
+    result.dynamic.total_tiles = tiled->total_tiles();
+    if (const auto* sender = dynamic_cast<const TiledGainStorage*>(
+            scheduler.gains().sender_storage())) {
+      result.dynamic.touched_tiles += sender->touched_tiles();
+      result.dynamic.total_tiles += sender->total_tiles();
+    }
+  }
 }
 
 bool same_schedule(const Schedule& a, const Schedule& b) {
@@ -142,10 +196,17 @@ JsonValue dynamic_json(const DynamicResult& dynamic) {
   value["peak_colors"] = dynamic.peak_colors;
   value["final_colors"] = dynamic.final_colors;
   value["final_active"] = dynamic.final_active;
+  value["final_universe"] = dynamic.final_universe;
+  value["fresh_links"] = dynamic.fresh_links;
   value["migrations"] = dynamic.migrations;
+  value["compaction_skips"] = dynamic.compaction_skips;
   value["classes_opened"] = dynamic.classes_opened;
   value["classes_closed"] = dynamic.classes_closed;
   value["max_event_ms"] = dynamic.max_event_ms;
+  if (dynamic.total_tiles > 0) {
+    value["touched_tiles"] = dynamic.touched_tiles;
+    value["total_tiles"] = dynamic.total_tiles;
+  }
   return value;
 }
 
@@ -154,6 +215,7 @@ JsonValue dynamic_json(const DynamicResult& dynamic) {
 bool scenario_failed(const ScenarioResult& result) {
   if (!result.ok) return true;
   if (!result.valid) return true;
+  if (!result.backends_identical) return true;
   if (result.spec.is_dynamic()) return result.dynamic.events_per_sec <= 0.0;
   if (!result.greedy.identical) return true;
   if (result.has_sqrt && !result.sqrt.identical) return true;
@@ -162,7 +224,10 @@ bool scenario_failed(const ScenarioResult& result) {
 
 std::string ScenarioSpec::name() const {
   const std::string base = topology + "/n" + std::to_string(n);
-  const std::string tail = power + "/" + std::string(variant_name(variant));
+  std::string tail = power + "/" + std::string(variant_name(variant));
+  // Historical (dense) names stay stable — so do their derived seeds and
+  // the CI gates keyed on them; other backends are a visible suffix.
+  if (!storage.empty() && storage != "dense") tail += "/" + storage;
   if (is_dynamic()) return "dynamic/" + base + "/" + trace + "/" + tail;
   return base + "/" + tail;
 }
@@ -171,12 +236,14 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
   const std::vector<std::string> topologies = {"line", "grid", "random", "adversarial"};
   std::vector<ScenarioSpec> grid;
   const auto add = [&](const std::string& topology, std::size_t n,
-                       const std::string& power, const std::string& trace = "") {
+                       const std::string& power, const std::string& trace = "",
+                       const std::string& storage = "") {
     ScenarioSpec spec;
     spec.topology = topology;
     spec.n = n;
     spec.power = power;
     spec.trace = trace;
+    spec.storage = storage.empty() ? options.storage : storage;
     // The Theorem-1 adversarial family lives in the directed variant.
     spec.variant = topology == "adversarial" ? Variant::directed : Variant::bidirectional;
     // Seed derives from the scenario name (FNV-1a), not the grid index, so
@@ -192,10 +259,13 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
   if (options.quick) {
     for (const std::string& topology : topologies) add(topology, 32, "sqrt");
     add("random", 256, "sqrt");  // the flagship speedup scenario
-    // The CI-smoke dynamic subset: the flagship churn scenario plus the
-    // adversarial chain stressor.
+    // The CI-smoke dynamic subset: the flagship churn scenario, the
+    // adversarial chain stressor, the tiled large-n hotspot (a universe a
+    // dense table could not hold in ~2 GiB) and the growing-universe cell.
     add("random", 256, "sqrt", "poisson");
     add("random", 64, "sqrt", "adversarial");
+    add("random", 16384, "sqrt", "hotspot", "tiled");
+    add("random", 128, "sqrt", "growing", "appendable");
     return grid;
   }
   for (const std::string& topology : topologies) {
@@ -211,6 +281,12 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
       add("random", n, "sqrt", trace);
     }
   }
+  // Storage-backend cells: the flagship churn scenario replayed off tiled
+  // tables, the large-n hotspot only the tiled backend can hold, and the
+  // growing universe over the appendable backend.
+  add("random", 256, "sqrt", "poisson", "tiled");
+  add("random", 16384, "sqrt", "hotspot", "tiled");
+  add("random", 512, "sqrt", "growing", "appendable");
   return grid;
 }
 
@@ -218,34 +294,42 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const SinrParams& params) 
   ScenarioResult result;
   result.spec = spec;
   try {
+    GainBackend backend = GainBackend::dense;
+    require(parse_gain_backend(spec.storage, backend),
+            "experiment: unknown storage backend '" + spec.storage + "'");
     const Instance instance = build_instance(spec, params);
     result.built_n = instance.size();
-    const auto assignment = make_assignment(spec.power);
-    const std::vector<double> powers = assignment->assign(instance, params.alpha);
-
-    {
-      // Cold build of the shared gain tables; the greedy gain-engine run
-      // and the online replay below then hit the per-instance cache.
-      Stopwatch watch;
-      (void)instance.gains(powers, params.alpha, spec.variant);
-      result.gain_build_ms = watch.elapsed_ms();
-    }
+    std::shared_ptr<const PowerAssignment> assignment = make_assignment(spec.power);
 
     if (spec.is_dynamic()) {
-      run_dynamic_scenario(spec, params, instance, powers, result);
+      run_dynamic_scenario(spec, params, instance, std::move(assignment), backend,
+                           result);
       result.ok = true;
       return result;
     }
 
-    const auto greedy_with = [&](FeasibilityEngine engine) {
+    require(backend != GainBackend::appendable,
+            "experiment: appendable storage is a dynamic-family backend");
+    const std::vector<double> powers = assignment->assign(instance, params.alpha);
+    {
+      // Cold build of the shared gain tables; the greedy gain-engine run
+      // below then hits the per-instance cache.
+      Stopwatch watch;
+      (void)instance.gains(powers, params.alpha, spec.variant,
+                           /*with_sender_gains=*/false, backend);
+      result.gain_build_ms = watch.elapsed_ms();
+    }
+
+    const auto greedy_with = [&](FeasibilityEngine engine, GainBackend storage) {
       return timed([&] {
         return greedy_coloring(instance, powers, params, spec.variant,
-                               RequestOrder::longest_first, engine);
+                               RequestOrder::longest_first, engine, storage);
       });
     };
-    const auto [direct, ms_direct] = greedy_with(FeasibilityEngine::direct);
-    const auto [incremental, ms_incremental] = greedy_with(FeasibilityEngine::incremental);
-    const auto [gain, ms_gain] = greedy_with(FeasibilityEngine::gain_matrix);
+    const auto [direct, ms_direct] = greedy_with(FeasibilityEngine::direct, backend);
+    const auto [incremental, ms_incremental] =
+        greedy_with(FeasibilityEngine::incremental, backend);
+    const auto [gain, ms_gain] = greedy_with(FeasibilityEngine::gain_matrix, backend);
     result.greedy.colors = gain.num_colors;
     result.greedy.identical = same_schedule(direct, gain) && same_schedule(incremental, gain);
     result.greedy.ms_direct = ms_direct;
@@ -255,18 +339,28 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const SinrParams& params) 
 
     result.valid = validate_schedule(instance, powers, gain, params, spec.variant).valid;
 
+    // Backend-equivalence gate: the gain engine re-run on the alternate
+    // storage backend must reproduce the schedule bit for bit.
+    const GainBackend alternate =
+        backend == GainBackend::tiled ? GainBackend::dense : GainBackend::tiled;
+    const auto [alternate_schedule, alternate_ms] =
+        greedy_with(FeasibilityEngine::gain_matrix, alternate);
+    (void)alternate_ms;
+    result.backends_identical = same_schedule(gain, alternate_schedule);
+
     if (spec.power == "sqrt") {
       // The sqrt LP also budgets interference at senders, which is a
       // different cache key (with_sender_gains) — warm it outside the timed
       // region so the direct-vs-gain sqrt comparison measures queries, not
       // a table build the greedy comparison no longer pays either.
       (void)instance.gains(powers, params.alpha, spec.variant,
-                           /*with_sender_gains=*/true);
+                           /*with_sender_gains=*/true, backend);
       const auto sqrt_with = [&](FeasibilityEngine engine) {
         Stopwatch watch;
         SqrtColoringOptions options;
         options.seed = spec.seed;
         options.engine = engine;
+        options.storage = backend;
         SqrtColoringResult run = sqrt_coloring(instance, params, spec.variant, options);
         return std::make_pair(std::move(run), watch.elapsed_ms());
       };
@@ -306,7 +400,7 @@ std::vector<ScenarioResult> run_experiment_grid(std::span<const ScenarioSpec> gr
 JsonValue experiment_report(std::span<const ScenarioResult> results,
                             const ExperimentOptions& options) {
   JsonValue root = JsonValue::object();
-  root["schema"] = "oisched-bench-schedule/2";
+  root["schema"] = "oisched-bench-schedule/3";
   root["generator"] = "bench/run_experiments";
   root["mode"] = options.quick ? "quick" : "full";
   root["threads"] = options.threads;
@@ -319,10 +413,19 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
 
   JsonValue entries = JsonValue::array();
   std::size_t failures = 0;
+  std::size_t backend_disagreements = 0;
   std::vector<double> speedups;
   std::vector<double> event_rates;
   for (const ScenarioResult& result : results) {
     if (scenario_failed(result)) ++failures;
+    // Backend disagreement = the storage backends produced different
+    // answers: a failed static cross-run, or a non-dense dynamic replay
+    // whose final state failed the bit-for-bit gate.
+    if (!result.backends_identical ||
+        (result.ok && result.spec.is_dynamic() && result.spec.storage != "dense" &&
+         !result.valid)) {
+      ++backend_disagreements;
+    }
     JsonValue entry = JsonValue::object();
     entry["scenario"] = result.spec.name();
     entry["family"] = result.spec.is_dynamic() ? "dynamic" : "static";
@@ -331,6 +434,7 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
     entry["built_n"] = result.built_n;
     entry["power"] = result.spec.power;
     entry["variant"] = variant_name(result.spec.variant);
+    entry["storage"] = result.spec.storage;
     entry["seed"] = static_cast<std::int64_t>(result.spec.seed);
     entry["ok"] = result.ok;
     if (!result.ok) {
@@ -348,6 +452,7 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
         entry["sqrt"] = comparison_json(result.sqrt, /*with_incremental=*/false);
       }
       entry["valid"] = result.valid;
+      entry["backends_identical"] = result.backends_identical;
       speedups.push_back(result.greedy.speedup);
     }
     entries.push_back(std::move(entry));
@@ -357,6 +462,7 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
   JsonValue summary = JsonValue::object();
   summary["scenarios"] = results.size();
   summary["failures"] = failures;
+  summary["backend_disagreements"] = backend_disagreements;
   if (!speedups.empty()) {
     std::sort(speedups.begin(), speedups.end());
     summary["greedy_speedup_min"] = speedups.front();

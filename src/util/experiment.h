@@ -31,16 +31,23 @@ struct ScenarioSpec {
   Variant variant = Variant::bidirectional;
   std::uint64_t seed = 1;
   /// Empty for the static (one-shot coloring) family; a ChurnTrace kind
-  /// ("poisson" | "flash" | "adversarial") selects the dynamic family,
-  /// which replays a generated trace through the OnlineScheduler and
-  /// reports throughput instead of one-shot coloring time.
+  /// ("poisson" | "flash" | "adversarial" | "hotspot" | "growing")
+  /// selects the dynamic family, which replays a generated trace through
+  /// the OnlineScheduler and reports throughput instead of one-shot
+  /// coloring time. "growing" starts from half the instance and introduces
+  /// the other half as fresh links (appendable storage required).
   std::string trace;
+  /// Gain-table backend: "dense" | "tiled" | "appendable". tiled keeps
+  /// large sparsely-active universes memory-bounded; appendable is the
+  /// growing-universe (dynamic) backend.
+  std::string storage = "dense";
 
   [[nodiscard]] bool is_dynamic() const noexcept { return !trace.empty(); }
 
   /// "random/n256/sqrt/bidirectional", or
   /// "dynamic/random/n256/poisson/sqrt/bidirectional" for the dynamic
-  /// family — stable scenario identifiers.
+  /// family — stable scenario identifiers. Non-default storage backends
+  /// append a "/tiled" (etc.) segment.
   [[nodiscard]] std::string name() const;
 };
 
@@ -65,10 +72,17 @@ struct DynamicResult {
   int peak_colors = 0;
   int final_colors = 0;
   std::size_t final_active = 0;
+  std::size_t final_universe = 0;  // grows past built_n on growing traces
+  std::size_t fresh_links = 0;     // universe-growing arrivals replayed
   std::size_t migrations = 0;     // compaction recolorings
+  std::size_t compaction_skips = 0;  // immovable members skipped over
   std::size_t classes_opened = 0;
   std::size_t classes_closed = 0;
   double max_event_ms = 0.0;      // worst single-event latency
+  /// Tiled backend only: tiles materialized / total — the memory-bounding
+  /// evidence of the lazy backend.
+  std::size_t touched_tiles = 0;
+  std::size_t total_tiles = 0;
 };
 
 struct ScenarioResult {
@@ -88,6 +102,11 @@ struct ScenarioResult {
   /// the direct checker. Dynamic family: the replayed final state
   /// re-validated bit-for-bit against the direct feasibility engine.
   bool valid = false;
+  /// Static family: greedy over the gain engine re-run on the alternate
+  /// storage backend (dense <-> tiled) produced the identical schedule —
+  /// the runner-level backend-equivalence gate (summary counts the
+  /// disagreements).
+  bool backends_identical = true;
 };
 
 /// A scenario counts as failed when it threw, when any engine pair
@@ -103,6 +122,9 @@ struct ExperimentOptions {
   std::size_t threads = 0;  // 0 = hardware concurrency
   std::uint64_t base_seed = 1;
   SinrParams params;        // alpha/beta/noise shared by every scenario
+  /// Default storage backend for grid cells that do not pin one
+  /// ("dense" | "tiled"); the large-n and growing cells always pin theirs.
+  std::string storage = "dense";
 };
 
 /// The scenario grid for the given options; deterministic in base_seed.
@@ -117,7 +139,7 @@ struct ExperimentOptions {
     std::span<const ScenarioSpec> grid, const SinrParams& params, std::size_t threads);
 
 /// Bundles results into the BENCH_schedule.json document
-/// (schema "oisched-bench-schedule/2"; layout documented in README.md).
+/// (schema "oisched-bench-schedule/3"; layout documented in README.md).
 [[nodiscard]] JsonValue experiment_report(std::span<const ScenarioResult> results,
                                           const ExperimentOptions& options);
 

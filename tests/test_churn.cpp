@@ -22,8 +22,27 @@ ChurnTrace make_trace(const std::string& kind, std::size_t universe, std::uint64
 }
 
 const std::vector<std::string>& trace_kinds() {
-  static const std::vector<std::string> kinds = {"poisson", "flash", "adversarial"};
+  static const std::vector<std::string> kinds = {"poisson", "flash", "adversarial",
+                                                 "hotspot"};
   return kinds;
+}
+
+/// A pool of fresh links for growing traces (endpoint validity is the
+/// scheduler's concern, not the trace's).
+std::vector<Request> fresh_pool(std::size_t count) {
+  std::vector<Request> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.push_back(Request{2 * i, 2 * i + 1});
+  }
+  return pool;
+}
+
+ChurnTrace make_growing_trace(std::size_t universe, std::size_t fresh,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<Request> pool = fresh_pool(fresh);
+  return make_churn_trace("growing", universe, /*target_events=*/400, rng, pool);
 }
 
 TEST(ChurnTrace, GeneratedStreamsValidate) {
@@ -86,6 +105,70 @@ TEST(ChurnTrace, ValidateRejectsMalformedStreams) {
   EXPECT_THROW(trace.validate(), PreconditionError);  // time runs backwards
 }
 
+TEST(ChurnTrace, HotspotStaysInsideItsWindow) {
+  HotspotChurnOptions options;
+  options.window = 8;
+  Rng rng(3);
+  const ChurnTrace trace = hotspot_trace(1024, options, rng);
+  EXPECT_NO_THROW(trace.validate());
+  EXPECT_EQ(trace.universe, 1024u);
+  EXPECT_GT(trace.events.size(), 0u);
+  for (const ChurnEvent& event : trace.events) {
+    EXPECT_LT(event.link, options.window);
+  }
+  EXPECT_LE(trace.peak_active(), options.window);
+}
+
+TEST(ChurnTrace, GrowingTraceExtendsTheUniverse) {
+  const ChurnTrace trace = make_growing_trace(16, 6, 42);
+  EXPECT_NO_THROW(trace.validate());
+  EXPECT_TRUE(trace.has_fresh_links());
+  EXPECT_EQ(trace.universe, 16u);
+  EXPECT_EQ(trace.final_universe(), 22u);  // every fresh link gets introduced
+  // Fresh links take consecutive indices, carry their requests, and may
+  // churn afterwards like any other link.
+  std::size_t next_fresh = 16;
+  for (const ChurnEvent& event : trace.events) {
+    if (event.kind == ChurnEvent::Kind::link_arrival) {
+      EXPECT_EQ(event.link, next_fresh);
+      EXPECT_EQ(event.request, (Request{2 * (next_fresh - 16), 2 * (next_fresh - 16) + 1}));
+      ++next_fresh;
+    }
+  }
+  EXPECT_EQ(next_fresh, 22u);
+  // Determinism in the seed, like every other generator.
+  EXPECT_EQ(trace, make_growing_trace(16, 6, 42));
+  EXPECT_NE(trace, make_growing_trace(16, 6, 43));
+}
+
+TEST(ChurnTrace, GrowingRejectsABudgetSmallerThanThePool) {
+  // Silent truncation of the growth would break the "every fresh link is
+  // introduced" contract, so an undersized budget is an error.
+  Rng rng(1);
+  const std::vector<Request> pool = fresh_pool(8);
+  GrowingChurnOptions options;
+  options.max_events = 8;  // == pool size: cannot introduce all of them
+  EXPECT_THROW((void)growing_trace(4, pool, options, rng), PreconditionError);
+  options.max_events = 9;
+  const ChurnTrace trace = growing_trace(4, pool, options, rng);
+  EXPECT_EQ(trace.final_universe(), 12u);  // ...while a bare majority fits
+}
+
+TEST(ChurnTrace, ValidateRejectsBadFreshLinks) {
+  ChurnTrace trace;
+  trace.universe = 4;
+  // A fresh link must take the NEXT universe index (4, not 6).
+  trace.events = {{ChurnEvent::Kind::link_arrival, 6, 0.0, Request{0, 1}}};
+  EXPECT_THROW(trace.validate(), PreconditionError);
+  trace.events = {{ChurnEvent::Kind::link_arrival, 4, 0.0, Request{0, 1}},
+                  {ChurnEvent::Kind::arrival, 4, 1.0}};
+  EXPECT_THROW(trace.validate(), PreconditionError);  // fresh links arrive active
+  trace.events = {{ChurnEvent::Kind::link_arrival, 4, 0.0, Request{0, 1}},
+                  {ChurnEvent::Kind::departure, 4, 1.0},
+                  {ChurnEvent::Kind::arrival, 4, 2.0}};
+  EXPECT_NO_THROW(trace.validate());  // ...and then churn like any link
+}
+
 TEST(ChurnTrace, JsonRoundTripIsExact) {
   for (const std::string& kind : trace_kinds()) {
     const ChurnTrace trace = make_trace(kind, 24, 5);
@@ -94,6 +177,33 @@ TEST(ChurnTrace, JsonRoundTripIsExact) {
     // Bitwise equality: doubles serialize via shortest-round-trip to_chars.
     EXPECT_EQ(parsed, trace) << kind;
   }
+}
+
+TEST(ChurnTrace, GrowingJsonRoundTripKeepsFreshLinks) {
+  const ChurnTrace trace = make_growing_trace(12, 5, 9);
+  const std::string text = trace_to_json(trace).dump();
+  EXPECT_NE(text.find("\"schema\": \"oisched-trace/2\""), std::string::npos);
+  EXPECT_NE(text.find("link_arrival"), std::string::npos);
+  const ChurnTrace parsed = trace_from_json(parse_json(text));
+  EXPECT_EQ(parsed, trace);
+  EXPECT_EQ(parsed.final_universe(), trace.final_universe());
+}
+
+TEST(ChurnTrace, ReadsLegacySchemaOne) {
+  // Old "/1" documents (fixed universe) stay readable...
+  const ChurnTrace parsed = trace_from_json(parse_json(
+      R"({"schema": "oisched-trace/1", "universe": 2,
+          "events": [{"t": 0, "kind": "arrival", "link": 1},
+                     {"t": 1, "kind": "departure", "link": 1}]})"));
+  EXPECT_EQ(parsed.universe, 2u);
+  EXPECT_EQ(parsed.events.size(), 2u);
+  EXPECT_FALSE(parsed.has_fresh_links());
+  // ...but universe growth is a "/2" feature.
+  EXPECT_THROW(trace_from_json(parse_json(
+                   R"({"schema": "oisched-trace/1", "universe": 2,
+                       "events": [{"t": 0, "kind": "link_arrival", "link": 2,
+                                   "u": 0, "v": 1}]})")),
+               PreconditionError);
 }
 
 TEST(ChurnTrace, FileRoundTrip) {

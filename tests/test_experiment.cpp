@@ -109,14 +109,19 @@ TEST(ExperimentGrid, QuickGridCoversEveryTopologyPlusFlagship) {
 TEST(ExperimentGrid, FullGridSweepsSizesAndPowers) {
   ExperimentOptions options;
   const auto grid = experiment_grid(options);
-  // 24 static cells + the n512 flagship + 6 dynamic (3 trace kinds x 2 sizes).
-  EXPECT_EQ(grid.size(), 31u);
+  // 24 static cells + the n512 flagship + 6 dynamic (3 trace kinds x 2
+  // sizes) + 3 storage-backend cells (tiled poisson, tiled large-n hotspot,
+  // appendable growing).
+  EXPECT_EQ(grid.size(), 34u);
   std::set<std::string> trace_kinds;
+  std::set<std::string> storages;
   for (const auto& spec : grid) {
     if (spec.is_dynamic()) trace_kinds.insert(spec.trace);
+    storages.insert(spec.storage);
   }
-  EXPECT_EQ(trace_kinds,
-            (std::set<std::string>{"poisson", "flash", "adversarial"}));
+  EXPECT_EQ(trace_kinds, (std::set<std::string>{"poisson", "flash", "adversarial",
+                                                "hotspot", "growing"}));
+  EXPECT_EQ(storages, (std::set<std::string>{"dense", "tiled", "appendable"}));
   // Seeds are distinct so scenarios are independent draws.
   std::set<std::uint64_t> seeds;
   for (const auto& spec : grid) seeds.insert(spec.seed);
@@ -128,12 +133,63 @@ TEST(ExperimentGrid, QuickGridIncludesDynamicFamily) {
   options.quick = true;
   const auto grid = experiment_grid(options);
   bool has_flagship_churn = false;
+  bool has_tiled_large_n = false;
+  bool has_growing = false;
   for (const auto& spec : grid) {
     if (spec.name() == "dynamic/random/n256/poisson/sqrt/bidirectional") {
       has_flagship_churn = true;
     }
+    if (spec.name() == "dynamic/random/n16384/hotspot/sqrt/bidirectional/tiled") {
+      has_tiled_large_n = true;
+    }
+    if (spec.name() == "dynamic/random/n128/growing/sqrt/bidirectional/appendable") {
+      has_growing = true;
+    }
   }
   EXPECT_TRUE(has_flagship_churn);
+  EXPECT_TRUE(has_tiled_large_n);
+  EXPECT_TRUE(has_growing);
+}
+
+TEST(ExperimentRunner, GrowingScenarioGrowsTheUniverseAndValidates) {
+  ScenarioSpec spec;
+  spec.topology = "random";
+  spec.n = 64;
+  spec.power = "sqrt";
+  spec.variant = Variant::bidirectional;
+  spec.seed = 21;
+  spec.trace = "growing";
+  spec.storage = "appendable";
+  SinrParams params;
+  const ScenarioResult result = run_scenario(spec, params);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.valid);  // grown final state bit-identical + feasible
+  EXPECT_GT(result.dynamic.fresh_links, 0u);
+  // The scheduler started on half the instance and grew to all of it.
+  EXPECT_EQ(result.dynamic.final_universe, result.built_n);
+  EXPECT_FALSE(scenario_failed(result));
+}
+
+TEST(ExperimentRunner, TiledHotspotTouchesOnlyAFractionOfTheTiles) {
+  ScenarioSpec spec;
+  spec.topology = "random";
+  spec.n = 2048;  // 32x32 tile grid per table; the hotspot window is 128
+  spec.power = "sqrt";
+  spec.variant = Variant::bidirectional;
+  spec.seed = 9;
+  spec.trace = "hotspot";
+  spec.storage = "tiled";
+  SinrParams params;
+  const ScenarioResult result = run_scenario(spec, params);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.valid);
+  EXPECT_GT(result.dynamic.events_per_sec, 0.0);
+  ASSERT_GT(result.dynamic.total_tiles, 0u);
+  EXPECT_GT(result.dynamic.touched_tiles, 0u);
+  // The memory model of the lazy backend: churn confined to a window
+  // leaves most of the table unmaterialized.
+  EXPECT_LT(result.dynamic.touched_tiles, result.dynamic.total_tiles / 2);
+  EXPECT_FALSE(scenario_failed(result));
 }
 
 TEST(ExperimentRunner, DynamicScenarioReplaysAndValidates) {
@@ -211,7 +267,9 @@ TEST(ExperimentReport, EmitsSchemaResultsAndSummary) {
   const auto results = run_experiment_grid(grid, params, 2);
   const JsonValue report = experiment_report(results, options);
   const std::string text = report.dump();
-  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/2\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/3\""), std::string::npos);
+  EXPECT_NE(text.find("\"backend_disagreements\": 0"), std::string::npos);
+  EXPECT_NE(text.find("\"storage\": \"dense\""), std::string::npos);
   EXPECT_NE(text.find("\"results\""), std::string::npos);
   EXPECT_NE(text.find("\"greedy\""), std::string::npos);
   EXPECT_NE(text.find("\"summary\""), std::string::npos);

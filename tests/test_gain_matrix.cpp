@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/distributed.h"
@@ -270,6 +272,61 @@ TEST(GainCache, SameKeyReturnsSameTable) {
   const auto uniform = UniformPower{}.assign(instance, 3.0);
   EXPECT_NE(instance.gains(uniform, 3.0, Variant::bidirectional).get(), first.get());
   EXPECT_EQ(instance.cached_gain_tables(), 4u);
+}
+
+TEST(GainCache, BackendIsACacheKeyDimension) {
+  const auto scenario = random_scenario(12, /*seed=*/31);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  const auto dense = instance.gains(powers, 3.0, Variant::bidirectional);
+  const auto tiled = instance.gains(powers, 3.0, Variant::bidirectional, false,
+                                    GainBackend::tiled);
+  EXPECT_NE(dense.get(), tiled.get());  // distinct keys, distinct builds
+  EXPECT_EQ(dense->backend(), GainBackend::dense);
+  EXPECT_EQ(tiled->backend(), GainBackend::tiled);
+  // Same key -> same table, and both answer identically.
+  EXPECT_EQ(instance
+                .gains(powers, 3.0, Variant::bidirectional, false, GainBackend::tiled)
+                .get(),
+            tiled.get());
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      if (i == j) continue;
+      EXPECT_EQ(tiled->at_v(j, i), dense->at_v(j, i));
+    }
+  }
+}
+
+TEST(GainCache, ConcurrentMixedKeysBuildOnceEach) {
+  // Per-entry once-initialization: many threads racing on a mix of cold
+  // keys must each get a fully built table, same-key callers sharing one
+  // build — and nobody deadlocks behind another key's cold build.
+  const auto scenario = random_scenario(48, /*seed=*/8);
+  const Instance instance = scenario.instance();
+  const auto sqrt_powers = SqrtPower{}.assign(instance, 3.0);
+  const auto uniform_powers = UniformPower{}.assign(instance, 3.0);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const GainMatrix>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Even threads hammer the sqrt key, odd threads the uniform key.
+      const auto& powers = t % 2 == 0 ? sqrt_powers : uniform_powers;
+      for (int round = 0; round < 4; ++round) {
+        seen[t] = instance.gains(powers, 3.0, Variant::bidirectional);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(seen[t], nullptr);
+    EXPECT_EQ(seen[t]->size(), instance.size());
+    // Same key -> the one shared build.
+    EXPECT_EQ(seen[t].get(), seen[t % 2].get());
+  }
+  EXPECT_NE(seen[0].get(), seen[1].get());
+  EXPECT_EQ(instance.cached_gain_tables(), 2u);
 }
 
 TEST(GainCache, SharedAcrossCopiesAndBoundedWithSafeEviction) {

@@ -1,0 +1,320 @@
+// Storage-backend equivalence suite: the dense, tiled and appendable gain
+// backends must answer every query bit-for-bit identically — raw table
+// entries, feasibility verdicts and margins, whole greedy schedules and
+// whole online replays — across the line/grid/random/adversarial fixtures
+// and both variants. Plus the tiled memory model: a sparse schedule over a
+// large universe touches a small fraction of the tiles.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/power_assignment.h"
+#include "core/schedule.h"
+#include "gen/adversarial.h"
+#include "online/online_scheduler.h"
+#include "sinr/feasibility.h"
+#include "sinr/gain_matrix.h"
+#include "sinr/gain_storage.h"
+#include "test_helpers.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+using testutil::grid_scenario;
+using testutil::line_pairs;
+using testutil::random_scenario;
+
+/// line/grid/random fixtures plus the Theorem-1 adversarial family (which
+/// lives in the directed variant but tabulates fine under both).
+std::vector<Instance> fixture_instances() {
+  std::vector<Instance> instances;
+  instances.push_back(
+      line_pairs({0.0, 2.0, 50.0, 53.0, 120.0, 121.0, 200.0, 207.0}).instance());
+  instances.push_back(grid_scenario(4, 6).instance());
+  instances.push_back(random_scenario(32, /*seed=*/17).instance());
+  instances.push_back(theorem1_family(12, LinearPower{}, 3.0).instance);
+  return instances;
+}
+
+std::vector<Variant> both_variants() {
+  return {Variant::directed, Variant::bidirectional};
+}
+
+std::vector<GainBackend> all_backends() {
+  return {GainBackend::dense, GainBackend::tiled, GainBackend::appendable};
+}
+
+TEST(GainBackendNames, RoundTrip) {
+  for (const GainBackend backend : all_backends()) {
+    GainBackend parsed = GainBackend::dense;
+    ASSERT_TRUE(parse_gain_backend(to_string(backend), parsed));
+    EXPECT_EQ(parsed, backend);
+  }
+  GainBackend parsed = GainBackend::dense;
+  EXPECT_FALSE(parse_gain_backend("sparse", parsed));
+}
+
+TEST(GainStorageBackends, TablesAreBitIdentical) {
+  for (const Instance& instance : fixture_instances()) {
+    const auto powers = SqrtPower{}.assign(instance, 3.0);
+    for (const Variant variant : both_variants()) {
+      const GainMatrix dense(instance, powers, 3.0, variant,
+                             /*with_sender_gains=*/true, GainBackend::dense);
+      for (const GainBackend backend : {GainBackend::tiled, GainBackend::appendable}) {
+        const GainMatrix other(instance, powers, 3.0, variant,
+                               /*with_sender_gains=*/true, backend);
+        ASSERT_EQ(other.size(), dense.size());
+        EXPECT_EQ(other.backend(), backend);
+        for (std::size_t j = 0; j < dense.size(); ++j) {
+          EXPECT_EQ(other.signal(j), dense.signal(j));
+          for (std::size_t i = 0; i < dense.size(); ++i) {
+            if (i == j) continue;
+            ASSERT_EQ(other.at_v(j, i), dense.at_v(j, i))
+                << to_string(backend) << " at_v(" << j << "," << i << ")";
+            ASSERT_EQ(other.at_u(j, i), dense.at_u(j, i))
+                << to_string(backend) << " at_u(" << j << "," << i << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GainStorageBackends, VerdictsAndMarginsAgreeOnRandomSubsets) {
+  Rng rng(4711);
+  for (const Instance& instance : fixture_instances()) {
+    const auto powers = SqrtPower{}.assign(instance, 3.0);
+    SinrParams params;
+    params.alpha = 3.0;
+    params.beta = 0.5;
+    for (const Variant variant : both_variants()) {
+      const GainMatrix dense(instance, powers, params.alpha, variant,
+                             /*with_sender_gains=*/false, GainBackend::dense);
+      const GainMatrix tiled(instance, powers, params.alpha, variant,
+                             /*with_sender_gains=*/false, GainBackend::tiled);
+      const GainMatrix appendable(instance, powers, params.alpha, variant,
+                                  /*with_sender_gains=*/false, GainBackend::appendable);
+      for (int trial = 0; trial < 12; ++trial) {
+        std::vector<std::size_t> active;
+        for (std::size_t i = 0; i < instance.size(); ++i) {
+          if (rng.bernoulli(0.4)) active.push_back(i);
+        }
+        const FeasibilityReport expect = check_feasible(dense, active, params);
+        for (const GainMatrix* gains : {&tiled, &appendable}) {
+          const FeasibilityReport got = check_feasible(*gains, active, params);
+          EXPECT_EQ(got.feasible, expect.feasible);
+          EXPECT_EQ(got.worst_margin, expect.worst_margin);
+          EXPECT_EQ(got.worst_request, expect.worst_request);
+          EXPECT_EQ(max_feasible_gain(*gains, active), max_feasible_gain(dense, active));
+        }
+      }
+    }
+  }
+}
+
+TEST(GainStorageBackends, GreedySchedulesIdenticalThroughTheCache) {
+  for (const Instance& instance : fixture_instances()) {
+    SinrParams params;
+    params.alpha = 3.0;
+    params.beta = 1.0;
+    for (const auto& assignment : standard_assignments()) {
+      const auto powers = assignment->assign(instance, params.alpha);
+      for (const Variant variant : both_variants()) {
+        const Schedule dense =
+            greedy_coloring(instance, powers, params, variant,
+                            RequestOrder::longest_first, FeasibilityEngine::gain_matrix,
+                            GainBackend::dense);
+        const Schedule tiled =
+            greedy_coloring(instance, powers, params, variant,
+                            RequestOrder::longest_first, FeasibilityEngine::gain_matrix,
+                            GainBackend::tiled);
+        EXPECT_EQ(dense.color_of, tiled.color_of) << assignment->name();
+        EXPECT_EQ(dense.num_colors, tiled.num_colors);
+      }
+    }
+  }
+}
+
+TEST(GainStorageBackends, OnlineReplaysIdenticalAcrossBackends) {
+  for (const Instance& instance : fixture_instances()) {
+    SinrParams params;
+    params.alpha = 3.0;
+    params.beta = 1.0;
+    const auto powers = SqrtPower{}.assign(instance, params.alpha);
+    for (const Variant variant : both_variants()) {
+      Rng rng(77);
+      const ChurnTrace trace =
+          make_churn_trace("poisson", instance.size(), /*target_events=*/400, rng);
+      ReplayResult reference;
+      bool have_reference = false;
+      for (const GainBackend backend : all_backends()) {
+        OnlineSchedulerOptions options;
+        options.storage = backend;
+        OnlineScheduler scheduler(instance, powers, params, variant, options);
+        const ReplayResult replay = replay_trace(scheduler, trace);
+        EXPECT_TRUE(replay.validated) << to_string(backend);
+        if (!have_reference) {
+          reference = replay;
+          have_reference = true;
+          continue;
+        }
+        // The whole replayed trajectory is backend-invariant: same final
+        // coloring, same color count, same compaction work.
+        EXPECT_EQ(replay.final_schedule.color_of, reference.final_schedule.color_of)
+            << to_string(backend);
+        EXPECT_EQ(replay.final_colors, reference.final_colors);
+        EXPECT_EQ(replay.stats.migrations, reference.stats.migrations);
+        EXPECT_EQ(replay.stats.compaction_skips, reference.stats.compaction_skips);
+        EXPECT_EQ(replay.final_worst_margin, reference.final_worst_margin);
+      }
+    }
+  }
+}
+
+TEST(AppendableBackend, GrowthMatchesAFullDenseBuildBitForBit) {
+  const auto scenario = random_scenario(24, /*seed=*/5);
+  const Instance full = scenario.instance();
+  const auto powers = SqrtPower{}.assign(full, 3.0);
+  for (const Variant variant : both_variants()) {
+    const GainMatrix dense(full, powers, 3.0, variant, /*with_sender_gains=*/true,
+                           GainBackend::dense);
+    const std::size_t n0 = 10;
+    const auto all = full.requests();
+    GainMatrix growing(full.metric(), all.subspan(0, n0),
+                       std::span<const double>(powers).subspan(0, n0), 3.0, variant,
+                       /*with_sender_gains=*/true, GainBackend::appendable);
+    for (std::size_t k = n0; k < full.size(); ++k) {
+      const std::size_t index = growing.append_request(all[k], powers[k]);
+      EXPECT_EQ(index, k);
+    }
+    ASSERT_EQ(growing.size(), dense.size());
+    EXPECT_EQ(growing.requests().size(), full.size());
+    for (std::size_t j = 0; j < dense.size(); ++j) {
+      EXPECT_EQ(growing.signal(j), dense.signal(j));
+      for (std::size_t i = 0; i < dense.size(); ++i) {
+        if (i == j) continue;
+        ASSERT_EQ(growing.at_v(j, i), dense.at_v(j, i)) << j << "," << i;
+        ASSERT_EQ(growing.at_u(j, i), dense.at_u(j, i)) << j << "," << i;
+      }
+    }
+  }
+}
+
+TEST(AppendableBackend, OnlyAppendableGrows) {
+  const auto scenario = random_scenario(6, /*seed=*/2);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  GainMatrix dense(instance, powers, 3.0, Variant::bidirectional);
+  EXPECT_THROW((void)dense.append_request(instance.request(0), 1.0), PreconditionError);
+  // And the shared per-instance cache refuses to hand out growable tables.
+  EXPECT_THROW((void)instance.gains(powers, 3.0, Variant::bidirectional, false,
+                                    GainBackend::appendable),
+               PreconditionError);
+}
+
+TEST(IncrementalGainClassGrowth, SyncedAccumulatorsMatchAFreshReplay) {
+  const auto scenario = random_scenario(20, /*seed=*/13);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 0.5;
+  const std::size_t n0 = 12;
+  const auto all = instance.requests();
+  GainMatrix growing(instance.metric(), all.subspan(0, n0),
+                     std::span<const double>(powers).subspan(0, n0), params.alpha,
+                     Variant::bidirectional, /*with_sender_gains=*/false,
+                     GainBackend::appendable);
+  IncrementalGainClass cls(growing, params);
+  for (std::size_t i = 0; i < n0; ++i) {
+    if (cls.can_add(i)) cls.add(i);
+  }
+  // Unsynced use after growth is rejected; after sync the class is
+  // bit-identical to a from-scratch replay over the grown universe.
+  (void)growing.append_request(all[n0], powers[n0]);
+  EXPECT_THROW((void)cls.can_add(n0), PreconditionError);
+  cls.sync_universe();
+  EXPECT_EQ(cls.accumulator_drift(), 0.0);
+  IncrementalGainClass twin(growing, params);
+  for (const std::size_t m : cls.members()) twin.add(m);
+  for (std::size_t cand = 0; cand <= n0; ++cand) {
+    if (cls.contains(cand)) continue;
+    EXPECT_EQ(cls.can_add(cand), twin.can_add(cand)) << cand;
+  }
+}
+
+TEST(TiledBackend, SparseScheduleTouchesFewTilesAtN4096) {
+  // A 4096-link universe: 64x64 tiles per table (4096 total). A schedule
+  // confined to the first 32 links touches only their row stripes — the
+  // resident-memory bound that makes n ~ 10^4-10^5 runnable.
+  const auto scenario = random_scenario(4096, /*seed=*/1, /*side=*/2000.0);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const GainMatrix gains(instance, powers, params.alpha, Variant::bidirectional,
+                         /*with_sender_gains=*/false, GainBackend::tiled);
+  const auto* storage = dynamic_cast<const TiledGainStorage*>(&gains.receiver_storage());
+  ASSERT_NE(storage, nullptr);
+  EXPECT_EQ(storage->touched_tiles(), 0u);  // construction is lazy
+
+  std::vector<std::size_t> candidates(32);
+  for (std::size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+  const std::vector<std::size_t> kept =
+      greedy_feasible_subset(gains, candidates, params);
+  EXPECT_GT(kept.size(), 0u);
+
+  EXPECT_GT(storage->touched_tiles(), 0u);
+  EXPECT_LT(storage->touched_tiles(), storage->total_tiles());
+  // The members' row stripes (plus the candidates' columns) are a sliver of
+  // the 4096-tile table.
+  EXPECT_LE(storage->touched_tiles(), 2 * (instance.size() / TiledGainStorage::kTileSize));
+  EXPECT_LT(gains.resident_doubles(), instance.size() * instance.size() / 8);
+
+  // The sparse subset answers exactly as the direct engine does.
+  const FeasibilityReport direct = check_feasible(
+      instance.metric(), instance.requests(), powers, kept, params,
+      Variant::bidirectional);
+  const FeasibilityReport tabled = check_feasible(gains, kept, params);
+  EXPECT_EQ(direct.feasible, tabled.feasible);
+  EXPECT_EQ(direct.worst_margin, tabled.worst_margin);
+}
+
+TEST(GainStorageUnits, DenseExposesRawDataAndResidency) {
+  const GainFiller fill = [](std::size_t j, std::size_t i) {
+    return i == j ? 0.0 : static_cast<double>(10 * j + i);
+  };
+  DenseGainStorage dense(4, fill);
+  EXPECT_EQ(dense.kind(), GainBackend::dense);
+  EXPECT_NE(dense.dense_data(), nullptr);
+  EXPECT_EQ(dense.at(2, 3), 23.0);
+  EXPECT_EQ(dense.at(1, 1), 0.0);
+  EXPECT_EQ(dense.resident_doubles(), 16u);
+
+  TiledGainStorage tiled(4, fill);
+  EXPECT_EQ(tiled.kind(), GainBackend::tiled);
+  EXPECT_EQ(tiled.dense_data(), nullptr);
+  EXPECT_EQ(tiled.touched_tiles(), 0u);
+  EXPECT_EQ(tiled.at(2, 3), 23.0);
+  EXPECT_EQ(tiled.touched_tiles(), 1u);
+  EXPECT_EQ(tiled.total_tiles(), 1u);  // n=4 fits one 64x64 tile
+
+  AppendableGainStorage appendable(2, fill);
+  EXPECT_EQ(appendable.kind(), GainBackend::appendable);
+  EXPECT_EQ(appendable.at(0, 1), 1.0);
+  appendable.grow_to(4);
+  EXPECT_EQ(appendable.size(), 4u);
+  EXPECT_EQ(appendable.at(0, 3), 3.0);   // new column of an old row
+  EXPECT_EQ(appendable.at(3, 1), 31.0);  // old column of a new row
+  EXPECT_EQ(appendable.at(3, 3), 0.0);
+  EXPECT_EQ(appendable.resident_doubles(), 16u);
+}
+
+}  // namespace
+}  // namespace oisched

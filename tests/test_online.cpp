@@ -315,6 +315,122 @@ TEST(OnlineScheduler, ReusedSchedulerReportsPerReplayStats) {
             first.events.size() + drained + second.events.size());
 }
 
+TEST(OnlineScheduler, CompactionSkipsImmovableMembersAndContinues) {
+  // Geometry (uniform powers, alpha 3, beta 1): two far-apart "anchors"
+  // L0 = [0,4] and X = [40,44] share color 0; A = [5,9] conflicts with L0,
+  // B = [34,38] conflicts with X, A and B are mutually compatible — so both
+  // land in color 1. When X departs, compaction scans the trailing class
+  // {A, B}: A is immovable (L0 still blocks it) but B now fits color 0.
+  // The old pass bailed at A; skip-and-continue reclaims B's slot.
+  const auto scenario = line_pairs({0.0, 4.0, 40.0, 44.0, 5.0, 9.0, 34.0, 38.0});
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = UniformPower{}.assign(instance, params.alpha);
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional);
+  ASSERT_EQ(scheduler.on_arrival(0), 0);  // L0
+  ASSERT_EQ(scheduler.on_arrival(1), 0);  // X
+  ASSERT_EQ(scheduler.on_arrival(2), 1);  // A (blocked by L0)
+  ASSERT_EQ(scheduler.on_arrival(3), 1);  // B (blocked by X)
+
+  scheduler.on_departure(1);  // X leaves; the pass skips A, migrates B
+  EXPECT_EQ(scheduler.color_of(2), 1);
+  EXPECT_EQ(scheduler.color_of(3), 0);
+  EXPECT_EQ(scheduler.stats().migrations, 1u);
+  EXPECT_EQ(scheduler.stats().compaction_skips, 1u);
+  EXPECT_EQ(scheduler.num_colors(), 2);
+  EXPECT_TRUE(scheduler.validate_against_direct());
+}
+
+TEST(OnlineScheduler, FreshLinksGrowTheUniverseAndRevalidate) {
+  for (const auto& scenario : fixtures()) {
+    const Instance full = scenario.instance();
+    if (full.size() < 8) continue;
+    SinrParams params;
+    params.alpha = 3.0;
+    params.beta = 1.0;
+    for (const Variant variant : both_variants()) {
+      // Start on the first half of the requests; the second half arrives
+      // online as fresh links via a growing trace.
+      const std::size_t n0 = full.size() / 2;
+      const auto all = full.requests();
+      const Instance base(full.metric_ptr(),
+                          std::vector<Request>(all.begin(), all.begin() + n0));
+      const auto powers = SqrtPower{}.assign(base, params.alpha);
+      Rng rng(2026);
+      const ChurnTrace trace =
+          make_churn_trace("growing", n0, /*target_events=*/500, rng, all.subspan(n0));
+      OnlineSchedulerOptions options;
+      options.storage = GainBackend::appendable;
+      options.fresh_power = std::make_shared<SqrtPower>();
+      OnlineScheduler scheduler(base, powers, params, variant, options);
+      const ReplayResult result = replay_trace(scheduler, trace);
+      // The acceptance gate: a trace/2 replay with fresh-link arrivals
+      // revalidates bit-for-bit against the direct engine on the final
+      // (grown) state.
+      EXPECT_TRUE(result.validated);
+      EXPECT_EQ(result.stats.fresh_links, full.size() - n0);
+      EXPECT_EQ(result.final_universe, full.size());
+      EXPECT_EQ(scheduler.universe(), full.size());
+      EXPECT_EQ(result.final_active, trace.final_active().size());
+      // Fresh links got the oblivious sqrt powers their lengths dictate —
+      // identical to what an offline assignment over the full instance
+      // computes.
+      const auto full_powers = SqrtPower{}.assign(full, params.alpha);
+      for (std::size_t i = 0; i < full.size(); ++i) {
+        EXPECT_EQ(scheduler.powers()[i], full_powers[i]) << i;
+      }
+    }
+  }
+}
+
+TEST(OnlineScheduler, FreshLinksStillArriveAndDepartLikeAnyLink) {
+  const auto scenario = random_scenario(12, /*seed=*/3);
+  const Instance full = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const std::size_t n0 = 8;
+  const auto all = full.requests();
+  const Instance base(full.metric_ptr(),
+                      std::vector<Request>(all.begin(), all.begin() + n0));
+  const auto powers = SqrtPower{}.assign(base, params.alpha);
+  OnlineSchedulerOptions options;
+  options.storage = GainBackend::appendable;
+  options.fresh_power = std::make_shared<SqrtPower>();
+  OnlineScheduler scheduler(base, powers, params, Variant::bidirectional, options);
+  EXPECT_EQ(scheduler.universe(), n0);
+  const int color = scheduler.on_link_arrival(all[n0]);
+  EXPECT_GE(color, 0);
+  EXPECT_EQ(scheduler.universe(), n0 + 1);
+  EXPECT_TRUE(scheduler.is_active(n0));
+  EXPECT_EQ(scheduler.stats().fresh_links, 1u);
+  scheduler.on_departure(n0);
+  EXPECT_FALSE(scheduler.is_active(n0));
+  (void)scheduler.on_arrival(n0);  // re-arrives as a known link
+  EXPECT_TRUE(scheduler.is_active(n0));
+  EXPECT_TRUE(scheduler.validate_against_direct());
+}
+
+TEST(OnlineScheduler, FreshLinksNeedAppendableBackendAndPowerRule) {
+  const auto scenario = random_scenario(8, /*seed=*/5);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  const Request fresh = instance.request(0);
+  {
+    OnlineScheduler dense(instance, powers, params, Variant::bidirectional);
+    EXPECT_THROW((void)dense.on_link_arrival(fresh), PreconditionError);
+  }
+  {
+    OnlineSchedulerOptions options;
+    options.storage = GainBackend::appendable;  // but no fresh_power rule
+    OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional, options);
+    EXPECT_THROW((void)scheduler.on_link_arrival(fresh), PreconditionError);
+  }
+}
+
 TEST(OnlineScheduler, ReplayRejectsMismatchedUniverse) {
   const auto scenario = random_scenario(8, /*seed=*/1);
   const Instance instance = scenario.instance();
