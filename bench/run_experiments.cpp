@@ -25,9 +25,13 @@ using namespace oisched;
 int usage() {
   std::cerr << "usage: run_experiments [--quick] [--out PATH] [--threads N] [--seed S]\n"
                "                       [--alpha A] [--beta B] [--storage dense|tiled]\n"
+               "                       [--remove-policy exact|rebuild|compensated]\n"
                "  --storage sets the default gain-table backend of the grid cells that\n"
                "  do not pin one (the large-n tiled and growing appendable cells always\n"
-               "  do); scenario names grow a suffix for non-dense backends.\n";
+               "  do); scenario names grow a suffix for non-dense backends.\n"
+               "  --remove-policy sets the default accumulator policy of the dynamic\n"
+               "  cells that do not pin one (the policy-axis cells always do); scenario\n"
+               "  names grow a suffix for non-exact policies.\n";
   return 2;
 }
 
@@ -53,6 +57,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--storage" && i + 1 < argc) {
       options.storage = argv[++i];
       if (options.storage != "dense" && options.storage != "tiled") return usage();
+    } else if (arg == "--remove-policy" && i + 1 < argc) {
+      options.remove_policy = argv[++i];
+      if (options.remove_policy != "exact" && options.remove_policy != "rebuild" &&
+          options.remove_policy != "compensated") {
+        return usage();
+      }
     } else {
       return usage();
     }

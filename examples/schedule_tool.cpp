@@ -3,12 +3,15 @@
 //   $ ./schedule_tool gen  <out.inst> <n> [seed]       generate a workload
 //   $ ./schedule_tool run  <in.inst> <out.sched> [sqrt|greedy] [gain|incremental|direct]
 //                          [--storage dense|tiled]
+//                          [--remove-policy rebuild|compensated|exact]
 //   $ ./schedule_tool check <in.inst> <in.sched>       validate a schedule
 //   $ ./schedule_tool gen-trace <in.inst> <out.trace>
 //                               [poisson|flash|adversarial|hotspot|growing]
 //                               [events] [seed]        generate a churn trace
 //   $ ./schedule_tool replay <in.inst> --trace <in.trace> [--out <final.sched>]
-//                            [--storage dense|tiled]   replay it online
+//                            [--storage dense|tiled]
+//                            [--remove-policy rebuild|compensated|exact]
+//                            [--rebuild-interval N]    replay it online
 //
 // `run` defaults to the Section-5 sqrt coloring on the gain-matrix engine;
 // the other engines answer the same queries from scratch and exist for
@@ -16,10 +19,17 @@
 // `--storage` picks the gain-table backend (identical results; tiled keeps
 // huge sparsely-active universes memory-bounded). `replay` drives the trace
 // through the online scheduler (arrivals first-fit into the live coloring,
-// departures shrink and compact it), reports events/sec, colors and
-// migrations, and re-validates the final state bit-for-bit against the
-// direct feasibility engine. A `growing` trace targets the first half of
-// the instance as its starting universe and introduces the second half as
+// departures shrink and compact it), reports events/sec, colors,
+// migrations and removal-triggered accumulator rebuilds, and re-validates
+// the final state bit-for-bit against the direct feasibility engine.
+// `--remove-policy` picks the accumulator arithmetic: replay defaults to
+// the numerically exact O(n) removal (`exact`, zero rebuilds), with
+// `rebuild` (replay-on-remove) and `compensated` (drift-bounded subtract;
+// `--rebuild-interval` caps its removals between forced replays) as the
+// alternatives; on `run` it selects the greedy gain-engine accumulator
+// arithmetic (default rebuild — the historical plain sums; sqrt has no
+// accumulator policy). A `growing` trace targets the first half of the
+// instance as its starting universe and introduces the second half as
 // fresh links; replay then runs the appendable backend, growing the gain
 // tables online with square-root powers derived per fresh link.
 //
@@ -52,11 +62,14 @@ int usage() {
                "  schedule_tool gen   <out.inst> <n> [seed]\n"
                "  schedule_tool run   <in.inst> <out.sched> [sqrt|greedy] "
                "[gain|incremental|direct] [--storage dense|tiled]\n"
+               "                      [--remove-policy rebuild|compensated|exact]\n"
                "  schedule_tool check <in.inst> <in.sched>\n"
                "  schedule_tool gen-trace <in.inst> <out.trace> "
                "[poisson|flash|adversarial|hotspot|growing] [events] [seed]\n"
                "  schedule_tool replay <in.inst> --trace <in.trace> "
-               "[--out <final.sched>] [--storage dense|tiled]\n";
+               "[--out <final.sched>] [--storage dense|tiled]\n"
+               "                      [--remove-policy rebuild|compensated|exact] "
+               "[--rebuild-interval N]\n";
   return 2;
 }
 
@@ -107,19 +120,35 @@ bool parse_storage_flag(int argc, char** argv, int& i, GainBackend& storage) {
   return true;
 }
 
+/// Parses a [--remove-policy POLICY] pair.
+bool parse_policy_flag(int argc, char** argv, int& i, RemovePolicy& policy) {
+  if (std::string(argv[i]) != "--remove-policy" || i + 1 >= argc) return false;
+  return parse_remove_policy(argv[++i], policy);
+}
+
 int cmd_run(int argc, char** argv) {
   if (argc < 4) return usage();
   const Instance instance = load_instance(argv[2]);
   const std::string algo = argc > 4 ? argv[4] : "sqrt";
   FeasibilityEngine engine = FeasibilityEngine::gain_matrix;
   GainBackend storage = GainBackend::dense;
+  // The gain-engine accumulator arithmetic: rebuild = the historical
+  // plain sequential sums (what the cross-engine identity gates pin),
+  // exact = error-free expansion accumulators.
+  RemovePolicy policy = RemovePolicy::rebuild;
+  bool policy_given = false;
   int i = 5;
-  if (i < argc && std::string(argv[i]) != "--storage") {
+  if (i < argc && argv[i][0] != '-') {
     if (!parse_engine(argv[i], engine)) return usage();
     ++i;
   }
   for (; i < argc; ++i) {
-    if (!parse_storage_flag(argc, argv, i, storage)) return usage();
+    if (parse_storage_flag(argc, argv, i, storage)) continue;
+    if (parse_policy_flag(argc, argv, i, policy)) {
+      policy_given = true;
+      continue;
+    }
+    return usage();
   }
   const SinrParams params = default_params();
 
@@ -130,14 +159,23 @@ int cmd_run(int argc, char** argv) {
       std::cerr << "sqrt has no incremental engine; use gain or direct\n";
       return 2;
     }
+    if (policy_given) {
+      std::cerr << "sqrt has no accumulator remove policy; use greedy\n";
+      return 2;
+    }
     SqrtColoringOptions options;
     options.engine = engine;
     options.storage = storage;
     schedule = sqrt_coloring(instance, params, Variant::bidirectional, options).schedule;
   } else if (algo == "greedy") {
+    if (policy_given && engine != FeasibilityEngine::gain_matrix) {
+      std::cerr << "--remove-policy selects the gain engine's accumulator "
+                   "arithmetic; use the gain engine\n";
+      return 2;
+    }
     const auto powers = SqrtPower{}.assign(instance, params.alpha);
     schedule = greedy_coloring(instance, powers, params, Variant::bidirectional,
-                               RequestOrder::longest_first, engine, storage);
+                               RequestOrder::longest_first, engine, storage, policy);
   } else {
     return usage();
   }
@@ -145,8 +183,11 @@ int cmd_run(int argc, char** argv) {
   save_schedule(argv[3], schedule);
   std::cout << "scheduled " << instance.size() << " requests into "
             << schedule.num_colors << " colors (" << algo << ", engine "
-            << to_string(engine) << ", storage " << to_string(storage) << ", "
-            << elapsed_ms << " ms) -> " << argv[3] << '\n';
+            << to_string(engine) << ", storage " << to_string(storage);
+  if (algo == "greedy" && engine == FeasibilityEngine::gain_matrix) {
+    std::cout << ", remove policy " << to_string(policy);
+  }
+  std::cout << ", " << elapsed_ms << " ms) -> " << argv[3] << '\n';
   return 0;
 }
 
@@ -204,6 +245,8 @@ int cmd_replay(int argc, char** argv) {
   std::string trace_path;
   std::string out_path;
   GainBackend storage = GainBackend::dense;
+  RemovePolicy policy = RemovePolicy::exact;  // the scheduler default
+  std::size_t rebuild_interval = 16;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
@@ -212,6 +255,11 @@ int cmd_replay(int argc, char** argv) {
       out_path = argv[++i];
     } else if (parse_storage_flag(argc, argv, i, storage)) {
       continue;
+    } else if (parse_policy_flag(argc, argv, i, policy)) {
+      continue;
+    } else if (arg == "--rebuild-interval" && i + 1 < argc) {
+      rebuild_interval = std::strtoull(argv[++i], nullptr, 10);
+      if (rebuild_interval == 0) return usage();
     } else {
       return usage();
     }
@@ -237,6 +285,8 @@ int cmd_replay(int argc, char** argv) {
                                                             trace.universe)));
   const auto powers = SqrtPower{}.assign(base, params.alpha);
   OnlineSchedulerOptions options;
+  options.remove_policy = policy;
+  options.rebuild_interval = rebuild_interval;
   options.storage = trace.has_fresh_links() ? GainBackend::appendable : storage;
   if (trace.has_fresh_links()) {
     options.fresh_power = std::make_shared<SqrtPower>();
@@ -249,13 +299,15 @@ int cmd_replay(int argc, char** argv) {
             << " arrivals incl. " << stats.fresh_links << " fresh links, "
             << stats.departures << " departures) in " << result.wall_seconds * 1e3
             << " ms: " << result.events_per_sec << " events/sec (storage "
-            << to_string(options.storage) << ")\n"
+            << to_string(options.storage) << ", remove policy " << to_string(policy)
+            << ")\n"
             << "final state: " << result.final_active << " active links of "
             << result.final_universe << " in " << result.final_colors
             << " colors (peak " << stats.peak_colors << "), " << stats.migrations
             << " migrations (" << stats.compaction_skips
-            << " compaction skips), worst event " << stats.max_event_seconds * 1e3
-            << " ms\n"
+            << " compaction skips), " << stats.removal_rebuilds
+            << " removal-triggered rebuilds, worst event "
+            << stats.max_event_seconds * 1e3 << " ms\n"
             << "final validation vs direct engine: "
             << (result.validated ? "BIT-IDENTICAL, FEASIBLE" : "FAILED") << '\n';
   if (!out_path.empty()) {

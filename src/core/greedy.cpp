@@ -88,7 +88,8 @@ std::vector<std::size_t> ordered_indices(const Instance& instance, RequestOrder 
 
 Schedule greedy_coloring(const Instance& instance, std::span<const double> powers,
                          const SinrParams& params, Variant variant, RequestOrder order,
-                         FeasibilityEngine engine, GainBackend storage) {
+                         FeasibilityEngine engine, GainBackend storage,
+                         RemovePolicy policy) {
   require(powers.size() == instance.size(), "greedy_coloring: one power per request");
   switch (engine) {
     case FeasibilityEngine::direct:
@@ -107,7 +108,7 @@ Schedule greedy_coloring(const Instance& instance, std::span<const double> power
   const auto gains =
       instance.gains(powers, params.alpha, variant, /*with_sender_gains=*/false, storage);
   return first_fit_coloring<IncrementalGainClass>(
-      instance, order, [&] { return IncrementalGainClass(*gains, params); });
+      instance, order, [&] { return IncrementalGainClass(*gains, params, policy); });
 }
 
 PowerControlColoring greedy_power_control_coloring(const Instance& instance,

@@ -37,12 +37,18 @@ enum class RequestOrder {
 /// whole classes per test, incremental is the metric-based middle ground.
 /// `storage` picks the table backend of the gain_matrix engine (results are
 /// backend-independent; tiled bounds resident memory on large sparse
-/// workloads) and is ignored by the other engines.
+/// workloads) and is ignored by the other engines. `policy` picks the
+/// gain-engine accumulator arithmetic (RemovePolicy::rebuild = the plain
+/// sequential sums whose bit pattern the cross-engine identity gates pin;
+/// exact accumulates error-free and correctly rounded — same schedules on
+/// every tested workload, guaranteed-canonical accumulators); the other
+/// engines ignore it.
 [[nodiscard]] Schedule greedy_coloring(
     const Instance& instance, std::span<const double> powers, const SinrParams& params,
     Variant variant, RequestOrder order = RequestOrder::longest_first,
     FeasibilityEngine engine = FeasibilityEngine::gain_matrix,
-    GainBackend storage = GainBackend::dense);
+    GainBackend storage = GainBackend::dense,
+    RemovePolicy policy = RemovePolicy::rebuild);
 
 struct PowerControlColoring {
   Schedule schedule;

@@ -103,7 +103,10 @@ void OnlineScheduler::on_departure(std::size_t link) {
   const int color = color_of_[link];
   require(color >= 0, "OnlineScheduler: departure of an inactive link");
   Stopwatch watch;
-  classes_[static_cast<std::size_t>(color)].remove(link);
+  IncrementalGainClass& cls = classes_[static_cast<std::size_t>(color)];
+  const std::size_t rebuilds_before = cls.removal_rebuilds();
+  cls.remove(link);
+  stats_.removal_rebuilds += cls.removal_rebuilds() - rebuilds_before;
   color_of_[link] = -1;
   --active_count_;
   ++stats_.departures;
@@ -136,7 +139,9 @@ void OnlineScheduler::compact_from(std::size_t color) {
       bool moved = false;
       for (std::size_t c = 0; c < last; ++c) {
         if (classes_[c].can_add(m)) {
+          const std::size_t rebuilds_before = classes_[last].removal_rebuilds();
           classes_[last].remove(m);
+          stats_.removal_rebuilds += classes_[last].removal_rebuilds() - rebuilds_before;
           classes_[c].add(m);
           color_of_[m] = static_cast<int>(c);
           ++stats_.migrations;
@@ -230,6 +235,7 @@ ReplayResult replay_trace(OnlineScheduler& scheduler, const ChurnTrace& trace,
   result.stats.classes_closed -= before.classes_closed;
   result.stats.migrations -= before.migrations;
   result.stats.compaction_skips -= before.compaction_skips;
+  result.stats.removal_rebuilds -= before.removal_rebuilds;
   result.stats.total_event_seconds -= before.total_event_seconds;
   result.events_per_sec =
       result.wall_seconds > 0.0

@@ -37,10 +37,13 @@ namespace oisched {
 
 struct OnlineSchedulerOptions {
   /// How classes restore their accumulators on departure. The default
-  /// (rebuild) keeps every class bit-identical to a from-scratch replay of
-  /// its surviving members; compensated trades that exactness for O(n)
-  /// removals with a drift-bounded rebuild trigger.
-  RemovePolicy remove_policy = RemovePolicy::rebuild;
+  /// (exact) removes in O(n) with zero rounding error — expansion
+  /// accumulators keep every class bit-identical to a freshly built one
+  /// over its survivors, with no replays at all. rebuild is the
+  /// historical O(|class| * n) replay-on-remove (same guarantee, paid for
+  /// on every departure); compensated trades exactness for a
+  /// drift-bounded O(n) subtract.
+  RemovePolicy remove_policy = RemovePolicy::exact;
   /// Forced-rebuild interval of the compensated policy (see
   /// IncrementalGainClass).
   std::size_t rebuild_interval = 16;
@@ -75,6 +78,11 @@ struct OnlineStats {
   /// Immovable members compaction skipped over (the pass continues past
   /// them, so partial compaction still reclaims slots).
   std::size_t compaction_skips = 0;
+  /// Full O(|class| * n) accumulator replays that removals (departures
+  /// and compaction migrations) triggered — what the exact policy
+  /// eliminates: always 0 there, one per removal under rebuild,
+  /// drift/interval-triggered under compensated.
+  std::size_t removal_rebuilds = 0;
   int peak_colors = 0;
   double total_event_seconds = 0.0;
   double max_event_seconds = 0.0;
@@ -127,6 +135,12 @@ class OnlineScheduler {
   [[nodiscard]] const Instance& instance() const noexcept { return instance_; }
   [[nodiscard]] const GainMatrix& gains() const noexcept { return *gains_; }
   [[nodiscard]] std::span<const double> powers() const noexcept { return powers_; }
+  /// The live color classes (classes()[c] holds the links colored c) —
+  /// read-only access for the exactness suites, which compare live
+  /// accumulators bit for bit against freshly built twins.
+  [[nodiscard]] const std::vector<IncrementalGainClass>& classes() const noexcept {
+    return classes_;
+  }
 
   /// The current coloring: -1 for inactive links, colors dense in
   /// [0, num_colors) otherwise.

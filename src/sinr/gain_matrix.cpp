@@ -56,6 +56,31 @@ const char* to_string(FeasibilityEngine engine) {
   return "unknown";
 }
 
+const char* to_string(RemovePolicy policy) {
+  switch (policy) {
+    case RemovePolicy::rebuild:
+      return "rebuild";
+    case RemovePolicy::compensated:
+      return "compensated";
+    case RemovePolicy::exact:
+      return "exact";
+  }
+  return "unknown";
+}
+
+bool parse_remove_policy(const std::string& word, RemovePolicy& policy) {
+  if (word == "rebuild") {
+    policy = RemovePolicy::rebuild;
+  } else if (word == "compensated") {
+    policy = RemovePolicy::compensated;
+  } else if (word == "exact") {
+    policy = RemovePolicy::exact;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 GainMatrix::GainMatrix(const MetricSpace& metric, std::span<const Request> requests,
                        std::span<const double> powers, double alpha, Variant variant,
                        bool with_sender_gains, GainBackend backend)
@@ -215,6 +240,10 @@ IncrementalGainClass::IncrementalGainClass(const GainMatrix& gains,
     cancelled_v_.assign(acc_v_.size(), 0.0);
     cancelled_u_.assign(acc_u_.size(), 0.0);
   }
+  if (policy_ == RemovePolicy::exact) {
+    exact_v_.assign(acc_v_.size(), ExactSum{});
+    exact_u_.assign(acc_u_.size(), ExactSum{});
+  }
 }
 
 bool IncrementalGainClass::can_add(std::size_t request_index) const {
@@ -250,6 +279,23 @@ void IncrementalGainClass::add(std::size_t request_index) {
   require(acc_v_.size() == gains_->size(),
           "IncrementalGainClass: the gain matrix grew; call sync_universe() first");
   const bool bidirectional = gains_->variant() == Variant::bidirectional;
+  if (policy_ == RemovePolicy::exact) {
+    // Error-free accumulation: the slot keeps the exact expansion, and the
+    // exposed double is its correct rounding — a pure function of the
+    // member multiset, so any later subtract restores today's state bit
+    // for bit.
+    for (std::size_t i = 0; i < gains_->size(); ++i) {
+      if (i == request_index) continue;
+      exact_v_[i].add(gains_->at_v(request_index, i));
+      acc_v_[i] = exact_v_[i].value();
+      if (bidirectional) {
+        exact_u_[i].add(gains_->at_u(request_index, i));
+        acc_u_[i] = exact_u_[i].value();
+      }
+    }
+    members_.push_back(request_index);
+    return;
+  }
   for (std::size_t i = 0; i < gains_->size(); ++i) {
     if (i == request_index) continue;  // a member never interferes with itself
     acc_v_[i] += gains_->at_v(request_index, i);
@@ -270,7 +316,50 @@ void IncrementalGainClass::remove(std::size_t request_index) {
   members_.erase(it);
 
   if (policy_ == RemovePolicy::rebuild) {
+    ++removal_rebuilds_;
     rebuild();
+    return;
+  }
+
+  if (policy_ == RemovePolicy::exact) {
+    // Exact O(n) removal: subtracting from the expansions is error-free,
+    // so every slot lands bit for bit where a freshly built exact class
+    // over the survivors would — no replay, except the one pathological
+    // escape hatch below.
+    const bool bidi = gains_->variant() == Variant::bidirectional;
+    bool saturated = false;
+    for (std::size_t i = 0; i < gains_->size(); ++i) {
+      if (i == request_index) continue;
+      exact_v_[i].subtract(gains_->at_v(request_index, i));
+      acc_v_[i] = exact_v_[i].value();
+      saturated |= exact_v_[i].saturated();
+      if (bidi) {
+        exact_u_[i].subtract(gains_->at_u(request_index, i));
+        acc_u_[i] = exact_u_[i].value();
+        saturated |= exact_u_[i].saturated();
+      }
+    }
+    if (saturated) {
+      // A slot's true interference sum once exceeded the double range:
+      // ExactSum saturation is sticky, so subtraction alone cannot bring
+      // the finite state back even though the survivors' sum may be
+      // representable again. Re-derive from scratch — the only removal
+      // that ever pays a replay under this policy, and only in this
+      // beyond-DBL_MAX regime.
+      ++removal_rebuilds_;
+      rebuild();
+      return;
+    }
+    ++removes_since_rebuild_;
+#ifndef NDEBUG
+    // Debug tripwire for the exactness claim itself: the live state must
+    // coincide — exactly, not approximately — with an exact replay of the
+    // survivors.
+    if (removes_since_rebuild_ % 8 == 0) {
+      ensure(accumulator_drift() == 0.0,
+             "IncrementalGainClass: exact accumulator deviated from replay");
+    }
+#endif
     return;
   }
 
@@ -328,6 +417,24 @@ void IncrementalGainClass::sync_universe() {
     cancelled_v_.resize(acc_v_.size(), 0.0);
     cancelled_u_.resize(acc_u_.size(), 0.0);
   }
+  if (policy_ == RemovePolicy::exact) {
+    exact_v_.resize(acc_v_.size());
+    exact_u_.resize(acc_u_.size());
+    // Fresh slots receive the members' contributions error-free — the
+    // grown state is exactly what a from-scratch exact build over the
+    // grown universe produces.
+    for (const std::size_t m : members_) {
+      for (std::size_t i = old_n; i < n; ++i) {
+        exact_v_[i].add(gains_->at_v(m, i));
+        if (bidirectional) exact_u_[i].add(gains_->at_u(m, i));
+      }
+    }
+    for (std::size_t i = old_n; i < n; ++i) {
+      acc_v_[i] = exact_v_[i].value();
+      if (bidirectional) acc_u_[i] = exact_u_[i].value();
+    }
+    return;
+  }
   // The fresh slots accumulate the members' contributions in insertion
   // order — exactly the sums a from-scratch replay over the grown universe
   // produces, so exactness guarantees survive growth.
@@ -353,7 +460,10 @@ void IncrementalGainClass::maybe_rebuild_after_remove() {
                 cancelled_u_[i] > 0.0;
     }
   }
-  if (drifted) rebuild();
+  if (drifted) {
+    ++removal_rebuilds_;
+    rebuild();
+  }
 }
 
 void IncrementalGainClass::replay_accumulators(std::vector<double>& acc_v,
@@ -361,6 +471,22 @@ void IncrementalGainClass::replay_accumulators(std::vector<double>& acc_v,
   const bool bidirectional = gains_->variant() == Variant::bidirectional;
   acc_v.assign(gains_->size(), 0.0);
   acc_u.assign(bidirectional ? gains_->size() : 0, 0.0);
+  if (policy_ == RemovePolicy::exact) {
+    // The exact policy's canonical state: error-free accumulation of the
+    // members, read out correctly rounded. Order-free by construction.
+    for (std::size_t i = 0; i < gains_->size(); ++i) {
+      ExactSum sum_v;
+      ExactSum sum_u;
+      for (const std::size_t m : members_) {
+        if (i == m) continue;
+        sum_v.add(gains_->at_v(m, i));
+        if (bidirectional) sum_u.add(gains_->at_u(m, i));
+      }
+      acc_v[i] = sum_v.value();
+      if (bidirectional) acc_u[i] = sum_u.value();
+    }
+    return;
+  }
   for (const std::size_t m : members_) {
     for (std::size_t i = 0; i < gains_->size(); ++i) {
       if (i == m) continue;
@@ -371,6 +497,26 @@ void IncrementalGainClass::replay_accumulators(std::vector<double>& acc_v,
 }
 
 void IncrementalGainClass::rebuild() {
+  if (policy_ == RemovePolicy::exact) {
+    // Re-derive the expansions themselves, not just the rounded values:
+    // rebuild must leave the full state where a fresh class would be.
+    const bool bidirectional = gains_->variant() == Variant::bidirectional;
+    exact_v_.assign(gains_->size(), ExactSum{});
+    exact_u_.assign(bidirectional ? gains_->size() : 0, ExactSum{});
+    for (const std::size_t m : members_) {
+      for (std::size_t i = 0; i < gains_->size(); ++i) {
+        if (i == m) continue;
+        exact_v_[i].add(gains_->at_v(m, i));
+        if (bidirectional) exact_u_[i].add(gains_->at_u(m, i));
+      }
+    }
+    for (std::size_t i = 0; i < gains_->size(); ++i) {
+      acc_v_[i] = exact_v_[i].value();
+      if (bidirectional) acc_u_[i] = exact_u_[i].value();
+    }
+    removes_since_rebuild_ = 0;
+    return;
+  }
   replay_accumulators(acc_v_, acc_u_);
   if (policy_ == RemovePolicy::compensated) {
     std::fill(cancelled_v_.begin(), cancelled_v_.end(), 0.0);

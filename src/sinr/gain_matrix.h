@@ -22,12 +22,14 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "metric/metric_space.h"
 #include "sinr/feasibility.h"
 #include "sinr/gain_storage.h"
 #include "sinr/model.h"
+#include "util/exact_sum.h"
 
 namespace oisched {
 
@@ -159,16 +161,17 @@ class GainMatrix {
 
 /// How IncrementalGainClass restores its accumulators when a member leaves.
 ///
-/// Floating-point accumulators are order-sensitive: subtracting a departed
-/// member's contributions does not, in general, reproduce the sum a fresh
-/// replay of the surviving adds would compute, so a class that only ever
-/// subtracts drifts away from the from-scratch evaluation.
+/// Plain floating-point accumulators are order-sensitive: subtracting a
+/// departed member's contributions does not, in general, reproduce the sum
+/// a fresh replay of the surviving adds would compute, so a class that
+/// only ever subtracts drifts away from the from-scratch evaluation.
 enum class RemovePolicy {
   /// Replay the surviving members' contributions in insertion order after
-  /// every removal. O(|class| * n) per remove, but the accumulators are
-  /// bit-for-bit identical to a freshly built class at all times — the
-  /// default, and the mode the online scheduler's exactness guarantee
-  /// rests on.
+  /// every removal. O(|class| * n) per remove, but the plain-double
+  /// accumulators are bit-for-bit identical to a freshly built class at
+  /// all times. The historical exact mode (and still the default of
+  /// IncrementalGainClass itself, whose add-path arithmetic the offline
+  /// engine-equivalence gates pin).
   rebuild,
   /// Subtract the departed member's contributions (O(n) per remove) and
   /// track the accumulated cancellation magnitude per slot; replay from
@@ -176,7 +179,27 @@ enum class RemovePolicy {
   /// removal-count interval. Verdicts may differ from the from-scratch
   /// evaluation by at most the tracked drift between rebuilds.
   compensated,
+  /// Numerically exact O(n) removal: every accumulator slot is an
+  /// ExactSum expansion (util/exact_sum.h), so add accumulates and
+  /// remove subtracts with zero rounding error, and the slot's exposed
+  /// double is the correct rounding of the infinitely precise member
+  /// sum. The state is a pure function of the member multiset: after any
+  /// add/remove history the accumulators are bit-for-bit identical to a
+  /// freshly built exact-policy class over the survivors (in any
+  /// insertion order), with no replays at all — accumulator_drift() is
+  /// exactly 0.0 forever. (Sole escape hatch: a slot whose true
+  /// interference sum exceeded DBL_MAX saturates its expansion, and the
+  /// next removal re-derives the class from scratch to restore the
+  /// finite state.) The online scheduler's default.
+  exact,
 };
+
+/// Human-readable policy name ("rebuild" / "compensated" / "exact").
+[[nodiscard]] const char* to_string(RemovePolicy policy);
+
+/// Parses a policy name (as printed by to_string); returns false on an
+/// unknown word.
+[[nodiscard]] bool parse_remove_policy(const std::string& word, RemovePolicy& policy);
 
 /// Incrementally maintained color class over a GainMatrix.
 ///
@@ -197,8 +220,10 @@ class IncrementalGainClass {
   void add(std::size_t request_index);
   /// Evicts a member (precondition: it is one). Under RemovePolicy::rebuild
   /// the accumulators afterwards equal a fresh replay of the surviving adds
-  /// in insertion order, bit for bit; under compensated they are within the
-  /// drift bound of that replay.
+  /// in insertion order, bit for bit; under exact they equal a freshly
+  /// built exact-policy class over the survivors, bit for bit, at O(n)
+  /// cost; under compensated they are within the drift bound of that
+  /// replay.
   void remove(std::size_t request_index);
 
   [[nodiscard]] bool contains(std::size_t request_index) const;
@@ -209,12 +234,32 @@ class IncrementalGainClass {
   /// matrix has appended rows; a no-op when sizes already agree.
   void sync_universe();
   /// Re-derives the accumulators by replaying the members in insertion
-  /// order — the canonical from-scratch state both policies converge to.
+  /// order — the canonical from-scratch state every policy converges to
+  /// (a no-op change of state under exact, whose accumulators never leave
+  /// it).
   void rebuild();
   /// Largest absolute deviation of the live accumulators from a replayed
-  /// rebuild — the debug cross-check of the compensated policy (always 0.0
-  /// under RemovePolicy::rebuild). Does not modify the class.
+  /// rebuild under this policy's arithmetic — the cross-check of the
+  /// compensated policy (always exactly 0.0 under rebuild AND under
+  /// exact). Does not modify the class.
   [[nodiscard]] double accumulator_drift() const;
+
+  /// Full O(|class| * n) accumulator replays triggered by removals so far
+  /// (every remove under rebuild, drift/interval triggers under
+  /// compensated, never under exact) — the counter the online scheduler
+  /// aggregates to show the rebuilds a policy eliminated.
+  [[nodiscard]] std::size_t removal_rebuilds() const noexcept {
+    return removal_rebuilds_;
+  }
+
+  /// The live accumulator slots (interference the members contribute at
+  /// request i's receiver / sender): what can_add thresholds against.
+  /// Exposed so the exactness suites can compare states bit for bit.
+  [[nodiscard]] double accumulator_v(std::size_t i) const { return acc_v_[i]; }
+  /// 0.0 for the directed variant, which has no sender-side constraint.
+  [[nodiscard]] double accumulator_u(std::size_t i) const {
+    return acc_u_.empty() ? 0.0 : acc_u_[i];
+  }
 
   [[nodiscard]] const std::vector<std::size_t>& members() const noexcept {
     return members_;
@@ -230,15 +275,21 @@ class IncrementalGainClass {
   RemovePolicy policy_;
   std::size_t rebuild_interval_;
   std::size_t removes_since_rebuild_ = 0;
+  std::size_t removal_rebuilds_ = 0;
   std::vector<std::size_t> members_;
   /// Interference from the members at v_i / u_i, for every request i. The
-  /// slots of members themselves exclude their own contribution.
+  /// slots of members themselves exclude their own contribution. Under
+  /// the exact policy these are the correctly rounded values of exact_v_/
+  /// exact_u_, refreshed after every mutation.
   std::vector<double> acc_v_;
   std::vector<double> acc_u_;
   /// Compensated mode only: accumulated magnitude cancelled out of each
   /// slot since the last rebuild — an upper bound on the lost precision.
   std::vector<double> cancelled_v_;
   std::vector<double> cancelled_u_;
+  /// Exact mode only: the error-free expansion behind each slot.
+  std::vector<ExactSum> exact_v_;
+  std::vector<ExactSum> exact_u_;
 };
 
 /// greedy_feasible_subset over precomputed gains; identical selection.

@@ -1,0 +1,185 @@
+#include "util/exact_sum.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace oisched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+TwoSum two_sum(double a, double b) noexcept {
+  const double sum = a + b;
+  const double b_virtual = sum - a;
+  const double a_virtual = sum - b_virtual;
+  const double b_roundoff = b - b_virtual;
+  const double a_roundoff = a - a_virtual;
+  return {sum, a_roundoff + b_roundoff};
+}
+
+TwoSum fast_two_sum(double a, double b) noexcept {
+  const double sum = a + b;
+  return {sum, b - (sum - a)};
+}
+
+double add_round_to_odd(double a, double b) noexcept {
+  const TwoSum s = two_sum(a, b);
+  if (s.err == 0.0 || !std::isfinite(s.sum)) return s.sum;
+  // fl(a + b) was inexact: of the two doubles bracketing the exact sum,
+  // return the one with the odd last mantissa bit. fl() already picked
+  // one of them; the sign of the error says which side the other is on.
+  if ((std::bit_cast<std::uint64_t>(s.sum) & 1u) != 0) return s.sum;
+  return std::nextafter(s.sum, s.err > 0.0 ? kInf : -kInf);
+}
+
+void ExactSum::add(double x) {
+  if (std::isnan(x)) {
+    ++nan_;
+    return;
+  }
+  if (std::isinf(x)) {
+    ++(x > 0.0 ? pos_inf_ : neg_inf_);
+    return;
+  }
+  add_finite(x);
+}
+
+void ExactSum::subtract(double x) {
+  if (std::isnan(x)) {
+    --nan_;
+    return;
+  }
+  if (std::isinf(x)) {
+    --(x > 0.0 ? pos_inf_ : neg_inf_);
+    return;
+  }
+  add_finite(-x);
+}
+
+void ExactSum::clear() noexcept {
+  components_.clear();
+  pos_inf_ = neg_inf_ = nan_ = 0;
+  saturated_ = false;
+  saturated_sign_ = 1.0;
+}
+
+void ExactSum::add_finite(double x) {
+  if (x == 0.0 || saturated_) return;
+  // Shewchuk's GROW-EXPANSION with zero elimination: thread x upward
+  // through the components with two-sum; the surviving errors plus the
+  // final carry are again a nonoverlapping expansion, in increasing
+  // magnitude, summing exactly to old value + x.
+  double carry = x;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const TwoSum s = two_sum(carry, components_[i]);
+    if (s.err != 0.0) components_[out++] = s.err;
+    carry = s.sum;
+  }
+  components_.resize(out);
+  if (!std::isfinite(carry)) {
+    // The true sum left the double range. Saturate stickily: exactness is
+    // unrecoverable (the expansion can no longer represent the sum), so
+    // the accumulator pins to the overflow's signed infinity.
+    saturated_ = true;
+    saturated_sign_ = carry > 0.0 ? 1.0 : -1.0;
+    components_.clear();
+    return;
+  }
+  if (carry != 0.0) components_.push_back(carry);
+  if (components_.size() > 1) renormalize();
+}
+
+void ExactSum::renormalize() {
+  // Shewchuk's COMPRESS: a top-down fast-two-sum cascade condenses the
+  // expansion, then a bottom-up pass rebuilds it with the fewest
+  // components. Both passes are chains of error-free transformations, so
+  // the exact sum is untouched. Scratch lives on the stack — this runs
+  // once per accumulator slot per add/subtract, so a heap allocation
+  // here would dominate the whole exact-policy hot path. Renormalized
+  // components are >= 51 bits of exponent apart, so 64 covers doubles'
+  // entire ~2100-bit range with slack (the heap fallback is dead in
+  // practice but keeps pathological inputs safe).
+  const std::size_t m = components_.size();
+  if (m <= 1) return;
+  double scratch_buf[64];
+  std::vector<double> heap;
+  double* condensed = scratch_buf;  // decreasing magnitude while filling
+  if (m > 64) {
+    heap.resize(m);
+    condensed = heap.data();
+  }
+  std::size_t count = 0;
+  double q = components_[m - 1];
+  for (std::size_t i = m - 1; i-- > 0;) {
+    const TwoSum s = fast_two_sum(q, components_[i]);
+    if (s.err != 0.0) {
+      condensed[count++] = s.sum;
+      q = s.err;
+    } else {
+      q = s.sum;
+    }
+  }
+  condensed[count++] = q;
+  // Bottom-up: absorb from the smallest condensed term toward the
+  // largest, emitting the roundoffs as the final low-order components.
+  components_.clear();
+  q = condensed[count - 1];
+  for (std::size_t i = count - 1; i-- > 0;) {
+    const TwoSum s = fast_two_sum(condensed[i], q);
+    if (s.err != 0.0) components_.push_back(s.err);
+    q = s.sum;
+  }
+  components_.push_back(q);
+}
+
+double ExactSum::value() const {
+  if (nan_ != 0 || (pos_inf_ != 0 && neg_inf_ != 0)) return kNaN;
+  if (pos_inf_ != 0) return pos_inf_ > 0 ? kInf : -kInf;
+  if (neg_inf_ != 0) return neg_inf_ > 0 ? -kInf : kInf;
+  if (saturated_) return saturated_sign_ * kInf;
+  const std::size_t m = components_.size();
+  if (m == 0) return 0.0;
+  if (m == 1) return components_[0];
+  if (m == 2) return components_[1] + components_[0];  // fl IS the correct rounding
+  // General case. Nonoverlapping alone does not separate the components
+  // enough for sticky folding (a single-bit component's ulp sits ~52 bits
+  // below its magnitude), so first condense top-down with two-sum: each
+  // kept partial sum dominates the entire remainder by >= 51 bits of
+  // exponent, because the remainder is bounded by its own roundoff.
+  double scratch_buf[64];
+  std::vector<double> heap;
+  double* scratch = scratch_buf;
+  if (m > 64) {
+    heap.resize(m);
+    scratch = heap.data();
+  }
+  std::size_t count = 0;
+  double q = components_[m - 1];
+  for (std::size_t i = m - 1; i-- > 0;) {
+    const TwoSum s = two_sum(q, components_[i]);
+    if (s.err != 0.0) {
+      scratch[count++] = s.sum;
+      q = s.err;
+    } else {
+      q = s.sum;
+    }
+  }
+  if (count == 0) return q;
+  // scratch[0] is the largest term; q plus any deeper terms form the
+  // tail. Fold the tail bottom-up in round-to-odd — sticky, so the one
+  // final round-to-nearest sees everything the tail ever contained
+  // (Boldo–Melquiond double-rounding theorem; the >= 51-bit gaps hugely
+  // exceed the >= 2 bits it needs).
+  double acc = q;
+  for (std::size_t i = count; i-- > 1;) {
+    acc = add_round_to_odd(scratch[i], acc);
+  }
+  return scratch[0] + acc;
+}
+
+}  // namespace oisched

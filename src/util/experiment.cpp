@@ -110,10 +110,33 @@ void record_replay(const ChurnTrace& trace, const ReplayResult& replay,
   result.dynamic.fresh_links = replay.stats.fresh_links;
   result.dynamic.migrations = replay.stats.migrations;
   result.dynamic.compaction_skips = replay.stats.compaction_skips;
+  result.dynamic.removal_rebuilds = replay.stats.removal_rebuilds;
   result.dynamic.classes_opened = replay.stats.classes_opened;
   result.dynamic.classes_closed = replay.stats.classes_closed;
   result.dynamic.max_event_ms = replay.stats.max_event_seconds * 1e3;
   result.valid = replay.validated;
+}
+
+/// Universe-size cap for the rebuild-twin re-replay: above it the twin's
+/// O(|class| * n)-per-removal replays would cost more than the timed
+/// measurement itself (the n=16384 hotspot cell would roughly double the
+/// CI smoke run). Large-n policy identity is covered by the differential
+/// fuzz suites in tests/test_online.cpp instead.
+constexpr std::size_t kPolicyTwinMaxN = 4096;
+
+/// The policy-equivalence gate: re-replays the trace under
+/// RemovePolicy::rebuild (the historical replay-on-remove reference) and
+/// compares final schedules bit for bit. Untimed — the throughput numbers
+/// come from the cell's own replay.
+bool rebuild_twin_agrees(const Instance& instance, std::span<const double> powers,
+                         const SinrParams& params, Variant variant,
+                         OnlineSchedulerOptions options, const ChurnTrace& trace,
+                         const Schedule& observed) {
+  options.remove_policy = RemovePolicy::rebuild;
+  OnlineScheduler twin(instance, powers, params, variant, std::move(options));
+  const ReplayResult replay = replay_trace(twin, trace, /*validate_final=*/false);
+  return replay.final_schedule.color_of == observed.color_of &&
+         replay.final_schedule.num_colors == observed.num_colors;
 }
 
 /// Runs one dynamic scenario: replay the trace through the OnlineScheduler
@@ -125,6 +148,9 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
                           const Instance& instance,
                           std::shared_ptr<const PowerAssignment> assignment,
                           GainBackend backend, ScenarioResult& result) {
+  RemovePolicy policy = RemovePolicy::exact;
+  require(parse_remove_policy(spec.remove_policy, policy),
+          "experiment: unknown remove policy '" + spec.remove_policy + "'");
   if (spec.trace == "growing") {
     require(backend == GainBackend::appendable,
             "experiment: growing scenarios need the appendable backend");
@@ -136,6 +162,7 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
     const ChurnTrace trace = build_trace(spec, n0, all.subspan(n0));
     trace.validate();
     OnlineSchedulerOptions options;
+    options.remove_policy = policy;
     options.storage = GainBackend::appendable;
     options.fresh_power = std::move(assignment);
     Stopwatch watch;
@@ -143,6 +170,10 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
     result.gain_build_ms = watch.elapsed_ms();
     const ReplayResult replay = replay_trace(scheduler, trace, /*validate_final=*/true);
     record_replay(trace, replay, result);
+    if (policy != RemovePolicy::rebuild && scheduler.universe() <= kPolicyTwinMaxN) {
+      result.dynamic.policy_identical = rebuild_twin_agrees(
+          base, base_powers, params, spec.variant, options, trace, replay.final_schedule);
+    }
     return;
   }
   const std::vector<double> powers = assignment->assign(instance, params.alpha);
@@ -155,12 +186,17 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
     result.gain_build_ms = watch.elapsed_ms();
   }
   OnlineSchedulerOptions options;
+  options.remove_policy = policy;
   options.storage = backend;
   OnlineScheduler scheduler(instance, powers, params, spec.variant, options);
   const ChurnTrace trace = build_trace(spec, instance.size());
   trace.validate();
   const ReplayResult replay = replay_trace(scheduler, trace, /*validate_final=*/true);
   record_replay(trace, replay, result);
+  if (policy != RemovePolicy::rebuild && instance.size() <= kPolicyTwinMaxN) {
+    result.dynamic.policy_identical = rebuild_twin_agrees(
+        instance, powers, params, spec.variant, options, trace, replay.final_schedule);
+  }
   if (const auto* tiled =
           dynamic_cast<const TiledGainStorage*>(&scheduler.gains().receiver_storage())) {
     result.dynamic.touched_tiles = tiled->touched_tiles();
@@ -200,6 +236,8 @@ JsonValue dynamic_json(const DynamicResult& dynamic) {
   value["fresh_links"] = dynamic.fresh_links;
   value["migrations"] = dynamic.migrations;
   value["compaction_skips"] = dynamic.compaction_skips;
+  value["removal_rebuilds"] = dynamic.removal_rebuilds;
+  value["policy_identical"] = dynamic.policy_identical;
   value["classes_opened"] = dynamic.classes_opened;
   value["classes_closed"] = dynamic.classes_closed;
   value["max_event_ms"] = dynamic.max_event_ms;
@@ -216,7 +254,15 @@ bool scenario_failed(const ScenarioResult& result) {
   if (!result.ok) return true;
   if (!result.valid) return true;
   if (!result.backends_identical) return true;
-  if (result.spec.is_dynamic()) return result.dynamic.events_per_sec <= 0.0;
+  if (result.spec.is_dynamic()) {
+    // The exact policy promises bit-identity with the rebuild reference;
+    // a divergence there is a wrong answer. Compensated is drift-bounded
+    // only, so its policy_identical flag is informational.
+    if (result.spec.remove_policy == "exact" && !result.dynamic.policy_identical) {
+      return true;
+    }
+    return result.dynamic.events_per_sec <= 0.0;
+  }
   if (!result.greedy.identical) return true;
   if (result.has_sqrt && !result.sqrt.identical) return true;
   return false;
@@ -228,6 +274,10 @@ std::string ScenarioSpec::name() const {
   // Historical (dense) names stay stable — so do their derived seeds and
   // the CI gates keyed on them; other backends are a visible suffix.
   if (!storage.empty() && storage != "dense") tail += "/" + storage;
+  // Same for the scheduler-default remove policy: only deviations show.
+  if (is_dynamic() && !remove_policy.empty() && remove_policy != "exact") {
+    tail += "/" + remove_policy;
+  }
   if (is_dynamic()) return "dynamic/" + base + "/" + trace + "/" + tail;
   return base + "/" + tail;
 }
@@ -237,20 +287,27 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
   std::vector<ScenarioSpec> grid;
   const auto add = [&](const std::string& topology, std::size_t n,
                        const std::string& power, const std::string& trace = "",
-                       const std::string& storage = "") {
+                       const std::string& storage = "",
+                       const std::string& remove_policy = "") {
     ScenarioSpec spec;
     spec.topology = topology;
     spec.n = n;
     spec.power = power;
     spec.trace = trace;
     spec.storage = storage.empty() ? options.storage : storage;
+    spec.remove_policy = remove_policy.empty() ? options.remove_policy : remove_policy;
     // The Theorem-1 adversarial family lives in the directed variant.
     spec.variant = topology == "adversarial" ? Variant::directed : Variant::bidirectional;
     // Seed derives from the scenario name (FNV-1a), not the grid index, so
     // the same scenario measures the same instance in quick and full mode
     // — the CI speedup gate then gates the recorded baseline's instance.
+    // The remove policy is excluded from the hash: policy variants of one
+    // cell replay the identical instance and trace, so their events/sec
+    // and final states are directly comparable.
+    ScenarioSpec seed_key = spec;
+    seed_key.remove_policy = "exact";
     std::uint64_t hash = 1469598103934665603ULL;
-    for (const char c : spec.name()) {
+    for (const char c : seed_key.name()) {
       hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
     }
     spec.seed = options.base_seed + (hash % 1000000007ULL);
@@ -259,10 +316,18 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
   if (options.quick) {
     for (const std::string& topology : topologies) add(topology, 32, "sqrt");
     add("random", 256, "sqrt");  // the flagship speedup scenario
-    // The CI-smoke dynamic subset: the flagship churn scenario, the
-    // adversarial chain stressor, the tiled large-n hotspot (a universe a
-    // dense table could not hold in ~2 GiB) and the growing-universe cell.
+    // The CI-smoke dynamic subset: the flagship churn scenario (under the
+    // default exact policy AND the historical rebuild policy, same trace,
+    // so CI can gate exact's throughput against rebuild's on the same
+    // runner), the adversarial chain stressor, the tiled large-n hotspot
+    // (a universe a dense table could not hold in ~2 GiB) and the
+    // growing-universe cell.
     add("random", 256, "sqrt", "poisson");
+    // Skipped when it would duplicate the default-policy cell above
+    // (e.g. under --remove-policy rebuild).
+    if (options.remove_policy != "rebuild") {
+      add("random", 256, "sqrt", "poisson", "", "rebuild");
+    }
     add("random", 64, "sqrt", "adversarial");
     add("random", 16384, "sqrt", "hotspot", "tiled");
     add("random", 128, "sqrt", "growing", "appendable");
@@ -287,6 +352,17 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
   add("random", 256, "sqrt", "poisson", "tiled");
   add("random", 16384, "sqrt", "hotspot", "tiled");
   add("random", 512, "sqrt", "growing", "appendable");
+  // The remove-policy axis on the flagship churn cell: the same instance
+  // and trace under all three accumulator policies — the recorded
+  // evidence that exact removal costs nothing against the rebuild
+  // baseline it replaces. Pinned cells that would duplicate the default
+  // flagship cell (under a non-exact --remove-policy) are skipped.
+  if (options.remove_policy != "rebuild") {
+    add("random", 256, "sqrt", "poisson", "", "rebuild");
+  }
+  if (options.remove_policy != "compensated") {
+    add("random", 256, "sqrt", "poisson", "", "compensated");
+  }
   return grid;
 }
 
@@ -400,7 +476,7 @@ std::vector<ScenarioResult> run_experiment_grid(std::span<const ScenarioSpec> gr
 JsonValue experiment_report(std::span<const ScenarioResult> results,
                             const ExperimentOptions& options) {
   JsonValue root = JsonValue::object();
-  root["schema"] = "oisched-bench-schedule/3";
+  root["schema"] = "oisched-bench-schedule/4";
   root["generator"] = "bench/run_experiments";
   root["mode"] = options.quick ? "quick" : "full";
   root["threads"] = options.threads;
@@ -414,6 +490,7 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
   JsonValue entries = JsonValue::array();
   std::size_t failures = 0;
   std::size_t backend_disagreements = 0;
+  std::size_t policy_disagreements = 0;
   std::vector<double> speedups;
   std::vector<double> event_rates;
   for (const ScenarioResult& result : results) {
@@ -425,6 +502,15 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
         (result.ok && result.spec.is_dynamic() && result.spec.storage != "dense" &&
          !result.valid)) {
       ++backend_disagreements;
+    }
+    // Policy disagreement = an exact-policy replay whose final schedule
+    // diverged from the rebuild reference on the same trace — a wrong
+    // answer, mirroring scenario_failed. Compensated divergence is
+    // drift evidence, visible per entry in dynamic.policy_identical but
+    // deliberately not counted (nor failed) here.
+    if (result.ok && result.spec.is_dynamic() && result.spec.remove_policy == "exact" &&
+        !result.dynamic.policy_identical) {
+      ++policy_disagreements;
     }
     JsonValue entry = JsonValue::object();
     entry["scenario"] = result.spec.name();
@@ -441,6 +527,7 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
       entry["error"] = result.error;
     } else if (result.spec.is_dynamic()) {
       entry["trace"] = result.spec.trace;
+      entry["remove_policy"] = result.spec.remove_policy;
       entry["gain_build_ms"] = result.gain_build_ms;
       entry["dynamic"] = dynamic_json(result.dynamic);
       entry["valid"] = result.valid;
@@ -463,6 +550,7 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
   summary["scenarios"] = results.size();
   summary["failures"] = failures;
   summary["backend_disagreements"] = backend_disagreements;
+  summary["policy_disagreements"] = policy_disagreements;
   if (!speedups.empty()) {
     std::sort(speedups.begin(), speedups.end());
     summary["greedy_speedup_min"] = speedups.front();

@@ -41,13 +41,18 @@ struct ScenarioSpec {
   /// large sparsely-active universes memory-bounded; appendable is the
   /// growing-universe (dynamic) backend.
   std::string storage = "dense";
+  /// Dynamic family only: the accumulator RemovePolicy the replay runs
+  /// under ("exact" | "rebuild" | "compensated"). exact — the scheduler
+  /// default — removes in O(n) with zero rounding error and zero replays.
+  std::string remove_policy = "exact";
 
   [[nodiscard]] bool is_dynamic() const noexcept { return !trace.empty(); }
 
   /// "random/n256/sqrt/bidirectional", or
   /// "dynamic/random/n256/poisson/sqrt/bidirectional" for the dynamic
   /// family — stable scenario identifiers. Non-default storage backends
-  /// append a "/tiled" (etc.) segment.
+  /// append a "/tiled" (etc.) segment; non-default remove policies a
+  /// "/rebuild" (etc.) one.
   [[nodiscard]] std::string name() const;
 };
 
@@ -76,9 +81,21 @@ struct DynamicResult {
   std::size_t fresh_links = 0;     // universe-growing arrivals replayed
   std::size_t migrations = 0;     // compaction recolorings
   std::size_t compaction_skips = 0;  // immovable members skipped over
+  /// Full O(|class| * n) replays removals triggered — 0 under the exact
+  /// policy (the point of it), one per removal under rebuild.
+  std::size_t removal_rebuilds = 0;
   std::size_t classes_opened = 0;
   std::size_t classes_closed = 0;
   double max_event_ms = 0.0;      // worst single-event latency
+  /// Replay under a non-rebuild policy re-run under RemovePolicy::rebuild
+  /// on the same trace produced the bit-identical final schedule — the
+  /// runner-level policy-equivalence gate. A failure counts as a scenario
+  /// failure for the exact policy (whose guarantee it is); compensated is
+  /// drift-bounded, not bit-exact, so there it is informational. Cells
+  /// with universes past 4096 links skip the twin (its O(|class| * n)
+  /// replay-on-remove would dwarf the timed measurement; the differential
+  /// fuzz suites cover large-n policy identity) and report true.
+  bool policy_identical = true;
   /// Tiled backend only: tiles materialized / total — the memory-bounding
   /// evidence of the lazy backend.
   std::size_t touched_tiles = 0;
@@ -125,6 +142,10 @@ struct ExperimentOptions {
   /// Default storage backend for grid cells that do not pin one
   /// ("dense" | "tiled"); the large-n and growing cells always pin theirs.
   std::string storage = "dense";
+  /// Default remove policy for dynamic cells that do not pin one
+  /// ("exact" | "rebuild" | "compensated"); the policy-axis cells always
+  /// pin theirs.
+  std::string remove_policy = "exact";
 };
 
 /// The scenario grid for the given options; deterministic in base_seed.
@@ -139,7 +160,7 @@ struct ExperimentOptions {
     std::span<const ScenarioSpec> grid, const SinrParams& params, std::size_t threads);
 
 /// Bundles results into the BENCH_schedule.json document
-/// (schema "oisched-bench-schedule/3"; layout documented in README.md).
+/// (schema "oisched-bench-schedule/4"; layout documented in README.md).
 [[nodiscard]] JsonValue experiment_report(std::span<const ScenarioResult> results,
                                           const ExperimentOptions& options);
 

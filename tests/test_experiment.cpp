@@ -111,21 +111,41 @@ TEST(ExperimentGrid, FullGridSweepsSizesAndPowers) {
   const auto grid = experiment_grid(options);
   // 24 static cells + the n512 flagship + 6 dynamic (3 trace kinds x 2
   // sizes) + 3 storage-backend cells (tiled poisson, tiled large-n hotspot,
-  // appendable growing).
-  EXPECT_EQ(grid.size(), 34u);
+  // appendable growing) + 2 remove-policy cells (flagship poisson under
+  // rebuild and compensated).
+  EXPECT_EQ(grid.size(), 36u);
   std::set<std::string> trace_kinds;
   std::set<std::string> storages;
+  std::set<std::string> policies;
   for (const auto& spec : grid) {
-    if (spec.is_dynamic()) trace_kinds.insert(spec.trace);
+    if (spec.is_dynamic()) {
+      trace_kinds.insert(spec.trace);
+      policies.insert(spec.remove_policy);
+    }
     storages.insert(spec.storage);
   }
   EXPECT_EQ(trace_kinds, (std::set<std::string>{"poisson", "flash", "adversarial",
                                                 "hotspot", "growing"}));
   EXPECT_EQ(storages, (std::set<std::string>{"dense", "tiled", "appendable"}));
-  // Seeds are distinct so scenarios are independent draws.
+  EXPECT_EQ(policies, (std::set<std::string>{"exact", "rebuild", "compensated"}));
+  // Seeds are distinct so scenarios are independent draws — except the
+  // remove-policy axis, which deliberately replays the SAME seed (and
+  // therefore instance and trace) as its exact twin so the policies are
+  // directly comparable.
   std::set<std::uint64_t> seeds;
   for (const auto& spec : grid) seeds.insert(spec.seed);
-  EXPECT_EQ(seeds.size(), grid.size());
+  EXPECT_EQ(seeds.size(), grid.size() - 2);
+  std::uint64_t flagship_seed = 0;
+  std::uint64_t rebuild_seed = 1;
+  for (const auto& spec : grid) {
+    if (spec.name() == "dynamic/random/n256/poisson/sqrt/bidirectional") {
+      flagship_seed = spec.seed;
+    }
+    if (spec.name() == "dynamic/random/n256/poisson/sqrt/bidirectional/rebuild") {
+      rebuild_seed = spec.seed;
+    }
+  }
+  EXPECT_EQ(flagship_seed, rebuild_seed);
 }
 
 TEST(ExperimentGrid, QuickGridIncludesDynamicFamily) {
@@ -149,6 +169,21 @@ TEST(ExperimentGrid, QuickGridIncludesDynamicFamily) {
   EXPECT_TRUE(has_flagship_churn);
   EXPECT_TRUE(has_tiled_large_n);
   EXPECT_TRUE(has_growing);
+}
+
+TEST(ExperimentGrid, NonExactDefaultPolicySkipsDuplicateAxisCells) {
+  // With --remove-policy rebuild the flagship cell itself runs rebuild;
+  // the pinned rebuild axis cell must then be skipped, or two cells
+  // would share one scenario name and seed.
+  for (const bool quick : {false, true}) {
+    ExperimentOptions options;
+    options.quick = quick;
+    options.remove_policy = "rebuild";
+    std::set<std::string> names;
+    for (const auto& spec : experiment_grid(options)) {
+      EXPECT_TRUE(names.insert(spec.name()).second) << "duplicate " << spec.name();
+    }
+  }
 }
 
 TEST(ExperimentRunner, GrowingScenarioGrowsTheUniverseAndValidates) {
@@ -267,13 +302,84 @@ TEST(ExperimentReport, EmitsSchemaResultsAndSummary) {
   const auto results = run_experiment_grid(grid, params, 2);
   const JsonValue report = experiment_report(results, options);
   const std::string text = report.dump();
-  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/3\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/4\""), std::string::npos);
   EXPECT_NE(text.find("\"backend_disagreements\": 0"), std::string::npos);
+  EXPECT_NE(text.find("\"policy_disagreements\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"storage\": \"dense\""), std::string::npos);
   EXPECT_NE(text.find("\"results\""), std::string::npos);
   EXPECT_NE(text.find("\"greedy\""), std::string::npos);
   EXPECT_NE(text.find("\"summary\""), std::string::npos);
   EXPECT_NE(text.find("\"failures\": 0"), std::string::npos);
+}
+
+TEST(ExperimentRunner, DynamicCellRunsExactPolicyWithZeroRebuilds) {
+  ScenarioSpec spec;
+  spec.topology = "random";
+  spec.n = 32;
+  spec.power = "sqrt";
+  spec.variant = Variant::bidirectional;
+  spec.seed = 11;
+  spec.trace = "poisson";
+  SinrParams params;
+  const ScenarioResult result = run_scenario(spec, params);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(spec.remove_policy, "exact");  // the default of the axis
+  // The tentpole invariants: no removal ever triggered a full replay, and
+  // the final schedule is bit-identical to the rebuild-policy reference.
+  EXPECT_EQ(result.dynamic.removal_rebuilds, 0u);
+  EXPECT_TRUE(result.dynamic.policy_identical);
+  EXPECT_FALSE(scenario_failed(result));
+}
+
+TEST(ExperimentRunner, RebuildPolicyCellCountsItsReplays) {
+  ScenarioSpec spec;
+  spec.topology = "random";
+  spec.n = 32;
+  spec.power = "sqrt";
+  spec.variant = Variant::bidirectional;
+  spec.seed = 11;
+  spec.trace = "poisson";
+  spec.remove_policy = "rebuild";
+  SinrParams params;
+  const ScenarioResult result = run_scenario(spec, params);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.spec.name().find("/rebuild"), std::string::npos);
+  // Every removal pays a replay under the historical policy.
+  EXPECT_GT(result.dynamic.removal_rebuilds, 0u);
+  EXPECT_TRUE(result.dynamic.policy_identical);  // trivially: it IS the reference
+  EXPECT_FALSE(scenario_failed(result));
+}
+
+TEST(ExperimentRunner, GrowingCellExactPolicyMatchesRebuildReference) {
+  ScenarioSpec spec;
+  spec.topology = "random";
+  spec.n = 64;
+  spec.power = "sqrt";
+  spec.variant = Variant::bidirectional;
+  spec.seed = 21;
+  spec.trace = "growing";
+  spec.storage = "appendable";
+  SinrParams params;
+  const ScenarioResult result = run_scenario(spec, params);
+  ASSERT_TRUE(result.ok) << result.error;
+  // sync_universe growth replay under the exact policy: still bit-identical
+  // to the rebuild twin over the grown universe, still zero rebuilds.
+  EXPECT_EQ(result.dynamic.removal_rebuilds, 0u);
+  EXPECT_TRUE(result.dynamic.policy_identical);
+  EXPECT_FALSE(scenario_failed(result));
+}
+
+TEST(ExperimentRunner, UnknownRemovePolicyFailsSoftly) {
+  ScenarioSpec spec;
+  spec.topology = "random";
+  spec.n = 8;
+  spec.power = "sqrt";
+  spec.seed = 1;
+  spec.trace = "poisson";
+  spec.remove_policy = "telepathic";
+  const ScenarioResult result = run_scenario(spec, SinrParams{});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown remove policy"), std::string::npos);
 }
 
 }  // namespace

@@ -369,6 +369,44 @@ TEST(GainCache, CachedTableMatchesDirectBuild) {
   }
 }
 
+TEST(RemovePolicyNames, RoundTripThroughToStringAndParse) {
+  for (const RemovePolicy policy :
+       {RemovePolicy::rebuild, RemovePolicy::compensated, RemovePolicy::exact}) {
+    RemovePolicy parsed = RemovePolicy::rebuild;
+    ASSERT_TRUE(parse_remove_policy(to_string(policy), parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  RemovePolicy parsed = RemovePolicy::rebuild;
+  EXPECT_FALSE(parse_remove_policy("telepathic", parsed));
+  EXPECT_FALSE(parse_remove_policy("", parsed));
+}
+
+TEST(GreedyColoring, GainEnginePolicyAxisProducesIdenticalSchedules) {
+  // The remove policy only changes the accumulator arithmetic of the gain
+  // engine's add path (greedy never removes); rebuild keeps the plain
+  // sums, exact the correctly rounded expansions — on real workloads the
+  // thresholds never sit within an ulp of a sum, so the schedules
+  // coincide exactly.
+  for (const auto& scenario :
+       {random_scenario(24, /*seed=*/5), random_scenario(40, /*seed=*/17)}) {
+    const Instance instance = scenario.instance();
+    const auto powers = SqrtPower{}.assign(instance, 3.0);
+    SinrParams params;
+    params.alpha = 3.0;
+    params.beta = 1.0;
+    for (const Variant variant : both_variants()) {
+      const Schedule rebuild = greedy_coloring(
+          instance, powers, params, variant, RequestOrder::longest_first,
+          FeasibilityEngine::gain_matrix, GainBackend::dense, RemovePolicy::rebuild);
+      const Schedule exact = greedy_coloring(
+          instance, powers, params, variant, RequestOrder::longest_first,
+          FeasibilityEngine::gain_matrix, GainBackend::dense, RemovePolicy::exact);
+      EXPECT_EQ(rebuild.color_of, exact.color_of);
+      EXPECT_EQ(rebuild.num_colors, exact.num_colors);
+    }
+  }
+}
+
 TEST(MaxFeasibleEngines, ExactSubsetStillDominatesGreedy) {
   const auto scenario = random_scenario(12, /*seed=*/77);
   const Instance instance = scenario.instance();

@@ -248,6 +248,84 @@ TEST(IncrementalGainClassGrowth, SyncedAccumulatorsMatchAFreshReplay) {
   }
 }
 
+TEST(IncrementalGainClassGrowth, ExactPolicySyncedSlotsMatchAFreshExactBuild) {
+  // sync_universe under the exact policy: the grown slots' expansions
+  // must land bit for bit where a from-scratch exact build over the
+  // grown universe puts them.
+  const auto scenario = random_scenario(20, /*seed=*/13);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 0.5;
+  const std::size_t n0 = 12;
+  const auto all = instance.requests();
+  GainMatrix growing(instance.metric(), all.subspan(0, n0),
+                     std::span<const double>(powers).subspan(0, n0), params.alpha,
+                     Variant::bidirectional, /*with_sender_gains=*/false,
+                     GainBackend::appendable);
+  IncrementalGainClass cls(growing, params, RemovePolicy::exact);
+  for (std::size_t i = 0; i < n0; ++i) {
+    if (cls.can_add(i)) cls.add(i);
+  }
+  for (std::size_t grow = n0; grow < instance.size(); ++grow) {
+    (void)growing.append_request(all[grow], powers[grow]);
+    cls.sync_universe();
+    EXPECT_EQ(cls.accumulator_drift(), 0.0);
+    IncrementalGainClass twin(growing, params, RemovePolicy::exact);
+    for (const std::size_t m : cls.members()) twin.add(m);
+    for (std::size_t i = 0; i <= grow; ++i) {
+      ASSERT_EQ(cls.accumulator_v(i), twin.accumulator_v(i)) << "slot " << i;
+      ASSERT_EQ(cls.accumulator_u(i), twin.accumulator_u(i)) << "slot " << i;
+    }
+  }
+}
+
+TEST(GainStorageBackends, ExactAccumulatorsBitIdenticalAcrossBackends) {
+  // The exact expansions consume table entries, so every backend — whose
+  // entries are bit-identical — must yield bit-identical exact
+  // accumulator states through an add/remove workout.
+  const auto scenario = random_scenario(24, /*seed=*/51);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 0.5;
+  const GainMatrix dense(instance, powers, params.alpha, Variant::bidirectional);
+  const GainMatrix tiled(instance, powers, params.alpha, Variant::bidirectional,
+                         /*with_sender_gains=*/false, GainBackend::tiled);
+  const GainMatrix appendable(instance, powers, params.alpha, Variant::bidirectional,
+                              /*with_sender_gains=*/false, GainBackend::appendable);
+  IncrementalGainClass on_dense(dense, params, RemovePolicy::exact);
+  IncrementalGainClass on_tiled(tiled, params, RemovePolicy::exact);
+  IncrementalGainClass on_appendable(appendable, params, RemovePolicy::exact);
+  Rng rng(404);
+  std::vector<std::size_t> in_class;
+  for (int step = 0; step < 120; ++step) {
+    if (!in_class.empty() && rng.bernoulli(0.4)) {
+      const std::size_t pos = rng.uniform_index(in_class.size());
+      const std::size_t victim = in_class[pos];
+      in_class.erase(in_class.begin() + static_cast<std::ptrdiff_t>(pos));
+      on_dense.remove(victim);
+      on_tiled.remove(victim);
+      on_appendable.remove(victim);
+    } else {
+      const std::size_t cand = rng.uniform_index(instance.size());
+      if (on_dense.contains(cand) || !on_dense.can_add(cand)) continue;
+      on_dense.add(cand);
+      on_tiled.add(cand);
+      on_appendable.add(cand);
+      in_class.push_back(cand);
+    }
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      ASSERT_EQ(on_dense.accumulator_v(i), on_tiled.accumulator_v(i)) << i;
+      ASSERT_EQ(on_dense.accumulator_v(i), on_appendable.accumulator_v(i)) << i;
+      ASSERT_EQ(on_dense.accumulator_u(i), on_tiled.accumulator_u(i)) << i;
+      ASSERT_EQ(on_dense.accumulator_u(i), on_appendable.accumulator_u(i)) << i;
+    }
+  }
+}
+
 TEST(TiledBackend, SparseScheduleTouchesFewTilesAtN4096) {
   // A 4096-link universe: 64x64 tiles per table (4096 total). A schedule
   // confined to the first 32 links touches only their row stripes — the

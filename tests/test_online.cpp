@@ -5,7 +5,12 @@
 // re-validates bit-for-bit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/greedy.h"
@@ -17,6 +22,7 @@
 #include "sinr/gain_matrix.h"
 #include "test_helpers.h"
 #include "util/error.h"
+#include "util/json_reader.h"
 #include "util/rng.h"
 
 namespace oisched {
@@ -440,6 +446,298 @@ TEST(OnlineScheduler, ReplayRejectsMismatchedUniverse) {
   ChurnTrace trace;
   trace.universe = 9;
   EXPECT_THROW((void)replay_trace(scheduler, trace), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// RemovePolicy::exact: the numerically exact O(n) removal path.
+
+/// A fresh exact-policy class over the same gains with `members` added in
+/// the given order — the from-scratch state the live class must equal.
+IncrementalGainClass exact_twin(const GainMatrix& gains, const SinrParams& params,
+                                const std::vector<std::size_t>& members) {
+  IncrementalGainClass twin(gains, params, RemovePolicy::exact);
+  for (const std::size_t m : members) twin.add(m);
+  return twin;
+}
+
+/// Bitwise equality of every accumulator slot of two classes over `gains`.
+void expect_accumulators_identical(const GainMatrix& gains,
+                                   const IncrementalGainClass& live,
+                                   const IncrementalGainClass& fresh,
+                                   const char* context) {
+  for (std::size_t i = 0; i < gains.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(live.accumulator_v(i)),
+              std::bit_cast<std::uint64_t>(fresh.accumulator_v(i)))
+        << context << ": acc_v slot " << i;
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(live.accumulator_u(i)),
+              std::bit_cast<std::uint64_t>(fresh.accumulator_u(i)))
+        << context << ": acc_u slot " << i;
+  }
+}
+
+TEST(IncrementalGainClassRemove, ExactPolicyIsBitIdenticalToFreshTwinInAnyOrder) {
+  Rng rng(4242);
+  for (const auto& scenario : fixtures()) {
+    const Instance instance = scenario.instance();
+    const auto powers = SqrtPower{}.assign(instance, 3.0);
+    SinrParams params;
+    params.alpha = 3.0;
+    params.beta = 0.5;
+    for (const Variant variant : both_variants()) {
+      const auto gains = instance.gains(powers, params.alpha, variant);
+      IncrementalGainClass cls(*gains, params, RemovePolicy::exact);
+      std::vector<std::size_t> in_class;
+      for (int step = 0; step < 200; ++step) {
+        if (!in_class.empty() && rng.bernoulli(0.45)) {
+          const std::size_t pos = rng.uniform_index(in_class.size());
+          const std::size_t victim = in_class[pos];
+          in_class.erase(in_class.begin() + static_cast<std::ptrdiff_t>(pos));
+          cls.remove(victim);
+        } else {
+          const std::size_t cand = rng.uniform_index(instance.size());
+          if (cls.contains(cand)) continue;
+          if (cls.can_add(cand)) {
+            cls.add(cand);
+            in_class.push_back(cand);
+          }
+        }
+        ASSERT_EQ(cls.members(), in_class);
+        // The exact policy never replays — and never needs to: zero drift
+        // against its own exact replay, always.
+        ASSERT_EQ(cls.removal_rebuilds(), 0u);
+        ASSERT_EQ(cls.accumulator_drift(), 0.0);
+        // Stronger than replay equality: the state is a pure function of
+        // the member SET. A fresh twin built in insertion order matches
+        // bit for bit — and so does one built in sorted (different)
+        // order.
+        const IncrementalGainClass twin = exact_twin(*gains, params, in_class);
+        expect_accumulators_identical(*gains, cls, twin, "insertion order");
+        std::vector<std::size_t> sorted = in_class;
+        std::sort(sorted.begin(), sorted.end());
+        const IncrementalGainClass sorted_twin = exact_twin(*gains, params, sorted);
+        expect_accumulators_identical(*gains, cls, sorted_twin, "sorted order");
+        for (std::size_t cand = 0; cand < instance.size(); ++cand) {
+          if (cls.contains(cand)) continue;
+          ASSERT_EQ(cls.can_add(cand), twin.can_add(cand))
+              << "step " << step << " candidate " << cand;
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalGainClassRemove, ExactStaysAtZeroWhereCompensatedProvablyDrifts) {
+  // Adversarial dynamic range at link 0's receiver (v0 at coordinate 1):
+  // link 1's sender sits 1 away (gain ~1), link 2's sender ~0.099 away
+  // (gain ~1024 — the transient), link 3's sender ~46416 away (gain
+  // ~1e-14), link 4's sender ~4.65 away (gain ~1e-2 — a background
+  // resident that keeps every slot's residual well above the 1e6
+  // cancellation ratio, so the compensated safety rebuild never fires).
+  // With link 2 resident the accumulator's ulp (~2e-13) swallows link 3's
+  // contribution; when link 2 departs, plain subtraction cannot bring
+  // those bits back, so the compensated slot measurably deviates from a
+  // fresh replay of the survivors. The exact expansions never lose the
+  // bits in the first place.
+  const auto scenario = line_pairs(
+      {0.0, 1.0, 2.0, 2.2, 1.0992, 1.3, 46417.0, 46418.0, 5.65, 5.8});
+  const Instance instance = scenario.instance();
+  const auto powers = UniformPower{}.assign(instance, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  const auto gains = instance.gains(powers, params.alpha, Variant::directed);
+
+  IncrementalGainClass compensated(*gains, params, RemovePolicy::compensated,
+                                   /*rebuild_interval=*/1000000);
+  IncrementalGainClass exact(*gains, params, RemovePolicy::exact);
+  for (const std::size_t member :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4}}) {
+    compensated.add(member);
+    exact.add(member);
+  }
+  compensated.remove(2);
+  exact.remove(2);
+  // The compensated policy measurably drifted (that is WHY it is
+  // drift-bounded, not exact) and its safety trigger did NOT fire — the
+  // deviation is live, not a rebuilt-away transient...
+  EXPECT_GT(compensated.accumulator_drift(), 0.0);
+  EXPECT_EQ(compensated.removal_rebuilds(), 0u);
+  // ...while the exact policy sits at exactly zero deviation.
+  EXPECT_EQ(exact.accumulator_drift(), 0.0);
+  EXPECT_EQ(exact.removal_rebuilds(), 0u);
+
+  // Hammering the exact class with the same transient thousands of times
+  // never accumulates any error at all.
+  for (int round = 0; round < 2000; ++round) {
+    exact.add(2);
+    exact.remove(2);
+  }
+  EXPECT_EQ(exact.accumulator_drift(), 0.0);
+  EXPECT_EQ(exact.removal_rebuilds(), 0u);
+}
+
+TEST(IncrementalGainClassRemove, ExactPolicyRecoversFromSaturationByRebuilding) {
+  // Gains engineered past DBL_MAX: links 1 and 2 each contribute ~9e307
+  // at link 0's receiver (powers ~1e305 over sub-unit distances), so
+  // with both resident the slot's true interference sum overflows the
+  // double range and the expansion saturates stickily. When one departs
+  // the survivors' sum is representable again; subtraction alone cannot
+  // unsaturate, so the exact policy must pay its one escape-hatch
+  // rebuild and land bit-for-bit on the fresh-twin state.
+  const auto scenario = line_pairs({0.0, 1.0, 1.1, 5.0, 1.2, 6.0});
+  const Instance instance = scenario.instance();
+  // dist(u1, v0) = 0.1 -> loss 1e-3 -> gain p1 * 1e3; dist(u2, v0) = 0.2
+  // -> loss 8e-3 -> gain p2 * 125.
+  const std::vector<double> powers = {1.0, 9e304, 7.2e305};
+  SinrParams params;
+  params.alpha = 3.0;
+  const GainMatrix gains(instance, powers, params.alpha, Variant::directed);
+  ASSERT_GT(gains.at_v(1, 0), 8e307);
+  ASSERT_GT(gains.at_v(2, 0), 8e307);
+  ASSERT_EQ(gains.at_v(1, 0) + gains.at_v(2, 0),
+            std::numeric_limits<double>::infinity());
+
+  IncrementalGainClass cls(gains, params, RemovePolicy::exact);
+  cls.add(1);
+  cls.add(2);
+  EXPECT_EQ(cls.accumulator_v(0), std::numeric_limits<double>::infinity());
+  cls.remove(1);
+  // The saturation escape hatch fired and restored the exact finite
+  // state of a fresh build over the survivor.
+  EXPECT_EQ(cls.removal_rebuilds(), 1u);
+  EXPECT_EQ(cls.accumulator_v(0), gains.at_v(2, 0));
+  EXPECT_EQ(cls.accumulator_drift(), 0.0);
+  const IncrementalGainClass twin = exact_twin(gains, params, cls.members());
+  expect_accumulators_identical(gains, cls, twin, "post-saturation");
+  cls.remove(2);
+  EXPECT_EQ(cls.accumulator_v(0), 0.0);
+}
+
+/// Differential replay: the exact-policy scheduler against a rebuild-policy
+/// twin on the same trace, then every live class against freshly built
+/// exact twins (in sorted member order — the order-free claim).
+void run_policy_differential(const Instance& instance, const ChurnTrace& trace,
+                             GainBackend backend,
+                             std::shared_ptr<const PowerAssignment> fresh_power,
+                             const char* context) {
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  OnlineSchedulerOptions options;
+  options.storage = backend;
+  options.fresh_power = fresh_power;
+  ASSERT_EQ(options.remove_policy, RemovePolicy::exact);  // the default
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional, options);
+  const ReplayResult result = replay_trace(scheduler, trace);
+  EXPECT_TRUE(result.validated) << context;
+  EXPECT_EQ(result.stats.removal_rebuilds, 0u) << context;
+
+  OnlineSchedulerOptions rebuild_options = options;
+  rebuild_options.remove_policy = RemovePolicy::rebuild;
+  OnlineScheduler twin(instance, powers, params, Variant::bidirectional,
+                       rebuild_options);
+  const ReplayResult reference = replay_trace(twin, trace);
+  EXPECT_TRUE(reference.validated) << context;
+  // Schedule and verdict equality, bit for bit, against the historical
+  // replay-on-remove policy over the whole trace.
+  EXPECT_EQ(result.final_schedule.color_of, reference.final_schedule.color_of)
+      << context;
+  EXPECT_EQ(result.final_colors, reference.final_colors) << context;
+  EXPECT_EQ(result.final_active, reference.final_active) << context;
+  EXPECT_EQ(result.final_worst_margin, reference.final_worst_margin) << context;
+  EXPECT_GT(reference.stats.removal_rebuilds, 0u) << context;  // what exact saves
+
+  // Accumulator equality: every live class equals a freshly built exact
+  // class over its members, added in sorted order (NOT the arrival
+  // order), because the exact state is a pure function of the member set.
+  for (const IncrementalGainClass& cls : scheduler.classes()) {
+    std::vector<std::size_t> members = cls.members();
+    std::sort(members.begin(), members.end());
+    IncrementalGainClass fresh(scheduler.gains(), params, RemovePolicy::exact);
+    for (const std::size_t m : members) fresh.add(m);
+    expect_accumulators_identical(scheduler.gains(), cls, fresh, context);
+  }
+}
+
+TEST(OnlineScheduler, ExactPolicyDifferentialFuzzAcrossTracesAndBackends) {
+  const auto scenario = random_scenario(48, /*seed=*/123);
+  const Instance instance = scenario.instance();
+  for (const std::string kind : {"poisson", "flash", "adversarial", "hotspot"}) {
+    for (const GainBackend backend :
+         {GainBackend::dense, GainBackend::tiled, GainBackend::appendable}) {
+      Rng rng(911 + static_cast<std::uint64_t>(backend));
+      const ChurnTrace trace =
+          make_churn_trace(kind, instance.size(), /*target_events=*/800, rng);
+      const std::string context = kind + "/" + to_string(backend);
+      run_policy_differential(instance, trace, backend, nullptr, context.c_str());
+    }
+  }
+}
+
+TEST(OnlineScheduler, ExactPolicyDifferentialFuzzOnGrowingTraces) {
+  // Universe growth (sync_universe extension of the exact expansions) on
+  // the appendable backend: same differential gates as the fixed-universe
+  // fuzz, ending on a grown universe.
+  const auto scenario = random_scenario(40, /*seed=*/77);
+  const Instance full = scenario.instance();
+  const std::size_t n0 = full.size() / 2;
+  const auto all = full.requests();
+  const Instance base(full.metric_ptr(),
+                      std::vector<Request>(all.begin(), all.begin() + n0));
+  Rng rng(2026);
+  const ChurnTrace trace =
+      make_churn_trace("growing", n0, /*target_events=*/800, rng, all.subspan(n0));
+  run_policy_differential(base, trace, GainBackend::appendable,
+                          std::make_shared<SqrtPower>(), "growing/appendable");
+}
+
+TEST(OnlineScheduler, LegacyTraceSchemaReplaysUnderTheExactDefault) {
+  // An oisched-trace/1 document (the pre-growth schema) must replay under
+  // the new default policy exactly like any fixed-universe trace.
+  const auto scenario = random_scenario(8, /*seed=*/31);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  const std::string legacy = R"({
+    "schema": "oisched-trace/1",
+    "universe": 8,
+    "events": [
+      {"t": 0.5, "kind": "arrival", "link": 3},
+      {"t": 1.0, "kind": "arrival", "link": 5},
+      {"t": 1.5, "kind": "arrival", "link": 0},
+      {"t": 2.0, "kind": "departure", "link": 3},
+      {"t": 2.5, "kind": "arrival", "link": 7},
+      {"t": 3.0, "kind": "departure", "link": 5},
+      {"t": 3.5, "kind": "arrival", "link": 3}
+    ]
+  })";
+  const ChurnTrace trace = trace_from_json(parse_json(legacy));
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional);
+  const ReplayResult result = replay_trace(scheduler, trace);
+  EXPECT_TRUE(result.validated);
+  EXPECT_EQ(result.stats.removal_rebuilds, 0u);
+  EXPECT_EQ(result.final_active, 3u);
+}
+
+TEST(OnlineScheduler, RebuildPolicyStillCountsItsReplays) {
+  const auto scenario = random_scenario(24, /*seed=*/6);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  OnlineSchedulerOptions options;
+  options.remove_policy = RemovePolicy::rebuild;
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional, options);
+  const ChurnTrace trace = trace_for("poisson", instance.size(), 55);
+  const ReplayResult result = replay_trace(scheduler, trace);
+  EXPECT_TRUE(result.validated);
+  // Under rebuild every departure and every compaction migration pays a
+  // full replay.
+  EXPECT_EQ(result.stats.removal_rebuilds,
+            result.stats.departures + result.stats.migrations);
 }
 
 }  // namespace
