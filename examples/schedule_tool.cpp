@@ -6,7 +6,8 @@
 //                          [--remove-policy rebuild|compensated|exact]
 //   $ ./schedule_tool check <in.inst> <in.sched>       validate a schedule
 //   $ ./schedule_tool gen-trace <in.inst> <out.trace>
-//                               [poisson|flash|adversarial|hotspot|growing]
+//                               [poisson|flash|adversarial|hotspot|growing|
+//                                waypoint|commuter|flashmob]
 //                               [events] [seed]        generate a churn trace
 //   $ ./schedule_tool replay <in.inst> --trace <in.trace> [--out <final.sched>]
 //                            [--storage dense|tiled]
@@ -31,7 +32,11 @@
 // accumulator policy). A `growing` trace targets the first half of the
 // instance as its starting universe and introduces the second half as
 // fresh links; replay then runs the appendable backend, growing the gain
-// tables online with square-root powers derived per fresh link.
+// tables online with square-root powers derived per fresh link. The
+// mobility kinds (waypoint/commuter/flashmob) interleave churn with
+// link_update endpoint-motion events; replay detects them, switches the
+// scheduler to a privately owned matrix whose rows/columns refresh in
+// place, and re-powers each moved link from its new length (sqrt rule).
 //
 // Demonstrates the serialization API (core/io.h, gen/churn.h) and how
 // downstream tools can mix and match generators, algorithms, engines and
@@ -65,7 +70,8 @@ int usage() {
                "                      [--remove-policy rebuild|compensated|exact]\n"
                "  schedule_tool check <in.inst> <in.sched>\n"
                "  schedule_tool gen-trace <in.inst> <out.trace> "
-               "[poisson|flash|adversarial|hotspot|growing] [events] [seed]\n"
+               "[poisson|flash|adversarial|hotspot|growing|waypoint|commuter|"
+               "flashmob] [events] [seed]\n"
                "  schedule_tool replay <in.inst> --trace <in.trace> "
                "[--out <final.sched>] [--storage dense|tiled]\n"
                "                      [--remove-policy rebuild|compensated|exact] "
@@ -214,13 +220,19 @@ int cmd_gen_trace(int argc, char** argv) {
   const std::string kind = argc > 4 ? argv[4] : "poisson";
   const std::size_t events = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
   const std::uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1;
+  const bool mobility =
+      kind == "waypoint" || kind == "commuter" || kind == "flashmob";
   if (kind != "poisson" && kind != "flash" && kind != "adversarial" &&
-      kind != "hotspot" && kind != "growing") {
+      kind != "hotspot" && kind != "growing" && !mobility) {
     return usage();
   }
   Rng rng(seed);
   ChurnTrace trace;
-  if (kind == "growing") {
+  if (mobility) {
+    // Endpoint motion needs the instance's geometry.
+    trace = make_churn_trace(kind, instance.size(), events, rng, {},
+                             &instance.metric(), instance.requests());
+  } else if (kind == "growing") {
     // The first half of the instance is the starting universe; the second
     // half arrives as fresh links over the appendable backend.
     const std::size_t n0 = std::max<std::size_t>(1, instance.size() / 2);
@@ -288,7 +300,11 @@ int cmd_replay(int argc, char** argv) {
   options.remove_policy = policy;
   options.rebuild_interval = rebuild_interval;
   options.storage = trace.has_fresh_links() ? GainBackend::appendable : storage;
-  if (trace.has_fresh_links()) {
+  // Endpoint motion mutates the gain tables, so the scheduler needs its
+  // own matrix; moved links are re-powered by the same sqrt rule the
+  // replay assigns everywhere else.
+  options.mobility = trace.has_link_updates();
+  if (trace.has_fresh_links() || trace.has_link_updates()) {
     options.fresh_power = std::make_shared<SqrtPower>();
   }
 
@@ -297,15 +313,17 @@ int cmd_replay(int argc, char** argv) {
   const OnlineStats& stats = result.stats;
   std::cout << "replayed " << stats.events() << " events (" << stats.arrivals
             << " arrivals incl. " << stats.fresh_links << " fresh links, "
-            << stats.departures << " departures) in " << result.wall_seconds * 1e3
+            << stats.departures << " departures, " << stats.link_updates
+            << " link updates) in " << result.wall_seconds * 1e3
             << " ms: " << result.events_per_sec << " events/sec (storage "
             << to_string(options.storage) << ", remove policy " << to_string(policy)
             << ")\n"
             << "final state: " << result.final_active << " active links of "
             << result.final_universe << " in " << result.final_colors
             << " colors (peak " << stats.peak_colors << "), " << stats.migrations
-            << " migrations (" << stats.compaction_skips
-            << " compaction skips), " << stats.removal_rebuilds
+            << " migrations (" << stats.compaction_skips << " compaction skips, "
+            << stats.update_migrations << " update migrations), "
+            << stats.removal_rebuilds
             << " removal-triggered rebuilds, worst event "
             << stats.max_event_seconds * 1e3 << " ms\n"
             << "final validation vs direct engine: "

@@ -21,13 +21,14 @@ OnlineScheduler::OnlineScheduler(const Instance& instance, std::span<const doubl
       color_of_(instance.size(), -1) {
   require(powers_.size() == instance_.size(), "OnlineScheduler: one power per link");
   params_.validate();
-  if (options_.storage == GainBackend::appendable) {
-    // A growable matrix cannot be shared through the instance cache — the
-    // scheduler owns it and is the only writer.
+  if (options_.storage == GainBackend::appendable || options_.mobility) {
+    // A matrix that mutates (growth or endpoint motion) cannot be shared
+    // through the instance cache — the scheduler owns it and is the only
+    // writer.
     owned_gains_ = std::make_shared<GainMatrix>(instance_.metric(), instance_.requests(),
                                                 powers_, params_.alpha, variant_,
                                                 /*with_sender_gains=*/false,
-                                                GainBackend::appendable);
+                                                options_.storage);
     gains_ = owned_gains_;
   } else {
     gains_ = instance.gains(powers_, params_.alpha, variant_,
@@ -96,6 +97,59 @@ int OnlineScheduler::on_link_arrival(const Request& request) {
   stats_.total_event_seconds += elapsed;
   stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
   return color;
+}
+
+int OnlineScheduler::on_link_update(std::size_t link, const Request& request) {
+  require(owned_gains_ != nullptr,
+          "OnlineScheduler: endpoint motion needs the mobility option (or the "
+          "appendable backend) — the shared gain cache must never mutate");
+  require(link < color_of_.size(), "OnlineScheduler: link index out of range");
+  const int color = color_of_[link];
+  require(color >= 0, "OnlineScheduler: update of an inactive link");
+  require(request.u < instance_.metric().size() && request.v < instance_.metric().size(),
+          "OnlineScheduler: link endpoint out of metric range");
+  Stopwatch watch;
+  const double loss = link_loss(instance_.metric(), request, params_.alpha);
+  require(loss > 0.0, "OnlineScheduler: link endpoints must be distinct points");
+  // Oblivious re-powering: the moved link's length changed, and its power
+  // is a function of that length alone — nothing else needs revisiting.
+  const double power = options_.fresh_power != nullptr
+                           ? options_.fresh_power->power_for_loss(loss)
+                           : powers_[link];
+  // Bracket the table refresh: every class first subtracts what it read
+  // from the stale row, then the matrix rewrites the row/column, then
+  // every class adds the new row back and re-derives the link's own slot.
+  for (IncrementalGainClass& cls : classes_) cls.begin_link_update(link);
+  owned_gains_->update_request(link, request, power);
+  powers_[link] = power;
+  for (IncrementalGainClass& cls : classes_) {
+    const std::size_t rebuilds_before = cls.removal_rebuilds();
+    cls.finish_link_update(link);
+    stats_.removal_rebuilds += cls.removal_rebuilds() - rebuilds_before;
+  }
+  ++stats_.link_updates;
+
+  // Only the moved link's own class can have broken: in every other class
+  // the accumulated sums merely swapped one non-member's contribution.
+  int new_color = color;
+  IncrementalGainClass& owner = classes_[static_cast<std::size_t>(color)];
+  if (!owner.members_feasible()) {
+    // Eviction restores the survivors (interference sums only shrink);
+    // then the moved link is re-placed like a fresh arrival.
+    const std::size_t rebuilds_before = owner.removal_rebuilds();
+    owner.remove(link);
+    stats_.removal_rebuilds += owner.removal_rebuilds() - rebuilds_before;
+    color_of_[link] = -1;
+    compact_from(static_cast<std::size_t>(color));
+    new_color = place(link);
+    color_of_[link] = new_color;
+    ++stats_.update_migrations;
+    stats_.peak_colors = std::max(stats_.peak_colors, num_colors());
+  }
+  const double elapsed = watch.elapsed_seconds();
+  stats_.total_event_seconds += elapsed;
+  stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
+  return new_color;
 }
 
 void OnlineScheduler::on_departure(std::size_t link) {
@@ -172,6 +226,9 @@ void OnlineScheduler::apply(const ChurnEvent& event) {
               "OnlineScheduler: fresh link index must extend the universe");
       (void)on_link_arrival(event.request);
       break;
+    case ChurnEvent::Kind::link_update:
+      (void)on_link_update(event.link, event.request);
+      break;
   }
 }
 
@@ -231,6 +288,8 @@ ReplayResult replay_trace(OnlineScheduler& scheduler, const ChurnTrace& trace,
   result.stats.arrivals -= before.arrivals;
   result.stats.departures -= before.departures;
   result.stats.fresh_links -= before.fresh_links;
+  result.stats.link_updates -= before.link_updates;
+  result.stats.update_migrations -= before.update_migrations;
   result.stats.classes_opened -= before.classes_opened;
   result.stats.classes_closed -= before.classes_closed;
   result.stats.migrations -= before.migrations;

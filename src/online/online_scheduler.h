@@ -1,6 +1,8 @@
 // Online scheduling: incremental maintenance of a valid coloring under a
 // stream of link arrivals and departures — and, on the appendable gain
-// backend, under universe growth.
+// backend, under universe growth; with the mobility option, under
+// endpoint motion too (link_update events refresh the moved link's gain
+// row/column in place and re-validate its class).
 //
 // The paper's oblivious power assignments are exactly the regime where the
 // request set is NOT known in advance — a power depends only on a link's
@@ -59,9 +61,17 @@ struct OnlineSchedulerOptions {
   /// memory-bounded); appendable gives the scheduler its own growable
   /// matrix and unlocks on_link_arrival.
   GainBackend storage = GainBackend::dense;
+  /// Accept link_update (endpoint motion) events: gives the scheduler a
+  /// privately owned gain matrix on every backend — the instance's shared
+  /// gain cache must never mutate — whose row/column for a moved link is
+  /// refreshed in place. The appendable backend always owns its matrix,
+  /// so it accepts motion regardless of this flag.
+  bool mobility = false;
   /// Oblivious power rule for fresh links (required to accept
   /// link_arrival events): a new link's power is derived from its own
-  /// length alone, never from the rest of the request set.
+  /// length alone, never from the rest of the request set. A moved link
+  /// is re-powered by the same rule (its length changed); without one it
+  /// keeps its original power.
   std::shared_ptr<const PowerAssignment> fresh_power;
 };
 
@@ -71,6 +81,11 @@ struct OnlineStats {
   std::size_t departures = 0;
   /// Of the arrivals, how many were fresh links growing the universe.
   std::size_t fresh_links = 0;
+  /// Endpoint-motion events applied in place.
+  std::size_t link_updates = 0;
+  /// Of the link updates, how many broke the moved link's class and
+  /// forced a first-fit re-placement.
+  std::size_t update_migrations = 0;
   std::size_t classes_opened = 0;
   std::size_t classes_closed = 0;
   /// Links recolored by compaction (beyond their original placement).
@@ -87,7 +102,9 @@ struct OnlineStats {
   double total_event_seconds = 0.0;
   double max_event_seconds = 0.0;
 
-  [[nodiscard]] std::size_t events() const noexcept { return arrivals + departures; }
+  [[nodiscard]] std::size_t events() const noexcept {
+    return arrivals + departures + link_updates;
+  }
 };
 
 class OnlineScheduler {
@@ -116,11 +133,22 @@ class OnlineScheduler {
   /// afterwards.
   int on_link_arrival(const Request& request);
 
+  /// Moves an active link to new endpoints (mobility option or appendable
+  /// backend only): re-derives its oblivious power from the new length
+  /// (when a fresh_power rule is set), refreshes its gain row/column in
+  /// place, updates every class's accumulators exactly, and re-validates
+  /// the moved link's class — when motion broke it, the link is evicted
+  /// and re-placed first-fit (counted in stats().update_migrations). Only
+  /// the moved link's own class can break: everywhere else the stale
+  /// contribution is simply replaced. Returns the link's (possibly new)
+  /// color.
+  int on_link_update(std::size_t link, const Request& request);
+
   /// Deactivates a link (must be active), compacting classes per options.
   void on_departure(std::size_t link);
 
   /// Dispatches one trace event to on_arrival/on_link_arrival/
-  /// on_departure.
+  /// on_link_update/on_departure.
   void apply(const ChurnEvent& event);
 
   [[nodiscard]] int color_of(std::size_t link) const;
@@ -162,8 +190,8 @@ class OnlineScheduler {
   SinrParams params_;
   Variant variant_;
   OnlineSchedulerOptions options_;
-  /// Set only on the appendable backend: the scheduler's private growable
-  /// matrix (gains_ aliases it there).
+  /// Set on the appendable backend and whenever options.mobility is on:
+  /// the scheduler's private mutable matrix (gains_ aliases it there).
   std::shared_ptr<GainMatrix> owned_gains_;
   std::shared_ptr<const GainMatrix> gains_;
   std::vector<IncrementalGainClass> classes_;

@@ -167,6 +167,29 @@ std::size_t GainMatrix::append_request(const Request& request, double power) {
   return n_ - 1;
 }
 
+void GainMatrix::update_request(std::size_t link, const Request& request,
+                                double power) {
+  require(link < n_, "GainMatrix: update of an out-of-range link");
+  require(request.u < metric_->size() && request.v < metric_->size(),
+          "GainMatrix: request endpoint out of metric range");
+  const double l = link_loss(*metric_, request, alpha_);
+  require(l > 0.0, "GainMatrix: request endpoints must be distinct points");
+  require(std::isfinite(power) && power > 0.0,
+          "GainMatrix: powers must be positive and finite");
+  // Update the shared stores first, then refresh through fillers that read
+  // them — the refreshed entries are exactly what an eager build over the
+  // moved universe would compute.
+  (*requests_store_)[link] = request;
+  (*powers_store_)[link] = power;
+  signal_[link] = power / l;
+  at_v_->refresh_link(link, make_gain_filler(metric_, requests_store_, powers_store_,
+                                             alpha_, variant_, /*sender_side=*/false));
+  if (at_u_ != nullptr) {
+    at_u_->refresh_link(link, make_gain_filler(metric_, requests_store_, powers_store_,
+                                               alpha_, variant_, /*sender_side=*/true));
+  }
+}
+
 std::size_t GainMatrix::resident_doubles() const noexcept {
   std::size_t total = signal_.size() + at_v_->resident_doubles();
   if (at_u_ != nullptr) total += at_u_->resident_doubles();
@@ -403,6 +426,160 @@ void IncrementalGainClass::remove(std::size_t request_index) {
     }
   }
 #endif
+}
+
+void IncrementalGainClass::begin_link_update(std::size_t link) {
+  require(acc_v_.size() == gains_->size(),
+          "IncrementalGainClass: the gain matrix grew; call sync_universe() first");
+  require(!update_pending_,
+          "IncrementalGainClass: begin_link_update while an update is pending");
+  require(link < gains_->size(),
+          "IncrementalGainClass: update of an out-of-range link");
+  update_pending_ = true;
+  if (!contains(link)) return;  // nothing of the stale row is accumulated here
+  if (policy_ == RemovePolicy::rebuild) return;  // finish replays from scratch
+
+  const bool bidirectional = gains_->variant() == Variant::bidirectional;
+  for (std::size_t i = 0; i < gains_->size(); ++i) {
+    if (i == link) continue;
+    const double gone_v = gains_->at_v(link, i);
+    if (policy_ == RemovePolicy::exact) {
+      exact_v_[i].subtract(gone_v);
+      acc_v_[i] = exact_v_[i].value();
+    } else {
+      acc_v_[i] -= gone_v;
+      cancelled_v_[i] += std::abs(gone_v);
+    }
+    if (bidirectional) {
+      const double gone_u = gains_->at_u(link, i);
+      if (policy_ == RemovePolicy::exact) {
+        exact_u_[i].subtract(gone_u);
+        acc_u_[i] = exact_u_[i].value();
+      } else {
+        acc_u_[i] -= gone_u;
+        cancelled_u_[i] += std::abs(gone_u);
+      }
+    }
+  }
+}
+
+void IncrementalGainClass::finish_link_update(std::size_t link) {
+  require(update_pending_,
+          "IncrementalGainClass: finish_link_update without a pending update");
+  update_pending_ = false;
+  const bool member = contains(link);
+  const bool bidirectional = gains_->variant() == Variant::bidirectional;
+
+  if (member && policy_ == RemovePolicy::rebuild) {
+    // The rebuild policy restores every slot — including slot `link` — by
+    // replaying the members over the refreshed tables.
+    ++removal_rebuilds_;
+    rebuild();
+    return;
+  }
+
+  if (member) {
+    // Re-add the link's row, now reading the refreshed tables.
+    bool saturated = false;
+    for (std::size_t i = 0; i < gains_->size(); ++i) {
+      if (i == link) continue;
+      if (policy_ == RemovePolicy::exact) {
+        exact_v_[i].add(gains_->at_v(link, i));
+        acc_v_[i] = exact_v_[i].value();
+        saturated |= exact_v_[i].saturated();
+      } else {
+        acc_v_[i] += gains_->at_v(link, i);
+      }
+      if (bidirectional) {
+        if (policy_ == RemovePolicy::exact) {
+          exact_u_[i].add(gains_->at_u(link, i));
+          acc_u_[i] = exact_u_[i].value();
+          saturated |= exact_u_[i].saturated();
+        } else {
+          acc_u_[i] += gains_->at_u(link, i);
+        }
+      }
+    }
+    if (policy_ == RemovePolicy::exact && saturated) {
+      // Same escape hatch as remove(): sticky saturation means a slot's
+      // true sum once left the double range, and only a replay restores
+      // the finite state.
+      ++removal_rebuilds_;
+      rebuild();
+      return;
+    }
+  }
+
+  // Slot `link` reads column `link`, which just changed — and the add /
+  // subtract passes above never touch a link's own slot. Re-derive it from
+  // the members in every class, member or not.
+  rederive_slot(link);
+
+  if (member && policy_ == RemovePolicy::compensated) {
+    // The subtract in begin_link_update cancelled like a removal; keep the
+    // drift bookkeeping identical.
+    ++removes_since_rebuild_;
+    maybe_rebuild_after_remove();
+  }
+  if (member && policy_ == RemovePolicy::exact) {
+    ++removes_since_rebuild_;
+#ifndef NDEBUG
+    // Debug tripwire for the in-place-update exactness claim itself, at
+    // the same cadence as the removal tripwire.
+    if (removes_since_rebuild_ % 8 == 0) {
+      ensure(accumulator_drift() == 0.0,
+             "IncrementalGainClass: exact accumulator deviated after link update");
+    }
+#endif
+  }
+}
+
+void IncrementalGainClass::rederive_slot(std::size_t link) {
+  const bool bidirectional = gains_->variant() == Variant::bidirectional;
+  if (policy_ == RemovePolicy::exact) {
+    ExactSum sum_v;
+    ExactSum sum_u;
+    for (const std::size_t m : members_) {
+      if (m == link) continue;
+      sum_v.add(gains_->at_v(m, link));
+      if (bidirectional) sum_u.add(gains_->at_u(m, link));
+    }
+    exact_v_[link] = sum_v;
+    acc_v_[link] = sum_v.value();
+    if (bidirectional) {
+      exact_u_[link] = sum_u;
+      acc_u_[link] = sum_u.value();
+    }
+    return;
+  }
+  // Plain policies replay the slot in insertion order — the arithmetic of
+  // replay_accumulators, restricted to one slot.
+  double sum_v = 0.0;
+  double sum_u = 0.0;
+  for (const std::size_t m : members_) {
+    if (m == link) continue;
+    sum_v += gains_->at_v(m, link);
+    if (bidirectional) sum_u += gains_->at_u(m, link);
+  }
+  acc_v_[link] = sum_v;
+  if (bidirectional) acc_u_[link] = sum_u;
+  if (policy_ == RemovePolicy::compensated) {
+    // A freshly derived slot has no accumulated cancellation.
+    cancelled_v_[link] = 0.0;
+    if (bidirectional) cancelled_u_[link] = 0.0;
+  }
+}
+
+bool IncrementalGainClass::members_feasible() const {
+  const bool bidirectional = gains_->variant() == Variant::bidirectional;
+  for (const std::size_t m : members_) {
+    if (!(gains_->signal(m) > params_.beta * (acc_v_[m] + params_.noise))) return false;
+    if (bidirectional &&
+        !(gains_->signal(m) > params_.beta * (acc_u_[m] + params_.noise))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void IncrementalGainClass::sync_universe() {

@@ -121,6 +121,18 @@ class GainMatrix {
   /// before the append are invalidated. Not thread-safe.
   std::size_t append_request(const Request& request, double power);
 
+  /// Re-points link `link` at new endpoints (endpoint motion), possibly
+  /// with a new power: updates the stores, recomputes the link's signal
+  /// and refreshes its table row and column in place — O(n) element
+  /// evaluations on every backend (the tiled backend rewrites only
+  /// resident tiles; untouched tiles read the updated stores on first
+  /// touch). Each refreshed entry is computed by the same formula from the
+  /// same stores as an eager build over the moved universe, so queries
+  /// stay bit-for-bit identical to a freshly constructed matrix. Only
+  /// legal on a privately owned matrix (Instance's shared gain cache must
+  /// never mutate); not thread-safe.
+  void update_request(std::size_t link, const Request& request, double power);
+
   /// The receiver-side storage — tests and the memory model observe tile
   /// residency through it.
   [[nodiscard]] const GainStorage& receiver_storage() const noexcept { return *at_v_; }
@@ -226,6 +238,31 @@ class IncrementalGainClass {
   /// replay.
   void remove(std::size_t request_index);
 
+  /// Endpoint-motion bracket, phase 1 of 2: called on EVERY class (member
+  /// or not) BEFORE GainMatrix::update_request rewrites link `link`'s row
+  /// and column. A member class subtracts the link's stale row
+  /// contribution from the other slots under this policy's arithmetic
+  /// (error-free under exact); a non-member class has nothing to read from
+  /// the old tables. Must be paired with finish_link_update on the same
+  /// link, with no other mutation in between.
+  void begin_link_update(std::size_t link);
+  /// Endpoint-motion bracket, phase 2 of 2: called AFTER the matrix
+  /// refresh. A member class adds the link's new row contribution; every
+  /// class then re-derives slot `link` from its members, because the
+  /// column behind that slot changed and the add/remove paths never touch
+  /// a link's own slot. Under exact the resulting state is bit-for-bit a
+  /// freshly built exact class over the same members and the moved
+  /// universe, with no replay (the sticky-saturation escape hatch of
+  /// remove() applies here too, counted in removal_rebuilds()); under
+  /// rebuild a member class replays; under compensated the subtract grows
+  /// the drift bound exactly as a remove does.
+  void finish_link_update(std::size_t link);
+  /// True when every member still decodes against the live accumulators —
+  /// the O(|class|) re-validation the online scheduler runs after motion
+  /// (only the moved link's own class can break: removing a member only
+  /// shrinks interference sums termwise everywhere else).
+  [[nodiscard]] bool members_feasible() const;
+
   [[nodiscard]] bool contains(std::size_t request_index) const;
   /// Extends the accumulators after the gain matrix grew (appendable
   /// backend): fresh slots receive the members' contributions in insertion
@@ -269,11 +306,13 @@ class IncrementalGainClass {
  private:
   void replay_accumulators(std::vector<double>& acc_v, std::vector<double>& acc_u) const;
   void maybe_rebuild_after_remove();
+  void rederive_slot(std::size_t link);
 
   const GainMatrix* gains_;
   SinrParams params_;
   RemovePolicy policy_;
   std::size_t rebuild_interval_;
+  bool update_pending_ = false;
   std::size_t removes_since_rebuild_ = 0;
   std::size_t removal_rebuilds_ = 0;
   std::vector<std::size_t> members_;

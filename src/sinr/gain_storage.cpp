@@ -44,6 +44,15 @@ DenseGainStorage::DenseGainStorage(std::size_t n, std::vector<double> data)
   require(data_.size() == n_ * n_, "DenseGainStorage: need an n x n table");
 }
 
+void DenseGainStorage::refresh_link(std::size_t link, const GainFiller& fill) {
+  require(link < n_, "DenseGainStorage: refresh of an out-of-range link");
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (i == link) continue;
+    data_[link * n_ + i] = fill(link, i);
+    data_[i * n_ + link] = fill(i, link);
+  }
+}
+
 TiledGainStorage::TiledGainStorage(std::size_t n, GainFiller fill)
     : n_(n),
       tiles_per_side_((n + kTileSize - 1) / kTileSize),
@@ -83,6 +92,33 @@ const double* TiledGainStorage::materialize(Tile& tile, std::size_t jb,
   return tile.ready.load(std::memory_order_acquire);
 }
 
+void TiledGainStorage::refresh_link(std::size_t link, const GainFiller& fill) {
+  require(link < n_, "TiledGainStorage: refresh of an out-of-range link");
+  const std::size_t lb = link / kTileSize;
+  const std::size_t lo = link % kTileSize;
+  // Row `link` crosses tile-row lb; column `link` crosses tile-column lb.
+  // Only resident tiles are rewritten — a tile not yet materialized will
+  // evaluate the stored filler on first touch and see the new values then.
+  for (std::size_t tb = 0; tb < tiles_per_side_; ++tb) {
+    Tile& row_tile = tiles_[lb * tiles_per_side_ + tb];
+    if (row_tile.ready.load(std::memory_order_acquire) != nullptr) {
+      double* data = row_tile.data.get();
+      for (std::size_t di = 0; di < kTileSize; ++di) {
+        const std::size_t i = tb * kTileSize + di;
+        data[lo * kTileSize + di] = (i < n_ && i != link) ? fill(link, i) : 0.0;
+      }
+    }
+    Tile& col_tile = tiles_[tb * tiles_per_side_ + lb];
+    if (col_tile.ready.load(std::memory_order_acquire) != nullptr) {
+      double* data = col_tile.data.get();
+      for (std::size_t dj = 0; dj < kTileSize; ++dj) {
+        const std::size_t j = tb * kTileSize + dj;
+        data[dj * kTileSize + lo] = (j < n_ && j != link) ? fill(j, link) : 0.0;
+      }
+    }
+  }
+}
+
 AppendableGainStorage::AppendableGainStorage(std::size_t n, GainFiller fill)
     : fill_(std::move(fill)), rows_(n) {
   require(static_cast<bool>(fill_), "AppendableGainStorage: filler must be callable");
@@ -99,6 +135,17 @@ std::size_t AppendableGainStorage::resident_doubles() const noexcept {
   std::size_t total = 0;
   for (const std::vector<double>& row : rows_) total += row.size();
   return total;
+}
+
+void AppendableGainStorage::refresh_link(std::size_t link, const GainFiller& fill) {
+  require(link < rows_.size(),
+          "AppendableGainStorage: refresh of an out-of-range link");
+  const std::size_t n = rows_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == link) continue;
+    rows_[link][i] = fill(link, i);
+    rows_[i][link] = fill(i, link);
+  }
 }
 
 void AppendableGainStorage::grow_to(std::size_t new_n) {

@@ -83,6 +83,15 @@ class GainStorage {
   [[nodiscard]] virtual const double* dense_data() const noexcept { return nullptr; }
   /// Doubles currently resident — the observable of the memory model.
   [[nodiscard]] virtual std::size_t resident_doubles() const noexcept = 0;
+  /// Recomputes row `link` and column `link` through `fill` — the
+  /// endpoint-motion path. The caller has already updated the request and
+  /// power stores the filler captures, so re-evaluating those entries
+  /// yields the moved link's new gains. Lazy backends rewrite only what is
+  /// resident; unmaterialized tiles pick the new values up on first touch
+  /// through their stored filler. NOT thread-safe against concurrent
+  /// reads; the online scheduler (the only mutating owner) is
+  /// single-threaded per instance.
+  virtual void refresh_link(std::size_t link, const GainFiller& fill) = 0;
 };
 
 /// Eager contiguous table (the historical layout).
@@ -102,6 +111,7 @@ class DenseGainStorage final : public GainStorage {
   [[nodiscard]] std::size_t resident_doubles() const noexcept override {
     return data_.size();
   }
+  void refresh_link(std::size_t link, const GainFiller& fill) override;
 
  private:
   std::size_t n_;
@@ -126,6 +136,7 @@ class TiledGainStorage final : public GainStorage {
   [[nodiscard]] std::size_t resident_doubles() const noexcept override {
     return touched_tiles() * kTileSize * kTileSize;
   }
+  void refresh_link(std::size_t link, const GainFiller& fill) override;
 
   /// Tiles materialized so far — what the sparse-schedule smoke tests and
   /// the memory model reason about.
@@ -169,6 +180,7 @@ class AppendableGainStorage final : public GainStorage {
     return rows_[j][i];
   }
   [[nodiscard]] std::size_t resident_doubles() const noexcept override;
+  void refresh_link(std::size_t link, const GainFiller& fill) override;
 
   /// Extends the table to new_n rows/columns, filling the fresh row and
   /// column entries through the stored filler (which must already see the

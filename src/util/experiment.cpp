@@ -90,12 +90,24 @@ std::pair<Schedule, double> timed(const Algorithm& algorithm) {
   return {std::move(schedule), watch.elapsed_ms()};
 }
 
+/// The mobility trace kinds — they drive the dynamic-mobility family and
+/// need the instance's geometry to generate endpoint motion.
+bool is_mobility_trace(const std::string& kind) {
+  return kind == "waypoint" || kind == "commuter" || kind == "flashmob";
+}
+
 /// The trace of a dynamic scenario: kind x universe, deterministic in the
-/// seed (a distinct stream from the instance geometry's).
+/// seed (a distinct stream from the instance geometry's). Mobility kinds
+/// additionally read the instance's metric and requests.
 ChurnTrace build_trace(const ScenarioSpec& spec, std::size_t universe,
-                       std::span<const Request> fresh_links = {}) {
+                       std::span<const Request> fresh_links = {},
+                       const Instance* instance = nullptr) {
   Rng rng(spec.seed ^ 0xc2b2ae3d27d4eb4fULL);
-  return make_churn_trace(spec.trace, universe, /*target_events=*/0, rng, fresh_links);
+  const MetricSpace* metric = instance == nullptr ? nullptr : &instance->metric();
+  const std::span<const Request> initial =
+      instance == nullptr ? std::span<const Request>{} : instance->requests();
+  return make_churn_trace(spec.trace, universe, /*target_events=*/0, rng, fresh_links,
+                          metric, initial);
 }
 
 void record_replay(const ChurnTrace& trace, const ReplayResult& replay,
@@ -108,6 +120,8 @@ void record_replay(const ChurnTrace& trace, const ReplayResult& replay,
   result.dynamic.final_active = replay.final_active;
   result.dynamic.final_universe = replay.final_universe;
   result.dynamic.fresh_links = replay.stats.fresh_links;
+  result.dynamic.link_updates = replay.stats.link_updates;
+  result.dynamic.update_migrations = replay.stats.update_migrations;
   result.dynamic.migrations = replay.stats.migrations;
   result.dynamic.compaction_skips = replay.stats.compaction_skips;
   result.dynamic.removal_rebuilds = replay.stats.removal_rebuilds;
@@ -176,8 +190,19 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
     }
     return;
   }
+  const bool mobility = is_mobility_trace(spec.trace);
   const std::vector<double> powers = assignment->assign(instance, params.alpha);
-  {
+  OnlineSchedulerOptions options;
+  options.remove_policy = policy;
+  options.storage = backend;
+  if (mobility) {
+    // Endpoint motion mutates the tables, so the scheduler builds a
+    // privately owned matrix — there is no shared cache to warm; time the
+    // scheduler's own build instead. The moved links are re-powered by the
+    // cell's oblivious assignment.
+    options.mobility = true;
+    options.fresh_power = assignment;
+  } else {
     // Cold build of the shared gain tables on the cell's backend (lazy ones
     // only pay their signal pass here); the replay hits the cache.
     Stopwatch watch;
@@ -185,11 +210,11 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
                          /*with_sender_gains=*/false, backend);
     result.gain_build_ms = watch.elapsed_ms();
   }
-  OnlineSchedulerOptions options;
-  options.remove_policy = policy;
-  options.storage = backend;
+  Stopwatch build_watch;
   OnlineScheduler scheduler(instance, powers, params, spec.variant, options);
-  const ChurnTrace trace = build_trace(spec, instance.size());
+  if (mobility) result.gain_build_ms = build_watch.elapsed_ms();
+  const ChurnTrace trace =
+      build_trace(spec, instance.size(), {}, mobility ? &instance : nullptr);
   trace.validate();
   const ReplayResult replay = replay_trace(scheduler, trace, /*validate_final=*/true);
   record_replay(trace, replay, result);
@@ -234,6 +259,8 @@ JsonValue dynamic_json(const DynamicResult& dynamic) {
   value["final_active"] = dynamic.final_active;
   value["final_universe"] = dynamic.final_universe;
   value["fresh_links"] = dynamic.fresh_links;
+  value["link_updates"] = dynamic.link_updates;
+  value["update_migrations"] = dynamic.update_migrations;
   value["migrations"] = dynamic.migrations;
   value["compaction_skips"] = dynamic.compaction_skips;
   value["removal_rebuilds"] = dynamic.removal_rebuilds;
@@ -331,6 +358,9 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
     add("random", 64, "sqrt", "adversarial");
     add("random", 16384, "sqrt", "hotspot", "tiled");
     add("random", 128, "sqrt", "growing", "appendable");
+    // The flagship mobility cell: endpoint motion over Poisson churn,
+    // replayed through the in-place update path.
+    add("random", 256, "sqrt", "waypoint");
     return grid;
   }
   for (const std::string& topology : topologies) {
@@ -346,12 +376,23 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
       add("random", n, "sqrt", trace);
     }
   }
+  // The dynamic-mobility family: the three motion regimes at both sweep
+  // sizes, each replayed through the in-place update path.
+  for (const char* trace : {"waypoint", "commuter", "flashmob"}) {
+    for (const std::size_t n : {std::size_t{64}, std::size_t{256}}) {
+      add("random", n, "sqrt", trace);
+    }
+  }
   // Storage-backend cells: the flagship churn scenario replayed off tiled
-  // tables, the large-n hotspot only the tiled backend can hold, and the
-  // growing universe over the appendable backend.
+  // tables, the large-n hotspot only the tiled backend can hold, the
+  // growing universe over the appendable backend, and the flagship
+  // mobility cell on both non-dense backends (in-place row/column refresh
+  // exercised on every storage layout).
   add("random", 256, "sqrt", "poisson", "tiled");
   add("random", 16384, "sqrt", "hotspot", "tiled");
   add("random", 512, "sqrt", "growing", "appendable");
+  add("random", 256, "sqrt", "waypoint", "tiled");
+  add("random", 128, "sqrt", "waypoint", "appendable");
   // The remove-policy axis on the flagship churn cell: the same instance
   // and trace under all three accumulator policies — the recorded
   // evidence that exact removal costs nothing against the rebuild
@@ -476,7 +517,7 @@ std::vector<ScenarioResult> run_experiment_grid(std::span<const ScenarioSpec> gr
 JsonValue experiment_report(std::span<const ScenarioResult> results,
                             const ExperimentOptions& options) {
   JsonValue root = JsonValue::object();
-  root["schema"] = "oisched-bench-schedule/4";
+  root["schema"] = "oisched-bench-schedule/5";
   root["generator"] = "bench/run_experiments";
   root["mode"] = options.quick ? "quick" : "full";
   root["threads"] = options.threads;
@@ -514,7 +555,9 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
     }
     JsonValue entry = JsonValue::object();
     entry["scenario"] = result.spec.name();
-    entry["family"] = result.spec.is_dynamic() ? "dynamic" : "static";
+    entry["family"] = !result.spec.is_dynamic()        ? "static"
+                      : is_mobility_trace(result.spec.trace) ? "dynamic-mobility"
+                                                             : "dynamic";
     entry["topology"] = result.spec.topology;
     entry["n"] = result.spec.n;
     entry["built_n"] = result.built_n;

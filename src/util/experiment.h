@@ -35,7 +35,11 @@ struct ScenarioSpec {
   /// selects the dynamic family, which replays a generated trace through
   /// the OnlineScheduler and reports throughput instead of one-shot
   /// coloring time. "growing" starts from half the instance and introduces
-  /// the other half as fresh links (appendable storage required).
+  /// the other half as fresh links (appendable storage required). The
+  /// mobility kinds ("waypoint" | "commuter" | "flashmob") select the
+  /// dynamic-mobility family: churn interleaved with endpoint motion,
+  /// replayed through the in-place update path on a privately owned
+  /// matrix.
   std::string trace;
   /// Gain-table backend: "dense" | "tiled" | "appendable". tiled keeps
   /// large sparsely-active universes memory-bounded; appendable is the
@@ -79,6 +83,10 @@ struct DynamicResult {
   std::size_t final_active = 0;
   std::size_t final_universe = 0;  // grows past built_n on growing traces
   std::size_t fresh_links = 0;     // universe-growing arrivals replayed
+  std::size_t link_updates = 0;    // endpoint-motion events applied in place
+  /// Of the link updates, how many broke the moved link's class and forced
+  /// a first-fit re-placement.
+  std::size_t update_migrations = 0;
   std::size_t migrations = 0;     // compaction recolorings
   std::size_t compaction_skips = 0;  // immovable members skipped over
   /// Full O(|class| * n) replays removals triggered — 0 under the exact
@@ -160,7 +168,7 @@ struct ExperimentOptions {
     std::span<const ScenarioSpec> grid, const SinrParams& params, std::size_t threads);
 
 /// Bundles results into the BENCH_schedule.json document
-/// (schema "oisched-bench-schedule/4"; layout documented in README.md).
+/// (schema "oisched-bench-schedule/5"; layout documented in README.md).
 [[nodiscard]] JsonValue experiment_report(std::span<const ScenarioResult> results,
                                           const ExperimentOptions& options);
 

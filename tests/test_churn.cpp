@@ -7,7 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "core/instance.h"
 #include "gen/churn.h"
+#include "gen/generators.h"
+#include "metric/metric_space.h"
 #include "util/error.h"
 #include "util/json_reader.h"
 #include "util/rng.h"
@@ -43,6 +46,29 @@ ChurnTrace make_growing_trace(std::size_t universe, std::size_t fresh,
   Rng rng(seed);
   const std::vector<Request> pool = fresh_pool(fresh);
   return make_churn_trace("growing", universe, /*target_events=*/400, rng, pool);
+}
+
+const std::vector<std::string>& mobility_kinds() {
+  static const std::vector<std::string> kinds = {"waypoint", "commuter", "flashmob"};
+  return kinds;
+}
+
+/// A small geometric workload for the mobility generators, which need the
+/// metric and the initial requests.
+const Instance& mobility_instance() {
+  static const Instance instance = [] {
+    Rng rng(7);
+    return random_square(20, {}, rng);
+  }();
+  return instance;
+}
+
+ChurnTrace make_mobility_trace(const std::string& kind, std::uint64_t seed,
+                               std::size_t target_events = 300) {
+  const Instance& instance = mobility_instance();
+  Rng rng(seed);
+  return make_churn_trace(kind, instance.size(), target_events, rng, {},
+                          &instance.metric(), instance.requests());
 }
 
 TEST(ChurnTrace, GeneratedStreamsValidate) {
@@ -103,6 +129,78 @@ TEST(ChurnTrace, ValidateRejectsMalformedStreams) {
   trace.events = {{ChurnEvent::Kind::arrival, 1, 2.0},
                   {ChurnEvent::Kind::departure, 1, 1.0}};
   EXPECT_THROW(trace.validate(), PreconditionError);  // time runs backwards
+}
+
+TEST(ChurnTrace, MobilityStreamsValidateAndMove) {
+  const Instance& instance = mobility_instance();
+  for (const std::string& kind : mobility_kinds()) {
+    const ChurnTrace trace = make_mobility_trace(kind, 5);
+    EXPECT_NO_THROW(trace.validate()) << kind;
+    EXPECT_TRUE(trace.has_link_updates()) << kind;
+    EXPECT_FALSE(trace.has_fresh_links()) << kind;
+    EXPECT_EQ(trace.final_universe(), instance.size()) << kind;
+    for (const ChurnEvent& event : trace.events) {
+      if (event.kind != ChurnEvent::Kind::link_update) continue;
+      // Moved endpoints stay inside the metric, at distinct positions —
+      // the invariant every gain table build requires.
+      EXPECT_LT(event.request.u, instance.metric().size()) << kind;
+      EXPECT_LT(event.request.v, instance.metric().size()) << kind;
+      EXPECT_GT(instance.metric().distance(event.request.u, event.request.v), 0.0)
+          << kind;
+    }
+  }
+}
+
+TEST(ChurnTrace, MobilityDeterministicAcrossSeedsAndThreadCounts) {
+  for (const std::string& kind : mobility_kinds()) {
+    const ChurnTrace reference = make_mobility_trace(kind, 1234);
+    EXPECT_EQ(reference, make_mobility_trace(kind, 1234)) << kind;
+    EXPECT_NE(reference, make_mobility_trace(kind, 1235)) << kind;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+      std::vector<ChurnTrace> produced(threads);
+      parallel_for(threads, threads,
+                   [&](std::size_t i) { produced[i] = make_mobility_trace(kind, 1234); });
+      for (const ChurnTrace& trace : produced) {
+        EXPECT_EQ(trace, reference) << kind << " on " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ChurnTrace, MobilityRequiresTheGeometry) {
+  Rng rng(1);
+  // No metric / no initial requests: the registry must refuse rather than
+  // generate a motionless trace.
+  EXPECT_THROW((void)make_churn_trace("waypoint", 8, 100, rng), PreconditionError);
+  const Instance& instance = mobility_instance();
+  EXPECT_THROW((void)make_churn_trace("commuter", instance.size() + 1, 100, rng, {},
+                                      &instance.metric(), instance.requests()),
+               PreconditionError);  // universe/requests mismatch
+}
+
+TEST(ChurnTrace, ValidateRejectsUpdatesOfInactiveLinks) {
+  ChurnTrace trace;
+  trace.universe = 4;
+  // A link that never arrived has no gain row to refresh.
+  trace.events = {{ChurnEvent::Kind::link_update, 1, 0.0, Request{0, 1}}};
+  EXPECT_THROW(trace.validate(), PreconditionError);
+  // Nor does one that already departed.
+  trace.events = {{ChurnEvent::Kind::arrival, 1, 0.0},
+                  {ChurnEvent::Kind::departure, 1, 1.0},
+                  {ChurnEvent::Kind::link_update, 1, 2.0, Request{0, 1}}};
+  EXPECT_THROW(trace.validate(), PreconditionError);
+  // Out-of-universe targets stay rejected too.
+  trace.events = {{ChurnEvent::Kind::link_update, 9, 0.0, Request{0, 1}}};
+  EXPECT_THROW(trace.validate(), PreconditionError);
+  // An update of a live link is fine, keeps it active, and does not count
+  // as an extra arrival.
+  trace.events = {{ChurnEvent::Kind::arrival, 1, 0.0},
+                  {ChurnEvent::Kind::link_update, 1, 1.0, Request{0, 1}},
+                  {ChurnEvent::Kind::link_update, 1, 2.0, Request{2, 3}},
+                  {ChurnEvent::Kind::departure, 1, 3.0}};
+  EXPECT_NO_THROW(trace.validate());
+  EXPECT_EQ(trace.peak_active(), 1u);
+  EXPECT_TRUE(trace.final_active().empty());
 }
 
 TEST(ChurnTrace, HotspotStaysInsideItsWindow) {
@@ -182,11 +280,22 @@ TEST(ChurnTrace, JsonRoundTripIsExact) {
 TEST(ChurnTrace, GrowingJsonRoundTripKeepsFreshLinks) {
   const ChurnTrace trace = make_growing_trace(12, 5, 9);
   const std::string text = trace_to_json(trace).dump();
-  EXPECT_NE(text.find("\"schema\": \"oisched-trace/2\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": \"oisched-trace/3\""), std::string::npos);
   EXPECT_NE(text.find("link_arrival"), std::string::npos);
   const ChurnTrace parsed = trace_from_json(parse_json(text));
   EXPECT_EQ(parsed, trace);
   EXPECT_EQ(parsed.final_universe(), trace.final_universe());
+}
+
+TEST(ChurnTrace, MobilityJsonRoundTripIsExact) {
+  for (const std::string& kind : mobility_kinds()) {
+    const ChurnTrace trace = make_mobility_trace(kind, 21, 120);
+    const std::string text = trace_to_json(trace).dump();
+    EXPECT_NE(text.find("\"schema\": \"oisched-trace/3\""), std::string::npos) << kind;
+    EXPECT_NE(text.find("link_update"), std::string::npos) << kind;
+    const ChurnTrace parsed = trace_from_json(parse_json(text));
+    EXPECT_EQ(parsed, trace) << kind;  // bitwise, incl. every update's endpoints
+  }
 }
 
 TEST(ChurnTrace, ReadsLegacySchemaOne) {
@@ -204,6 +313,54 @@ TEST(ChurnTrace, ReadsLegacySchemaOne) {
                        "events": [{"t": 0, "kind": "link_arrival", "link": 2,
                                    "u": 0, "v": 1}]})")),
                PreconditionError);
+}
+
+TEST(ChurnTrace, ReadsLegacySchemaTwoButGatesUpdates) {
+  // Old "/2" documents (churn + growth) stay readable...
+  const ChurnTrace parsed = trace_from_json(parse_json(
+      R"({"schema": "oisched-trace/2", "universe": 2,
+          "events": [{"t": 0, "kind": "arrival", "link": 0},
+                     {"t": 1, "kind": "link_arrival", "link": 2, "u": 4, "v": 5}]})"));
+  EXPECT_EQ(parsed.final_universe(), 3u);
+  EXPECT_FALSE(parsed.has_link_updates());
+  // ...but endpoint motion is a "/3" feature.
+  EXPECT_THROW(trace_from_json(parse_json(
+                   R"({"schema": "oisched-trace/2", "universe": 2,
+                       "events": [{"t": 0, "kind": "arrival", "link": 0},
+                                  {"t": 1, "kind": "link_update", "link": 0,
+                                   "u": 2, "v": 3}]})")),
+               PreconditionError);
+}
+
+TEST(ChurnTrace, FromJsonRejectsMalformedUpdateRecords) {
+  // Missing endpoints on an update record.
+  EXPECT_THROW(trace_from_json(parse_json(
+                   R"({"schema": "oisched-trace/3", "universe": 2,
+                       "events": [{"t": 0, "kind": "arrival", "link": 0},
+                                  {"t": 1, "kind": "link_update", "link": 0}]})")),
+               PreconditionError);
+  // Negative endpoints.
+  EXPECT_THROW(trace_from_json(parse_json(
+                   R"({"schema": "oisched-trace/3", "universe": 2,
+                       "events": [{"t": 0, "kind": "arrival", "link": 0},
+                                  {"t": 1, "kind": "link_update", "link": 0,
+                                   "u": -1, "v": 1}]})")),
+               PreconditionError);
+  // Structurally fine but an invalid stream: update of a departed link.
+  EXPECT_THROW(trace_from_json(parse_json(
+                   R"({"schema": "oisched-trace/3", "universe": 2,
+                       "events": [{"t": 0, "kind": "arrival", "link": 0},
+                                  {"t": 1, "kind": "departure", "link": 0},
+                                  {"t": 2, "kind": "link_update", "link": 0,
+                                   "u": 0, "v": 1}]})")),
+               PreconditionError);
+  // The well-formed counterpart parses.
+  const ChurnTrace ok = trace_from_json(parse_json(
+      R"({"schema": "oisched-trace/3", "universe": 2,
+          "events": [{"t": 0, "kind": "arrival", "link": 0},
+                     {"t": 1, "kind": "link_update", "link": 0, "u": 2, "v": 3}]})"));
+  EXPECT_TRUE(ok.has_link_updates());
+  EXPECT_EQ(ok.events[1].request, (Request{2, 3}));
 }
 
 TEST(ChurnTrace, FileRoundTrip) {

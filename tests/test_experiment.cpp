@@ -110,10 +110,11 @@ TEST(ExperimentGrid, FullGridSweepsSizesAndPowers) {
   ExperimentOptions options;
   const auto grid = experiment_grid(options);
   // 24 static cells + the n512 flagship + 6 dynamic (3 trace kinds x 2
-  // sizes) + 3 storage-backend cells (tiled poisson, tiled large-n hotspot,
-  // appendable growing) + 2 remove-policy cells (flagship poisson under
-  // rebuild and compensated).
-  EXPECT_EQ(grid.size(), 36u);
+  // sizes) + 6 dynamic-mobility (3 motion kinds x 2 sizes) + 5
+  // storage-backend cells (tiled poisson, tiled large-n hotspot,
+  // appendable growing, tiled waypoint, appendable waypoint) + 2
+  // remove-policy cells (flagship poisson under rebuild and compensated).
+  EXPECT_EQ(grid.size(), 44u);
   std::set<std::string> trace_kinds;
   std::set<std::string> storages;
   std::set<std::string> policies;
@@ -124,8 +125,9 @@ TEST(ExperimentGrid, FullGridSweepsSizesAndPowers) {
     }
     storages.insert(spec.storage);
   }
-  EXPECT_EQ(trace_kinds, (std::set<std::string>{"poisson", "flash", "adversarial",
-                                                "hotspot", "growing"}));
+  EXPECT_EQ(trace_kinds,
+            (std::set<std::string>{"poisson", "flash", "adversarial", "hotspot",
+                                   "growing", "waypoint", "commuter", "flashmob"}));
   EXPECT_EQ(storages, (std::set<std::string>{"dense", "tiled", "appendable"}));
   EXPECT_EQ(policies, (std::set<std::string>{"exact", "rebuild", "compensated"}));
   // Seeds are distinct so scenarios are independent draws — except the
@@ -155,6 +157,7 @@ TEST(ExperimentGrid, QuickGridIncludesDynamicFamily) {
   bool has_flagship_churn = false;
   bool has_tiled_large_n = false;
   bool has_growing = false;
+  bool has_mobility = false;
   for (const auto& spec : grid) {
     if (spec.name() == "dynamic/random/n256/poisson/sqrt/bidirectional") {
       has_flagship_churn = true;
@@ -165,10 +168,14 @@ TEST(ExperimentGrid, QuickGridIncludesDynamicFamily) {
     if (spec.name() == "dynamic/random/n128/growing/sqrt/bidirectional/appendable") {
       has_growing = true;
     }
+    if (spec.name() == "dynamic/random/n256/waypoint/sqrt/bidirectional") {
+      has_mobility = true;
+    }
   }
   EXPECT_TRUE(has_flagship_churn);
   EXPECT_TRUE(has_tiled_large_n);
   EXPECT_TRUE(has_growing);
+  EXPECT_TRUE(has_mobility);
 }
 
 TEST(ExperimentGrid, NonExactDefaultPolicySkipsDuplicateAxisCells) {
@@ -302,7 +309,7 @@ TEST(ExperimentReport, EmitsSchemaResultsAndSummary) {
   const auto results = run_experiment_grid(grid, params, 2);
   const JsonValue report = experiment_report(results, options);
   const std::string text = report.dump();
-  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/4\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/5\""), std::string::npos);
   EXPECT_NE(text.find("\"backend_disagreements\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"policy_disagreements\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"storage\": \"dense\""), std::string::npos);
@@ -367,6 +374,39 @@ TEST(ExperimentRunner, GrowingCellExactPolicyMatchesRebuildReference) {
   EXPECT_EQ(result.dynamic.removal_rebuilds, 0u);
   EXPECT_TRUE(result.dynamic.policy_identical);
   EXPECT_FALSE(scenario_failed(result));
+}
+
+TEST(ExperimentRunner, MobilityCellReplaysInPlaceAndMatchesRebuildReference) {
+  for (const char* trace : {"waypoint", "commuter", "flashmob"}) {
+    ScenarioSpec spec;
+    spec.topology = "random";
+    spec.n = 48;
+    spec.power = "sqrt";
+    spec.variant = Variant::bidirectional;
+    spec.seed = 27;
+    spec.trace = trace;
+    SinrParams params;
+    const ScenarioResult result = run_scenario(spec, params);
+    ASSERT_TRUE(result.ok) << trace << ": " << result.error;
+    EXPECT_TRUE(result.valid) << trace;
+    // Motion actually flowed through the in-place update path...
+    EXPECT_GT(result.dynamic.link_updates, 0u) << trace;
+    // ...with zero removal-triggered rebuilds under the exact default and
+    // a final schedule bit-identical to the rebuild-policy twin.
+    EXPECT_EQ(result.dynamic.removal_rebuilds, 0u) << trace;
+    EXPECT_TRUE(result.dynamic.policy_identical) << trace;
+    EXPECT_FALSE(scenario_failed(result)) << trace;
+  }
+  // The report files mobility cells under their own family string.
+  ScenarioSpec spec;
+  spec.topology = "random";
+  spec.n = 48;
+  spec.power = "sqrt";
+  spec.seed = 27;
+  spec.trace = "waypoint";
+  const std::vector<ScenarioResult> results = {run_scenario(spec, SinrParams{})};
+  const JsonValue report = experiment_report(results, ExperimentOptions{});
+  EXPECT_NE(report.dump().find("\"family\": \"dynamic-mobility\""), std::string::npos);
 }
 
 TEST(ExperimentRunner, UnknownRemovePolicyFailsSoftly) {

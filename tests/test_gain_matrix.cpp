@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/distributed.h"
@@ -20,6 +22,7 @@
 #include "sinr/feasibility.h"
 #include "sinr/gain_matrix.h"
 #include "test_helpers.h"
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace oisched {
@@ -423,6 +426,82 @@ TEST(MaxFeasibleEngines, ExactSubsetStillDominatesGreedy) {
                                params, variant)
                     .feasible);
   }
+}
+
+TEST(GainMatrixUpdate, UpdateRequestMatchesAFreshBuildOnEveryBackend) {
+  // Moving a link in place must leave the table bit-identical to one built
+  // from scratch over the moved geometry — on all three storage backends,
+  // both table sides included.
+  const auto scenario = random_scenario(24, /*seed=*/7);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  const MetricSpace& metric = instance.metric();
+  Rng rng(606);
+  for (const Variant variant : {Variant::directed, Variant::bidirectional}) {
+    // A handful of random moves, applied identically to every backend.
+    std::vector<Request> moved_requests(instance.requests().begin(),
+                                        instance.requests().end());
+    std::vector<double> moved_powers(powers.begin(), powers.end());
+    std::vector<std::pair<std::size_t, Request>> moves;
+    for (int m = 0; m < 6; ++m) {
+      const std::size_t link = rng.uniform_index(instance.size());
+      Request moved;
+      do {
+        moved.u = static_cast<NodeId>(rng.uniform_index(metric.size()));
+        moved.v = static_cast<NodeId>(rng.uniform_index(metric.size()));
+      } while (!(metric.distance(moved.u, moved.v) > 0.0));
+      moves.emplace_back(link, moved);
+      moved_requests[link] = moved;
+      moved_powers[link] =
+          SqrtPower{}.power_for_loss(link_loss(metric, moved, 3.0));
+    }
+    const GainMatrix reference(metric, moved_requests, moved_powers, 3.0, variant,
+                               /*with_sender_gains=*/true, GainBackend::dense);
+    for (const GainBackend backend :
+         {GainBackend::dense, GainBackend::tiled, GainBackend::appendable}) {
+      GainMatrix gains(instance, powers, 3.0, variant,
+                       /*with_sender_gains=*/true, backend);
+      // Touch a few entries first so the tiled backend has resident tiles
+      // the refresh must rewrite (not just lazily refill).
+      (void)gains.at_v(0, instance.size() - 1);
+      (void)gains.at_u(instance.size() - 1, 0);
+      for (const auto& [link, request] : moves) {
+        gains.update_request(link, request, moved_powers[link]);
+      }
+      for (std::size_t j = 0; j < instance.size(); ++j) {
+        ASSERT_EQ(gains.signal(j), reference.signal(j)) << to_string(backend);
+        EXPECT_EQ(gains.requests()[j] == moved_requests[j], true);
+        ASSERT_EQ(gains.powers()[j], moved_powers[j]);
+        for (std::size_t i = 0; i < instance.size(); ++i) {
+          if (i == j) continue;
+          ASSERT_EQ(gains.at_v(j, i), reference.at_v(j, i))
+              << to_string(backend) << " at_v(" << j << "," << i << ")";
+          ASSERT_EQ(gains.at_u(j, i), reference.at_u(j, i))
+              << to_string(backend) << " at_u(" << j << "," << i << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(GainMatrixUpdate, UpdateRequestGuardsItsPreconditions) {
+  const auto scenario = random_scenario(6, /*seed=*/3);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  GainMatrix gains(instance, powers, 3.0, Variant::bidirectional);
+  const Request valid = instance.request(1);
+  EXPECT_THROW(gains.update_request(instance.size(), valid, 1.0), PreconditionError);
+  EXPECT_THROW(gains.update_request(0, Request{0, 0}, 1.0), PreconditionError);
+  const NodeId out = static_cast<NodeId>(instance.metric().size());
+  EXPECT_THROW(gains.update_request(0, Request{out, 0}, 1.0), PreconditionError);
+  EXPECT_THROW(gains.update_request(0, valid, 0.0), PreconditionError);
+  EXPECT_THROW(gains.update_request(0, valid,
+                                    std::numeric_limits<double>::infinity()),
+               PreconditionError);
+  // A failed update leaves the table untouched.
+  EXPECT_EQ(gains.requests()[0] == instance.request(0), true);
+  gains.update_request(0, valid, 2.0);
+  EXPECT_EQ(gains.powers()[0], 2.0);
 }
 
 }  // namespace

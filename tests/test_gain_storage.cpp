@@ -394,5 +394,57 @@ TEST(GainStorageUnits, DenseExposesRawDataAndResidency) {
   EXPECT_EQ(appendable.resident_doubles(), 16u);
 }
 
+TEST(GainStorageUnits, RefreshLinkRewritesTheRowAndColumnOnEveryBackend) {
+  // The filler reads shared mutable state — exactly how GainMatrix wires
+  // it (fillers capture the request/power stores). After the state changes,
+  // refresh_link(1, fill) must rewrite link 1's row and column in place
+  // while every other resident entry keeps its original value.
+  const auto scale = std::make_shared<double>(1.0);
+  const GainFiller fill = [scale](std::size_t j, std::size_t i) {
+    return i == j ? 0.0 : *scale * static_cast<double>(10 * j + i);
+  };
+  DenseGainStorage dense(4, fill);
+  TiledGainStorage tiled(4, fill);
+  AppendableGainStorage appendable(4, fill);
+  // Materialize the tiled table so the refresh has resident data to rewrite.
+  EXPECT_EQ(tiled.at(0, 2), 2.0);
+  *scale = 3.0;
+  for (GainStorage* storage :
+       std::initializer_list<GainStorage*>{&dense, &tiled, &appendable}) {
+    storage->refresh_link(1, fill);
+    // Row 1 and column 1 read the new state...
+    EXPECT_EQ(storage->at(1, 2), 36.0) << to_string(storage->kind());
+    EXPECT_EQ(storage->at(2, 1), 63.0) << to_string(storage->kind());
+    EXPECT_EQ(storage->at(1, 1), 0.0) << to_string(storage->kind());
+    // ...every other entry keeps the pre-refresh value.
+    EXPECT_EQ(storage->at(0, 2), 2.0) << to_string(storage->kind());
+    EXPECT_EQ(storage->at(3, 2), 32.0) << to_string(storage->kind());
+  }
+}
+
+TEST(GainStorageUnits, TiledRefreshLeavesUnmaterializedTilesToTheLazyFiller) {
+  // n = 70 spans a 2x2 tile grid. Only tile (0,0) is resident when link 65
+  // is refreshed, so the refresh rewrites nothing outside it — but tiles
+  // materializing LATER run the captured filler against the already-updated
+  // state, landing on the same values a full rewrite would have produced.
+  const auto scale = std::make_shared<double>(1.0);
+  const GainFiller fill = [scale](std::size_t j, std::size_t i) {
+    return i == j ? 0.0 : *scale * static_cast<double>(100 * j + i);
+  };
+  TiledGainStorage tiled(70, fill);
+  EXPECT_EQ(tiled.at(2, 3), 203.0);  // materializes tile (0,0)
+  EXPECT_EQ(tiled.touched_tiles(), 1u);
+  *scale = 2.0;
+  tiled.refresh_link(65, fill);
+  EXPECT_EQ(tiled.touched_tiles(), 1u);  // refresh materializes nothing
+  // Tile (0,0) holds neither link 65's row nor its column, so its resident
+  // entries are untouched; the row/column tiles all fill lazily, post-update.
+  EXPECT_EQ(tiled.at(2, 3), 203.0);
+  EXPECT_EQ(tiled.at(2, 65), 2.0 * 265.0);
+  EXPECT_EQ(tiled.at(65, 2), 2.0 * 6502.0);  // tile (1,0) fills lazily, post-update
+  EXPECT_EQ(tiled.at(65, 66), 2.0 * 6566.0);
+  EXPECT_EQ(tiled.at(66, 67), 2.0 * 6667.0);  // untouched links in a fresh tile too
+}
+
 }  // namespace
 }  // namespace oisched

@@ -614,11 +614,13 @@ TEST(IncrementalGainClassRemove, ExactPolicyRecoversFromSaturationByRebuilding) 
 
 /// Differential replay: the exact-policy scheduler against a rebuild-policy
 /// twin on the same trace, then every live class against freshly built
-/// exact twins (in sorted member order — the order-free claim).
-void run_policy_differential(const Instance& instance, const ChurnTrace& trace,
-                             GainBackend backend,
-                             std::shared_ptr<const PowerAssignment> fresh_power,
-                             const char* context) {
+/// exact twins (in sorted member order — the order-free claim). Traces
+/// with link_update events run with the mobility option (privately owned
+/// matrix, in-place row/column refresh) on both sides.
+ReplayResult run_policy_differential(const Instance& instance, const ChurnTrace& trace,
+                                     GainBackend backend,
+                                     std::shared_ptr<const PowerAssignment> fresh_power,
+                                     const char* context) {
   SinrParams params;
   params.alpha = 3.0;
   params.beta = 1.0;
@@ -626,7 +628,8 @@ void run_policy_differential(const Instance& instance, const ChurnTrace& trace,
   OnlineSchedulerOptions options;
   options.storage = backend;
   options.fresh_power = fresh_power;
-  ASSERT_EQ(options.remove_policy, RemovePolicy::exact);  // the default
+  options.mobility = trace.has_link_updates();
+  EXPECT_EQ(options.remove_policy, RemovePolicy::exact);  // the default
   OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional, options);
   const ReplayResult result = replay_trace(scheduler, trace);
   EXPECT_TRUE(result.validated) << context;
@@ -657,6 +660,7 @@ void run_policy_differential(const Instance& instance, const ChurnTrace& trace,
     for (const std::size_t m : members) fresh.add(m);
     expect_accumulators_identical(scheduler.gains(), cls, fresh, context);
   }
+  return result;
 }
 
 TEST(OnlineScheduler, ExactPolicyDifferentialFuzzAcrossTracesAndBackends) {
@@ -719,6 +723,323 @@ TEST(OnlineScheduler, LegacyTraceSchemaReplaysUnderTheExactDefault) {
   EXPECT_TRUE(result.validated);
   EXPECT_EQ(result.stats.removal_rebuilds, 0u);
   EXPECT_EQ(result.final_active, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Mobility: the in-place link_update path (oisched-trace/3).
+
+ChurnTrace mobility_trace(const Instance& instance, const std::string& kind,
+                          std::uint64_t seed, std::size_t target_events = 400) {
+  Rng rng(seed);
+  return make_churn_trace(kind, instance.size(), target_events, rng,
+                          /*fresh_links=*/{}, &instance.metric(),
+                          instance.requests());
+}
+
+TEST(OnlineScheduler, MobilityDifferentialFuzzAcrossKindsAndBackends) {
+  // The flagship differential gate of the update path: every mobility kind
+  // replayed on all three storage backends, each run checked against a
+  // rebuild-policy twin (bit-identical schedule), every live class against
+  // a freshly built exact twin (bit-identical accumulators), zero
+  // removal-triggered rebuilds under the exact default — and the three
+  // backends agreeing with each other on the final schedule.
+  const auto scenario = random_scenario(40, /*seed=*/321);
+  const Instance instance = scenario.instance();
+  std::uint64_t seed = 500;
+  for (const std::string kind : {"waypoint", "commuter", "flashmob"}) {
+    const ChurnTrace trace = mobility_trace(instance, kind, seed++);
+    ASSERT_TRUE(trace.has_link_updates()) << kind;
+    std::vector<ReplayResult> per_backend;
+    for (const GainBackend backend :
+         {GainBackend::dense, GainBackend::tiled, GainBackend::appendable}) {
+      const std::string context = kind + "/" + to_string(backend);
+      per_backend.push_back(run_policy_differential(
+          instance, trace, backend, std::make_shared<SqrtPower>(), context.c_str()));
+      EXPECT_GT(per_backend.back().stats.link_updates, 0u) << context;
+    }
+    for (std::size_t b = 1; b < per_backend.size(); ++b) {
+      EXPECT_EQ(per_backend[b].final_schedule.color_of,
+                per_backend[0].final_schedule.color_of)
+          << kind << " backend " << b;
+      EXPECT_EQ(per_backend[b].final_colors, per_backend[0].final_colors) << kind;
+      EXPECT_EQ(per_backend[b].final_worst_margin, per_backend[0].final_worst_margin)
+          << kind;
+    }
+  }
+}
+
+TEST(OnlineScheduler, MobilityFinalStateRevalidatesOverTheMovedGeometry) {
+  // End-to-end exactness: after a mobility replay the scheduler's final
+  // coloring must pass the from-scratch direct checker evaluated over the
+  // MOVED requests — the geometry the updates produced, not the one the
+  // scheduler was built on.
+  const auto scenario = random_scenario(32, /*seed=*/9);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  for (const Variant variant : both_variants()) {
+    const ChurnTrace trace = mobility_trace(instance, "waypoint", 11);
+    OnlineSchedulerOptions options;
+    options.mobility = true;
+    options.fresh_power = std::make_shared<SqrtPower>();
+    OnlineScheduler scheduler(instance, powers, params, variant, options);
+    const ReplayResult result = replay_trace(scheduler, trace);
+    EXPECT_TRUE(result.validated);
+    EXPECT_EQ(result.stats.events(), trace.events.size());
+    EXPECT_GT(result.stats.link_updates, 0u);
+    EXPECT_EQ(result.stats.removal_rebuilds, 0u);
+    // Motion really happened: at least one request differs from the build.
+    const auto final_requests = scheduler.gains().requests();
+    bool moved = false;
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      if (!(final_requests[i] == instance.request(i))) moved = true;
+    }
+    EXPECT_TRUE(moved);
+    // Moved links carry the oblivious power their NEW length dictates.
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      const double loss =
+          link_loss(instance.metric(), final_requests[i], params.alpha);
+      EXPECT_EQ(scheduler.powers()[i], SqrtPower{}.power_for_loss(loss)) << i;
+    }
+    const auto classes = color_classes(result.final_schedule);
+    for (const auto& members : classes) {
+      EXPECT_TRUE(check_feasible(instance.metric(), final_requests,
+                                 scheduler.powers(), members, params, variant)
+                      .feasible);
+    }
+  }
+}
+
+TEST(OnlineScheduler, MotionThatBreaksFeasibilityMigratesTheLink) {
+  // L0 = [0,2] and L1 = [100,102] happily share color 0. L1 then moves to
+  // [2.5,4.5], right next to L0's receiver: its class goes infeasible and
+  // the update path must re-place it first-fit into a new color, counting
+  // one update_migration.
+  const auto scenario = line_pairs({0.0, 2.0, 100.0, 102.0, 2.5, 4.5});
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = UniformPower{}.assign(instance, params.alpha);
+  OnlineSchedulerOptions options;
+  options.mobility = true;
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional, options);
+  ASSERT_EQ(scheduler.on_arrival(0), 0);
+  ASSERT_EQ(scheduler.on_arrival(1), 0);
+  const int moved_color = scheduler.on_link_update(1, Request{4, 5});
+  EXPECT_EQ(moved_color, 1);
+  EXPECT_EQ(scheduler.color_of(0), 0);
+  EXPECT_EQ(scheduler.color_of(1), 1);
+  EXPECT_EQ(scheduler.stats().link_updates, 1u);
+  EXPECT_EQ(scheduler.stats().update_migrations, 1u);
+  EXPECT_EQ(scheduler.stats().removal_rebuilds, 0u);
+  EXPECT_TRUE(scheduler.validate_against_direct());
+  // Moving it back keeps it where it is: a feasible class never triggers a
+  // migration (updates re-place only on breakage; compaction runs on
+  // departure), even though color 0 would take the link again.
+  const int back_color = scheduler.on_link_update(1, Request{2, 3});
+  EXPECT_EQ(back_color, 1);
+  EXPECT_EQ(scheduler.num_colors(), 2);
+  EXPECT_EQ(scheduler.stats().link_updates, 2u);
+  EXPECT_EQ(scheduler.stats().update_migrations, 1u);
+  EXPECT_TRUE(scheduler.validate_against_direct());
+}
+
+TEST(OnlineScheduler, LinkUpdateGuardsItsPreconditions) {
+  const auto scenario = random_scenario(8, /*seed=*/5);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  const Request valid = instance.request(1);
+  {
+    // No mobility option and a cached dense matrix: the scheduler must
+    // refuse to mutate shared gains in place.
+    OnlineScheduler cached(instance, powers, params, Variant::bidirectional);
+    (void)cached.on_arrival(0);
+    EXPECT_THROW((void)cached.on_link_update(0, valid), PreconditionError);
+  }
+  OnlineSchedulerOptions options;
+  options.mobility = true;
+  OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional, options);
+  // Updating an inactive link is an error...
+  EXPECT_THROW((void)scheduler.on_link_update(0, valid), PreconditionError);
+  (void)scheduler.on_arrival(0);
+  // ...as are co-located endpoints (zero link loss).
+  EXPECT_THROW((void)scheduler.on_link_update(0, Request{2, 2}), PreconditionError);
+  // A well-formed update on an active link is fine and counted.
+  (void)scheduler.on_link_update(0, valid);
+  EXPECT_EQ(scheduler.stats().link_updates, 1u);
+  EXPECT_TRUE(scheduler.validate_against_direct());
+}
+
+TEST(IncrementalGainClassUpdate, InPlaceEqualsRemoveThenAddBitwiseUnderExact) {
+  // The property the whole tentpole rests on: under RemovePolicy::exact,
+  // begin_link_update -> GainMatrix::update_request -> finish_link_update
+  // leaves the class bit-identical to the historical route (remove the
+  // stale member, move the link, re-add it) run over an independent twin
+  // matrix — and, for non-members, to a full from-scratch rebuild.
+  Rng rng(8181);
+  const auto scenario = random_scenario(24, /*seed=*/15);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 0.5;
+  for (const Variant variant : both_variants()) {
+    GainMatrix inplace_gains(instance, powers, params.alpha, variant);
+    GainMatrix twin_gains(instance, powers, params.alpha, variant);
+    IncrementalGainClass inplace(inplace_gains, params, RemovePolicy::exact);
+    IncrementalGainClass twin(twin_gains, params, RemovePolicy::exact);
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      if (inplace.can_add(i)) {
+        inplace.add(i);
+        twin.add(i);
+      }
+    }
+    ASSERT_GE(inplace.size(), 2u);
+    const MetricSpace& metric = instance.metric();
+    for (int step = 0; step < 120; ++step) {
+      std::size_t link = rng.uniform_index(instance.size());
+      if (rng.bernoulli(0.7)) {
+        link = inplace.members()[rng.uniform_index(inplace.size())];
+      }
+      Request moved;
+      do {
+        moved.u = static_cast<NodeId>(rng.uniform_index(metric.size()));
+        moved.v = static_cast<NodeId>(rng.uniform_index(metric.size()));
+      } while (!(metric.distance(moved.u, moved.v) > 0.0));
+      const double power =
+          SqrtPower{}.power_for_loss(link_loss(metric, moved, params.alpha));
+      inplace.begin_link_update(link);
+      inplace_gains.update_request(link, moved, power);
+      inplace.finish_link_update(link);
+      if (twin.contains(link)) {
+        twin.remove(link);
+        twin_gains.update_request(link, moved, power);
+        twin.add(link);
+      } else {
+        // A non-member contributes nothing — the matrix move alone is the
+        // whole remove-then-add.
+        twin_gains.update_request(link, moved, power);
+      }
+      ASSERT_EQ(inplace.removal_rebuilds(), 0u) << "step " << step;
+      ASSERT_EQ(inplace.accumulator_drift(), 0.0) << "step " << step;
+      // remove-then-add covers every slot EXCEPT the moved link's own (a
+      // link's row never includes itself, so neither remove nor add can see
+      // the changed column) — bitwise equality on all the others.
+      for (std::size_t i = 0; i < instance.size(); ++i) {
+        if (i == link) continue;
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(inplace.accumulator_v(i)),
+                  std::bit_cast<std::uint64_t>(twin.accumulator_v(i)))
+            << "step " << step << " acc_v slot " << i;
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(inplace.accumulator_u(i)),
+                  std::bit_cast<std::uint64_t>(twin.accumulator_u(i)))
+            << "step " << step << " acc_u slot " << i;
+      }
+      // The own slot is exactly what rederive_slot exists for: against a
+      // freshly rebuilt twin the in-place state matches on EVERY slot.
+      twin.rebuild();
+      expect_accumulators_identical(inplace_gains, inplace, twin,
+                                    "in-place vs freshly rebuilt twin");
+    }
+  }
+}
+
+TEST(IncrementalGainClassUpdate, CompensatedStaysDriftBoundedUnderInPlaceUpdates) {
+  Rng rng(33);
+  const auto scenario = random_scenario(20, /*seed=*/4);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 0.5;
+  GainMatrix gains(instance, powers, params.alpha, Variant::bidirectional);
+  IncrementalGainClass cls(gains, params, RemovePolicy::compensated,
+                           /*rebuild_interval=*/16);
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    if (cls.can_add(i)) cls.add(i);
+  }
+  ASSERT_GE(cls.size(), 2u);
+  const MetricSpace& metric = instance.metric();
+  double max_drift = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    std::size_t link = rng.uniform_index(instance.size());
+    if (rng.bernoulli(0.7)) {
+      link = cls.members()[rng.uniform_index(cls.size())];
+    }
+    Request moved;
+    do {
+      moved.u = static_cast<NodeId>(rng.uniform_index(metric.size()));
+      moved.v = static_cast<NodeId>(rng.uniform_index(metric.size()));
+    } while (!(metric.distance(moved.u, moved.v) > 0.0));
+    const double power =
+        SqrtPower{}.power_for_loss(link_loss(metric, moved, params.alpha));
+    cls.begin_link_update(link);
+    gains.update_request(link, moved, power);
+    cls.finish_link_update(link);
+    max_drift = std::max(max_drift, cls.accumulator_drift());
+  }
+  // Drift-bounded, not exact: hundreds of in-place updates stay at
+  // rounding-noise scale...
+  EXPECT_LT(max_drift, 1e-9);
+  // ...and a rebuild erases the deviation entirely.
+  cls.rebuild();
+  EXPECT_EQ(cls.accumulator_drift(), 0.0);
+}
+
+TEST(IncrementalGainClassUpdate, UpdateHandshakeGuardsItsStates) {
+  const auto scenario = random_scenario(6, /*seed=*/2);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  const GainMatrix gains(instance, powers, params.alpha, Variant::bidirectional);
+  IncrementalGainClass cls(gains, params, RemovePolicy::exact);
+  EXPECT_THROW(cls.finish_link_update(0), PreconditionError);
+  EXPECT_THROW(cls.begin_link_update(instance.size()), PreconditionError);
+  cls.begin_link_update(0);
+  EXPECT_THROW(cls.begin_link_update(0), PreconditionError);
+  cls.finish_link_update(0);  // no matrix change: a clean no-op round trip
+  EXPECT_EQ(cls.accumulator_drift(), 0.0);
+}
+
+TEST(OnlineScheduler, LegacySchemasOneAndTwoReplayIdentically) {
+  // The same fixed-universe event stream serialized as oisched-trace/1 and
+  // as oisched-trace/2 must replay to bit-identical final states under the
+  // current scheduler.
+  const auto scenario = random_scenario(8, /*seed=*/31);
+  const Instance instance = scenario.instance();
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  const std::string events = R"("events": [
+      {"t": 0.5, "kind": "arrival", "link": 3},
+      {"t": 1.0, "kind": "arrival", "link": 5},
+      {"t": 1.5, "kind": "arrival", "link": 0},
+      {"t": 2.0, "kind": "departure", "link": 3},
+      {"t": 2.5, "kind": "arrival", "link": 7},
+      {"t": 3.0, "kind": "departure", "link": 5},
+      {"t": 3.5, "kind": "arrival", "link": 3}
+    ])";
+  std::vector<ReplayResult> results;
+  for (const std::string schema : {"oisched-trace/1", "oisched-trace/2"}) {
+    const std::string doc =
+        "{\"schema\": \"" + schema + "\", \"universe\": 8, " + events + "}";
+    const ChurnTrace trace = trace_from_json(parse_json(doc));
+    OnlineScheduler scheduler(instance, powers, params, Variant::bidirectional);
+    results.push_back(replay_trace(scheduler, trace));
+    EXPECT_TRUE(results.back().validated) << schema;
+    EXPECT_EQ(results.back().stats.removal_rebuilds, 0u) << schema;
+  }
+  EXPECT_EQ(results[0].final_schedule.color_of, results[1].final_schedule.color_of);
+  EXPECT_EQ(results[0].final_colors, results[1].final_colors);
+  EXPECT_EQ(results[0].final_active, results[1].final_active);
+  EXPECT_EQ(results[0].final_worst_margin, results[1].final_worst_margin);
 }
 
 TEST(OnlineScheduler, RebuildPolicyStillCountsItsReplays) {
