@@ -83,7 +83,15 @@ int main(int argc, char** argv) {
 
     int failures = 0;
     for (const ScenarioResult& result : results) {
-      if (result.ok && result.spec.is_dynamic()) {
+      if (result.ok && result.spec.is_service()) {
+        std::cerr << "  " << result.spec.name() << ": " << result.dynamic.events
+                  << " events at " << result.dynamic.events_per_sec << " events/sec ("
+                  << result.dynamic.shards << " shards, p99 "
+                  << result.dynamic.latency_p99_ms << " ms), "
+                  << result.dynamic.final_colors << " final colors"
+                  << (result.dynamic.oracle_identical ? "" : " [ORACLE MISMATCH]")
+                  << (result.valid ? "" : " [INVALID FINAL STATE]") << '\n';
+      } else if (result.ok && result.spec.is_dynamic()) {
         std::cerr << "  " << result.spec.name() << ": " << result.dynamic.events
                   << " events at " << result.dynamic.events_per_sec << " events/sec, "
                   << result.dynamic.final_colors << " final colors, "

@@ -12,39 +12,37 @@
 //   $ ./schedule_tool replay <in.inst> --trace <in.trace> [--out <final.sched>]
 //                            [--storage dense|tiled]
 //                            [--remove-policy rebuild|compensated|exact]
-//                            [--rebuild-interval N]    replay it online
+//                            [--rebuild-interval N]
+//                            [--shards N] [--rate R]   replay it online
+//   $ ./schedule_tool serve <in.inst> [--shards N] [--storage dense|tiled]
+//                           [--remove-policy rebuild|compensated|exact]
+//                           [--mobility] [--boundary-refresh N]
+//                           interactive admission service on stdin
 //
 // `run` defaults to the Section-5 sqrt coloring on the gain-matrix engine;
 // the other engines answer the same queries from scratch and exist for
 // cross-checking (identical schedules, different wall time — reported).
-// `--storage` picks the gain-table backend (identical results; tiled keeps
-// huge sparsely-active universes memory-bounded). `replay` drives the trace
-// through the online scheduler (arrivals first-fit into the live coloring,
-// departures shrink and compact it), reports events/sec, colors,
-// migrations and removal-triggered accumulator rebuilds, and re-validates
-// the final state bit-for-bit against the direct feasibility engine.
-// `--remove-policy` picks the accumulator arithmetic: replay defaults to
-// the numerically exact O(n) removal (`exact`, zero rebuilds), with
-// `rebuild` (replay-on-remove) and `compensated` (drift-bounded subtract;
-// `--rebuild-interval` caps its removals between forced replays) as the
-// alternatives; on `run` it selects the greedy gain-engine accumulator
-// arithmetic (default rebuild — the historical plain sums; sqrt has no
-// accumulator policy). A `growing` trace targets the first half of the
-// instance as its starting universe and introduces the second half as
-// fresh links; replay then runs the appendable backend, growing the gain
-// tables online with square-root powers derived per fresh link. The
-// mobility kinds (waypoint/commuter/flashmob) interleave churn with
-// link_update endpoint-motion events; replay detects them, switches the
-// scheduler to a privately owned matrix whose rows/columns refresh in
-// place, and re-powers each moved link from its new length (sqrt rule).
+// `replay` drives the trace through the online scheduler; with `--shards N`
+// it goes through the sharded SchedulerService instead — the typed
+// admission front-end whose shards each first-fit their own hash partition
+// of the links into disjoint color planes — and additionally reports
+// latency percentiles, the per-shard event split, and the bit-for-bit
+// oracle verdict (each shard's final state vs a fresh single-thread replay
+// of its sub-trace). `--rate R` paces the service replay open-loop at R
+// events/sec (0 = saturated). `serve` exposes the same typed API
+// interactively: one command per stdin line (admit/release/update/stats/
+// boundary/drain/quit), one structured response per line on stdout.
 //
-// Demonstrates the serialization API (core/io.h, gen/churn.h) and how
-// downstream tools can mix and match generators, algorithms, engines and
-// validators.
+// Every subcommand parses its flags through the shared OptionParser
+// (util/options.h), so --storage/--remove-policy/--shards/--trace mean the
+// same thing everywhere and an unknown flag fails loudly naming the word;
+// file loads go through the Expected-returning try_load_* wrappers, so a
+// missing or malformed file produces one structured error line instead of
+// an exception trace.
 #include <algorithm>
-#include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -55,6 +53,8 @@
 #include "gen/churn.h"
 #include "gen/generators.h"
 #include "online/online_scheduler.h"
+#include "service/scheduler_service.h"
+#include "util/options.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -63,24 +63,44 @@ namespace {
 using namespace oisched;
 
 int usage() {
-  std::cerr << "usage:\n"
-               "  schedule_tool gen   <out.inst> <n> [seed]\n"
-               "  schedule_tool run   <in.inst> <out.sched> [sqrt|greedy] "
-               "[gain|incremental|direct] [--storage dense|tiled]\n"
-               "                      [--remove-policy rebuild|compensated|exact]\n"
-               "  schedule_tool check <in.inst> <in.sched>\n"
-               "  schedule_tool gen-trace <in.inst> <out.trace> "
-               "[poisson|flash|adversarial|hotspot|growing|waypoint|commuter|"
-               "flashmob] [events] [seed]\n"
-               "  schedule_tool replay <in.inst> --trace <in.trace> "
-               "[--out <final.sched>] [--storage dense|tiled]\n"
-               "                      [--remove-policy rebuild|compensated|exact] "
-               "[--rebuild-interval N]\n";
+  std::cerr
+      << "usage:\n"
+         "  schedule_tool gen   <out.inst> <n> [seed]\n"
+         "  schedule_tool run   <in.inst> <out.sched> [sqrt|greedy] "
+         "[gain|incremental|direct] [--storage dense|tiled]\n"
+         "                      [--remove-policy rebuild|compensated|exact]\n"
+         "  schedule_tool check <in.inst> <in.sched>\n"
+         "  schedule_tool gen-trace <in.inst> <out.trace> "
+         "[poisson|flash|adversarial|hotspot|growing|waypoint|commuter|"
+         "flashmob] [events] [seed]\n"
+         "  schedule_tool replay <in.inst> --trace <in.trace> "
+         "[--out <final.sched>] [--storage dense|tiled]\n"
+         "                      [--remove-policy rebuild|compensated|exact] "
+         "[--rebuild-interval N] [--shards N] [--rate R]\n"
+         "  schedule_tool serve <in.inst> [--shards N] [--storage dense|tiled]\n"
+         "                      [--remove-policy rebuild|compensated|exact] "
+         "[--mobility] [--boundary-refresh N]\n";
   return 2;
 }
 
+/// One structured error line for flag-parse and file-load failures.
+int fail_loudly(const std::string& message) {
+  std::cerr << "error: " << message << '\n';
+  return 2;
+}
+
+/// Strict full-word positional number parse (strtoull accepts "12abc").
+bool parse_size_arg(const std::string& word, std::size_t& out) {
+  if (word.empty() || word.front() == '-') return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(word.c_str(), &end, 10);
+  if (end != word.c_str() + word.size()) return false;
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
 /// The fixed SINR parameters every subcommand evaluates under — one place,
-/// so run/check/replay can never drift apart.
+/// so run/check/replay/serve can never drift apart.
 SinrParams default_params() {
   SinrParams params;
   params.alpha = 3.0;
@@ -102,59 +122,47 @@ bool parse_engine(const std::string& word, FeasibilityEngine& engine) {
 }
 
 int cmd_gen(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const std::string path = argv[2];
-  const std::size_t n = std::strtoull(argv[3], nullptr, 10);
-  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
-  Rng rng(seed);
+  OptionParser parser;
+  const Expected<std::vector<std::string>> parsed = parser.parse(argc, argv, 2);
+  if (!parsed) return fail_loudly(parsed.error());
+  const std::vector<std::string>& args = parsed.value();
+  if (args.size() < 2 || args.size() > 3) return usage();
+  std::size_t n = 0;
+  std::size_t seed = 1;
+  if (!parse_size_arg(args[1], n) || n == 0) {
+    return fail_loudly("gen: '" + args[1] + "' is not a positive link count");
+  }
+  if (args.size() > 2 && !parse_size_arg(args[2], seed)) {
+    return fail_loudly("gen: '" + args[2] + "' is not a seed");
+  }
+  Rng rng(static_cast<std::uint64_t>(seed));
   const Instance instance = random_square(n, {}, rng);
-  save_instance(path, instance);
-  std::cout << "wrote " << instance.size() << " requests to " << path << '\n';
+  save_instance(args[0], instance);
+  std::cout << "wrote " << instance.size() << " requests to " << args[0] << '\n';
   return 0;
 }
 
-/// Parses a trailing [--storage BACKEND] pair (dense/tiled only — an
-/// appendable table has a single owner and is chosen automatically by
-/// replay when the trace grows the universe).
-bool parse_storage_flag(int argc, char** argv, int& i, GainBackend& storage) {
-  if (std::string(argv[i]) != "--storage" || i + 1 >= argc) return false;
-  GainBackend parsed = GainBackend::dense;
-  if (!parse_gain_backend(argv[++i], parsed) || parsed == GainBackend::appendable) {
-    return false;
-  }
-  storage = parsed;
-  return true;
-}
-
-/// Parses a [--remove-policy POLICY] pair.
-bool parse_policy_flag(int argc, char** argv, int& i, RemovePolicy& policy) {
-  if (std::string(argv[i]) != "--remove-policy" || i + 1 >= argc) return false;
-  return parse_remove_policy(argv[++i], policy);
-}
-
 int cmd_run(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const Instance instance = load_instance(argv[2]);
-  const std::string algo = argc > 4 ? argv[4] : "sqrt";
-  FeasibilityEngine engine = FeasibilityEngine::gain_matrix;
   GainBackend storage = GainBackend::dense;
   // The gain-engine accumulator arithmetic: rebuild = the historical
   // plain sequential sums (what the cross-engine identity gates pin),
   // exact = error-free expansion accumulators.
   RemovePolicy policy = RemovePolicy::rebuild;
   bool policy_given = false;
-  int i = 5;
-  if (i < argc && argv[i][0] != '-') {
-    if (!parse_engine(argv[i], engine)) return usage();
-    ++i;
-  }
-  for (; i < argc; ++i) {
-    if (parse_storage_flag(argc, argv, i, storage)) continue;
-    if (parse_policy_flag(argc, argv, i, policy)) {
-      policy_given = true;
-      continue;
-    }
-    return usage();
+  OptionParser parser;
+  parser.add_storage(storage);
+  parser.add_remove_policy(policy, &policy_given);
+  const Expected<std::vector<std::string>> parsed = parser.parse(argc, argv, 2);
+  if (!parsed) return fail_loudly(parsed.error());
+  const std::vector<std::string>& args = parsed.value();
+  if (args.size() < 2 || args.size() > 4) return usage();
+  const Expected<Instance> instance = try_load_instance(args[0]);
+  if (!instance) return fail_loudly(instance.error());
+  const std::string algo = args.size() > 2 ? args[2] : "sqrt";
+  FeasibilityEngine engine = FeasibilityEngine::gain_matrix;
+  if (args.size() > 3 && !parse_engine(args[3], engine)) {
+    return fail_loudly("run: unknown engine '" + args[3] +
+                       "' (expected gain|incremental|direct)");
   }
   const SinrParams params = default_params();
 
@@ -162,49 +170,55 @@ int cmd_run(int argc, char** argv) {
   Stopwatch watch;
   if (algo == "sqrt") {
     if (engine == FeasibilityEngine::incremental) {
-      std::cerr << "sqrt has no incremental engine; use gain or direct\n";
-      return 2;
+      return fail_loudly("sqrt has no incremental engine; use gain or direct");
     }
     if (policy_given) {
-      std::cerr << "sqrt has no accumulator remove policy; use greedy\n";
-      return 2;
+      return fail_loudly("sqrt has no accumulator remove policy; use greedy");
     }
     SqrtColoringOptions options;
     options.engine = engine;
     options.storage = storage;
-    schedule = sqrt_coloring(instance, params, Variant::bidirectional, options).schedule;
+    schedule =
+        sqrt_coloring(instance.value(), params, Variant::bidirectional, options).schedule;
   } else if (algo == "greedy") {
     if (policy_given && engine != FeasibilityEngine::gain_matrix) {
-      std::cerr << "--remove-policy selects the gain engine's accumulator "
-                   "arithmetic; use the gain engine\n";
-      return 2;
+      return fail_loudly(
+          "--remove-policy selects the gain engine's accumulator arithmetic; "
+          "use the gain engine");
     }
-    const auto powers = SqrtPower{}.assign(instance, params.alpha);
-    schedule = greedy_coloring(instance, powers, params, Variant::bidirectional,
+    const auto powers = SqrtPower{}.assign(instance.value(), params.alpha);
+    schedule = greedy_coloring(instance.value(), powers, params, Variant::bidirectional,
                                RequestOrder::longest_first, engine, storage, policy);
   } else {
-    return usage();
+    return fail_loudly("run: unknown algorithm '" + algo + "' (expected sqrt|greedy)");
   }
   const double elapsed_ms = watch.elapsed_ms();
-  save_schedule(argv[3], schedule);
-  std::cout << "scheduled " << instance.size() << " requests into "
+  save_schedule(args[1], schedule);
+  std::cout << "scheduled " << instance.value().size() << " requests into "
             << schedule.num_colors << " colors (" << algo << ", engine "
             << to_string(engine) << ", storage " << to_string(storage);
   if (algo == "greedy" && engine == FeasibilityEngine::gain_matrix) {
     std::cout << ", remove policy " << to_string(policy);
   }
-  std::cout << ", " << elapsed_ms << " ms) -> " << argv[3] << '\n';
+  std::cout << ", " << elapsed_ms << " ms) -> " << args[1] << '\n';
   return 0;
 }
 
 int cmd_check(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const Instance instance = load_instance(argv[2]);
-  const Schedule schedule = load_schedule(argv[3]);
+  OptionParser parser;
+  const Expected<std::vector<std::string>> parsed = parser.parse(argc, argv, 2);
+  if (!parsed) return fail_loudly(parsed.error());
+  const std::vector<std::string>& args = parsed.value();
+  if (args.size() != 2) return usage();
+  const Expected<Instance> instance = try_load_instance(args[0]);
+  if (!instance) return fail_loudly(instance.error());
+  const Expected<Schedule> schedule = try_load_schedule(args[1]);
+  if (!schedule) return fail_loudly(schedule.error());
   const SinrParams params = default_params();
-  const auto powers = SqrtPower{}.assign(instance, params.alpha);
-  const ScheduleReport report =
-      validate_schedule(instance, powers, schedule, params, Variant::bidirectional);
+  const auto powers = SqrtPower{}.assign(instance.value(), params.alpha);
+  const ScheduleReport report = validate_schedule(instance.value(), powers,
+                                                  schedule.value(), params,
+                                                  Variant::bidirectional);
   std::cout << (report.valid ? "VALID" : "INVALID") << ": " << report.num_colors
             << " colors, worst margin " << report.worst_margin << '\n';
   for (const int c : report.infeasible_colors) {
@@ -214,31 +228,41 @@ int cmd_check(int argc, char** argv) {
 }
 
 int cmd_gen_trace(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const Instance instance = load_instance(argv[2]);
-  const std::string path = argv[3];
-  const std::string kind = argc > 4 ? argv[4] : "poisson";
-  const std::size_t events = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
-  const std::uint64_t seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1;
-  const bool mobility =
-      kind == "waypoint" || kind == "commuter" || kind == "flashmob";
+  OptionParser parser;
+  const Expected<std::vector<std::string>> parsed = parser.parse(argc, argv, 2);
+  if (!parsed) return fail_loudly(parsed.error());
+  const std::vector<std::string>& args = parsed.value();
+  if (args.size() < 2 || args.size() > 5) return usage();
+  const Expected<Instance> loaded = try_load_instance(args[0]);
+  if (!loaded) return fail_loudly(loaded.error());
+  const Instance& instance = loaded.value();
+  const std::string& path = args[1];
+  const std::string kind = args.size() > 2 ? args[2] : "poisson";
+  std::size_t events = 0;
+  std::size_t seed = 1;
+  if (args.size() > 3 && !parse_size_arg(args[3], events)) {
+    return fail_loudly("gen-trace: '" + args[3] + "' is not an event count");
+  }
+  if (args.size() > 4 && !parse_size_arg(args[4], seed)) {
+    return fail_loudly("gen-trace: '" + args[4] + "' is not a seed");
+  }
+  const bool mobility = kind == "waypoint" || kind == "commuter" || kind == "flashmob";
   if (kind != "poisson" && kind != "flash" && kind != "adversarial" &&
       kind != "hotspot" && kind != "growing" && !mobility) {
-    return usage();
+    return fail_loudly("gen-trace: unknown trace kind '" + kind + "'");
   }
-  Rng rng(seed);
+  Rng rng(static_cast<std::uint64_t>(seed));
   ChurnTrace trace;
   if (mobility) {
     // Endpoint motion needs the instance's geometry.
-    trace = make_churn_trace(kind, instance.size(), events, rng, {},
-                             &instance.metric(), instance.requests());
+    trace = make_churn_trace(kind, instance.size(), events, rng, {}, &instance.metric(),
+                             instance.requests());
   } else if (kind == "growing") {
     // The first half of the instance is the starting universe; the second
     // half arrives as fresh links over the appendable backend.
     const std::size_t n0 = std::max<std::size_t>(1, instance.size() / 2);
     if (n0 >= instance.size()) {
-      std::cerr << "growing traces need an instance with at least 2 requests\n";
-      return 2;
+      return fail_loudly("growing traces need an instance with at least 2 requests");
     }
     trace = make_churn_trace(kind, n0, events, rng, instance.requests().subspan(n0));
   } else {
@@ -251,65 +275,123 @@ int cmd_gen_trace(int argc, char** argv) {
   return 0;
 }
 
+/// Builds the replay sub-instance: a trace targeting fewer links than the
+/// instance starts from that prefix (the rest are the growth reservoir of
+/// growing traces).
+Expected<Instance> replay_base(const Instance& instance, const ChurnTrace& trace) {
+  if (trace.universe > instance.size()) {
+    return fail("replay: trace universe " + std::to_string(trace.universe) +
+                " exceeds the instance (" + std::to_string(instance.size()) + " links)");
+  }
+  if (trace.universe == instance.size()) return instance;
+  const std::span<const Request> all = instance.requests();
+  return Instance(
+      instance.metric_ptr(),
+      std::vector<Request>(all.begin(),
+                           all.begin() + static_cast<std::ptrdiff_t>(trace.universe)));
+}
+
+/// Service-path replay: the sharded typed-API front-end.
+int replay_via_service(const Instance& base, const ChurnTrace& trace,
+                       const std::string& out_path, std::size_t shards, double rate,
+                       const OnlineSchedulerOptions& scheduler_options) {
+  const SinrParams params = default_params();
+  const auto powers = SqrtPower{}.assign(base, params.alpha);
+  SchedulerServiceOptions options;
+  options.num_shards = shards;
+  options.scheduler = scheduler_options;
+  SchedulerService service(base, powers, params, Variant::bidirectional, options);
+  ServiceReplayOptions replay_options;
+  replay_options.arrival_rate = rate;
+  const Expected<ServiceReplayResult> replayed =
+      replay_trace(service, trace, replay_options);
+  if (!replayed) return fail_loudly(replayed.error());
+  const ServiceReplayResult& result = replayed.value();
+  std::cout << "service replayed " << result.stats.processed << " events ("
+            << result.stats.rejected << " rejected) across " << service.num_shards()
+            << " shards in " << result.wall_seconds * 1e3
+            << " ms: " << result.events_per_sec << " events/sec"
+            << (rate > 0.0 ? " (open-loop rate " + std::to_string(rate) + "/s)" : "")
+            << '\n'
+            << "latency: p50 " << result.stats.latency.p50 * 1e6 << " us, p99 "
+            << result.stats.latency.p99 * 1e6 << " us, max "
+            << result.stats.latency.max * 1e6 << " us over "
+            << result.stats.batches << " batches\n"
+            << "shard events:";
+  for (std::size_t s = 0; s < result.shard_events.size(); ++s) {
+    std::cout << ' ' << result.shard_events[s];
+  }
+  std::cout << "\nfinal state: " << result.final_active << " active links of "
+            << result.final_universe << " in " << result.final_colors
+            << " colors (disjoint per-shard planes), "
+            << result.stats.scheduler.migrations << " migrations, "
+            << result.stats.scheduler.removal_rebuilds << " removal rebuilds\n"
+            << "boundary: min class margin " << result.boundary.min_worst_margin
+            << ", max cross-shard gain " << result.boundary.max_boundary_gain << ", "
+            << result.boundary.packable_class_pairs << " packable class pairs ("
+            << result.stats.boundary_refreshes << " refreshes)\n"
+            << "final validation vs direct engine: "
+            << (result.validated ? "BIT-IDENTICAL, FEASIBLE" : "FAILED") << '\n'
+            << "oracle (single-shard sub-trace replay): "
+            << (result.oracle_identical ? "BIT-IDENTICAL" : "MISMATCH") << '\n';
+  if (!out_path.empty()) {
+    save_schedule(out_path, result.final_schedule);
+    std::cout << "wrote final schedule -> " << out_path << '\n';
+  }
+  return result.validated && result.oracle_identical ? 0 : 1;
+}
+
 int cmd_replay(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const Instance instance = load_instance(argv[2]);
   std::string trace_path;
   std::string out_path;
   GainBackend storage = GainBackend::dense;
   RemovePolicy policy = RemovePolicy::exact;  // the scheduler default
   std::size_t rebuild_interval = 16;
-  for (int i = 3; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--trace" && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (parse_storage_flag(argc, argv, i, storage)) {
-      continue;
-    } else if (parse_policy_flag(argc, argv, i, policy)) {
-      continue;
-    } else if (arg == "--rebuild-interval" && i + 1 < argc) {
-      rebuild_interval = std::strtoull(argv[++i], nullptr, 10);
-      if (rebuild_interval == 0) return usage();
-    } else {
-      return usage();
-    }
-  }
-  if (trace_path.empty()) return usage();
-  const ChurnTrace trace = load_trace(trace_path);
+  std::size_t shards = 0;  // 0 = plain single-scheduler replay
+  double rate = 0.0;
+  OptionParser parser;
+  parser.add_trace(trace_path);
+  parser.add_string("--out", out_path);
+  parser.add_storage(storage);
+  parser.add_remove_policy(policy);
+  parser.add_size("--rebuild-interval", rebuild_interval);
+  parser.add_shards(shards);
+  parser.add_double("--rate", rate);
+  const Expected<std::vector<std::string>> parsed = parser.parse(argc, argv, 2);
+  if (!parsed) return fail_loudly(parsed.error());
+  const std::vector<std::string>& args = parsed.value();
+  if (args.size() != 1 || trace_path.empty()) return usage();
+  if (rate < 0.0) return fail_loudly("--rate must be non-negative");
+  const Expected<Instance> instance = try_load_instance(args[0]);
+  if (!instance) return fail_loudly(instance.error());
+  const Expected<ChurnTrace> trace = try_load_trace(trace_path);
+  if (!trace) return fail_loudly(trace.error());
+  const Expected<Instance> base = replay_base(instance.value(), trace.value());
+  if (!base) return fail_loudly(base.error());
   const SinrParams params = default_params();
 
-  // A trace targeting fewer links than the instance starts from that
-  // prefix (the rest of the requests are the growth reservoir of growing
-  // traces); fresh-link events force the appendable backend.
-  if (trace.universe > instance.size()) {
-    std::cerr << "trace universe exceeds the instance\n";
-    return 2;
-  }
-  const std::span<const Request> all = instance.requests();
-  const Instance base =
-      trace.universe == instance.size()
-          ? instance
-          : Instance(instance.metric_ptr(),
-                     std::vector<Request>(all.begin(),
-                                          all.begin() + static_cast<std::ptrdiff_t>(
-                                                            trace.universe)));
-  const auto powers = SqrtPower{}.assign(base, params.alpha);
   OnlineSchedulerOptions options;
   options.remove_policy = policy;
   options.rebuild_interval = rebuild_interval;
-  options.storage = trace.has_fresh_links() ? GainBackend::appendable : storage;
+  options.storage = trace.value().has_fresh_links() ? GainBackend::appendable : storage;
   // Endpoint motion mutates the gain tables, so the scheduler needs its
   // own matrix; moved links are re-powered by the same sqrt rule the
   // replay assigns everywhere else.
-  options.mobility = trace.has_link_updates();
-  if (trace.has_fresh_links() || trace.has_link_updates()) {
+  options.mobility = trace.value().has_link_updates();
+  if (trace.value().has_fresh_links() || trace.value().has_link_updates()) {
     options.fresh_power = std::make_shared<SqrtPower>();
   }
 
-  OnlineScheduler scheduler(base, powers, params, Variant::bidirectional, options);
-  const ReplayResult result = replay_trace(scheduler, trace);
+  if (shards > 0) {
+    options.storage = storage;  // the service rejects appendable itself
+    return replay_via_service(base.value(), trace.value(), out_path, shards, rate,
+                              options);
+  }
+
+  const auto powers = SqrtPower{}.assign(base.value(), params.alpha);
+  OnlineScheduler scheduler(base.value(), powers, params, Variant::bidirectional,
+                            options);
+  const ReplayResult result = replay_trace(scheduler, trace.value());
   const OnlineStats& stats = result.stats;
   std::cout << "replayed " << stats.events() << " events (" << stats.arrivals
             << " arrivals incl. " << stats.fresh_links << " fresh links, "
@@ -319,12 +401,11 @@ int cmd_replay(int argc, char** argv) {
             << to_string(options.storage) << ", remove policy " << to_string(policy)
             << ")\n"
             << "final state: " << result.final_active << " active links of "
-            << result.final_universe << " in " << result.final_colors
-            << " colors (peak " << stats.peak_colors << "), " << stats.migrations
-            << " migrations (" << stats.compaction_skips << " compaction skips, "
+            << result.final_universe << " in " << result.final_colors << " colors (peak "
+            << stats.peak_colors << "), " << stats.migrations << " migrations ("
+            << stats.compaction_skips << " compaction skips, "
             << stats.update_migrations << " update migrations), "
-            << stats.removal_rebuilds
-            << " removal-triggered rebuilds, worst event "
+            << stats.removal_rebuilds << " removal-triggered rebuilds, worst event "
             << stats.max_event_seconds * 1e3 << " ms\n"
             << "final validation vs direct engine: "
             << (result.validated ? "BIT-IDENTICAL, FEASIBLE" : "FAILED") << '\n';
@@ -333,6 +414,124 @@ int cmd_replay(int argc, char** argv) {
     std::cout << "wrote final schedule -> " << out_path << '\n';
   }
   return result.validated ? 0 : 1;
+}
+
+void print_admit_result(const std::string& verb, std::size_t link,
+                        const AdmitResult& result) {
+  if (result.success) {
+    std::cout << "ok " << verb << " link=" << link << " shard=" << result.shard;
+    if (result.color >= 0) std::cout << " color=" << result.color;
+    std::cout << " latency_us=" << result.latency_seconds * 1e6 << '\n';
+  } else {
+    std::cout << "rejected " << verb << " link=" << link << " shard=" << result.shard
+              << ": " << result.error << '\n';
+  }
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::size_t shards = 1;
+  GainBackend storage = GainBackend::dense;
+  RemovePolicy policy = RemovePolicy::exact;
+  std::size_t boundary_refresh = 1024;
+  bool mobility = false;
+  OptionParser parser;
+  parser.add_shards(shards);
+  parser.add_storage(storage);
+  parser.add_remove_policy(policy);
+  parser.add_size("--boundary-refresh", boundary_refresh, /*positive=*/false);
+  parser.add_switch("--mobility", [&mobility] { mobility = true; });
+  const Expected<std::vector<std::string>> parsed = parser.parse(argc, argv, 2);
+  if (!parsed) return fail_loudly(parsed.error());
+  const std::vector<std::string>& args = parsed.value();
+  if (args.size() != 1) return usage();
+  const Expected<Instance> loaded = try_load_instance(args[0]);
+  if (!loaded) return fail_loudly(loaded.error());
+  const Instance& instance = loaded.value();
+
+  const SinrParams params = default_params();
+  const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  SchedulerServiceOptions options;
+  options.num_shards = shards;
+  options.boundary_refresh_events = boundary_refresh;
+  options.scheduler.remove_policy = policy;
+  options.scheduler.storage = storage;
+  options.scheduler.mobility = mobility;
+  if (mobility) options.scheduler.fresh_power = std::make_shared<SqrtPower>();
+  SchedulerService service(instance, powers, params, Variant::bidirectional, options);
+
+  std::cout << "serving " << instance.size() << " links across "
+            << service.num_shards() << " shards (storage " << to_string(storage)
+            << ", remove policy " << to_string(policy)
+            << (mobility ? ", mobility" : "") << ")\n"
+            << "commands: admit <link> | release <link> | update <link> <u> <v> | "
+               "stats | boundary | drain | quit\n";
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string verb;
+    if (!(words >> verb) || verb.empty() || verb.front() == '#') continue;
+    if (verb == "quit" || verb == "exit") break;
+    if (verb == "drain") {
+      service.drain();
+      std::cout << "ok drained\n";
+      continue;
+    }
+    if (verb == "stats") {
+      service.drain();
+      const ServiceStats stats = service.stats();
+      std::cout << "stats submitted=" << stats.submitted
+                << " processed=" << stats.processed << " rejected=" << stats.rejected
+                << " batches=" << stats.batches << " active=" << service.active_count()
+                << " colors=" << service.num_colors()
+                << " latency_p50_us=" << stats.latency.p50 * 1e6
+                << " latency_p99_us=" << stats.latency.p99 * 1e6 << '\n';
+      continue;
+    }
+    if (verb == "boundary") {
+      service.drain();
+      const BoundaryReport report = service.refresh_boundary();
+      std::cout << "boundary min_margin=" << report.min_worst_margin
+                << " max_cross_gain=" << report.max_boundary_gain
+                << " packable_pairs=" << report.packable_class_pairs;
+      for (std::size_t s = 0; s < report.shards.size(); ++s) {
+        std::cout << " shard" << s << "=[active=" << report.shards[s].active.size()
+                  << " classes=" << report.shards[s].classes.size() << "]";
+      }
+      std::cout << '\n';
+      continue;
+    }
+    std::size_t link = 0;
+    std::string link_word;
+    if (!(words >> link_word) || !parse_size_arg(link_word, link)) {
+      std::cout << "rejected " << verb << ": needs a link index\n";
+      continue;
+    }
+    if (verb == "admit") {
+      print_admit_result(verb, link, service.admit(AdmitRequest{link}));
+    } else if (verb == "release") {
+      print_admit_result(verb, link, service.release(ReleaseRequest{link}));
+    } else if (verb == "update") {
+      std::string u_word, v_word;
+      std::size_t u = 0, v = 0;
+      if (!(words >> u_word >> v_word) || !parse_size_arg(u_word, u) ||
+          !parse_size_arg(v_word, v)) {
+        std::cout << "rejected update: needs <link> <u> <v>\n";
+        continue;
+      }
+      print_admit_result(verb, link, service.update(UpdateRequest{link, Request{u, v}}));
+    } else {
+      std::cout << "rejected: unknown command '" << verb << "'\n";
+    }
+  }
+  service.drain();
+  double worst_margin = 0.0;
+  const bool valid = service.validate_against_direct(&worst_margin);
+  const ServiceStats stats = service.stats();
+  std::cout << "final: processed=" << stats.processed << " rejected=" << stats.rejected
+            << " active=" << service.active_count() << " colors=" << service.num_colors()
+            << " validated=" << (valid ? "yes" : "NO") << " worst_margin=" << worst_margin
+            << '\n';
+  return valid ? 0 : 1;
 }
 
 }  // namespace
@@ -346,6 +545,7 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(argc, argv);
     if (command == "gen-trace") return cmd_gen_trace(argc, argv);
     if (command == "replay") return cmd_replay(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

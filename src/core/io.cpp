@@ -152,4 +152,20 @@ Schedule load_schedule(const std::string& path) {
   return read_schedule(in);
 }
 
+Expected<Instance> try_load_instance(const std::string& path) {
+  try {
+    return load_instance(path);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
+
+Expected<Schedule> try_load_schedule(const std::string& path) {
+  try {
+    return load_schedule(path);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
+
 }  // namespace oisched

@@ -20,6 +20,7 @@
 
 #include "core/instance.h"
 #include "core/schedule.h"
+#include "util/expected.h"
 
 namespace oisched {
 
@@ -41,6 +42,12 @@ void save_instance(const std::string& path, const Instance& instance);
 [[nodiscard]] Instance load_instance(const std::string& path);
 void save_schedule(const std::string& path, const Schedule& schedule);
 [[nodiscard]] Schedule load_schedule(const std::string& path);
+
+/// Non-throwing variants for the boundary layers (CLI, service): a missing
+/// file or malformed document comes back as a structured message naming
+/// the path, instead of an exception the caller has to translate.
+[[nodiscard]] Expected<Instance> try_load_instance(const std::string& path);
+[[nodiscard]] Expected<Schedule> try_load_schedule(const std::string& path);
 
 }  // namespace oisched
 

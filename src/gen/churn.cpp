@@ -828,4 +828,12 @@ ChurnTrace load_trace(const std::string& path) {
   return trace_from_json(parse_json(buffer.str()));
 }
 
+Expected<ChurnTrace> try_load_trace(const std::string& path) {
+  try {
+    return load_trace(path);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
+
 }  // namespace oisched

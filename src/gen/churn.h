@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "sinr/model.h"
+#include "util/expected.h"
 #include "util/json_writer.h"
 #include "util/rng.h"
 
@@ -246,6 +247,11 @@ struct FlashMobOptions {
 /// File convenience wrappers around the JSON form.
 void save_trace(const std::string& path, const ChurnTrace& trace);
 [[nodiscard]] ChurnTrace load_trace(const std::string& path);
+
+/// Non-throwing load for the boundary layers (CLI, service): a missing
+/// file, malformed JSON or invalid stream comes back as a structured
+/// message instead of an exception.
+[[nodiscard]] Expected<ChurnTrace> try_load_trace(const std::string& path);
 
 }  // namespace oisched
 

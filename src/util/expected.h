@@ -1,0 +1,89 @@
+// Expected<T>: a value-or-error result for fallible boundary operations.
+//
+// The library's internal contracts stay exception-based (util/error.h) —
+// a violated precondition is a bug and should unwind loudly. The
+// *boundaries* are different: loading a file a user typed, replaying a
+// trace a client submitted, or parsing command-line flags fails for
+// ordinary reasons, and both the CLI and the scheduling service want to
+// surface the same structured message instead of scattering bool returns,
+// exit codes and stderr prints. Expected<T> carries either the value or a
+// human-readable error string; callers branch on ok() and forward error()
+// verbatim. Deliberately minimal (no error codes, no monadic chaining) —
+// the message IS the payload the CLI and the service API both emit.
+#ifndef OISCHED_UTIL_EXPECTED_H
+#define OISCHED_UTIL_EXPECTED_H
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/error.h"
+
+namespace oisched {
+
+/// Distinguishes the error alternative of Expected<T> from a T that is
+/// itself a string.
+struct Unexpected {
+  std::string message;
+};
+
+/// Builds the error alternative: `return fail("no such file: " + path);`.
+[[nodiscard]] inline Unexpected fail(std::string message) {
+  return Unexpected{std::move(message)};
+}
+
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  /// Implicit from a value or from fail(...), so functions can `return`
+  /// either alternative directly.
+  Expected(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Unexpected error) : state_(std::move(error)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// The value; calling on an error state is a caller bug.
+  [[nodiscard]] T& value() {
+    ensure(ok(), "Expected: value() on an error result");
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] const T& value() const {
+    ensure(ok(), "Expected: value() on an error result");
+    return std::get<T>(state_);
+  }
+
+  /// The error message; calling on a value state is a caller bug.
+  [[nodiscard]] const std::string& error() const {
+    ensure(!ok(), "Expected: error() on a value result");
+    return std::get<Unexpected>(state_).message;
+  }
+
+ private:
+  std::variant<T, Unexpected> state_;
+};
+
+/// The value-less case: an operation that either succeeded or explains why
+/// it did not.
+template <>
+class [[nodiscard]] Expected<void> {
+ public:
+  Expected() = default;
+  Expected(Unexpected error) : error_(std::move(error.message)), failed_(true) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const std::string& error() const {
+    ensure(failed_, "Expected: error() on a value result");
+    return error_;
+  }
+
+ private:
+  std::string error_;
+  bool failed_ = false;
+};
+
+}  // namespace oisched
+
+#endif  // OISCHED_UTIL_EXPECTED_H

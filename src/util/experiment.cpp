@@ -16,6 +16,7 @@
 #include "gen/generators.h"
 #include "metric/euclidean.h"
 #include "online/online_scheduler.h"
+#include "service/scheduler_service.h"
 #include "sinr/gain_matrix.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -153,6 +154,68 @@ bool rebuild_twin_agrees(const Instance& instance, std::span<const double> power
          replay.final_schedule.num_colors == observed.num_colors;
 }
 
+/// Runs one dynamic-service scenario: the same trace the bare-scheduler
+/// cell replays (identical seed), fed through the sharded typed-admission
+/// service — saturated or open-loop paced per the spec — with the
+/// bit-for-bit oracle gate (every shard vs a fresh single-thread replay of
+/// its sub-trace) on top of the direct-engine revalidation.
+void run_service_scenario(const ScenarioSpec& spec, const SinrParams& params,
+                          const Instance& instance,
+                          std::shared_ptr<const PowerAssignment> assignment,
+                          GainBackend backend, ScenarioResult& result) {
+  RemovePolicy policy = RemovePolicy::exact;
+  require(parse_remove_policy(spec.remove_policy, policy),
+          "experiment: unknown remove policy '" + spec.remove_policy + "'");
+  require(spec.trace != "growing",
+          "experiment: the service does not support growing traces");
+  const bool mobility = is_mobility_trace(spec.trace);
+  const std::vector<double> powers = assignment->assign(instance, params.alpha);
+  SchedulerServiceOptions options;
+  options.num_shards = spec.shards;
+  options.scheduler.remove_policy = policy;
+  options.scheduler.storage = backend;
+  if (mobility) {
+    options.scheduler.mobility = true;
+    options.scheduler.fresh_power = assignment;
+  }
+  const ChurnTrace trace =
+      build_trace(spec, instance.size(), {}, mobility ? &instance : nullptr);
+  trace.validate();
+  Stopwatch build_watch;
+  SchedulerService service(instance, powers, params, spec.variant, options);
+  result.gain_build_ms = build_watch.elapsed_ms();
+  ServiceReplayOptions replay_options;
+  replay_options.arrival_rate = static_cast<double>(spec.service_rate);
+  const Expected<ServiceReplayResult> replayed =
+      replay_trace(service, trace, replay_options);
+  if (!replayed.ok()) throw PreconditionError(replayed.error());
+  const ServiceReplayResult& replay = replayed.value();
+  result.dynamic.events = trace.events.size();
+  result.dynamic.wall_ms = replay.wall_seconds * 1e3;
+  result.dynamic.events_per_sec = replay.events_per_sec;
+  result.dynamic.peak_colors = replay.stats.scheduler.peak_colors;
+  result.dynamic.final_colors = replay.final_colors;
+  result.dynamic.final_active = replay.final_active;
+  result.dynamic.final_universe = replay.final_universe;
+  result.dynamic.link_updates = replay.stats.scheduler.link_updates;
+  result.dynamic.update_migrations = replay.stats.scheduler.update_migrations;
+  result.dynamic.migrations = replay.stats.scheduler.migrations;
+  result.dynamic.compaction_skips = replay.stats.scheduler.compaction_skips;
+  result.dynamic.removal_rebuilds = replay.stats.scheduler.removal_rebuilds;
+  result.dynamic.classes_opened = replay.stats.scheduler.classes_opened;
+  result.dynamic.classes_closed = replay.stats.scheduler.classes_closed;
+  result.dynamic.max_event_ms = replay.stats.scheduler.max_event_seconds * 1e3;
+  result.dynamic.shards = spec.shards;
+  result.dynamic.arrival_rate = spec.service_rate;
+  result.dynamic.latency_p50_ms = replay.stats.latency.p50 * 1e3;
+  result.dynamic.latency_p99_ms = replay.stats.latency.p99 * 1e3;
+  result.dynamic.oracle_identical = replay.oracle_identical;
+  result.dynamic.boundary_refreshes = replay.stats.boundary_refreshes;
+  result.dynamic.max_boundary_gain = replay.boundary.max_boundary_gain;
+  result.dynamic.packable_class_pairs = replay.boundary.packable_class_pairs;
+  result.valid = replay.validated && replay.stats.rejected == 0;
+}
+
 /// Runs one dynamic scenario: replay the trace through the OnlineScheduler
 /// (on the cell's storage backend) and re-validate the final state
 /// bit-for-bit against the direct engine. A "growing" trace starts the
@@ -272,6 +335,16 @@ JsonValue dynamic_json(const DynamicResult& dynamic) {
     value["touched_tiles"] = dynamic.touched_tiles;
     value["total_tiles"] = dynamic.total_tiles;
   }
+  if (dynamic.shards > 0) {
+    value["shards"] = dynamic.shards;
+    value["arrival_rate"] = dynamic.arrival_rate;  // 0 = saturated
+    value["latency_p50_ms"] = dynamic.latency_p50_ms;
+    value["latency_p99_ms"] = dynamic.latency_p99_ms;
+    value["oracle_identical"] = dynamic.oracle_identical;
+    value["boundary_refreshes"] = dynamic.boundary_refreshes;
+    value["max_boundary_gain"] = dynamic.max_boundary_gain;
+    value["packable_class_pairs"] = dynamic.packable_class_pairs;
+  }
   return value;
 }
 
@@ -282,6 +355,10 @@ bool scenario_failed(const ScenarioResult& result) {
   if (!result.valid) return true;
   if (!result.backends_identical) return true;
   if (result.spec.is_dynamic()) {
+    // A service cell additionally promises per-shard bit-identity with a
+    // single-thread replay of its sub-trace — a mismatch means an event
+    // was lost, duplicated or reordered, a wrong answer.
+    if (result.spec.is_service() && !result.dynamic.oracle_identical) return true;
     // The exact policy promises bit-identity with the rebuild reference;
     // a divergence there is a wrong answer. Compensated is drift-bounded
     // only, so its policy_identical flag is informational.
@@ -305,6 +382,14 @@ std::string ScenarioSpec::name() const {
   if (is_dynamic() && !remove_policy.empty() && remove_policy != "exact") {
     tail += "/" + remove_policy;
   }
+  if (is_service()) {
+    // The shard count is always visible (even s1, the service's own
+    // single-shard baseline — a different code path than the bare
+    // scheduler, so a different scenario); pacing only when open-loop.
+    tail += "/s" + std::to_string(shards);
+    if (service_rate > 0) tail += "/r" + std::to_string(service_rate);
+    return "dynamic-service/" + base + "/" + trace + "/" + tail;
+  }
   if (is_dynamic()) return "dynamic/" + base + "/" + trace + "/" + tail;
   return base + "/" + tail;
 }
@@ -315,7 +400,8 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
   const auto add = [&](const std::string& topology, std::size_t n,
                        const std::string& power, const std::string& trace = "",
                        const std::string& storage = "",
-                       const std::string& remove_policy = "") {
+                       const std::string& remove_policy = "", std::size_t shards = 0,
+                       std::size_t service_rate = 0) {
     ScenarioSpec spec;
     spec.topology = topology;
     spec.n = n;
@@ -323,16 +409,22 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
     spec.trace = trace;
     spec.storage = storage.empty() ? options.storage : storage;
     spec.remove_policy = remove_policy.empty() ? options.remove_policy : remove_policy;
+    spec.shards = shards;
+    spec.service_rate = service_rate;
     // The Theorem-1 adversarial family lives in the directed variant.
     spec.variant = topology == "adversarial" ? Variant::directed : Variant::bidirectional;
     // Seed derives from the scenario name (FNV-1a), not the grid index, so
     // the same scenario measures the same instance in quick and full mode
     // — the CI speedup gate then gates the recorded baseline's instance.
-    // The remove policy is excluded from the hash: policy variants of one
-    // cell replay the identical instance and trace, so their events/sec
-    // and final states are directly comparable.
+    // The remove policy, shard count and pacing rate are excluded from the
+    // hash: those axes' variants of one cell replay the identical instance
+    // and trace, so their events/sec, latencies and final states are
+    // directly comparable (and the service cells share the flagship
+    // dynamic cell's workload).
     ScenarioSpec seed_key = spec;
     seed_key.remove_policy = "exact";
+    seed_key.shards = 0;
+    seed_key.service_rate = 0;
     std::uint64_t hash = 1469598103934665603ULL;
     for (const char c : seed_key.name()) {
       hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
@@ -361,6 +453,13 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
     // The flagship mobility cell: endpoint motion over Poisson churn,
     // replayed through the in-place update path.
     add("random", 256, "sqrt", "waypoint");
+    // The flagship service cells: the same workload as the flagship churn
+    // cell (identical seed, instance and trace — shards are excluded from
+    // the seed hash), saturated, through the sharded typed-admission
+    // front-end at one shard (the service's own overhead baseline) and
+    // four. CI gates s4's throughput against s1's on the same runner.
+    add("random", 256, "sqrt", "poisson", "", "", /*shards=*/1);
+    add("random", 256, "sqrt", "poisson", "", "", /*shards=*/4);
     return grid;
   }
   for (const std::string& topology : topologies) {
@@ -404,6 +503,21 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
   if (options.remove_policy != "compensated") {
     add("random", 256, "sqrt", "poisson", "", "compensated");
   }
+  // The dynamic-service saturation sweep: the flagship churn workload
+  // through the sharded admission service. One axis scales the shard
+  // count saturated (events/sec should grow — each admission scans only
+  // its own shard's classes); the other paces the open loop below and
+  // near saturation at four shards to trace the rate -> latency curve.
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                   std::size_t{8}}) {
+    add("random", 256, "sqrt", "poisson", "", "", shards);
+  }
+  for (const std::size_t rate : {std::size_t{20000}, std::size_t{80000}}) {
+    add("random", 256, "sqrt", "poisson", "", "", /*shards=*/4, rate);
+  }
+  // The service also serves the mobility regime (in-place motion inside
+  // each shard's private matrix) — one sharded cell pins that path.
+  add("random", 256, "sqrt", "waypoint", "", "", /*shards=*/4);
   return grid;
 }
 
@@ -418,6 +532,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const SinrParams& params) 
     result.built_n = instance.size();
     std::shared_ptr<const PowerAssignment> assignment = make_assignment(spec.power);
 
+    if (spec.is_service()) {
+      run_service_scenario(spec, params, instance, std::move(assignment), backend,
+                           result);
+      result.ok = true;
+      return result;
+    }
     if (spec.is_dynamic()) {
       run_dynamic_scenario(spec, params, instance, std::move(assignment), backend,
                            result);
@@ -517,7 +637,7 @@ std::vector<ScenarioResult> run_experiment_grid(std::span<const ScenarioSpec> gr
 JsonValue experiment_report(std::span<const ScenarioResult> results,
                             const ExperimentOptions& options) {
   JsonValue root = JsonValue::object();
-  root["schema"] = "oisched-bench-schedule/5";
+  root["schema"] = "oisched-bench-schedule/6";
   root["generator"] = "bench/run_experiments";
   root["mode"] = options.quick ? "quick" : "full";
   root["threads"] = options.threads;
@@ -532,6 +652,8 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
   std::size_t failures = 0;
   std::size_t backend_disagreements = 0;
   std::size_t policy_disagreements = 0;
+  std::size_t oracle_disagreements = 0;
+  std::size_t service_scenarios = 0;
   std::vector<double> speedups;
   std::vector<double> event_rates;
   for (const ScenarioResult& result : results) {
@@ -543,6 +665,9 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
         (result.ok && result.spec.is_dynamic() && result.spec.storage != "dense" &&
          !result.valid)) {
       ++backend_disagreements;
+    }
+    if (result.ok && result.spec.is_service() && !result.dynamic.oracle_identical) {
+      ++oracle_disagreements;
     }
     // Policy disagreement = an exact-policy replay whose final schedule
     // diverged from the rebuild reference on the same trace — a wrong
@@ -556,6 +681,7 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
     JsonValue entry = JsonValue::object();
     entry["scenario"] = result.spec.name();
     entry["family"] = !result.spec.is_dynamic()        ? "static"
+                      : result.spec.is_service()       ? "dynamic-service"
                       : is_mobility_trace(result.spec.trace) ? "dynamic-mobility"
                                                              : "dynamic";
     entry["topology"] = result.spec.topology;
@@ -569,6 +695,7 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
     if (!result.ok) {
       entry["error"] = result.error;
     } else if (result.spec.is_dynamic()) {
+      if (result.spec.is_service()) ++service_scenarios;
       entry["trace"] = result.spec.trace;
       entry["remove_policy"] = result.spec.remove_policy;
       entry["gain_build_ms"] = result.gain_build_ms;
@@ -594,6 +721,8 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
   summary["failures"] = failures;
   summary["backend_disagreements"] = backend_disagreements;
   summary["policy_disagreements"] = policy_disagreements;
+  summary["oracle_disagreements"] = oracle_disagreements;
+  summary["service_scenarios"] = service_scenarios;
   if (!speedups.empty()) {
     std::sort(speedups.begin(), speedups.end());
     summary["greedy_speedup_min"] = speedups.front();

@@ -49,14 +49,27 @@ struct ScenarioSpec {
   /// under ("exact" | "rebuild" | "compensated"). exact — the scheduler
   /// default — removes in O(n) with zero rounding error and zero replays.
   std::string remove_policy = "exact";
+  /// Dynamic-service family (> 0): replay the trace through a
+  /// SchedulerService with this many shards instead of a bare
+  /// OnlineScheduler — the typed-admission front-end whose shards first-fit
+  /// their own hash partition into disjoint color planes. 0 = not a
+  /// service cell.
+  std::size_t shards = 0;
+  /// Dynamic-service family: open-loop submission rate in events/sec
+  /// (0 = saturated — submit as fast as the ingest queues accept). The
+  /// saturation sweep varies this axis to trace rate -> latency curves.
+  std::size_t service_rate = 0;
 
   [[nodiscard]] bool is_dynamic() const noexcept { return !trace.empty(); }
+  [[nodiscard]] bool is_service() const noexcept { return shards > 0; }
 
   /// "random/n256/sqrt/bidirectional", or
   /// "dynamic/random/n256/poisson/sqrt/bidirectional" for the dynamic
   /// family — stable scenario identifiers. Non-default storage backends
   /// append a "/tiled" (etc.) segment; non-default remove policies a
-  /// "/rebuild" (etc.) one.
+  /// "/rebuild" (etc.) one. Service cells use the "dynamic-service/"
+  /// prefix and always append "/s<shards>" (plus "/r<rate>" when paced),
+  /// e.g. "dynamic-service/random/n256/poisson/sqrt/bidirectional/s4".
   [[nodiscard]] std::string name() const;
 };
 
@@ -108,6 +121,20 @@ struct DynamicResult {
   /// evidence of the lazy backend.
   std::size_t touched_tiles = 0;
   std::size_t total_tiles = 0;
+  /// Dynamic-service family only (spec.shards > 0). Latency is
+  /// submit-to-completion (queue wait plus scheduling work), the quantity
+  /// the saturation sweep traces against the arrival rate.
+  std::size_t shards = 0;
+  std::size_t arrival_rate = 0;      // 0 = saturated open loop
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  /// Every shard's drained state matched a fresh single-thread
+  /// OnlineScheduler replay of its sub-trace bit for bit — the service's
+  /// no-lost-no-duplicated-events gate (a failure fails the scenario).
+  bool oracle_identical = true;
+  std::size_t boundary_refreshes = 0;
+  double max_boundary_gain = 0.0;    // cross-shard far-field bound
+  std::size_t packable_class_pairs = 0;
 };
 
 struct ScenarioResult {
@@ -168,7 +195,7 @@ struct ExperimentOptions {
     std::span<const ScenarioSpec> grid, const SinrParams& params, std::size_t threads);
 
 /// Bundles results into the BENCH_schedule.json document
-/// (schema "oisched-bench-schedule/5"; layout documented in README.md).
+/// (schema "oisched-bench-schedule/6"; layout documented in README.md).
 [[nodiscard]] JsonValue experiment_report(std::span<const ScenarioResult> results,
                                           const ExperimentOptions& options);
 

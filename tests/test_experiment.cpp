@@ -113,8 +113,10 @@ TEST(ExperimentGrid, FullGridSweepsSizesAndPowers) {
   // sizes) + 6 dynamic-mobility (3 motion kinds x 2 sizes) + 5
   // storage-backend cells (tiled poisson, tiled large-n hotspot,
   // appendable growing, tiled waypoint, appendable waypoint) + 2
-  // remove-policy cells (flagship poisson under rebuild and compensated).
-  EXPECT_EQ(grid.size(), 44u);
+  // remove-policy cells (flagship poisson under rebuild and compensated)
+  // + 7 dynamic-service cells (saturated s1/s2/s4/s8, paced s4 at two
+  // rates, waypoint s4).
+  EXPECT_EQ(grid.size(), 51u);
   std::set<std::string> trace_kinds;
   std::set<std::string> storages;
   std::set<std::string> policies;
@@ -131,12 +133,13 @@ TEST(ExperimentGrid, FullGridSweepsSizesAndPowers) {
   EXPECT_EQ(storages, (std::set<std::string>{"dense", "tiled", "appendable"}));
   EXPECT_EQ(policies, (std::set<std::string>{"exact", "rebuild", "compensated"}));
   // Seeds are distinct so scenarios are independent draws — except the
-  // remove-policy axis, which deliberately replays the SAME seed (and
-  // therefore instance and trace) as its exact twin so the policies are
+  // remove-policy axis (2 cells) and the service cells (6 poisson + 1
+  // waypoint), which deliberately replay the SAME seed (and therefore
+  // instance and trace) as their bare-scheduler twins so the numbers are
   // directly comparable.
   std::set<std::uint64_t> seeds;
   for (const auto& spec : grid) seeds.insert(spec.seed);
-  EXPECT_EQ(seeds.size(), grid.size() - 2);
+  EXPECT_EQ(seeds.size(), grid.size() - 9);
   std::uint64_t flagship_seed = 0;
   std::uint64_t rebuild_seed = 1;
   for (const auto& spec : grid) {
@@ -309,9 +312,10 @@ TEST(ExperimentReport, EmitsSchemaResultsAndSummary) {
   const auto results = run_experiment_grid(grid, params, 2);
   const JsonValue report = experiment_report(results, options);
   const std::string text = report.dump();
-  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/5\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/6\""), std::string::npos);
   EXPECT_NE(text.find("\"backend_disagreements\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"policy_disagreements\": 0"), std::string::npos);
+  EXPECT_NE(text.find("\"oracle_disagreements\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"storage\": \"dense\""), std::string::npos);
   EXPECT_NE(text.find("\"results\""), std::string::npos);
   EXPECT_NE(text.find("\"greedy\""), std::string::npos);
