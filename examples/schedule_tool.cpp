@@ -13,7 +13,8 @@
 //                            [--storage dense|tiled]
 //                            [--remove-policy rebuild|compensated|exact]
 //                            [--rebuild-interval N]
-//                            [--shards N] [--rate R]   replay it online
+//                            [--shards N] [--rate R]
+//                            [--trace-out <spans.json>] replay it online
 //   $ ./schedule_tool serve <in.inst> [--shards N] [--storage dense|tiled]
 //                           [--remove-policy rebuild|compensated|exact]
 //                           [--mobility] [--boundary-refresh N]
@@ -29,9 +30,15 @@
 // latency percentiles, the per-shard event split, and the bit-for-bit
 // oracle verdict (each shard's final state vs a fresh single-thread replay
 // of its sub-trace). `--rate R` paces the service replay open-loop at R
-// events/sec (0 = saturated). `serve` exposes the same typed API
+// events/sec (0 = saturated). `--trace-out` records the replay's phase
+// spans (queue wait, feasibility scan, accumulator update, compaction,
+// boundary refresh) into a Chrome trace-event JSON file — open it in
+// chrome://tracing or Perfetto. `serve` exposes the same typed API
 // interactively: one command per stdin line (admit/release/update/stats/
-// boundary/drain/quit), one structured response per line on stdout.
+// metrics/prometheus/boundary/drain/quit), one structured response per
+// line on stdout; `metrics` (and `stats`, its alias) print the service's
+// telemetry registry as one-line JSON (schema oisched-metrics/1), and
+// `prometheus` prints the same snapshot in Prometheus text exposition.
 //
 // Every subcommand parses its flags through the shared OptionParser
 // (util/options.h), so --storage/--remove-policy/--shards/--trace mean the
@@ -52,6 +59,8 @@
 #include "core/sqrt_coloring.h"
 #include "gen/churn.h"
 #include "gen/generators.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "online/online_scheduler.h"
 #include "service/scheduler_service.h"
 #include "util/options.h"
@@ -77,6 +86,7 @@ int usage() {
          "[--out <final.sched>] [--storage dense|tiled]\n"
          "                      [--remove-policy rebuild|compensated|exact] "
          "[--rebuild-interval N] [--shards N] [--rate R]\n"
+         "                      [--trace-out <spans.json>]\n"
          "  schedule_tool serve <in.inst> [--shards N] [--storage dense|tiled]\n"
          "                      [--remove-policy rebuild|compensated|exact] "
          "[--mobility] [--boundary-refresh N]\n";
@@ -291,15 +301,29 @@ Expected<Instance> replay_base(const Instance& instance, const ChurnTrace& trace
                            all.begin() + static_cast<std::ptrdiff_t>(trace.universe)));
 }
 
+/// Writes the recorded phase spans as Chrome trace-event JSON (when
+/// --trace-out was given); failures are loud but do not fail the replay.
+void write_trace_out(const obs::TraceRecorder* recorder, const std::string& path) {
+  if (recorder == nullptr || path.empty()) return;
+  if (recorder->write_json(path)) {
+    std::cout << "wrote " << recorder->event_count() << " trace events -> " << path
+              << '\n';
+  } else {
+    std::cerr << "error: failed to write trace to " << path << '\n';
+  }
+}
+
 /// Service-path replay: the sharded typed-API front-end.
 int replay_via_service(const Instance& base, const ChurnTrace& trace,
                        const std::string& out_path, std::size_t shards, double rate,
-                       const OnlineSchedulerOptions& scheduler_options) {
+                       const OnlineSchedulerOptions& scheduler_options,
+                       obs::TraceRecorder* recorder) {
   const SinrParams params = default_params();
   const auto powers = SqrtPower{}.assign(base, params.alpha);
   SchedulerServiceOptions options;
   options.num_shards = shards;
   options.scheduler = scheduler_options;
+  options.trace = recorder;
   SchedulerService service(base, powers, params, Variant::bidirectional, options);
   ServiceReplayOptions replay_options;
   replay_options.arrival_rate = rate;
@@ -344,6 +368,7 @@ int replay_via_service(const Instance& base, const ChurnTrace& trace,
 int cmd_replay(int argc, char** argv) {
   std::string trace_path;
   std::string out_path;
+  std::string trace_out_path;
   GainBackend storage = GainBackend::dense;
   RemovePolicy policy = RemovePolicy::exact;  // the scheduler default
   std::size_t rebuild_interval = 16;
@@ -352,6 +377,7 @@ int cmd_replay(int argc, char** argv) {
   OptionParser parser;
   parser.add_trace(trace_path);
   parser.add_string("--out", out_path);
+  parser.add_string("--trace-out", trace_out_path);
   parser.add_storage(storage);
   parser.add_remove_policy(policy);
   parser.add_size("--rebuild-interval", rebuild_interval);
@@ -382,16 +408,24 @@ int cmd_replay(int argc, char** argv) {
     options.fresh_power = std::make_shared<SqrtPower>();
   }
 
+  // --trace-out: record the replay's phase spans for chrome://tracing.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!trace_out_path.empty()) recorder = std::make_unique<obs::TraceRecorder>();
+
   if (shards > 0) {
     options.storage = storage;  // the service rejects appendable itself
-    return replay_via_service(base.value(), trace.value(), out_path, shards, rate,
-                              options);
+    const int rc = replay_via_service(base.value(), trace.value(), out_path, shards,
+                                      rate, options, recorder.get());
+    write_trace_out(recorder.get(), trace_out_path);
+    return rc;
   }
 
+  if (recorder) options.telemetry.trace = &recorder->create_track("events");
   const auto powers = SqrtPower{}.assign(base.value(), params.alpha);
   OnlineScheduler scheduler(base.value(), powers, params, Variant::bidirectional,
                             options);
   const ReplayResult result = replay_trace(scheduler, trace.value());
+  write_trace_out(recorder.get(), trace_out_path);
   const OnlineStats& stats = result.stats;
   std::cout << "replayed " << stats.events() << " events (" << stats.arrivals
             << " arrivals incl. " << stats.fresh_links << " fresh links, "
@@ -450,9 +484,13 @@ int cmd_serve(int argc, char** argv) {
 
   const SinrParams params = default_params();
   const auto powers = SqrtPower{}.assign(instance, params.alpha);
+  // The registry outlives the service (declared first), as the service's
+  // scrape-time collectors require.
+  obs::MetricsRegistry registry;
   SchedulerServiceOptions options;
   options.num_shards = shards;
   options.boundary_refresh_events = boundary_refresh;
+  options.registry = &registry;
   options.scheduler.remove_policy = policy;
   options.scheduler.storage = storage;
   options.scheduler.mobility = mobility;
@@ -464,7 +502,7 @@ int cmd_serve(int argc, char** argv) {
             << ", remove policy " << to_string(policy)
             << (mobility ? ", mobility" : "") << ")\n"
             << "commands: admit <link> | release <link> | update <link> <u> <v> | "
-               "stats | boundary | drain | quit\n";
+               "stats | metrics | prometheus | boundary | drain | quit\n";
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream words(line);
@@ -476,15 +514,16 @@ int cmd_serve(int argc, char** argv) {
       std::cout << "ok drained\n";
       continue;
     }
-    if (verb == "stats") {
+    if (verb == "stats" || verb == "metrics") {
+      // Both verbs emit the identical one-line telemetry snapshot, so
+      // scripts can consume either.
       service.drain();
-      const ServiceStats stats = service.stats();
-      std::cout << "stats submitted=" << stats.submitted
-                << " processed=" << stats.processed << " rejected=" << stats.rejected
-                << " batches=" << stats.batches << " active=" << service.active_count()
-                << " colors=" << service.num_colors()
-                << " latency_p50_us=" << stats.latency.p50 * 1e6
-                << " latency_p99_us=" << stats.latency.p99 * 1e6 << '\n';
+      std::cout << registry.scrape().to_json().dump(0) << '\n';
+      continue;
+    }
+    if (verb == "prometheus") {
+      service.drain();
+      std::cout << registry.scrape().to_prometheus();
       continue;
     }
     if (verb == "boundary") {

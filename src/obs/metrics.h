@@ -1,0 +1,281 @@
+// Unified telemetry: a registry of named counters, gauges and log-scale
+// latency histograms, written lock-free on the hot path and merged on
+// scrape.
+//
+// Until now the only visibility into a running scheduler was a drain-time
+// summary: p50/p99 computed ad hoc from raw latency vectors, and one-off
+// counter fields scattered across three stats structs. This registry is
+// the one place every layer reports into, designed around the hot path's
+// constraints:
+//
+//   - REGISTRATION is rare and locked: each metric gets a small integer
+//     MetricId and a descriptor (name, help, pre-rendered Prometheus-style
+//     labels). Register everything before spawning writer threads.
+//   - WRITES are lock-free: each writer thread owns a MetricsShard —
+//     plain arrays of relaxed atomics indexed by MetricId — so an
+//     increment is one predictable branch plus one relaxed fetch_add,
+//     and a latency observation adds a ~9-step binary search over the
+//     shared bucket boundaries. No mutex, no false sharing across
+//     threads (each shard is its own allocation).
+//   - READS merge: scrape() folds every shard (relaxed loads) into a
+//     MetricsSnapshot — plain values with JSON and Prometheus-text
+//     expositions. Scrape-time collectors fill gauges that are cheaper
+//     to read on demand than to maintain per event (queue depths,
+//     resident table memory, boundary headroom).
+//
+// Latency percentiles come from fixed-bucket base-2 log-scale histograms
+// instead of sorted raw vectors: bounded memory (322 buckets however many
+// events flow), mergeable across thread shards in any order with a
+// bit-identical result (bucket counts add), and deterministic quantiles
+// with a bounded-error contract — the estimate is the geometric midpoint
+// of the bucket holding the nearest-rank order statistic, so for samples
+// inside the layout's range the relative error is at most 2^(1/16) - 1
+// (< 4.5%, see LatencyHistogram::kQuantileRelativeError). Exact min, max,
+// count and sum ride alongside the buckets.
+#ifndef OISCHED_OBS_METRICS_H
+#define OISCHED_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json_writer.h"
+
+namespace oisched::obs {
+
+/// Dense handle of a registered metric (its registration index).
+using MetricId = std::size_t;
+
+enum class MetricKind { counter, gauge, histogram };
+
+/// Human-readable kind name ("counter" / "gauge" / "histogram").
+[[nodiscard]] const char* to_string(MetricKind kind);
+
+/// The fixed base-2 log-scale bucket layout every latency histogram
+/// shares: 8 buckets per octave from 1 ns up to ~1100 s, plus an
+/// underflow bucket [0, 1 ns) and an overflow bucket [top, +inf). One
+/// shared layout keeps merges trivially associative and the exposition
+/// uniform; 8 buckets per octave bounds the quantile error (below).
+struct HistogramLayout {
+  static constexpr double kMinValue = 1e-9;  // seconds; underflow below
+  static constexpr std::size_t kBucketsPerOctave = 8;
+  static constexpr std::size_t kOctaves = 40;  // top = 1e-9 * 2^40 ~ 1100 s
+  static constexpr std::size_t kLogBuckets = kBucketsPerOctave * kOctaves;
+  /// Underflow + log buckets + overflow.
+  static constexpr std::size_t kBuckets = kLogBuckets + 2;
+
+  /// The kLogBuckets + 1 finite bucket edges: boundaries()[i] =
+  /// kMinValue * 2^(i / kBucketsPerOctave), ascending. Bucket b in
+  /// [1, kLogBuckets] covers [boundaries()[b-1], boundaries()[b]).
+  [[nodiscard]] static std::span<const double> boundaries();
+
+  /// Deterministic bucket index of a value: a binary search against the
+  /// boundary table, so a value exactly on an edge lands in the bucket
+  /// the edge opens (never a neighbor, whatever the libm rounding that
+  /// produced the table). Negative and NaN values underflow to bucket 0.
+  [[nodiscard]] static std::size_t bucket_of(double value);
+
+  /// Inclusive lower edge of a bucket (0.0 for the underflow bucket).
+  [[nodiscard]] static double lower(std::size_t bucket);
+  /// Exclusive upper edge of a bucket (+inf for the overflow bucket).
+  [[nodiscard]] static double upper(std::size_t bucket);
+  /// The deterministic quantile estimate a bucket stands for: the
+  /// geometric midpoint of its edges (the edge itself for the open-ended
+  /// underflow/overflow buckets).
+  [[nodiscard]] static double representative(std::size_t bucket);
+};
+
+/// A plain (single-writer) fixed-bucket log-scale histogram: the value
+/// type tests fuzz, snapshots carry, and shards mirror with atomics.
+class LatencyHistogram {
+ public:
+  /// Bound on the relative error of quantile() against the nearest-rank
+  /// order statistic of the observed sample, for samples inside
+  /// [kMinValue, top): the estimate and the true value share a bucket
+  /// whose edges are a factor 2^(1/8) apart, and the estimate sits at
+  /// the geometric midpoint, so est/true lies in
+  /// [2^(-1/16), 2^(1/16)] — within 4.5% either way.
+  static constexpr double kQuantileRelativeError = 0.0443;
+
+  void observe(double value) noexcept;
+  /// Adds another histogram's buckets (and count/sum, exact min/max) —
+  /// associative and commutative, so thread shards merge to a
+  /// bit-identical result in any order.
+  void merge(const LatencyHistogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Exact extremes of the observed sample (0 when empty).
+  [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+
+  /// Deterministic bounded-error quantile, q in [0, 1]: the
+  /// representative of the bucket holding the nearest-rank order
+  /// statistic (rank max(1, ceil(q * count))). 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::span<const std::uint64_t> buckets() const noexcept {
+    return buckets_;
+  }
+  /// Direct bucket accumulation (the shard-merge path).
+  void add_bucket(std::size_t bucket, std::uint64_t count) noexcept;
+  void add_sum(double sum) noexcept { sum_ += sum; }
+  void update_extremes(double min_value, double max_value) noexcept;
+
+ private:
+  std::array<std::uint64_t, HistogramLayout::kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+class MetricsRegistry;
+
+/// One writer thread's lock-free sink: relaxed-atomic slots for every
+/// metric registered before the shard was created. Created (and owned,
+/// at a stable address, for the registry's lifetime) by
+/// MetricsRegistry::create_shard; one shard has ONE writer thread —
+/// scrape reads concurrently, writers never contend.
+class MetricsShard {
+ public:
+  MetricsShard(const MetricsShard&) = delete;
+  MetricsShard& operator=(const MetricsShard&) = delete;
+
+  /// Counter increment (monotone).
+  void add(MetricId id, std::uint64_t delta = 1) noexcept;
+  /// Gauge store. Shards merge gauges by SUM (untouched shards hold 0),
+  /// so write any given gauge id from one shard only.
+  void set(MetricId id, double value) noexcept;
+  /// Histogram observation.
+  void observe(MetricId id, double value) noexcept;
+
+ private:
+  friend class MetricsRegistry;
+
+  struct SlotRef {
+    MetricKind kind = MetricKind::counter;
+    std::size_t index = 0;  // into the per-kind storage below
+  };
+  struct HistogramSlots {
+    std::array<std::atomic<std::uint64_t>, HistogramLayout::kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+
+  explicit MetricsShard(std::span<const SlotRef> slots);
+
+  std::vector<SlotRef> slots_;  // by MetricId, fixed at creation
+  std::vector<std::atomic<std::uint64_t>> counters_;
+  std::vector<std::atomic<double>> gauges_;
+  std::vector<std::unique_ptr<HistogramSlots>> histograms_;
+};
+
+/// The merged plain-value view one scrape produced; entries are indexed
+/// by MetricId (registration order).
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    std::string help;
+    std::string labels;  // pre-rendered, e.g. `shard="0"` (may be empty)
+    MetricKind kind = MetricKind::counter;
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    LatencyHistogram histogram;
+  };
+
+  std::vector<Entry> entries;
+
+  /// Lookup by name (+ labels); nullptr when absent.
+  [[nodiscard]] const Entry* find(std::string_view name,
+                                  std::string_view labels = "") const noexcept;
+  /// Sum of every counter series with this name (across label sets).
+  [[nodiscard]] std::uint64_t counter_total(std::string_view name) const noexcept;
+  /// Merge of every histogram series with this name (across label sets).
+  [[nodiscard]] LatencyHistogram histogram_total(std::string_view name) const noexcept;
+
+  /// {"schema": "oisched-metrics/1", "counters": {...}, "gauges": {...},
+  ///  "histograms": {series: {count/sum/min/max/mean/p50/p90/p99/p999}}}
+  /// — series keyed `name` or `name{labels}`; deterministic order.
+  [[nodiscard]] JsonValue to_json() const;
+  /// Prometheus text exposition: # HELP/# TYPE per metric name,
+  /// histograms as cumulative `_bucket{le="..."}` series (zero-count
+  /// buckets elided; `+Inf`, `_sum` and `_count` always present).
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+/// The registry: names + ids under a mutex, shards and collectors for
+/// the data plane. Lifecycle contract: register metrics first, then
+/// create one shard per writer thread; ids handed out after a shard was
+/// created are invisible to that shard (its slot table is fixed at
+/// creation), so registration is a setup-time affair.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] MetricId counter(std::string name, std::string help,
+                                 std::string labels = "");
+  [[nodiscard]] MetricId gauge(std::string name, std::string help,
+                               std::string labels = "");
+  [[nodiscard]] MetricId histogram(std::string name, std::string help,
+                                   std::string labels = "");
+
+  /// A new single-writer sink covering every metric registered so far.
+  /// The shard lives (at a stable address) until the registry dies, so a
+  /// finished thread's numbers keep scraping.
+  [[nodiscard]] MetricsShard& create_shard();
+
+  /// Scrape-time gauge filler (queue depths, resident memory, boundary
+  /// headroom): runs at the START of every scrape, writing into a
+  /// registry-owned collector shard. Must not call back into this
+  /// registry.
+  void add_collector(std::function<void(MetricsShard&)> collector);
+
+  /// Runs the collectors, then merges every shard into plain values.
+  /// Concurrent with writers (relaxed reads — each series is a
+  /// consistent-enough monitoring cut, not a linearizable one).
+  [[nodiscard]] MetricsSnapshot scrape();
+
+  [[nodiscard]] std::size_t metric_count() const;
+
+ private:
+  MetricId register_metric(MetricKind kind, std::string name, std::string help,
+                           std::string labels);
+
+  struct Descriptor {
+    std::string name;
+    std::string help;
+    std::string labels;
+    MetricKind kind = MetricKind::counter;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Descriptor> descriptors_;
+  std::vector<MetricsShard::SlotRef> slots_;  // by MetricId
+  std::size_t counters_ = 0;
+  std::size_t gauges_ = 0;
+  std::size_t histograms_ = 0;
+  std::vector<std::unique_ptr<MetricsShard>> shards_;
+  MetricsShard* collector_shard_ = nullptr;  // one of shards_, lazily made
+  std::vector<std::function<void(MetricsShard&)>> collectors_;
+};
+
+}  // namespace oisched::obs
+
+#endif  // OISCHED_OBS_METRICS_H

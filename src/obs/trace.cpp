@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "util/json_writer.h"
+
+namespace oisched::obs {
+namespace {
+
+/// Microsecond timestamps with sub-microsecond precision ("%.3f" keeps
+/// the output compact and is finer than the clock's useful resolution).
+void append_us(std::string& out, double us) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", us);
+  out += buffer;
+}
+
+}  // namespace
+
+void TraceTrack::record(const char* name, Stopwatch::TimePoint begin,
+                        Stopwatch::TimePoint end) {
+  Event event;
+  event.name = name;
+  event.ts_us = Stopwatch::seconds_between(epoch_, begin) * 1e6;
+  event.dur_us = Stopwatch::seconds_between(begin, end) * 1e6;
+  const std::scoped_lock lock(mutex_);
+  events_.push_back(event);
+}
+
+TraceTrack& TraceRecorder::create_track(std::string name) {
+  const std::scoped_lock lock(mutex_);
+  const std::size_t tid = tracks_.size() + 1;  // tid 0 reads oddly in viewers
+  tracks_.push_back(std::unique_ptr<TraceTrack>(
+      new TraceTrack(std::move(name), tid, epoch_)));
+  return *tracks_.back();
+}
+
+std::size_t TraceRecorder::event_count() const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& track : tracks_) {
+    const std::scoped_lock track_lock(track->mutex_);
+    total += track->events_.size();
+  }
+  return total;
+}
+
+std::string TraceRecorder::to_json() const {
+  // Built by hand rather than through JsonValue: a replay can log one
+  // span per phase per event, and the document tree would dwarf the
+  // string. The format is the fixed Chrome trace-event schema anyway.
+  const std::scoped_lock lock(mutex_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& track : tracks_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(track->tid_);
+    out += ",\"args\":{\"name\":\"" + JsonValue::escape(track->name_) + "\"}}";
+  }
+  for (const auto& track : tracks_) {
+    const std::scoped_lock track_lock(track->mutex_);
+    for (const auto& event : track->events_) {
+      out += ",{\"name\":\"" + JsonValue::escape(event.name) + "\"";
+      out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+      out += std::to_string(track->tid_);
+      out += ",\"ts\":";
+      append_us(out, event.ts_us);
+      out += ",\"dur\":";
+      append_us(out, event.dur_us);
+      out += "}";
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool TraceRecorder::write_json(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::string json = to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = written == json.size() && std::fclose(file) == 0;
+  if (!ok && written != json.size()) std::fclose(file);
+  return ok;
+}
+
+}  // namespace oisched::obs

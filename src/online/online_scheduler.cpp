@@ -5,10 +5,45 @@
 #include <utility>
 
 #include "sinr/feasibility.h"
+#include "sinr/gain_storage.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
 
 namespace oisched {
+
+OnlineMetricIds OnlineMetricIds::register_in(obs::MetricsRegistry& registry,
+                                             std::string labels) {
+  OnlineMetricIds ids;
+  ids.events = registry.counter("oisched_events_total",
+                                "Scheduler events processed (all kinds)", labels);
+  ids.event_latency = registry.histogram("oisched_event_latency_seconds",
+                                         "Per-event processing latency", labels);
+  ids.arrivals = registry.counter("oisched_arrivals_total", "Link arrivals", labels);
+  ids.departures = registry.counter("oisched_departures_total", "Link departures", labels);
+  ids.link_updates = registry.counter("oisched_link_updates_total",
+                                      "Endpoint-motion events applied in place", labels);
+  ids.fresh_links = registry.counter(
+      "oisched_fresh_links_total", "Arrivals that grew the link universe", labels);
+  ids.update_migrations =
+      registry.counter("oisched_update_migrations_total",
+                       "Link updates that broke the class and forced re-placement",
+                       labels);
+  ids.migrations = registry.counter("oisched_migrations_total",
+                                    "Links recolored by compaction", labels);
+  ids.compaction_skips = registry.counter(
+      "oisched_compaction_skips_total", "Immovable members compaction skipped", labels);
+  ids.removal_rebuilds =
+      registry.counter("oisched_removal_rebuilds_total",
+                       "Full accumulator replays triggered by removals", labels);
+  ids.classes_opened =
+      registry.counter("oisched_classes_opened_total", "Color classes opened", labels);
+  ids.classes_closed =
+      registry.counter("oisched_classes_closed_total", "Color classes closed", labels);
+  ids.colors = registry.gauge("oisched_colors", "Color classes currently live", labels);
+  ids.active_links =
+      registry.gauge("oisched_active_links", "Links currently active", std::move(labels));
+  return ids;
+}
 
 OnlineScheduler::OnlineScheduler(const Instance& instance, std::span<const double> powers,
                                  const SinrParams& params, Variant variant,
@@ -42,11 +77,24 @@ int OnlineScheduler::color_of(std::size_t link) const {
 }
 
 int OnlineScheduler::place(std::size_t link) {
-  for (std::size_t c = 0; c < classes_.size(); ++c) {
-    if (classes_[c].can_add(link)) {
-      classes_[c].add(link);
-      return static_cast<int>(c);
+  // First-fit in two phases so the trace separates "finding a color"
+  // (row scans against every class's accumulators) from "committing it"
+  // (one class's accumulator update) — same scan-then-add the fused loop
+  // performed.
+  int color = -1;
+  {
+    OISCHED_TRACE_SPAN(options_.telemetry.trace, "feasibility_scan");
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      if (classes_[c].can_add(link)) {
+        color = static_cast<int>(c);
+        break;
+      }
     }
+  }
+  OISCHED_TRACE_SPAN(options_.telemetry.trace, "accumulator_update");
+  if (color >= 0) {
+    classes_[static_cast<std::size_t>(color)].add(link);
+    return color;
   }
   classes_.emplace_back(*gains_, params_, options_.remove_policy,
                         options_.rebuild_interval);
@@ -55,9 +103,33 @@ int OnlineScheduler::place(std::size_t link) {
   return static_cast<int>(classes_.size() - 1);
 }
 
+void OnlineScheduler::publish_event(const OnlineStats& before, double elapsed_seconds) {
+  obs::MetricsShard& shard = *options_.telemetry.shard;
+  const OnlineMetricIds& ids = options_.telemetry.ids;
+  const auto bump = [&shard](obs::MetricId id, std::size_t now, std::size_t was) {
+    if (now != was) shard.add(id, now - was);
+  };
+  shard.add(ids.events);
+  shard.observe(ids.event_latency, elapsed_seconds);
+  bump(ids.arrivals, stats_.arrivals, before.arrivals);
+  bump(ids.departures, stats_.departures, before.departures);
+  bump(ids.link_updates, stats_.link_updates, before.link_updates);
+  bump(ids.fresh_links, stats_.fresh_links, before.fresh_links);
+  bump(ids.update_migrations, stats_.update_migrations, before.update_migrations);
+  bump(ids.migrations, stats_.migrations, before.migrations);
+  bump(ids.compaction_skips, stats_.compaction_skips, before.compaction_skips);
+  bump(ids.removal_rebuilds, stats_.removal_rebuilds, before.removal_rebuilds);
+  bump(ids.classes_opened, stats_.classes_opened, before.classes_opened);
+  bump(ids.classes_closed, stats_.classes_closed, before.classes_closed);
+  shard.set(ids.colors, static_cast<double>(num_colors()));
+  shard.set(ids.active_links, static_cast<double>(active_count_));
+}
+
 int OnlineScheduler::on_arrival(std::size_t link) {
   require(link < color_of_.size(), "OnlineScheduler: link index out of range");
   require(color_of_[link] < 0, "OnlineScheduler: arrival of an already active link");
+  const bool telemetry = options_.telemetry.shard != nullptr;
+  const OnlineStats before = telemetry ? stats_ : OnlineStats{};
   Stopwatch watch;
   const int color = place(link);
   color_of_[link] = color;
@@ -67,6 +139,7 @@ int OnlineScheduler::on_arrival(std::size_t link) {
   const double elapsed = watch.elapsed_seconds();
   stats_.total_event_seconds += elapsed;
   stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
+  if (telemetry) publish_event(before, elapsed);
   return color;
 }
 
@@ -77,6 +150,8 @@ int OnlineScheduler::on_link_arrival(const Request& request) {
           "OnlineScheduler: fresh links need an oblivious power rule (fresh_power)");
   require(request.u < instance_.metric().size() && request.v < instance_.metric().size(),
           "OnlineScheduler: fresh link endpoint out of metric range");
+  const bool telemetry = options_.telemetry.shard != nullptr;
+  const OnlineStats before = telemetry ? stats_ : OnlineStats{};
   Stopwatch watch;
   // Oblivious by construction: the power is a function of the link's own
   // loss, so nothing already scheduled needs revisiting.
@@ -96,6 +171,7 @@ int OnlineScheduler::on_link_arrival(const Request& request) {
   const double elapsed = watch.elapsed_seconds();
   stats_.total_event_seconds += elapsed;
   stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
+  if (telemetry) publish_event(before, elapsed);
   return color;
 }
 
@@ -108,6 +184,8 @@ int OnlineScheduler::on_link_update(std::size_t link, const Request& request) {
   require(color >= 0, "OnlineScheduler: update of an inactive link");
   require(request.u < instance_.metric().size() && request.v < instance_.metric().size(),
           "OnlineScheduler: link endpoint out of metric range");
+  const bool telemetry = options_.telemetry.shard != nullptr;
+  const OnlineStats before = telemetry ? stats_ : OnlineStats{};
   Stopwatch watch;
   const double loss = link_loss(instance_.metric(), request, params_.alpha);
   require(loss > 0.0, "OnlineScheduler: link endpoints must be distinct points");
@@ -116,16 +194,20 @@ int OnlineScheduler::on_link_update(std::size_t link, const Request& request) {
   const double power = options_.fresh_power != nullptr
                            ? options_.fresh_power->power_for_loss(loss)
                            : powers_[link];
-  // Bracket the table refresh: every class first subtracts what it read
-  // from the stale row, then the matrix rewrites the row/column, then
-  // every class adds the new row back and re-derives the link's own slot.
-  for (IncrementalGainClass& cls : classes_) cls.begin_link_update(link);
-  owned_gains_->update_request(link, request, power);
-  powers_[link] = power;
-  for (IncrementalGainClass& cls : classes_) {
-    const std::size_t rebuilds_before = cls.removal_rebuilds();
-    cls.finish_link_update(link);
-    stats_.removal_rebuilds += cls.removal_rebuilds() - rebuilds_before;
+  {
+    OISCHED_TRACE_SPAN(options_.telemetry.trace, "accumulator_update");
+    // Bracket the table refresh: every class first subtracts what it read
+    // from the stale row, then the matrix rewrites the row/column, then
+    // every class adds the new row back and re-derives the link's own
+    // slot.
+    for (IncrementalGainClass& cls : classes_) cls.begin_link_update(link);
+    owned_gains_->update_request(link, request, power);
+    powers_[link] = power;
+    for (IncrementalGainClass& cls : classes_) {
+      const std::size_t rebuilds_before = cls.removal_rebuilds();
+      cls.finish_link_update(link);
+      stats_.removal_rebuilds += cls.removal_rebuilds() - rebuilds_before;
+    }
   }
   ++stats_.link_updates;
 
@@ -149,6 +231,7 @@ int OnlineScheduler::on_link_update(std::size_t link, const Request& request) {
   const double elapsed = watch.elapsed_seconds();
   stats_.total_event_seconds += elapsed;
   stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
+  if (telemetry) publish_event(before, elapsed);
   return new_color;
 }
 
@@ -156,18 +239,27 @@ void OnlineScheduler::on_departure(std::size_t link) {
   require(link < color_of_.size(), "OnlineScheduler: link index out of range");
   const int color = color_of_[link];
   require(color >= 0, "OnlineScheduler: departure of an inactive link");
+  const bool telemetry = options_.telemetry.shard != nullptr;
+  const OnlineStats before = telemetry ? stats_ : OnlineStats{};
   Stopwatch watch;
-  IncrementalGainClass& cls = classes_[static_cast<std::size_t>(color)];
-  const std::size_t rebuilds_before = cls.removal_rebuilds();
-  cls.remove(link);
-  stats_.removal_rebuilds += cls.removal_rebuilds() - rebuilds_before;
+  {
+    OISCHED_TRACE_SPAN(options_.telemetry.trace, "accumulator_update");
+    IncrementalGainClass& cls = classes_[static_cast<std::size_t>(color)];
+    const std::size_t rebuilds_before = cls.removal_rebuilds();
+    cls.remove(link);
+    stats_.removal_rebuilds += cls.removal_rebuilds() - rebuilds_before;
+  }
   color_of_[link] = -1;
   --active_count_;
   ++stats_.departures;
-  compact_from(static_cast<std::size_t>(color));
+  {
+    OISCHED_TRACE_SPAN(options_.telemetry.trace, "compaction");
+    compact_from(static_cast<std::size_t>(color));
+  }
   const double elapsed = watch.elapsed_seconds();
   stats_.total_event_seconds += elapsed;
   stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
+  if (telemetry) publish_event(before, elapsed);
 }
 
 void OnlineScheduler::compact_from(std::size_t color) {
@@ -268,6 +360,38 @@ bool OnlineScheduler::validate_against_direct(double* worst_margin) const {
          "OnlineScheduler: active count and class sizes diverged");
   if (worst_margin != nullptr) *worst_margin = min_margin;
   return true;
+}
+
+void register_gain_metrics(obs::MetricsRegistry& registry,
+                           const OnlineScheduler& scheduler, std::string labels) {
+  const obs::MetricId resident = registry.gauge(
+      "oisched_gain_resident_doubles",
+      "Gain-table entries resident in memory (lazy backends count "
+      "materialized tiles)",
+      labels);
+  const obs::MetricId touched = registry.gauge(
+      "oisched_gain_touched_tiles", "Tiles materialized so far (tiled backend)", labels);
+  const obs::MetricId total = registry.gauge(
+      "oisched_gain_total_tiles", "Tiles the full table would need (tiled backend)",
+      std::move(labels));
+  registry.add_collector([&scheduler, resident, touched, total](obs::MetricsShard& sink) {
+    const GainMatrix& gains = scheduler.gains();
+    sink.set(resident, static_cast<double>(gains.resident_doubles()));
+    std::size_t touched_tiles = 0;
+    std::size_t total_tiles = 0;
+    if (const auto* tiled =
+            dynamic_cast<const TiledGainStorage*>(&gains.receiver_storage())) {
+      touched_tiles += tiled->touched_tiles();
+      total_tiles += tiled->total_tiles();
+    }
+    if (const auto* tiled =
+            dynamic_cast<const TiledGainStorage*>(gains.sender_storage())) {
+      touched_tiles += tiled->touched_tiles();
+      total_tiles += tiled->total_tiles();
+    }
+    sink.set(touched, static_cast<double>(touched_tiles));
+    sink.set(total, static_cast<double>(total_tiles));
+  });
 }
 
 ReplayResult replay_trace(OnlineScheduler& scheduler, const ChurnTrace& trace,

@@ -33,9 +33,45 @@
 #include "core/power_assignment.h"
 #include "core/schedule.h"
 #include "gen/churn.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sinr/gain_matrix.h"
 
 namespace oisched {
+
+/// Registered metric ids for one scheduler's telemetry series. Ids are
+/// registry-wide, so one set per label set (e.g. per service shard) is
+/// shared by however many shards write them.
+struct OnlineMetricIds {
+  obs::MetricId events = 0;
+  obs::MetricId event_latency = 0;
+  obs::MetricId arrivals = 0;
+  obs::MetricId departures = 0;
+  obs::MetricId link_updates = 0;
+  obs::MetricId fresh_links = 0;
+  obs::MetricId update_migrations = 0;
+  obs::MetricId migrations = 0;
+  obs::MetricId compaction_skips = 0;
+  obs::MetricId removal_rebuilds = 0;
+  obs::MetricId classes_opened = 0;
+  obs::MetricId classes_closed = 0;
+  obs::MetricId colors = 0;
+  obs::MetricId active_links = 0;
+
+  /// Registers the standard `oisched_*` series (see README
+  /// "Observability") under one label set and returns their ids.
+  [[nodiscard]] static OnlineMetricIds register_in(obs::MetricsRegistry& registry,
+                                                   std::string labels = "");
+};
+
+/// Telemetry sinks for one scheduler: a single-writer metrics shard plus
+/// (optionally) a trace track for per-event phase spans. Both null by
+/// default — the hot path then skips instrumentation entirely.
+struct OnlineTelemetry {
+  obs::MetricsShard* shard = nullptr;
+  OnlineMetricIds ids;
+  obs::TraceTrack* trace = nullptr;
+};
 
 struct OnlineSchedulerOptions {
   /// How classes restore their accumulators on departure. The default
@@ -73,6 +109,9 @@ struct OnlineSchedulerOptions {
   /// is re-powered by the same rule (its length changed); without one it
   /// keeps its original power.
   std::shared_ptr<const PowerAssignment> fresh_power;
+  /// Metric/trace sinks (see OnlineTelemetry); both null by default. The
+  /// shard and track must outlive the scheduler.
+  OnlineTelemetry telemetry;
 };
 
 /// Counters and timings over the scheduler's lifetime.
@@ -184,6 +223,10 @@ class OnlineScheduler {
  private:
   int place(std::size_t link);           // first-fit; returns the color used
   void compact_from(std::size_t color);  // drop empty / migrate trailing classes
+  /// Publishes one event's worth of counter deltas (stats_ minus the
+  /// handler-entry copy), the latency observation, and the colors/active
+  /// gauges into the telemetry shard. Called only when a shard is set.
+  void publish_event(const OnlineStats& before, double elapsed_seconds);
 
   const Instance& instance_;
   std::vector<double> powers_;
@@ -227,6 +270,14 @@ struct ReplayResult {
 [[nodiscard]] ReplayResult replay_trace(OnlineScheduler& scheduler,
                                         const ChurnTrace& trace,
                                         bool validate_final = true);
+
+/// Registers scrape-time gauges over the scheduler's gain storage —
+/// oisched_gain_resident_doubles always, plus touched/total tile gauges
+/// on the tiled backend (all read from the storage's own atomic-backed
+/// accessors, so sampling is safe while the scheduler runs). The
+/// scheduler must outlive every subsequent registry scrape.
+void register_gain_metrics(obs::MetricsRegistry& registry,
+                           const OnlineScheduler& scheduler, std::string labels = "");
 
 }  // namespace oisched
 

@@ -1,24 +1,18 @@
 #include "service/scheduler_service.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <thread>
 #include <utility>
 
+#include "sinr/gain_storage.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace oisched {
-
-namespace {
-
-double seconds_between(std::chrono::steady_clock::time_point from,
-                       std::chrono::steady_clock::time_point to) {
-  return std::chrono::duration<double>(to - from).count();
-}
-
-}  // namespace
 
 /// Completion handle of a synchronous API call: lives on the caller's
 /// stack, filled by the shard thread.
@@ -39,9 +33,23 @@ struct SchedulerService::Shard {
   // state_mutex_; everything the control plane reads while shards run.
   std::size_t processed = 0;
   std::size_t rejected = 0;
-  std::vector<double> latencies;  // seconds, one per completed event
+  /// Submit-to-completion latencies, as a bounded-memory histogram
+  /// (exact count/mean/min/max, deterministic bounded-error quantiles)
+  /// instead of the raw vector it replaced — a drained saturation run
+  /// used to retain one double per event forever.
+  obs::LatencyHistogram latency;
   OnlineStats stats_snapshot;
   ShardBoundarySummary summary;
+
+  // Telemetry sinks (set iff the service has a registry / recorder):
+  // obs_shard is written by this shard's thread only.
+  obs::MetricsShard* obs_shard = nullptr;
+  obs::TraceTrack* track = nullptr;
+  obs::MetricId latency_metric = 0;
+  obs::MetricId batch_metric = 0;
+  obs::MetricId queue_depth_metric = 0;
+  obs::MetricId processed_metric = 0;
+  obs::MetricId rejected_metric = 0;
 };
 
 SchedulerService::SchedulerService(const Instance& instance,
@@ -60,12 +68,126 @@ SchedulerService::SchedulerService(const Instance& instance,
           "SchedulerService: the appendable backend (universe growth) is not "
           "supported under sharding — fresh links would need a coordinated "
           "index across every shard's tables");
+  // Telemetry registration runs BEFORE any obs shard is created (a
+  // shard's slot table is fixed at creation) and before the schedulers
+  // are built (each gets its sinks through its options).
+  obs::MetricsRegistry* registry = options_.registry;
+  std::vector<OnlineMetricIds> online_ids;
+  std::vector<std::array<obs::MetricId, 5>> shard_ids;
+  if (registry != nullptr) {
+    for (std::size_t s = 0; s < options_.num_shards; ++s) {
+      const std::string labels = "shard=\"" + std::to_string(s) + "\"";
+      online_ids.push_back(OnlineMetricIds::register_in(*registry, labels));
+      shard_ids.push_back(
+          {registry->histogram("oisched_service_latency_seconds",
+                               "Submit-to-completion latency (queue wait + work)",
+                               labels),
+           registry->histogram("oisched_service_batch_size",
+                               "Events per consumer-side queue drain", labels),
+           registry->gauge("oisched_service_queue_depth",
+                           "Events pushed but not yet drained (sampled at scrape)",
+                           labels),
+           registry->counter("oisched_service_processed_total",
+                             "Events completed by the shard thread", labels),
+           registry->counter("oisched_service_rejected_total",
+                             "Events completed with success == false", labels)});
+    }
+    submitted_metric_ = registry->counter("oisched_service_submitted_total",
+                                          "Events accepted into a shard queue");
+    boundary_refreshes_metric_ =
+        registry->counter("oisched_service_boundary_refreshes_total",
+                          "Boundary-summary publications across all shards");
+    boundary_margin_metric_ =
+        registry->gauge("oisched_boundary_min_worst_margin",
+                        "Min published class margin across shards (0 if none)");
+    boundary_gain_metric_ = registry->gauge(
+        "oisched_boundary_max_gain",
+        "Max gain any remote active link contributes at a shard's links");
+    boundary_packable_metric_ =
+        registry->gauge("oisched_boundary_packable_pairs",
+                        "Conservative cross-shard packable class pairs");
+    gain_resident_metric_ = registry->gauge(
+        "oisched_gain_resident_doubles",
+        "Gain-table entries resident across the shards' distinct matrices");
+    gain_touched_metric_ = registry->gauge(
+        "oisched_gain_touched_tiles", "Tiles materialized so far (tiled backend)");
+    gain_total_metric_ = registry->gauge(
+        "oisched_gain_total_tiles", "Tiles the full tables would need (tiled backend)");
+    ingest_shard_ = &registry->create_shard();
+  }
   // Sequential construction: the first shard pays the instance's gain-table
   // build (or its own, under mobility), the rest hit the cache.
   shards_.reserve(options_.num_shards);
   for (std::size_t s = 0; s < options_.num_shards; ++s) {
+    OnlineSchedulerOptions scheduler_options = options_.scheduler;
+    // Each shard gets its OWN sinks (or none) — a caller-provided shard
+    // shared across N threads would break the single-writer contract.
+    scheduler_options.telemetry = {};
+    obs::TraceTrack* track = nullptr;
+    if (options_.trace != nullptr) {
+      track = &options_.trace->create_track("shard" + std::to_string(s));
+      scheduler_options.telemetry.trace = track;
+    }
+    if (registry != nullptr) {
+      scheduler_options.telemetry.shard = &registry->create_shard();
+      scheduler_options.telemetry.ids = online_ids[s];
+    }
     shards_.push_back(std::make_unique<Shard>(instance_, powers_, params_, variant_,
-                                              options_.scheduler));
+                                              scheduler_options));
+    Shard& shard = *shards_.back();
+    shard.track = track;
+    if (registry != nullptr) {
+      shard.obs_shard = scheduler_options.telemetry.shard;
+      shard.latency_metric = shard_ids[s][0];
+      shard.batch_metric = shard_ids[s][1];
+      shard.queue_depth_metric = shard_ids[s][2];
+      shard.processed_metric = shard_ids[s][3];
+      shard.rejected_metric = shard_ids[s][4];
+    }
+  }
+  if (registry != nullptr) {
+    // Queue depths and boundary aggregates are cheaper to sample at
+    // scrape than to maintain per event. Lock order is registry mutex →
+    // state_mutex_ / queue mutexes; shard threads never take the
+    // registry mutex, so the order is acyclic.
+    registry->add_collector([this](obs::MetricsShard& sink) {
+      for (const auto& shard : shards_) {
+        sink.set(shard->queue_depth_metric,
+                 static_cast<double>(shard->queue.pending()));
+      }
+      const BoundaryReport report = boundary_report();
+      sink.set(boundary_margin_metric_, report.min_worst_margin);
+      sink.set(boundary_gain_metric_, report.max_boundary_gain);
+      sink.set(boundary_packable_metric_,
+               static_cast<double>(report.packable_class_pairs));
+      // Gain-storage residency over the DISTINCT matrices (dense/tiled
+      // shards share the instance's cached tables; mobility gives each
+      // shard a private one). The tiled accessors are atomic-backed, so
+      // sampling while shards run is safe.
+      std::vector<const GainMatrix*> seen;
+      std::size_t resident = 0;
+      std::size_t touched = 0;
+      std::size_t total = 0;
+      for (const auto& shard : shards_) {
+        const GainMatrix* gains = &shard->scheduler.gains();
+        if (std::find(seen.begin(), seen.end(), gains) != seen.end()) continue;
+        seen.push_back(gains);
+        resident += gains->resident_doubles();
+        if (const auto* tiled =
+                dynamic_cast<const TiledGainStorage*>(&gains->receiver_storage())) {
+          touched += tiled->touched_tiles();
+          total += tiled->total_tiles();
+        }
+        if (const auto* tiled =
+                dynamic_cast<const TiledGainStorage*>(gains->sender_storage())) {
+          touched += tiled->touched_tiles();
+          total += tiled->total_tiles();
+        }
+      }
+      sink.set(gain_resident_metric_, static_cast<double>(resident));
+      sink.set(gain_touched_metric_, static_cast<double>(touched));
+      sink.set(gain_total_metric_, static_cast<double>(total));
+    });
   }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->thread = std::thread([this, s] { shard_loop(s); });
@@ -81,7 +203,8 @@ std::size_t SchedulerService::shard_of(std::size_t link) const noexcept {
 
 std::size_t SchedulerService::universe() const noexcept { return instance_.size(); }
 
-Expected<void> SchedulerService::route(const ChurnEvent& event, Completion* completion) {
+Expected<void> SchedulerService::route(const ChurnEvent& event, Completion* completion,
+                                       Stopwatch::TimePoint submitted) {
   if (event.kind == ChurnEvent::Kind::link_arrival) {
     return fail(
         "SchedulerService: link_arrival (universe growth) is not supported "
@@ -92,7 +215,7 @@ Expected<void> SchedulerService::route(const ChurnEvent& event, Completion* comp
                 " is out of range (universe " + std::to_string(universe()) + ")");
   }
   Shard& shard = *shards_[shard_of(event.link)];
-  ServiceEvent record{event, std::chrono::steady_clock::now(), completion};
+  ServiceEvent record{event, submitted, completion};
   // Counting and enqueueing under one lock makes submitted_ >= processed
   // an invariant drain() can wait on; push() takes the queue's own mutex
   // inside ours (shard threads never hold theirs while taking ours, so the
@@ -103,13 +226,14 @@ Expected<void> SchedulerService::route(const ChurnEvent& event, Completion* comp
     return fail("SchedulerService: the service is stopped");
   }
   ++submitted_;
+  if (ingest_shard_ != nullptr) ingest_shard_->add(submitted_metric_);
   return {};
 }
 
 AdmitResult SchedulerService::call(const ChurnEvent& event) {
   Completion completion;
   std::future<AdmitResult> future = completion.promise.get_future();
-  if (Expected<void> routed = route(event, &completion); !routed) {
+  if (Expected<void> routed = route(event, &completion, Stopwatch::now()); !routed) {
     AdmitResult result;
     result.error = routed.error();
     result.shard = event.link < universe() ? shard_of(event.link) : 0;
@@ -132,7 +256,12 @@ AdmitResult SchedulerService::update(const UpdateRequest& request) {
 }
 
 Expected<void> SchedulerService::submit(const ChurnEvent& event) {
-  return route(event, nullptr);
+  return route(event, nullptr, Stopwatch::now());
+}
+
+Expected<void> SchedulerService::submit(const ChurnEvent& event,
+                                        Stopwatch::TimePoint submitted) {
+  return route(event, nullptr, submitted);
 }
 
 AdmitResult SchedulerService::process_event(Shard& shard, const ServiceEvent& event) {
@@ -162,31 +291,41 @@ AdmitResult SchedulerService::process_event(Shard& shard, const ServiceEvent& ev
     result.color = -1;
     result.error = e.what();
   }
-  result.latency_seconds =
-      seconds_between(event.submitted, std::chrono::steady_clock::now());
+  result.latency_seconds = Stopwatch::seconds_between(event.submitted, Stopwatch::now());
   return result;
 }
 
 void SchedulerService::shard_loop(std::size_t index) {
   Shard& shard = *shards_[index];
   std::vector<ServiceEvent> batch;
-  std::vector<double> latencies;
   std::size_t since_refresh = 0;
   std::uint64_t refreshes = 0;
   while (shard.queue.drain(batch)) {
-    latencies.clear();
+    obs::LatencyHistogram latency;  // this batch's observations
     std::size_t rejected = 0;
     bool publish_summary = false;
     ShardBoundarySummary summary;
+    if (shard.obs_shard != nullptr) {
+      shard.obs_shard->observe(shard.batch_metric, static_cast<double>(batch.size()));
+    }
     for (const ServiceEvent& event : batch) {
+      if (shard.track != nullptr) {
+        shard.track->record("queue_wait", event.submitted, Stopwatch::now());
+      }
       AdmitResult result = process_event(shard, event);
       if (!result.success) ++rejected;
-      latencies.push_back(result.latency_seconds);
+      latency.observe(result.latency_seconds);
+      if (shard.obs_shard != nullptr) {
+        shard.obs_shard->observe(shard.latency_metric, result.latency_seconds);
+        shard.obs_shard->add(shard.processed_metric);
+        if (!result.success) shard.obs_shard->add(shard.rejected_metric);
+      }
       if (event.completion != nullptr) {
         event.completion->promise.set_value(std::move(result));
       }
       if (options_.boundary_refresh_events > 0 &&
           ++since_refresh >= options_.boundary_refresh_events) {
+        OISCHED_TRACE_SPAN(shard.track, "boundary_refresh");
         summary = compute_summary(index);
         summary.refreshes = ++refreshes;
         publish_summary = true;
@@ -197,12 +336,13 @@ void SchedulerService::shard_loop(std::size_t index) {
       std::lock_guard<std::mutex> lock(state_mutex_);
       shard.processed += batch.size();
       shard.rejected += rejected;
-      shard.latencies.insert(shard.latencies.end(), latencies.begin(), latencies.end());
+      shard.latency.merge(latency);
       shard.stats_snapshot = shard.scheduler.stats();
       if (publish_summary) {
         summary.events_at_refresh = shard.processed;
         shard.summary = std::move(summary);
         ++boundary_refreshes_;
+        if (ingest_shard_ != nullptr) ingest_shard_->add(boundary_refreshes_metric_);
       }
     }
     drained_cv_.notify_all();
@@ -240,13 +380,12 @@ ServiceStats SchedulerService::stats() const {
   ServiceStats out;
   out.submitted = submitted_;
   out.boundary_refreshes = boundary_refreshes_;
-  std::vector<double> latencies;
+  obs::LatencyHistogram latency;
   for (const auto& shard : shards_) {
     out.processed += shard->processed;
     out.rejected += shard->rejected;
     out.batches += shard->queue.batches();
-    latencies.insert(latencies.end(), shard->latencies.begin(),
-                     shard->latencies.end());
+    latency.merge(shard->latency);
     const OnlineStats& s = shard->stats_snapshot;
     out.scheduler.arrivals += s.arrivals;
     out.scheduler.departures += s.departures;
@@ -263,7 +402,7 @@ ServiceStats SchedulerService::stats() const {
     out.scheduler.max_event_seconds =
         std::max(out.scheduler.max_event_seconds, s.max_event_seconds);
   }
-  out.latency = summarize(latencies);
+  out.latency = summarize(latency);
   return out;
 }
 
@@ -325,8 +464,13 @@ bool SchedulerService::validate_against_single_shard(const ChurnTrace& trace) co
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const OnlineScheduler& live = shards_[s]->scheduler;
     // The oracle: a fresh single-thread scheduler, same construction,
-    // replaying exactly this shard's sub-trace in trace order.
-    OnlineScheduler oracle(instance_, powers_, params_, variant_, options_.scheduler);
+    // replaying exactly this shard's sub-trace in trace order. Same
+    // construction EXCEPT telemetry — the oracle must not write into the
+    // live shard's single-writer sinks (and its metrics would double
+    // every counter).
+    OnlineSchedulerOptions oracle_options = options_.scheduler;
+    oracle_options.telemetry = {};
+    OnlineScheduler oracle(instance_, powers_, params_, variant_, oracle_options);
     for (const ChurnEvent& event : trace.events) {
       if (shard_of(event.link) == s) oracle.apply(event);
     }
@@ -461,6 +605,7 @@ BoundaryReport SchedulerService::refresh_boundary() {
     summary.events_at_refresh = shards_[s]->processed;
     shards_[s]->summary = std::move(summary);
     ++boundary_refreshes_;
+    if (ingest_shard_ != nullptr) ingest_shard_->add(boundary_refreshes_metric_);
   }
   std::lock_guard<std::mutex> lock(state_mutex_);
   return aggregate_boundary_locked();
@@ -485,9 +630,14 @@ Expected<ServiceReplayResult> replay_trace(SchedulerService& service,
         "which sharded scheduling does not support — replay it through a "
         "single OnlineScheduler on the appendable backend instead");
   }
-  const auto start = std::chrono::steady_clock::now();
+  const Stopwatch::TimePoint start = Stopwatch::now();
   std::size_t submitted = 0;
   for (const ChurnEvent& event : trace.events) {
+    // One clock read per event, shared between the pacing decision and
+    // the submitted stamp latency is measured from — separate reads let
+    // the two drift apart (the stamp landing later than the pacing
+    // check believed, shaving queue wait off every latency).
+    Stopwatch::TimePoint now = Stopwatch::now();
     if (options.arrival_rate > 0.0) {
       // Open-loop pacing: event k is due at start + k/rate regardless of
       // completions — under overload the backlog (and the latency tail)
@@ -496,14 +646,16 @@ Expected<ServiceReplayResult> replay_trace(SchedulerService& service,
           start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                       std::chrono::duration<double>(static_cast<double>(submitted) /
                                                     options.arrival_rate));
-      std::this_thread::sleep_until(due);
+      if (due > now) {
+        std::this_thread::sleep_until(due);
+        now = Stopwatch::now();  // re-read only after actually sleeping
+      }
     }
-    if (Expected<void> ok = service.submit(event); !ok) return fail(ok.error());
+    if (Expected<void> ok = service.submit(event, now); !ok) return fail(ok.error());
     ++submitted;
   }
   service.drain();
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double wall = Stopwatch::seconds_between(start, Stopwatch::now());
 
   ServiceReplayResult result;
   result.boundary = service.refresh_boundary();

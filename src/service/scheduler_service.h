@@ -70,10 +70,13 @@
 #include "core/instance.h"
 #include "core/schedule.h"
 #include "gen/churn.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "online/online_scheduler.h"
 #include "util/expected.h"
 #include "util/mpsc_queue.h"
 #include "util/stats.h"
+#include "util/stopwatch.h"
 
 namespace oisched {
 
@@ -162,8 +165,25 @@ struct SchedulerServiceOptions {
   /// Per-shard scheduler knobs (storage backend, remove policy, mobility,
   /// fresh_power, compaction). The appendable backend is rejected: a
   /// sharded universe cannot grow yet (fresh links would need a
-  /// coordinated index across all shards' matrices).
+  /// coordinated index across all shards' matrices). The telemetry field
+  /// is ignored — the service wires each shard's own sinks (below); a
+  /// caller-provided single-writer shard shared by N shard threads would
+  /// violate the metrics contract.
   OnlineSchedulerOptions scheduler;
+  /// When set, the service registers its telemetry into this registry:
+  /// per-shard `shard="s"`-labelled series (the scheduler's oisched_*
+  /// set plus service latency/batch-size histograms, processed/rejected
+  /// counters, and a collector-sampled queue-depth gauge) and
+  /// service-level submitted/boundary series (see README
+  /// "Observability"). Register any sibling metrics BEFORE constructing
+  /// the service — shard slot tables are fixed here. The registry must
+  /// outlive the service, and the service installs a scrape-time
+  /// collector referencing it: scrape only while the service is alive.
+  obs::MetricsRegistry* registry = nullptr;
+  /// When set, each shard thread records spans ("shard0", "shard1", …
+  /// tracks): queue_wait per event, the scheduler's per-phase spans, and
+  /// boundary_refresh. Must outlive the service.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Aggregate service counters; latency summarizes every completed event.
@@ -207,6 +227,11 @@ class SchedulerService {
   /// unsupported), or a stopped service. Results surface in stats();
   /// rejected events count there too.
   Expected<void> submit(const ChurnEvent& event);
+  /// Same, stamping the event with a timestamp the caller already
+  /// sampled — the paced replayer reads the clock once per event and
+  /// shares that read between pacing and latency measurement, so the two
+  /// cannot drift apart.
+  Expected<void> submit(const ChurnEvent& event, Stopwatch::TimePoint submitted);
 
   /// Blocks until every submitted event has completed. The service stays
   /// accepting; call before any state inspection below.
@@ -263,12 +288,13 @@ class SchedulerService {
   struct Completion;
   struct ServiceEvent {
     ChurnEvent event;
-    std::chrono::steady_clock::time_point submitted;
+    Stopwatch::TimePoint submitted;
     Completion* completion = nullptr;
   };
   struct Shard;
 
-  Expected<void> route(const ChurnEvent& event, Completion* completion);
+  Expected<void> route(const ChurnEvent& event, Completion* completion,
+                       Stopwatch::TimePoint submitted);
   AdmitResult call(const ChurnEvent& event);
   void shard_loop(std::size_t index);
   AdmitResult process_event(Shard& shard, const ServiceEvent& event);
@@ -284,6 +310,20 @@ class SchedulerService {
   Variant variant_ = Variant::directed;
   SchedulerServiceOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Service-level telemetry (set iff options_.registry): an ingest-side
+  // obs shard written only under state_mutex_ (mutex-serialized, so the
+  // single-writer contract holds) plus the service-wide metric ids. The
+  // boundary gauges are collector-filled at scrape time.
+  obs::MetricsShard* ingest_shard_ = nullptr;
+  obs::MetricId submitted_metric_ = 0;
+  obs::MetricId boundary_refreshes_metric_ = 0;
+  obs::MetricId boundary_margin_metric_ = 0;
+  obs::MetricId boundary_gain_metric_ = 0;
+  obs::MetricId boundary_packable_metric_ = 0;
+  obs::MetricId gain_resident_metric_ = 0;
+  obs::MetricId gain_touched_metric_ = 0;
+  obs::MetricId gain_total_metric_ = 0;
 
   mutable std::mutex state_mutex_;
   std::condition_variable drained_cv_;

@@ -148,6 +148,9 @@ bool rebuild_twin_agrees(const Instance& instance, std::span<const double> power
                          OnlineSchedulerOptions options, const ChurnTrace& trace,
                          const Schedule& observed) {
   options.remove_policy = RemovePolicy::rebuild;
+  // The twin must not write into the timed cell's single-writer metric
+  // shard (its replay would double every counter).
+  options.telemetry = {};
   OnlineScheduler twin(instance, powers, params, variant, std::move(options));
   const ReplayResult replay = replay_trace(twin, trace, /*validate_final=*/false);
   return replay.final_schedule.color_of == observed.color_of &&
@@ -178,6 +181,10 @@ void run_service_scenario(const ScenarioSpec& spec, const SinrParams& params,
     options.scheduler.mobility = true;
     options.scheduler.fresh_power = assignment;
   }
+  // Every cell scrapes its own registry into the report: the service
+  // wires per-shard series itself (queue depth, latency, boundary).
+  obs::MetricsRegistry registry;
+  options.registry = &registry;
   const ChurnTrace trace =
       build_trace(spec, instance.size(), {}, mobility ? &instance : nullptr);
   trace.validate();
@@ -190,6 +197,7 @@ void run_service_scenario(const ScenarioSpec& spec, const SinrParams& params,
       replay_trace(service, trace, replay_options);
   if (!replayed.ok()) throw PreconditionError(replayed.error());
   const ServiceReplayResult& replay = replayed.value();
+  result.metrics = registry.scrape().to_json();
   result.dynamic.events = trace.events.size();
   result.dynamic.wall_ms = replay.wall_seconds * 1e3;
   result.dynamic.events_per_sec = replay.events_per_sec;
@@ -238,15 +246,20 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
     const std::vector<double> base_powers = assignment->assign(base, params.alpha);
     const ChurnTrace trace = build_trace(spec, n0, all.subspan(n0));
     trace.validate();
+    obs::MetricsRegistry registry;
     OnlineSchedulerOptions options;
     options.remove_policy = policy;
     options.storage = GainBackend::appendable;
     options.fresh_power = std::move(assignment);
+    options.telemetry.ids = OnlineMetricIds::register_in(registry);
+    options.telemetry.shard = &registry.create_shard();
     Stopwatch watch;
     OnlineScheduler scheduler(base, base_powers, params, spec.variant, options);
     result.gain_build_ms = watch.elapsed_ms();
+    register_gain_metrics(registry, scheduler);
     const ReplayResult replay = replay_trace(scheduler, trace, /*validate_final=*/true);
     record_replay(trace, replay, result);
+    result.metrics = registry.scrape().to_json();
     if (policy != RemovePolicy::rebuild && scheduler.universe() <= kPolicyTwinMaxN) {
       result.dynamic.policy_identical = rebuild_twin_agrees(
           base, base_powers, params, spec.variant, options, trace, replay.final_schedule);
@@ -255,9 +268,12 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
   }
   const bool mobility = is_mobility_trace(spec.trace);
   const std::vector<double> powers = assignment->assign(instance, params.alpha);
+  obs::MetricsRegistry registry;
   OnlineSchedulerOptions options;
   options.remove_policy = policy;
   options.storage = backend;
+  options.telemetry.ids = OnlineMetricIds::register_in(registry);
+  options.telemetry.shard = &registry.create_shard();
   if (mobility) {
     // Endpoint motion mutates the tables, so the scheduler builds a
     // privately owned matrix — there is no shared cache to warm; time the
@@ -276,11 +292,13 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
   Stopwatch build_watch;
   OnlineScheduler scheduler(instance, powers, params, spec.variant, options);
   if (mobility) result.gain_build_ms = build_watch.elapsed_ms();
+  register_gain_metrics(registry, scheduler);
   const ChurnTrace trace =
       build_trace(spec, instance.size(), {}, mobility ? &instance : nullptr);
   trace.validate();
   const ReplayResult replay = replay_trace(scheduler, trace, /*validate_final=*/true);
   record_replay(trace, replay, result);
+  result.metrics = registry.scrape().to_json();
   if (policy != RemovePolicy::rebuild && instance.size() <= kPolicyTwinMaxN) {
     result.dynamic.policy_identical = rebuild_twin_agrees(
         instance, powers, params, spec.variant, options, trace, replay.final_schedule);
@@ -637,7 +655,7 @@ std::vector<ScenarioResult> run_experiment_grid(std::span<const ScenarioSpec> gr
 JsonValue experiment_report(std::span<const ScenarioResult> results,
                             const ExperimentOptions& options) {
   JsonValue root = JsonValue::object();
-  root["schema"] = "oisched-bench-schedule/6";
+  root["schema"] = "oisched-bench-schedule/7";
   root["generator"] = "bench/run_experiments";
   root["mode"] = options.quick ? "quick" : "full";
   root["threads"] = options.threads;
@@ -700,6 +718,7 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
       entry["remove_policy"] = result.spec.remove_policy;
       entry["gain_build_ms"] = result.gain_build_ms;
       entry["dynamic"] = dynamic_json(result.dynamic);
+      if (!result.metrics.is_null()) entry["metrics"] = result.metrics;
       entry["valid"] = result.valid;
       event_rates.push_back(result.dynamic.events_per_sec);
     } else {
@@ -723,17 +742,19 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
   summary["policy_disagreements"] = policy_disagreements;
   summary["oracle_disagreements"] = oracle_disagreements;
   summary["service_scenarios"] = service_scenarios;
+  // One sort per series, quantiles via the shared util/stats helper —
+  // this used to hand-pick order statistics in place.
   if (!speedups.empty()) {
     std::sort(speedups.begin(), speedups.end());
     summary["greedy_speedup_min"] = speedups.front();
-    summary["greedy_speedup_median"] = speedups[speedups.size() / 2];
+    summary["greedy_speedup_median"] = percentile_sorted(speedups, 0.5);
     summary["greedy_speedup_max"] = speedups.back();
   }
   if (!event_rates.empty()) {
     std::sort(event_rates.begin(), event_rates.end());
     summary["dynamic_scenarios"] = event_rates.size();
     summary["events_per_sec_min"] = event_rates.front();
-    summary["events_per_sec_median"] = event_rates[event_rates.size() / 2];
+    summary["events_per_sec_median"] = percentile_sorted(event_rates, 0.5);
     summary["events_per_sec_max"] = event_rates.back();
   }
   root["summary"] = std::move(summary);

@@ -159,6 +159,10 @@ struct ScenarioResult {
   /// the runner-level backend-equivalence gate (summary counts the
   /// disagreements).
   bool backends_identical = true;
+  /// Dynamic family: the cell's telemetry registry scraped after the
+  /// replay (schema oisched-metrics/1, see MetricsSnapshot::to_json) —
+  /// null for static cells, emitted under the entry's "metrics" key.
+  JsonValue metrics;
 };
 
 /// A scenario counts as failed when it threw, when any engine pair
@@ -195,7 +199,7 @@ struct ExperimentOptions {
     std::span<const ScenarioSpec> grid, const SinrParams& params, std::size_t threads);
 
 /// Bundles results into the BENCH_schedule.json document
-/// (schema "oisched-bench-schedule/6"; layout documented in README.md).
+/// (schema "oisched-bench-schedule/7"; layout documented in README.md).
 [[nodiscard]] JsonValue experiment_report(std::span<const ScenarioResult> results,
                                           const ExperimentOptions& options);
 

@@ -91,6 +91,14 @@ class MpscQueue {
     return pushed_;
   }
 
+  /// Records pushed but not yet drained — the live backlog a queue-depth
+  /// gauge samples (a point-in-time monitoring read, racing producers and
+  /// the consumer by design).
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.size();
+  }
+
   /// Batches delivered so far — pushed() / batches() is the amortization
   /// factor the batched design exists for.
   [[nodiscard]] std::size_t batches() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace oisched {
@@ -48,10 +49,15 @@ double RunningStats::stddev() const noexcept {
 }
 
 double percentile(std::span<const double> sample, double q) {
-  require(q >= 0.0 && q <= 1.0, "percentile: q must lie in [0, 1]");
   if (sample.empty()) return 0.0;
   std::vector<double> sorted(sample.begin(), sample.end());
   std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  require(q >= 0.0 && q <= 1.0, "percentile: q must lie in [0, 1]");
+  if (sorted.empty()) return 0.0;
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
@@ -69,9 +75,26 @@ Summary summarize(std::span<const double> sample) {
   s.stddev = rs.stddev();
   s.min = rs.min();
   s.max = rs.max();
-  s.p50 = percentile(sample, 0.50);
-  s.p90 = percentile(sample, 0.90);
-  s.p99 = percentile(sample, 0.99);
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = percentile_sorted(sorted, 0.50);
+  s.p90 = percentile_sorted(sorted, 0.90);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  s.p999 = percentile_sorted(sorted, 0.999);
+  return s;
+}
+
+Summary summarize(const obs::LatencyHistogram& histogram) {
+  Summary s;
+  s.count = histogram.count();
+  if (s.count == 0) return s;
+  s.mean = histogram.mean();
+  s.min = histogram.min();
+  s.max = histogram.max();
+  s.p50 = histogram.quantile(0.50);
+  s.p90 = histogram.quantile(0.90);
+  s.p99 = histogram.quantile(0.99);
+  s.p999 = histogram.quantile(0.999);
   return s;
 }
 

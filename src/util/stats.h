@@ -8,6 +8,10 @@
 
 namespace oisched {
 
+namespace obs {
+class LatencyHistogram;
+}
+
 /// Welford-style streaming accumulator: numerically stable mean/variance
 /// plus min/max, usable one observation at a time.
 class RunningStats {
@@ -36,7 +40,12 @@ class RunningStats {
 /// statistics. `q` in [0, 1]. Returns 0 for an empty sample.
 [[nodiscard]] double percentile(std::span<const double> sample, double q);
 
-/// Batch summary of a sample (copies and sorts internally for percentiles).
+/// Same, over an ALREADY ASCENDING sample — the shared no-copy core every
+/// percentile consumer folds onto: sort once, read as many quantiles as
+/// needed.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Batch summary of a sample.
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
@@ -45,10 +54,18 @@ struct Summary {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   double max = 0.0;
 };
 
+/// Exact summary of a raw sample (copies and sorts once internally).
 [[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Summary of a telemetry histogram: count/mean/min/max are exact,
+/// percentiles are the histogram's deterministic bounded-error quantiles
+/// (see obs::LatencyHistogram::kQuantileRelativeError), stddev is 0 (the
+/// buckets don't carry second moments).
+[[nodiscard]] Summary summarize(const obs::LatencyHistogram& histogram);
 
 /// Least-squares slope of log(y) against log(x): the growth exponent of a
 /// series (y ~ x^slope). Points with non-positive coordinates are skipped.

@@ -1,4 +1,8 @@
-// Monotonic wall-clock stopwatch for coarse algorithm timing in examples.
+// Monotonic wall-clock stopwatch for coarse algorithm timing, plus a
+// shared pass-through to the underlying steady clock so callers that pace
+// AND measure (the service replayer, the trace spans) can reuse a single
+// clock read per event instead of sampling `Clock::now()` once per
+// concern and drifting apart.
 #ifndef OISCHED_UTIL_STOPWATCH_H
 #define OISCHED_UTIL_STOPWATCH_H
 
@@ -8,19 +12,39 @@ namespace oisched {
 
 class Stopwatch {
  public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
   Stopwatch() noexcept : start_(Clock::now()) {}
+  /// Starts from an already-sampled timestamp — the caller's one clock
+  /// read serves pacing, latency stamping and this stopwatch alike.
+  explicit Stopwatch(TimePoint start) noexcept : start_(start) {}
+
+  /// One steady-clock read, reusable across every consumer of "now".
+  [[nodiscard]] static TimePoint now() noexcept { return Clock::now(); }
+
+  [[nodiscard]] static double seconds_between(TimePoint from, TimePoint to) noexcept {
+    return std::chrono::duration<double>(to - from).count();
+  }
 
   void reset() noexcept { start_ = Clock::now(); }
 
+  [[nodiscard]] TimePoint start() const noexcept { return start_; }
+
   [[nodiscard]] double elapsed_seconds() const noexcept {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return seconds_between(start_, Clock::now());
+  }
+
+  /// Elapsed time against a timestamp the caller already sampled — no
+  /// second clock read.
+  [[nodiscard]] double seconds_until(TimePoint then) const noexcept {
+    return seconds_between(start_, then);
   }
 
   [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  TimePoint start_;
 };
 
 }  // namespace oisched

@@ -312,7 +312,7 @@ TEST(ExperimentReport, EmitsSchemaResultsAndSummary) {
   const auto results = run_experiment_grid(grid, params, 2);
   const JsonValue report = experiment_report(results, options);
   const std::string text = report.dump();
-  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/6\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/7\""), std::string::npos);
   EXPECT_NE(text.find("\"backend_disagreements\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"policy_disagreements\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"oracle_disagreements\": 0"), std::string::npos);
@@ -340,6 +340,12 @@ TEST(ExperimentRunner, DynamicCellRunsExactPolicyWithZeroRebuilds) {
   EXPECT_EQ(result.dynamic.removal_rebuilds, 0u);
   EXPECT_TRUE(result.dynamic.policy_identical);
   EXPECT_FALSE(scenario_failed(result));
+  // Dynamic cells carry a telemetry snapshot of the replay.
+  ASSERT_FALSE(result.metrics.is_null());
+  const std::string metrics_text = result.metrics.dump();
+  EXPECT_NE(metrics_text.find("\"oisched-metrics/1\""), std::string::npos);
+  EXPECT_NE(metrics_text.find("oisched_events_total"), std::string::npos);
+  EXPECT_NE(metrics_text.find("oisched_event_latency_seconds"), std::string::npos);
 }
 
 TEST(ExperimentRunner, RebuildPolicyCellCountsItsReplays) {

@@ -188,6 +188,14 @@ TEST(Percentile, RejectsBadQuantile) {
   EXPECT_THROW((void)percentile(xs, 1.5), PreconditionError);
 }
 
+TEST(Percentile, SortedVariantMatchesUnsortedOnPresortedInput) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(xs, q), percentile(xs, q)) << "q=" << q;
+  }
+  EXPECT_THROW((void)percentile_sorted(xs, -0.1), PreconditionError);
+}
+
 TEST(Summary, ReportsOrderedFields) {
   std::vector<double> xs;
   for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
@@ -199,6 +207,8 @@ TEST(Summary, ReportsOrderedFields) {
   EXPECT_NEAR(s.p50, 50.5, 1e-9);
   EXPECT_GT(s.p90, s.p50);
   EXPECT_GT(s.p99, s.p90);
+  EXPECT_GE(s.p999, s.p99);
+  EXPECT_LE(s.p999, s.max);
 }
 
 TEST(LogLogSlope, RecoversPowerLawExponent) {
