@@ -26,6 +26,10 @@ int usage() {
   std::cerr << "usage: run_experiments [--quick] [--out PATH] [--threads N] [--seed S]\n"
                "                       [--alpha A] [--beta B] [--storage dense|tiled]\n"
                "                       [--remove-policy exact|rebuild|compensated]\n"
+               "                       [--repeat N]\n"
+               "  --repeat runs every cell N times back to back and reports the headline\n"
+               "  metric's min/median/max/jitter per cell; the cell's headline number\n"
+               "  becomes the median run (the stable value CI floors gate on).\n"
                "  --storage sets the default gain-table backend of the grid cells that\n"
                "  do not pin one (the large-n tiled and growing appendable cells always\n"
                "  do); scenario names grow a suffix for non-dense backends.\n"
@@ -50,6 +54,9 @@ int main(int argc, char** argv) {
       options.threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--seed" && i + 1 < argc) {
       options.base_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      options.repeat = std::strtoull(argv[++i], nullptr, 10);
+      if (options.repeat == 0) return usage();
     } else if (arg == "--alpha" && i + 1 < argc) {
       options.params.alpha = std::strtod(argv[++i], nullptr);
     } else if (arg == "--beta" && i + 1 < argc) {
@@ -78,7 +85,7 @@ int main(int argc, char** argv) {
               << " threads (" << (options.quick ? "quick" : "full") << " grid)\n";
     Stopwatch watch;
     const std::vector<ScenarioResult> results =
-        run_experiment_grid(grid, options.params, options.threads);
+        run_experiment_grid(grid, options.params, options.threads, options.repeat);
     const double total_ms = watch.elapsed_ms();
 
     int failures = 0;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "sinr/power_control.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace oisched {
 namespace {
@@ -39,27 +41,51 @@ class RecheckClass {
 };
 
 /// First-fit over any class representation exposing can_add/add.
+///
+/// With scan_threads > 1, each round's candidate scan fans across a worker
+/// pool: worker t probes classes t, t + T, t + 2T, ... in ascending order
+/// and stops at its first acceptor, so the minimum over workers is the
+/// lowest-index accepting class — the one sequential first-fit commits to.
+/// can_add is const on every engine (the lazy backends materialize tiles
+/// behind their own synchronization), so probing extra classes changes no
+/// state and the schedules stay bit-identical.
 template <typename ClassT, typename Factory>
 Schedule first_fit_coloring(const Instance& instance, RequestOrder order,
-                            const Factory& make_class) {
+                            const Factory& make_class, std::size_t scan_threads) {
   Schedule schedule;
   schedule.color_of.assign(instance.size(), -1);
   std::vector<ClassT> classes;
+  std::optional<ThreadPool> pool;
+  if (scan_threads > 1) pool.emplace(scan_threads);
+  std::vector<std::size_t> local_first;
   for (const std::size_t i : ordered_indices(instance, order)) {
-    bool placed = false;
-    for (std::size_t c = 0; c < classes.size(); ++c) {
-      if (classes[c].can_add(i)) {
-        classes[c].add(i);
-        schedule.color_of[i] = static_cast<int>(c);
-        placed = true;
-        break;
+    std::size_t chosen = classes.size();
+    if (pool.has_value() && classes.size() > 1) {
+      const std::size_t workers = std::min(scan_threads, classes.size());
+      local_first.assign(workers, classes.size());
+      for (std::size_t t = 0; t < workers; ++t) {
+        pool->submit([&, t, workers] {
+          for (std::size_t c = t; c < classes.size(); c += workers) {
+            if (classes[c].can_add(i)) {
+              local_first[t] = c;
+              return;
+            }
+          }
+        });
+      }
+      pool->wait_idle();
+      chosen = *std::min_element(local_first.begin(), local_first.end());
+    } else {
+      for (std::size_t c = 0; c < classes.size(); ++c) {
+        if (classes[c].can_add(i)) {
+          chosen = c;
+          break;
+        }
       }
     }
-    if (!placed) {
-      classes.push_back(make_class());
-      classes.back().add(i);
-      schedule.color_of[i] = static_cast<int>(classes.size() - 1);
-    }
+    if (chosen == classes.size()) classes.push_back(make_class());
+    classes[chosen].add(i);
+    schedule.color_of[i] = static_cast<int>(chosen);
   }
   schedule.num_colors = static_cast<int>(classes.size());
   return schedule;
@@ -89,26 +115,33 @@ std::vector<std::size_t> ordered_indices(const Instance& instance, RequestOrder 
 Schedule greedy_coloring(const Instance& instance, std::span<const double> powers,
                          const SinrParams& params, Variant variant, RequestOrder order,
                          FeasibilityEngine engine, GainBackend storage,
-                         RemovePolicy policy) {
+                         RemovePolicy policy, std::size_t scan_threads) {
   require(powers.size() == instance.size(), "greedy_coloring: one power per request");
   switch (engine) {
     case FeasibilityEngine::direct:
-      return first_fit_coloring<RecheckClass>(instance, order, [&] {
-        return RecheckClass(instance.metric(), instance.requests(), powers, params,
-                            variant);
-      });
-    case FeasibilityEngine::incremental:
-      return first_fit_coloring<IncrementalClass>(instance, order, [&] {
-        return IncrementalClass(instance.metric(), instance.requests(), powers, params,
+      return first_fit_coloring<RecheckClass>(
+          instance, order,
+          [&] {
+            return RecheckClass(instance.metric(), instance.requests(), powers, params,
                                 variant);
-      });
+          },
+          scan_threads);
+    case FeasibilityEngine::incremental:
+      return first_fit_coloring<IncrementalClass>(
+          instance, order,
+          [&] {
+            return IncrementalClass(instance.metric(), instance.requests(), powers,
+                                    params, variant);
+          },
+          scan_threads);
     case FeasibilityEngine::gain_matrix:
       break;
   }
   const auto gains =
       instance.gains(powers, params.alpha, variant, /*with_sender_gains=*/false, storage);
   return first_fit_coloring<IncrementalGainClass>(
-      instance, order, [&] { return IncrementalGainClass(*gains, params, policy); });
+      instance, order, [&] { return IncrementalGainClass(*gains, params, policy); },
+      scan_threads);
 }
 
 PowerControlColoring greedy_power_control_coloring(const Instance& instance,

@@ -43,12 +43,19 @@ enum class RequestOrder {
 /// exact accumulates error-free and correctly rounded — same schedules on
 /// every tested workload, guaranteed-canonical accumulators); the other
 /// engines ignore it.
+///
+/// `scan_threads` > 1 fans each request's candidate scan (the first-fit
+/// sweep over open classes) across a worker pool. Workers probe disjoint
+/// class subsets and the lowest-index accepting class wins, exactly the
+/// class sequential first-fit commits to — schedules are bit-identical
+/// for every engine (can_add is const; gated by the determinism test).
 [[nodiscard]] Schedule greedy_coloring(
     const Instance& instance, std::span<const double> powers, const SinrParams& params,
     Variant variant, RequestOrder order = RequestOrder::longest_first,
     FeasibilityEngine engine = FeasibilityEngine::gain_matrix,
     GainBackend storage = GainBackend::dense,
-    RemovePolicy policy = RemovePolicy::rebuild);
+    RemovePolicy policy = RemovePolicy::rebuild,
+    std::size_t scan_threads = 1);
 
 struct PowerControlColoring {
   Schedule schedule;

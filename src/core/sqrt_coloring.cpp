@@ -10,8 +10,10 @@
 #include "core/power_assignment.h"
 #include "lp/simplex.h"
 #include "sinr/feasibility.h"
+#include "sinr/row_kernels.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace oisched {
 namespace {
@@ -25,7 +27,7 @@ class RoundSelector {
   RoundSelector(const Instance& instance, std::span<const double> powers,
                 const SinrParams& params, Variant variant,
                 const SqrtColoringOptions& options, const GainMatrix* gains, Rng& rng,
-                SqrtColoringStats& stats)
+                SqrtColoringStats& stats, ThreadPool* scan_pool)
       : instance_(instance),
         powers_(powers),
         params_(params),
@@ -33,7 +35,8 @@ class RoundSelector {
         options_(options),
         gains_(gains),
         rng_(rng),
-        stats_(stats) {
+        stats_(stats),
+        scan_pool_(scan_pool) {
     if (gains_ != nullptr) {
       acc_v_.assign(instance_.size(), 0.0);
       if (variant_ == Variant::bidirectional) acc_u_.assign(instance_.size(), 0.0);
@@ -90,13 +93,25 @@ class RoundSelector {
   /// Appends `chosen` to the selection, keeping the per-request interference
   /// accumulators of the gain path in sync (accumulation order matches the
   /// order selection_interference sums in, so both paths agree bit-for-bit).
+  /// The full-row accumulation walks resident row runs and streams them
+  /// through the slot-wise kernels — each acc slot still receives exactly
+  /// one add per chosen row, in ascending index order, so the sums match
+  /// the per-element loop this replaces bit for bit.
   void extend_selection(std::span<const std::size_t> chosen) {
     selection_.insert(selection_.end(), chosen.begin(), chosen.end());
     if (gains_ == nullptr) return;
+    const std::size_t n = instance_.size();
     for (const std::size_t s : chosen) {
-      for (std::size_t i = 0; i < instance_.size(); ++i) {
-        acc_v_[i] += gains_->at_v(s, i);
-        if (variant_ == Variant::bidirectional) acc_u_[i] += gains_->at_u(s, i);
+      for (std::size_t i = 0; i < n;) {
+        const std::span<const double> run = gains_->row_run_v(s, i);
+        kernels::acc_add_row(acc_v_.data() + i, run.data(), run.size());
+        i += run.size();
+      }
+      if (variant_ != Variant::bidirectional) continue;
+      for (std::size_t i = 0; i < n;) {
+        const std::span<const double> run = gains_->row_run_u(s, i);
+        kernels::acc_add_row(acc_u_.data() + i, run.data(), run.size());
+        i += run.size();
       }
     }
   }
@@ -188,9 +203,30 @@ class RoundSelector {
   }
 
   void process_class(const std::vector<std::size_t>& members) {
+    // The V' filter: a pure per-request predicate against the current
+    // selection. With a scan pool, workers evaluate disjoint strides and
+    // survivors are collected in member order afterwards, so the candidate
+    // list is bit-identical to the sequential scan's.
     std::vector<std::size_t> candidates;
-    for (const std::size_t j : members) {
-      if (endpoints_tolerate(j)) candidates.push_back(j);
+    if (scan_pool_ != nullptr && members.size() > 1) {
+      const std::size_t workers =
+          std::min(scan_pool_->num_threads(), members.size());
+      std::vector<char> tolerated(members.size(), 0);
+      for (std::size_t t = 0; t < workers; ++t) {
+        scan_pool_->submit([&, t, workers] {
+          for (std::size_t k = t; k < members.size(); k += workers) {
+            tolerated[k] = endpoints_tolerate(members[k]) ? 1 : 0;
+          }
+        });
+      }
+      scan_pool_->wait_idle();
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        if (tolerated[k] != 0) candidates.push_back(members[k]);
+      }
+    } else {
+      for (const std::size_t j : members) {
+        if (endpoints_tolerate(j)) candidates.push_back(j);
+      }
     }
     if (candidates.empty()) return;
 
@@ -329,6 +365,7 @@ class RoundSelector {
   const GainMatrix* gains_;
   Rng& rng_;
   SqrtColoringStats& stats_;
+  ThreadPool* scan_pool_;  // nullptr = sequential candidate scans
   std::vector<std::size_t> selection_;
   /// Gain path only: interference from selection_ at v_i / u_i for every i.
   std::vector<double> acc_v_;
@@ -355,11 +392,14 @@ SqrtColoringResult sqrt_coloring(const Instance& instance, const SinrParams& par
   }
 
   Rng rng(options.seed);
+  std::optional<ThreadPool> scan_pool;
+  if (options.scan_threads > 1) scan_pool.emplace(options.scan_threads);
   std::vector<std::size_t> uncolored = instance.all_indices();
   int color = 0;
   while (!uncolored.empty()) {
     RoundSelector selector(instance, result.powers, params, variant, options,
-                           gains.get(), rng, result.stats);
+                           gains.get(), rng, result.stats,
+                           scan_pool.has_value() ? &*scan_pool : nullptr);
     const std::vector<std::size_t> chosen = selector.select(uncolored);
     ensure(!chosen.empty(), "sqrt_coloring: a round must color at least one request");
     for (const std::size_t j : chosen) {

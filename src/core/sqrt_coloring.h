@@ -51,6 +51,11 @@ struct SqrtColoringOptions {
   /// Storage backend of the gain_matrix engine's tables (results are
   /// backend-independent).
   GainBackend storage = GainBackend::dense;
+  /// > 1 fans each round's candidate scan (the per-class V' tolerance
+  /// filter) across a worker pool. The filter is a pure per-request
+  /// predicate and survivors are collected in index order, so results are
+  /// bit-identical to the sequential scan (gated by the determinism test).
+  std::size_t scan_threads = 1;
 };
 
 struct SqrtColoringStats {

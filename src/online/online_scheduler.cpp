@@ -377,17 +377,11 @@ void register_gain_metrics(obs::MetricsRegistry& registry,
   registry.add_collector([&scheduler, resident, touched, total](obs::MetricsShard& sink) {
     const GainMatrix& gains = scheduler.gains();
     sink.set(resident, static_cast<double>(gains.resident_doubles()));
-    std::size_t touched_tiles = 0;
-    std::size_t total_tiles = 0;
-    if (const auto* tiled =
-            dynamic_cast<const TiledGainStorage*>(&gains.receiver_storage())) {
-      touched_tiles += tiled->touched_tiles();
-      total_tiles += tiled->total_tiles();
-    }
-    if (const auto* tiled =
-            dynamic_cast<const TiledGainStorage*>(gains.sender_storage())) {
-      touched_tiles += tiled->touched_tiles();
-      total_tiles += tiled->total_tiles();
+    std::size_t touched_tiles = gains.receiver_storage().touched_blocks();
+    std::size_t total_tiles = gains.receiver_storage().total_blocks();
+    if (const GainStorage* sender = gains.sender_storage()) {
+      touched_tiles += sender->touched_blocks();
+      total_tiles += sender->total_blocks();
     }
     sink.set(touched, static_cast<double>(touched_tiles));
     sink.set(total, static_cast<double>(total_tiles));

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/instance.h"
+#include "sinr/row_kernels.h"
 #include "util/error.h"
 
 namespace oisched {
@@ -42,7 +43,51 @@ GainFiller make_gain_filler(const MetricSpace* metric,
   };
 }
 
+/// Walks columns [begin, end) of gain-table row j as contiguous resident
+/// runs: body(base, row_v, row_u, len) with row_u == nullptr for
+/// single-table classes. One virtual row_run call per run (dense and
+/// appendable serve the whole range in one; tiled one per tile), instead
+/// of one at_v/at_u dispatch per element — the devirtualized feed of
+/// every accumulator row walk below. Both tables share a backend, so
+/// their runs align; the min() is belt and braces.
+template <typename Body>
+void walk_row_runs(const GainMatrix& gains, std::size_t j, bool bidirectional,
+                   std::size_t begin, std::size_t end, Body&& body) {
+  std::size_t i = begin;
+  while (i < end) {
+    const std::span<const double> run_v = gains.row_run_v(j, i);
+    std::size_t len = std::min(run_v.size(), end - i);
+    const double* row_u = nullptr;
+    if (bidirectional) {
+      const std::span<const double> run_u = gains.row_run_u(j, i);
+      len = std::min(len, run_u.size());
+      row_u = run_u.data();
+    }
+    body(i, run_v.data(), row_u, len);
+    i += len;
+  }
+}
+
+/// walk_row_runs over [0, n) minus the diagonal entry `skip` — a member
+/// never interferes with itself, and skipping by splitting the walk keeps
+/// the slot untouched instead of relying on += 0.0 (which would flip the
+/// sign of a -0.0 slot and is not a no-op on the exact expansions).
+template <typename Body>
+void walk_row_runs_skip(const GainMatrix& gains, std::size_t j, bool bidirectional,
+                        std::size_t skip, Body&& body) {
+  walk_row_runs(gains, j, bidirectional, 0, skip, body);
+  walk_row_runs(gains, j, bidirectional, skip + 1, gains.size(), body);
+}
+
 }  // namespace
+
+double GainRowCursor::refill(std::size_t i) {
+  const std::span<const double> run = storage_->row_run(j_, i);
+  run_ = run.data();
+  base_ = i;
+  len_ = run.size();
+  return run_[0];
+}
 
 const char* to_string(FeasibilityEngine engine) {
   switch (engine) {
@@ -264,8 +309,8 @@ IncrementalGainClass::IncrementalGainClass(const GainMatrix& gains,
     cancelled_u_.assign(acc_u_.size(), 0.0);
   }
   if (policy_ == RemovePolicy::exact) {
-    exact_v_.assign(acc_v_.size(), ExactSum{});
-    exact_u_.assign(acc_u_.size(), ExactSum{});
+    exact_v_.assign_zero(acc_v_.size());
+    exact_u_.assign_zero(acc_u_.size());
   }
 }
 
@@ -275,14 +320,18 @@ bool IncrementalGainClass::can_add(std::size_t request_index) const {
   const bool bidirectional = gains_->variant() == Variant::bidirectional;
   const double cand_signal = gains_->signal(request_index);
 
-  // Existing members must tolerate the newcomer's extra interference.
+  // Existing members must tolerate the newcomer's extra interference. The
+  // cursors serve the candidate's row from cached resident runs — one
+  // virtual dispatch per run, not per member.
+  GainRowCursor row_v = gains_->row_cursor_v(request_index);
+  GainRowCursor row_u = gains_->row_cursor_u(request_index);
   for (const std::size_t m : members_) {
-    const double extra_v = gains_->at_v(request_index, m);
+    const double extra_v = row_v.at(m);
     if (!(gains_->signal(m) > params_.beta * (acc_v_[m] + extra_v + params_.noise))) {
       return false;
     }
     if (bidirectional) {
-      const double extra_u = gains_->at_u(request_index, m);
+      const double extra_u = row_u.at(m);
       if (!(gains_->signal(m) > params_.beta * (acc_u_[m] + extra_u + params_.noise))) {
         return false;
       }
@@ -306,24 +355,27 @@ void IncrementalGainClass::add(std::size_t request_index) {
     // Error-free accumulation: the slot keeps the exact expansion, and the
     // exposed double is its correct rounding — a pure function of the
     // member multiset, so any later subtract restores today's state bit
-    // for bit.
-    for (std::size_t i = 0; i < gains_->size(); ++i) {
-      if (i == request_index) continue;
-      exact_v_[i].add(gains_->at_v(request_index, i));
-      acc_v_[i] = exact_v_[i].value();
-      if (bidirectional) {
-        exact_u_[i].add(gains_->at_u(request_index, i));
-        acc_u_[i] = exact_u_[i].value();
-      }
-    }
+    // for bit. The bank streams each resident run with a fused add-round
+    // per slot.
+    walk_row_runs_skip(*gains_, request_index, bidirectional, request_index,
+                       [&](std::size_t base, const double* row_v, const double* row_u,
+                           std::size_t len) {
+                         exact_v_.add_row(base, row_v, len, acc_v_.data());
+                         if (row_u != nullptr) {
+                           exact_u_.add_row(base, row_u, len, acc_u_.data());
+                         }
+                       });
     members_.push_back(request_index);
     return;
   }
-  for (std::size_t i = 0; i < gains_->size(); ++i) {
-    if (i == request_index) continue;  // a member never interferes with itself
-    acc_v_[i] += gains_->at_v(request_index, i);
-    if (bidirectional) acc_u_[i] += gains_->at_u(request_index, i);
-  }
+  walk_row_runs_skip(*gains_, request_index, bidirectional, request_index,
+                     [&](std::size_t base, const double* row_v, const double* row_u,
+                         std::size_t len) {
+                       kernels::acc_add_row(acc_v_.data() + base, row_v, len);
+                       if (row_u != nullptr) {
+                         kernels::acc_add_row(acc_u_.data() + base, row_u, len);
+                       }
+                     });
   members_.push_back(request_index);
 }
 
@@ -351,17 +403,14 @@ void IncrementalGainClass::remove(std::size_t request_index) {
     // escape hatch below.
     const bool bidi = gains_->variant() == Variant::bidirectional;
     bool saturated = false;
-    for (std::size_t i = 0; i < gains_->size(); ++i) {
-      if (i == request_index) continue;
-      exact_v_[i].subtract(gains_->at_v(request_index, i));
-      acc_v_[i] = exact_v_[i].value();
-      saturated |= exact_v_[i].saturated();
-      if (bidi) {
-        exact_u_[i].subtract(gains_->at_u(request_index, i));
-        acc_u_[i] = exact_u_[i].value();
-        saturated |= exact_u_[i].saturated();
-      }
-    }
+    walk_row_runs_skip(*gains_, request_index, bidi, request_index,
+                       [&](std::size_t base, const double* row_v, const double* row_u,
+                           std::size_t len) {
+                         saturated |= exact_v_.sub_row(base, row_v, len, acc_v_.data());
+                         if (row_u != nullptr) {
+                           saturated |= exact_u_.sub_row(base, row_u, len, acc_u_.data());
+                         }
+                       });
     if (saturated) {
       // A slot's true interference sum once exceeded the double range:
       // ExactSum saturation is sticky, so subtraction alone cannot bring
@@ -389,17 +438,16 @@ void IncrementalGainClass::remove(std::size_t request_index) {
   // Compensated fast path: subtract the departed contributions and grow the
   // per-slot cancellation bound by their magnitude.
   const bool bidirectional = gains_->variant() == Variant::bidirectional;
-  for (std::size_t i = 0; i < gains_->size(); ++i) {
-    if (i == request_index) continue;
-    const double gone_v = gains_->at_v(request_index, i);
-    acc_v_[i] -= gone_v;
-    cancelled_v_[i] += std::abs(gone_v);
-    if (bidirectional) {
-      const double gone_u = gains_->at_u(request_index, i);
-      acc_u_[i] -= gone_u;
-      cancelled_u_[i] += std::abs(gone_u);
-    }
-  }
+  walk_row_runs_skip(
+      *gains_, request_index, bidirectional, request_index,
+      [&](std::size_t base, const double* row_v, const double* row_u, std::size_t len) {
+        kernels::acc_sub_row_cancel(acc_v_.data() + base, cancelled_v_.data() + base,
+                                    row_v, len);
+        if (row_u != nullptr) {
+          kernels::acc_sub_row_cancel(acc_u_.data() + base, cancelled_u_.data() + base,
+                                      row_u, len);
+        }
+      });
   ++removes_since_rebuild_;
   maybe_rebuild_after_remove();
 #ifndef NDEBUG
@@ -440,27 +488,21 @@ void IncrementalGainClass::begin_link_update(std::size_t link) {
   if (policy_ == RemovePolicy::rebuild) return;  // finish replays from scratch
 
   const bool bidirectional = gains_->variant() == Variant::bidirectional;
-  for (std::size_t i = 0; i < gains_->size(); ++i) {
-    if (i == link) continue;
-    const double gone_v = gains_->at_v(link, i);
-    if (policy_ == RemovePolicy::exact) {
-      exact_v_[i].subtract(gone_v);
-      acc_v_[i] = exact_v_[i].value();
-    } else {
-      acc_v_[i] -= gone_v;
-      cancelled_v_[i] += std::abs(gone_v);
-    }
-    if (bidirectional) {
-      const double gone_u = gains_->at_u(link, i);
-      if (policy_ == RemovePolicy::exact) {
-        exact_u_[i].subtract(gone_u);
-        acc_u_[i] = exact_u_[i].value();
-      } else {
-        acc_u_[i] -= gone_u;
-        cancelled_u_[i] += std::abs(gone_u);
-      }
-    }
-  }
+  walk_row_runs_skip(
+      *gains_, link, bidirectional, link,
+      [&](std::size_t base, const double* row_v, const double* row_u, std::size_t len) {
+        if (policy_ == RemovePolicy::exact) {
+          exact_v_.sub_row(base, row_v, len, acc_v_.data());
+          if (row_u != nullptr) exact_u_.sub_row(base, row_u, len, acc_u_.data());
+          return;
+        }
+        kernels::acc_sub_row_cancel(acc_v_.data() + base, cancelled_v_.data() + base,
+                                    row_v, len);
+        if (row_u != nullptr) {
+          kernels::acc_sub_row_cancel(acc_u_.data() + base, cancelled_u_.data() + base,
+                                      row_u, len);
+        }
+      });
 }
 
 void IncrementalGainClass::finish_link_update(std::size_t link) {
@@ -481,25 +523,20 @@ void IncrementalGainClass::finish_link_update(std::size_t link) {
   if (member) {
     // Re-add the link's row, now reading the refreshed tables.
     bool saturated = false;
-    for (std::size_t i = 0; i < gains_->size(); ++i) {
-      if (i == link) continue;
-      if (policy_ == RemovePolicy::exact) {
-        exact_v_[i].add(gains_->at_v(link, i));
-        acc_v_[i] = exact_v_[i].value();
-        saturated |= exact_v_[i].saturated();
-      } else {
-        acc_v_[i] += gains_->at_v(link, i);
-      }
-      if (bidirectional) {
-        if (policy_ == RemovePolicy::exact) {
-          exact_u_[i].add(gains_->at_u(link, i));
-          acc_u_[i] = exact_u_[i].value();
-          saturated |= exact_u_[i].saturated();
-        } else {
-          acc_u_[i] += gains_->at_u(link, i);
-        }
-      }
-    }
+    walk_row_runs_skip(
+        *gains_, link, bidirectional, link,
+        [&](std::size_t base, const double* row_v, const double* row_u,
+            std::size_t len) {
+          if (policy_ == RemovePolicy::exact) {
+            saturated |= exact_v_.add_row(base, row_v, len, acc_v_.data());
+            if (row_u != nullptr) {
+              saturated |= exact_u_.add_row(base, row_u, len, acc_u_.data());
+            }
+            return;
+          }
+          kernels::acc_add_row(acc_v_.data() + base, row_v, len);
+          if (row_u != nullptr) kernels::acc_add_row(acc_u_.data() + base, row_u, len);
+        });
     if (policy_ == RemovePolicy::exact && saturated) {
       // Same escape hatch as remove(): sticky saturation means a slot's
       // true sum once left the double range, and only a replay restores
@@ -544,10 +581,10 @@ void IncrementalGainClass::rederive_slot(std::size_t link) {
       sum_v.add(gains_->at_v(m, link));
       if (bidirectional) sum_u.add(gains_->at_u(m, link));
     }
-    exact_v_[link] = sum_v;
+    exact_v_.store(link, sum_v);
     acc_v_[link] = sum_v.value();
     if (bidirectional) {
-      exact_u_[link] = sum_u;
+      exact_u_.store(link, sum_u);
       acc_u_[link] = sum_u.value();
     }
     return;
@@ -599,16 +636,17 @@ void IncrementalGainClass::sync_universe() {
     exact_u_.resize(acc_u_.size());
     // Fresh slots receive the members' contributions error-free — the
     // grown state is exactly what a from-scratch exact build over the
-    // grown universe produces.
+    // grown universe produces. Members always predate the growth, so the
+    // [old_n, n) walk never crosses a member's own diagonal.
     for (const std::size_t m : members_) {
-      for (std::size_t i = old_n; i < n; ++i) {
-        exact_v_[i].add(gains_->at_v(m, i));
-        if (bidirectional) exact_u_[i].add(gains_->at_u(m, i));
-      }
-    }
-    for (std::size_t i = old_n; i < n; ++i) {
-      acc_v_[i] = exact_v_[i].value();
-      if (bidirectional) acc_u_[i] = exact_u_[i].value();
+      walk_row_runs(*gains_, m, bidirectional, old_n, n,
+                    [&](std::size_t base, const double* row_v, const double* row_u,
+                        std::size_t len) {
+                      exact_v_.add_row(base, row_v, len, acc_v_.data());
+                      if (row_u != nullptr) {
+                        exact_u_.add_row(base, row_u, len, acc_u_.data());
+                      }
+                    });
     }
     return;
   }
@@ -616,10 +654,14 @@ void IncrementalGainClass::sync_universe() {
   // order — exactly the sums a from-scratch replay over the grown universe
   // produces, so exactness guarantees survive growth.
   for (const std::size_t m : members_) {
-    for (std::size_t i = old_n; i < n; ++i) {
-      acc_v_[i] += gains_->at_v(m, i);
-      if (bidirectional) acc_u_[i] += gains_->at_u(m, i);
-    }
+    walk_row_runs(*gains_, m, bidirectional, old_n, n,
+                  [&](std::size_t base, const double* row_v, const double* row_u,
+                      std::size_t len) {
+                    kernels::acc_add_row(acc_v_.data() + base, row_v, len);
+                    if (row_u != nullptr) {
+                      kernels::acc_add_row(acc_u_.data() + base, row_u, len);
+                    }
+                  });
   }
 }
 
@@ -665,11 +707,14 @@ void IncrementalGainClass::replay_accumulators(std::vector<double>& acc_v,
     return;
   }
   for (const std::size_t m : members_) {
-    for (std::size_t i = 0; i < gains_->size(); ++i) {
-      if (i == m) continue;
-      acc_v[i] += gains_->at_v(m, i);
-      if (bidirectional) acc_u[i] += gains_->at_u(m, i);
-    }
+    walk_row_runs_skip(*gains_, m, bidirectional, m,
+                       [&](std::size_t base, const double* row_v, const double* row_u,
+                           std::size_t len) {
+                         kernels::acc_add_row(acc_v.data() + base, row_v, len);
+                         if (row_u != nullptr) {
+                           kernels::acc_add_row(acc_u.data() + base, row_u, len);
+                         }
+                       });
   }
 }
 
@@ -678,18 +723,19 @@ void IncrementalGainClass::rebuild() {
     // Re-derive the expansions themselves, not just the rounded values:
     // rebuild must leave the full state where a fresh class would be.
     const bool bidirectional = gains_->variant() == Variant::bidirectional;
-    exact_v_.assign(gains_->size(), ExactSum{});
-    exact_u_.assign(bidirectional ? gains_->size() : 0, ExactSum{});
+    exact_v_.assign_zero(gains_->size());
+    exact_u_.assign_zero(bidirectional ? gains_->size() : 0);
+    std::fill(acc_v_.begin(), acc_v_.end(), 0.0);
+    std::fill(acc_u_.begin(), acc_u_.end(), 0.0);
     for (const std::size_t m : members_) {
-      for (std::size_t i = 0; i < gains_->size(); ++i) {
-        if (i == m) continue;
-        exact_v_[i].add(gains_->at_v(m, i));
-        if (bidirectional) exact_u_[i].add(gains_->at_u(m, i));
-      }
-    }
-    for (std::size_t i = 0; i < gains_->size(); ++i) {
-      acc_v_[i] = exact_v_[i].value();
-      if (bidirectional) acc_u_[i] = exact_u_[i].value();
+      walk_row_runs_skip(*gains_, m, bidirectional, m,
+                         [&](std::size_t base, const double* row_v,
+                             const double* row_u, std::size_t len) {
+                           exact_v_.add_row(base, row_v, len, acc_v_.data());
+                           if (row_u != nullptr) {
+                             exact_u_.add_row(base, row_u, len, acc_u_.data());
+                           }
+                         });
     }
     removes_since_rebuild_ = 0;
     return;

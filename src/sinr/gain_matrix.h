@@ -29,11 +29,42 @@
 #include "sinr/feasibility.h"
 #include "sinr/gain_storage.h"
 #include "sinr/model.h"
+#include "util/exact_bank.h"
 #include "util/exact_sum.h"
 
 namespace oisched {
 
 class Instance;
+
+/// Devirtualized sequential reader of one gain-table row: serves lookups
+/// from a cached contiguous resident run (GainStorage::row_run), paying
+/// one virtual call per run instead of one per element. A dense-backed
+/// cursor caches the whole row up front, so every lookup is a raw load;
+/// tiled pays one refill per tile crossed. Lookups outside the cached run
+/// refill, so access order is free — the can_add member scan walks its
+/// scattered member indices through one cursor per row.
+class GainRowCursor {
+ public:
+  [[nodiscard]] double at(std::size_t i) {
+    const std::size_t off = i - base_;
+    if (off < len_) return run_[off];
+    return refill(i);
+  }
+
+ private:
+  friend class GainMatrix;
+  GainRowCursor(const GainStorage* storage, std::size_t j)
+      : storage_(storage), j_(j) {}
+  GainRowCursor(const double* dense_row, std::size_t n)
+      : run_(dense_row), len_(n) {}
+  double refill(std::size_t i);
+
+  const GainStorage* storage_ = nullptr;
+  std::size_t j_ = 0;
+  const double* run_ = nullptr;
+  std::size_t base_ = 0;
+  std::size_t len_ = 0;
+};
 
 /// Which machinery answers feasibility queries inside an algorithm. All
 /// three produce bit-for-bit identical results; they differ only in cost.
@@ -113,6 +144,30 @@ class GainMatrix {
   [[nodiscard]] double at_u(std::size_t j, std::size_t i) const {
     if (dense_u_ != nullptr) return dense_u_[j * n_ + i];
     return at_u_ == nullptr ? 0.0 : at_u_->at(j, i);
+  }
+
+  /// Longest contiguous resident run of receiver-table row j starting at
+  /// column i (i < size()); never empty. One call serves the whole row
+  /// tail on dense/appendable and a tile width on tiled — what the
+  /// accumulator row walks iterate instead of per-element at_v.
+  [[nodiscard]] std::span<const double> row_run_v(std::size_t j, std::size_t i) const {
+    if (dense_v_ != nullptr) return {dense_v_ + j * n_ + i, n_ - i};
+    return at_v_->row_run(j, i);
+  }
+  /// Sender-side counterpart; requires the sender table (bidirectional or
+  /// with_sender_gains builds).
+  [[nodiscard]] std::span<const double> row_run_u(std::size_t j, std::size_t i) const {
+    if (dense_u_ != nullptr) return {dense_u_ + j * n_ + i, n_ - i};
+    return at_u_->row_run(j, i);
+  }
+  /// Cached-run reader of row j for scattered lookups (the member scans).
+  [[nodiscard]] GainRowCursor row_cursor_v(std::size_t j) const {
+    if (dense_v_ != nullptr) return {dense_v_ + j * n_, n_};
+    return {at_v_.get(), j};
+  }
+  [[nodiscard]] GainRowCursor row_cursor_u(std::size_t j) const {
+    if (dense_u_ != nullptr) return {dense_u_ + j * n_, n_};
+    return {at_u_.get(), j};
   }
 
   /// Grows the universe by one link (appendable backend only): copies the
@@ -326,9 +381,10 @@ class IncrementalGainClass {
   /// slot since the last rebuild — an upper bound on the lost precision.
   std::vector<double> cancelled_v_;
   std::vector<double> cancelled_u_;
-  /// Exact mode only: the error-free expansion behind each slot.
-  std::vector<ExactSum> exact_v_;
-  std::vector<ExactSum> exact_u_;
+  /// Exact mode only: the error-free expansions behind the slots, in the
+  /// structure-of-arrays bank the row kernels stream (util/exact_bank.h).
+  ExactSumBank exact_v_;
+  ExactSumBank exact_u_;
 };
 
 /// greedy_feasible_subset over precomputed gains; identical selection.

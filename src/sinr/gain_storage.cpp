@@ -1,5 +1,7 @@
 #include "sinr/gain_storage.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace oisched {
@@ -61,13 +63,28 @@ TiledGainStorage::TiledGainStorage(std::size_t n, GainFiller fill)
   require(static_cast<bool>(fill_), "TiledGainStorage: filler must be callable");
 }
 
-double TiledGainStorage::at(std::size_t j, std::size_t i) const {
-  const std::size_t jb = j / kTileSize;
-  const std::size_t ib = i / kTileSize;
+const double* TiledGainStorage::tile_data(std::size_t jb, std::size_t ib) const {
   Tile& tile = tiles_[jb * tiles_per_side_ + ib];
   const double* data = tile.ready.load(std::memory_order_acquire);
   if (data == nullptr) data = materialize(tile, jb, ib);
+  return data;
+}
+
+double TiledGainStorage::at(std::size_t j, std::size_t i) const {
+  const double* data = tile_data(j / kTileSize, i / kTileSize);
   return data[(j % kTileSize) * kTileSize + (i % kTileSize)];
+}
+
+std::span<const double> TiledGainStorage::row_run(std::size_t j, std::size_t i) const {
+  // One tile's worth of row j: contiguous inside the tile's row-major
+  // buffer, clipped to the table edge (edge tiles pad with zeros past n_,
+  // but runs never expose the padding).
+  const std::size_t jb = j / kTileSize;
+  const std::size_t ib = i / kTileSize;
+  const double* data = tile_data(jb, ib);
+  const std::size_t di = i % kTileSize;
+  const std::size_t len = std::min(kTileSize - di, n_ - i);
+  return {data + (j % kTileSize) * kTileSize + di, len};
 }
 
 const double* TiledGainStorage::materialize(Tile& tile, std::size_t jb,

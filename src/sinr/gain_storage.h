@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -81,8 +82,23 @@ class GainStorage {
   /// Contiguous row-major buffer when the layout has one, else nullptr —
   /// lets callers skip the virtual dispatch on the dense fast path.
   [[nodiscard]] virtual const double* dense_data() const noexcept { return nullptr; }
+  /// The longest contiguous resident run of row `j` starting at column `i`
+  /// (i < size()); never empty. Lazy backends materialize the containing
+  /// block first, so one virtual call serves a whole row tail (dense /
+  /// appendable) or a tile width (tiled) — the devirtualized feed of the
+  /// accumulator row walks, and the SAME materialization path the residency
+  /// counters observe (at() routes through it too, so resident_doubles and
+  /// row runs cannot drift apart).
+  [[nodiscard]] virtual std::span<const double> row_run(std::size_t j,
+                                                        std::size_t i) const = 0;
   /// Doubles currently resident — the observable of the memory model.
   [[nodiscard]] virtual std::size_t resident_doubles() const noexcept = 0;
+  /// Lazily materialized blocks touched so far / in total — 0/0 for eager
+  /// layouts. The storage-agnostic residency observables the telemetry
+  /// collector (register_gain_metrics) and the bench report read, so they
+  /// need no backend downcasts.
+  [[nodiscard]] virtual std::size_t touched_blocks() const noexcept { return 0; }
+  [[nodiscard]] virtual std::size_t total_blocks() const noexcept { return 0; }
   /// Recomputes row `link` and column `link` through `fill` — the
   /// endpoint-motion path. The caller has already updated the request and
   /// power stores the filler captures, so re-evaluating those entries
@@ -108,6 +124,10 @@ class DenseGainStorage final : public GainStorage {
     return data_[j * n_ + i];
   }
   [[nodiscard]] const double* dense_data() const noexcept override { return data_.data(); }
+  [[nodiscard]] std::span<const double> row_run(std::size_t j,
+                                                std::size_t i) const override {
+    return {data_.data() + j * n_ + i, n_ - i};
+  }
   [[nodiscard]] std::size_t resident_doubles() const noexcept override {
     return data_.size();
   }
@@ -133,8 +153,16 @@ class TiledGainStorage final : public GainStorage {
   [[nodiscard]] GainBackend kind() const noexcept override { return GainBackend::tiled; }
   [[nodiscard]] std::size_t size() const noexcept override { return n_; }
   [[nodiscard]] double at(std::size_t j, std::size_t i) const override;
+  [[nodiscard]] std::span<const double> row_run(std::size_t j,
+                                                std::size_t i) const override;
   [[nodiscard]] std::size_t resident_doubles() const noexcept override {
     return touched_tiles() * kTileSize * kTileSize;
+  }
+  [[nodiscard]] std::size_t touched_blocks() const noexcept override {
+    return touched_tiles();
+  }
+  [[nodiscard]] std::size_t total_blocks() const noexcept override {
+    return total_tiles();
   }
   void refresh_link(std::size_t link, const GainFiller& fill) override;
 
@@ -154,6 +182,10 @@ class TiledGainStorage final : public GainStorage {
     std::unique_ptr<double[]> data;
   };
 
+  /// The one materialization gate: both at() and row_run() resolve a
+  /// (j, i) coordinate to its resident tile buffer through here, so lookup
+  /// paths and the touched-tile residency count can never disagree.
+  const double* tile_data(std::size_t jb, std::size_t ib) const;
   const double* materialize(Tile& tile, std::size_t jb, std::size_t ib) const;
 
   std::size_t n_;
@@ -178,6 +210,10 @@ class AppendableGainStorage final : public GainStorage {
   [[nodiscard]] std::size_t size() const noexcept override { return rows_.size(); }
   [[nodiscard]] double at(std::size_t j, std::size_t i) const override {
     return rows_[j][i];
+  }
+  [[nodiscard]] std::span<const double> row_run(std::size_t j,
+                                                std::size_t i) const override {
+    return {rows_[j].data() + i, rows_[j].size() - i};
   }
   [[nodiscard]] std::size_t resident_doubles() const noexcept override;
   void refresh_link(std::size_t link, const GainFiller& fill) override;

@@ -1,0 +1,95 @@
+#include "sinr/row_kernels.h"
+
+#include <cmath>
+
+#if defined(OISCHED_NATIVE) && defined(__AVX2__)
+#define OISCHED_ROW_KERNELS_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace oisched::kernels {
+
+bool simd_active() noexcept {
+#ifdef OISCHED_ROW_KERNELS_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+void acc_add_row_scalar(double* acc, const double* row, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += row[i];
+}
+
+void acc_sub_row_scalar(double* acc, const double* row, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) acc[i] -= row[i];
+}
+
+void acc_sub_row_cancel_scalar(double* acc, double* cancelled, const double* row,
+                               std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] -= row[i];
+    cancelled[i] += std::abs(row[i]);
+  }
+}
+
+#ifdef OISCHED_ROW_KERNELS_AVX2
+
+void acc_add_row(double* acc, const double* row, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a = _mm256_loadu_pd(acc + i);
+    const __m256d r = _mm256_loadu_pd(row + i);
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(a, r));
+  }
+  for (; i < n; ++i) acc[i] += row[i];
+}
+
+void acc_sub_row(double* acc, const double* row, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d a = _mm256_loadu_pd(acc + i);
+    const __m256d r = _mm256_loadu_pd(row + i);
+    _mm256_storeu_pd(acc + i, _mm256_sub_pd(a, r));
+  }
+  for (; i < n; ++i) acc[i] -= row[i];
+}
+
+void acc_sub_row_cancel(double* acc, double* cancelled, const double* row,
+                        std::size_t n) noexcept {
+  // |x| = x with the sign bit masked off — matches std::abs on every
+  // input including -0.0 and NaN payloads, so the cancellation bound
+  // grows bit-identically to the scalar loop.
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d r = _mm256_loadu_pd(row + i);
+    const __m256d a = _mm256_loadu_pd(acc + i);
+    const __m256d c = _mm256_loadu_pd(cancelled + i);
+    _mm256_storeu_pd(acc + i, _mm256_sub_pd(a, r));
+    _mm256_storeu_pd(cancelled + i, _mm256_add_pd(c, _mm256_andnot_pd(sign_mask, r)));
+  }
+  for (; i < n; ++i) {
+    acc[i] -= row[i];
+    cancelled[i] += std::abs(row[i]);
+  }
+}
+
+#else
+
+void acc_add_row(double* acc, const double* row, std::size_t n) noexcept {
+  acc_add_row_scalar(acc, row, n);
+}
+
+void acc_sub_row(double* acc, const double* row, std::size_t n) noexcept {
+  acc_sub_row_scalar(acc, row, n);
+}
+
+void acc_sub_row_cancel(double* acc, double* cancelled, const double* row,
+                        std::size_t n) noexcept {
+  acc_sub_row_cancel_scalar(acc, cancelled, row, n);
+}
+
+#endif  // OISCHED_ROW_KERNELS_AVX2
+
+}  // namespace oisched::kernels

@@ -1,0 +1,303 @@
+#include "util/exact_bank.h"
+
+#include <cmath>
+
+#if defined(OISCHED_NATIVE) && defined(__AVX2__)
+#define OISCHED_EXACT_BANK_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace oisched {
+namespace {
+
+/// COMPRESS (ExactSum::renormalize) on a register-resident expansion:
+/// top-down fast-two-sum cascade, then the bottom-up rebuild, in place.
+/// Returns the compressed length. Same derivation, same bits.
+std::size_t compress(double* e, std::size_t m) {
+  double condensed[ExactSumBank::kSlotComponents + 1];
+  std::size_t count = 0;
+  double q = e[m - 1];
+  for (std::size_t i = m - 1; i-- > 0;) {
+    const TwoSum s = fast_two_sum(q, e[i]);
+    if (s.err != 0.0) {
+      condensed[count++] = s.sum;
+      q = s.err;
+    } else {
+      q = s.sum;
+    }
+  }
+  condensed[count++] = q;
+  std::size_t out = 0;
+  q = condensed[count - 1];
+  for (std::size_t i = count - 1; i-- > 0;) {
+    const TwoSum s = fast_two_sum(condensed[i], q);
+    if (s.err != 0.0) e[out++] = s.err;
+    q = s.sum;
+  }
+  e[out++] = q;
+  return out;
+}
+
+/// Fused add-round readout of a compressed finite expansion — the
+/// ExactSum::value() derivation (two-sum condense, then the bottom-up
+/// round-to-odd fold) on registers, so correct rounding is computed
+/// without touching memory. Correct rounding is unique, so this matches
+/// ExactSum::value() bit for bit.
+double rounded_value(const double* e, std::size_t m) {
+  if (m == 0) return 0.0;
+  if (m == 1) return e[0];
+  if (m == 2) return e[1] + e[0];  // fl IS the correct rounding
+  double scratch[ExactSumBank::kSlotComponents];
+  std::size_t count = 0;
+  double q = e[m - 1];
+  for (std::size_t i = m - 1; i-- > 0;) {
+    const TwoSum s = two_sum(q, e[i]);
+    if (s.err != 0.0) {
+      scratch[count++] = s.sum;
+      q = s.err;
+    } else {
+      q = s.sum;
+    }
+  }
+  if (count == 0) return q;
+  double acc = q;
+  for (std::size_t i = count; i-- > 1;) {
+    acc = add_round_to_odd(scratch[i], acc);
+  }
+  return scratch[0] + acc;
+}
+
+}  // namespace
+
+void ExactSumBank::assign_zero(std::size_t n) {
+  for (auto& comp : comp_) comp.assign(n, 0.0);
+  count_.assign(n, 0);
+  spill_.clear();
+}
+
+void ExactSumBank::resize(std::size_t n) {
+  for (auto& comp : comp_) comp.resize(n, 0.0);
+  count_.resize(n, 0);
+}
+
+double ExactSumBank::add(std::size_t i, double x) {
+  if (count_[i] == kSpilled || !std::isfinite(x)) return spill_op(i, x, false);
+  return slot_op(i, x);
+}
+
+double ExactSumBank::subtract(std::size_t i, double x) {
+  if (count_[i] == kSpilled || !std::isfinite(x)) return spill_op(i, x, true);
+  return slot_op(i, -x);
+}
+
+double ExactSumBank::value(std::size_t i) const {
+  if (count_[i] == kSpilled) return spill_.at(i).value();
+  return fused_value(i);
+}
+
+bool ExactSumBank::saturated(std::size_t i) const {
+  return count_[i] == kSpilled && spill_.at(i).saturated();
+}
+
+void ExactSumBank::store(std::size_t i, const ExactSum& sum) {
+  const auto comps = sum.components();
+  if (!sum.finite() || comps.size() > kSlotComponents) {
+    for (auto& comp : comp_) comp[i] = 0.0;
+    count_[i] = kSpilled;
+    spill_[i] = sum;
+    return;
+  }
+  for (std::size_t k = 0; k < kSlotComponents; ++k) {
+    comp_[k][i] = k < comps.size() ? comps[k] : 0.0;
+  }
+  count_[i] = static_cast<std::uint8_t>(comps.size());
+  spill_.erase(i);
+}
+
+double ExactSumBank::fused_value(std::size_t i) const {
+  const std::size_t cnt = count_[i];
+  double e[kSlotComponents];
+  for (std::size_t k = 0; k < cnt; ++k) e[k] = comp_[k][i];
+  return rounded_value(e, cnt);
+}
+
+bool ExactSumBank::slot_saturated_after_op(std::size_t i) const {
+  return count_[i] == kSpilled && spill_.find(i)->second.saturated();
+}
+
+double ExactSumBank::slot_op(std::size_t i, double x) {
+  // ExactSum::add_finite on the slot's inline expansion: grow chain with
+  // zero elimination, overflow check, COMPRESS — all in registers.
+  if (x == 0.0) return fused_value(i);
+  const std::size_t cnt = count_[i];
+  double e[kSlotComponents + 1];
+  std::size_t m = 0;
+  double carry = x;
+  for (std::size_t k = 0; k < cnt; ++k) {
+    const TwoSum s = two_sum(carry, comp_[k][i]);
+    if (s.err != 0.0) e[m++] = s.err;
+    carry = s.sum;
+  }
+  if (!std::isfinite(carry)) {
+    // The true sum left the double range: replay the op through a spilled
+    // ExactSum built from the untouched inline expansion — it hits the
+    // identical overflow and saturates with ExactSum's exact semantics.
+    return spill_op(i, x, false);
+  }
+  if (carry != 0.0) e[m++] = carry;
+  if (m > 1) m = compress(e, m);
+  return commit_slot(i, e, m);
+}
+
+double ExactSumBank::commit_slot(std::size_t i, const double* comps, std::size_t m) {
+  if (m > kSlotComponents) {
+    // A five-component compressed expansion: exact but too long for the
+    // inline bank. The compressed list is a renormalized expansion, so the
+    // spilled ExactSum adopts it verbatim.
+    for (auto& comp : comp_) comp[i] = 0.0;
+    count_[i] = kSpilled;
+    ExactSum& sum = spill_[i];
+    sum = ExactSum::from_expansion({comps, m});
+    return sum.value();
+  }
+  for (std::size_t k = 0; k < kSlotComponents; ++k) {
+    comp_[k][i] = k < m ? comps[k] : 0.0;
+  }
+  count_[i] = static_cast<std::uint8_t>(m);
+  return rounded_value(comps, m);
+}
+
+double ExactSumBank::spill_op(std::size_t i, double x, bool subtract_op) {
+  auto it = spill_.find(i);
+  if (it == spill_.end()) {
+    double comps[kSlotComponents];
+    const std::size_t cnt = count_[i];
+    for (std::size_t k = 0; k < cnt; ++k) {
+      comps[k] = comp_[k][i];
+      comp_[k][i] = 0.0;
+    }
+    it = spill_.emplace(i, ExactSum::from_expansion({comps, cnt})).first;
+    count_[i] = kSpilled;
+  }
+  ExactSum& sum = it->second;
+  if (subtract_op) {
+    sum.subtract(x);
+  } else {
+    sum.add(x);
+  }
+  const double val = sum.value();
+  if (sum.finite() && sum.component_count() <= kSlotComponents) {
+    // Back to the fast regime (e.g. a transient infinity was withdrawn):
+    // migrate the expansion inline so the slot stops paying the map.
+    const auto comps = sum.components();
+    for (std::size_t k = 0; k < kSlotComponents; ++k) {
+      comp_[k][i] = k < comps.size() ? comps[k] : 0.0;
+    }
+    count_[i] = static_cast<std::uint8_t>(comps.size());
+    spill_.erase(it);
+  }
+  return val;
+}
+
+bool ExactSumBank::add_row(std::size_t base, const double* row, std::size_t len,
+                           double* acc) {
+  return row_op(base, row, len, acc, false, true);
+}
+
+bool ExactSumBank::sub_row(std::size_t base, const double* row, std::size_t len,
+                           double* acc) {
+  return row_op(base, row, len, acc, true, true);
+}
+
+bool ExactSumBank::add_row_scalar(std::size_t base, const double* row,
+                                  std::size_t len, double* acc) {
+  return row_op(base, row, len, acc, false, false);
+}
+
+bool ExactSumBank::sub_row_scalar(std::size_t base, const double* row,
+                                  std::size_t len, double* acc) {
+  return row_op(base, row, len, acc, true, false);
+}
+
+bool ExactSumBank::row_op(std::size_t base, const double* row, std::size_t len,
+                          double* acc, bool subtract_op, bool allow_simd) {
+  bool any_saturated = false;
+  std::size_t k = 0;
+#ifdef OISCHED_EXACT_BANK_AVX2
+  if (allow_simd) {
+    // Four slots per step: the grow chain is branch-free two-sums, so it
+    // vectorizes lane-wise with the identical per-slot operation sequence.
+    // Zero-elimination, COMPRESS, and the fused readout are data-dependent
+    // and stay scalar per lane — on registers spilled from the chain, not
+    // re-read from memory. Lanes outside the fast regime (spilled slot,
+    // non-finite or zero addend, chain overflow) fall back to the scalar
+    // routine before anything is written, so every lane takes exactly the
+    // scalar path's branches.
+    const __m256d sign_flip = _mm256_set1_pd(-0.0);
+    for (; k + 4 <= len; k += 4) {
+      const std::size_t i0 = base + k;
+      bool lane_scalar[4];
+      bool any_fast = false;
+      for (std::size_t l = 0; l < 4; ++l) {
+        const double x = row[k + l];
+        lane_scalar[l] =
+            count_[i0 + l] == kSpilled || !std::isfinite(x) || x == 0.0;
+        any_fast |= !lane_scalar[l];
+      }
+      double ebuf[kSlotComponents][4];
+      double carrybuf[4];
+      if (any_fast) {
+        __m256d carry = _mm256_loadu_pd(row + k);
+        if (subtract_op) carry = _mm256_xor_pd(carry, sign_flip);
+        for (std::size_t c = 0; c < kSlotComponents; ++c) {
+          const __m256d comp = _mm256_loadu_pd(comp_[c].data() + i0);
+          const __m256d sum = _mm256_add_pd(carry, comp);
+          const __m256d b_virtual = _mm256_sub_pd(sum, carry);
+          const __m256d a_virtual = _mm256_sub_pd(sum, b_virtual);
+          const __m256d b_roundoff = _mm256_sub_pd(comp, b_virtual);
+          const __m256d a_roundoff = _mm256_sub_pd(carry, a_virtual);
+          _mm256_storeu_pd(ebuf[c], _mm256_add_pd(a_roundoff, b_roundoff));
+          carry = sum;
+        }
+        _mm256_storeu_pd(carrybuf, carry);
+      }
+      for (std::size_t l = 0; l < 4; ++l) {
+        const std::size_t i = i0 + l;
+        const double x = row[k + l];
+        if (lane_scalar[l] || !std::isfinite(carrybuf[l])) {
+          if (count_[i] == kSpilled || !std::isfinite(x)) {
+            acc[i] = spill_op(i, x, subtract_op);
+          } else {
+            acc[i] = slot_op(i, subtract_op ? -x : x);
+          }
+        } else {
+          double e[kSlotComponents + 1];
+          std::size_t m = 0;
+          for (std::size_t c = 0; c < kSlotComponents; ++c) {
+            if (ebuf[c][l] != 0.0) e[m++] = ebuf[c][l];
+          }
+          if (carrybuf[l] != 0.0) e[m++] = carrybuf[l];
+          if (m > 1) m = compress(e, m);
+          acc[i] = commit_slot(i, e, m);
+        }
+        any_saturated |= slot_saturated_after_op(i);
+      }
+    }
+  }
+#else
+  (void)allow_simd;
+#endif
+  for (; k < len; ++k) {
+    const std::size_t i = base + k;
+    const double x = row[k];
+    if (count_[i] == kSpilled || !std::isfinite(x)) {
+      acc[i] = spill_op(i, x, subtract_op);
+    } else {
+      acc[i] = slot_op(i, subtract_op ? -x : x);
+    }
+    any_saturated |= slot_saturated_after_op(i);
+  }
+  return any_saturated;
+}
+
+}  // namespace oisched

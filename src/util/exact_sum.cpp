@@ -12,20 +12,6 @@ constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 }  // namespace
 
-TwoSum two_sum(double a, double b) noexcept {
-  const double sum = a + b;
-  const double b_virtual = sum - a;
-  const double a_virtual = sum - b_virtual;
-  const double b_roundoff = b - b_virtual;
-  const double a_roundoff = a - a_virtual;
-  return {sum, a_roundoff + b_roundoff};
-}
-
-TwoSum fast_two_sum(double a, double b) noexcept {
-  const double sum = a + b;
-  return {sum, b - (sum - a)};
-}
-
 double add_round_to_odd(double a, double b) noexcept {
   const TwoSum s = two_sum(a, b);
   if (s.err == 0.0 || !std::isfinite(s.sum)) return s.sum;
@@ -34,6 +20,12 @@ double add_round_to_odd(double a, double b) noexcept {
   // one of them; the sign of the error says which side the other is on.
   if ((std::bit_cast<std::uint64_t>(s.sum) & 1u) != 0) return s.sum;
   return std::nextafter(s.sum, s.err > 0.0 ? kInf : -kInf);
+}
+
+ExactSum ExactSum::from_expansion(std::span<const double> components) {
+  ExactSum sum;
+  for (const double c : components) sum.push_comp(c);
+  return sum;
 }
 
 void ExactSum::add(double x) {
@@ -61,10 +53,31 @@ void ExactSum::subtract(double x) {
 }
 
 void ExactSum::clear() noexcept {
-  components_.clear();
+  count_ = 0;
+  on_heap_ = false;
+  heap_.clear();
   pos_inf_ = neg_inf_ = nan_ = 0;
   saturated_ = false;
   saturated_sign_ = 1.0;
+}
+
+void ExactSum::push_comp(double v) {
+  if (!on_heap_) {
+    if (count_ < kInlineCapacity) {
+      inline_buf_[count_++] = v;
+      return;
+    }
+    // One-way spill: copy the inline expansion out, then stay on the heap
+    // until clear() so shrink/grow cycles at the boundary do not thrash.
+    heap_.assign(inline_buf_, inline_buf_ + kInlineCapacity);
+    on_heap_ = true;
+  }
+  if (count_ < heap_.size()) {
+    heap_[count_++] = v;
+  } else {
+    heap_.push_back(v);
+    ++count_;
+  }
 }
 
 void ExactSum::add_finite(double x) {
@@ -74,24 +87,25 @@ void ExactSum::add_finite(double x) {
   // final carry are again a nonoverlapping expansion, in increasing
   // magnitude, summing exactly to old value + x.
   double carry = x;
+  double* comp = comps();
   std::size_t out = 0;
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    const TwoSum s = two_sum(carry, components_[i]);
-    if (s.err != 0.0) components_[out++] = s.err;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const TwoSum s = two_sum(carry, comp[i]);
+    if (s.err != 0.0) comp[out++] = s.err;
     carry = s.sum;
   }
-  components_.resize(out);
+  count_ = static_cast<std::uint32_t>(out);
   if (!std::isfinite(carry)) {
     // The true sum left the double range. Saturate stickily: exactness is
     // unrecoverable (the expansion can no longer represent the sum), so
     // the accumulator pins to the overflow's signed infinity.
     saturated_ = true;
     saturated_sign_ = carry > 0.0 ? 1.0 : -1.0;
-    components_.clear();
+    count_ = 0;
     return;
   }
-  if (carry != 0.0) components_.push_back(carry);
-  if (components_.size() > 1) renormalize();
+  if (carry != 0.0) push_comp(carry);
+  if (count_ > 1) renormalize();
 }
 
 void ExactSum::renormalize() {
@@ -104,7 +118,7 @@ void ExactSum::renormalize() {
   // components are >= 51 bits of exponent apart, so 64 covers doubles'
   // entire ~2100-bit range with slack (the heap fallback is dead in
   // practice but keeps pathological inputs safe).
-  const std::size_t m = components_.size();
+  const std::size_t m = count_;
   if (m <= 1) return;
   double scratch_buf[64];
   std::vector<double> heap;
@@ -113,10 +127,11 @@ void ExactSum::renormalize() {
     heap.resize(m);
     condensed = heap.data();
   }
+  double* comp = comps();
   std::size_t count = 0;
-  double q = components_[m - 1];
+  double q = comp[m - 1];
   for (std::size_t i = m - 1; i-- > 0;) {
-    const TwoSum s = fast_two_sum(q, components_[i]);
+    const TwoSum s = fast_two_sum(q, comp[i]);
     if (s.err != 0.0) {
       condensed[count++] = s.sum;
       q = s.err;
@@ -127,14 +142,15 @@ void ExactSum::renormalize() {
   condensed[count++] = q;
   // Bottom-up: absorb from the smallest condensed term toward the
   // largest, emitting the roundoffs as the final low-order components.
-  components_.clear();
+  // Output length never exceeds the input length, so this writes in place.
+  count_ = 0;
   q = condensed[count - 1];
   for (std::size_t i = count - 1; i-- > 0;) {
     const TwoSum s = fast_two_sum(condensed[i], q);
-    if (s.err != 0.0) components_.push_back(s.err);
+    if (s.err != 0.0) comp[count_++] = s.err;
     q = s.sum;
   }
-  components_.push_back(q);
+  comp[count_++] = q;
 }
 
 double ExactSum::value() const {
@@ -142,10 +158,11 @@ double ExactSum::value() const {
   if (pos_inf_ != 0) return pos_inf_ > 0 ? kInf : -kInf;
   if (neg_inf_ != 0) return neg_inf_ > 0 ? -kInf : kInf;
   if (saturated_) return saturated_sign_ * kInf;
-  const std::size_t m = components_.size();
+  const std::size_t m = count_;
+  const double* comp = comps();
   if (m == 0) return 0.0;
-  if (m == 1) return components_[0];
-  if (m == 2) return components_[1] + components_[0];  // fl IS the correct rounding
+  if (m == 1) return comp[0];
+  if (m == 2) return comp[1] + comp[0];  // fl IS the correct rounding
   // General case. Nonoverlapping alone does not separate the components
   // enough for sticky folding (a single-bit component's ulp sits ~52 bits
   // below its magnitude), so first condense top-down with two-sum: each
@@ -159,9 +176,9 @@ double ExactSum::value() const {
     scratch = heap.data();
   }
   std::size_t count = 0;
-  double q = components_[m - 1];
+  double q = comp[m - 1];
   for (std::size_t i = m - 1; i-- > 0;) {
-    const TwoSum s = two_sum(q, components_[i]);
+    const TwoSum s = two_sum(q, comp[i]);
     if (s.err != 0.0) {
       scratch[count++] = s.sum;
       q = s.err;

@@ -51,11 +51,23 @@ struct TwoSum {
   double err = 0.0;
 };
 
-/// Knuth's branch-free two-sum; valid for any finite a, b.
-[[nodiscard]] TwoSum two_sum(double a, double b) noexcept;
+/// Knuth's branch-free two-sum; valid for any finite a, b. Defined
+/// inline: the hot accumulator loops issue hundreds of millions of these
+/// and an out-of-line call would dominate them.
+[[nodiscard]] inline TwoSum two_sum(double a, double b) noexcept {
+  const double sum = a + b;
+  const double b_virtual = sum - a;
+  const double a_virtual = sum - b_virtual;
+  const double b_roundoff = b - b_virtual;
+  const double a_roundoff = a - a_virtual;
+  return {sum, a_roundoff + b_roundoff};
+}
 
 /// Dekker's cheaper variant; requires |a| >= |b| (or either operand 0).
-[[nodiscard]] TwoSum fast_two_sum(double a, double b) noexcept;
+[[nodiscard]] inline TwoSum fast_two_sum(double a, double b) noexcept {
+  const double sum = a + b;
+  return {sum, b - (sum - a)};
+}
 
 /// a + b rounded to odd: exact when representable, otherwise the
 /// neighboring double with an odd last mantissa bit. Round-to-odd is the
@@ -69,6 +81,13 @@ struct TwoSum {
 class ExactSum {
  public:
   ExactSum() = default;
+
+  /// Adopts an already-renormalized expansion (nonoverlapping, increasing
+  /// magnitude, zero-free — e.g. the output of renormalize()) as the
+  /// finite state of a fresh sum. The ExactSumBank spill path uses this to
+  /// hand a slot's inline expansion over without re-deriving it, keeping
+  /// bank and ExactSum representations bit-interchangeable.
+  [[nodiscard]] static ExactSum from_expansion(std::span<const double> components);
 
   /// Accumulates x exactly (infinities and NaNs are counted, not summed).
   void add(double x);
@@ -108,18 +127,34 @@ class ExactSum {
   /// their exact real sum is the accumulated value. Representation-level
   /// observability for tests and memory accounting.
   [[nodiscard]] std::span<const double> components() const noexcept {
-    return components_;
+    return {comps(), count_};
   }
-  [[nodiscard]] std::size_t component_count() const noexcept {
-    return components_.size();
-  }
+  [[nodiscard]] std::size_t component_count() const noexcept { return count_; }
+
+  /// Components a sum can hold without touching the heap. Renormalized
+  /// expansions over the full double range cap near 42 components, but in
+  /// practice gain sums compress to <= 4; 8 leaves room for the transient
+  /// pre-renormalize growth so the heap spill is dead on the hot path.
+  static constexpr std::size_t kInlineCapacity = 8;
 
  private:
   void add_finite(double x);
+  void push_comp(double v);
+  [[nodiscard]] double* comps() noexcept {
+    return on_heap_ ? heap_.data() : inline_buf_;
+  }
+  [[nodiscard]] const double* comps() const noexcept {
+    return on_heap_ ? heap_.data() : inline_buf_;
+  }
 
   /// Nonoverlapping expansion, increasing magnitude, zero-free: the exact
-  /// finite part of the sum.
-  std::vector<double> components_;
+  /// finite part of the sum. Lives in inline_buf_ until a pathological
+  /// expansion outgrows it; the heap spill is sticky until clear() so a
+  /// long sum does not ping-pong allocations at the boundary.
+  double inline_buf_[kInlineCapacity];
+  std::uint32_t count_ = 0;
+  bool on_heap_ = false;
+  std::vector<double> heap_;
   /// Signed-infinity and NaN multiplicities (adds minus subtracts).
   std::int64_t pos_inf_ = 0;
   std::int64_t neg_inf_ = 0;

@@ -126,6 +126,10 @@ struct DynamicResult {
   /// the saturation sweep traces against the arrival rate.
   std::size_t shards = 0;
   std::size_t arrival_rate = 0;      // 0 = saturated open loop
+  /// Per-event latency budget of the cell. Bare dynamic cells read these
+  /// from the replay's oisched_event_latency_seconds histogram
+  /// (scheduling work only); service cells report submit-to-completion
+  /// (queue wait plus scheduling work) from the service's own tracker.
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   /// Every shard's drained state matched a fresh single-thread
@@ -135,6 +139,20 @@ struct DynamicResult {
   std::size_t boundary_refreshes = 0;
   double max_boundary_gain = 0.0;    // cross-shard far-field bound
   std::size_t packable_class_pairs = 0;
+};
+
+/// Timing stability of one cell across --repeat runs. The tracked metric
+/// is the cell's headline number: events/sec for dynamic families,
+/// greedy speedup for static ones. Correctness fields are deterministic
+/// per seed, so repeats only vary the timings.
+struct RepeatStats {
+  std::size_t count = 1;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+  /// (max - min) / median — the cell's relative timing spread; what a CI
+  /// floor should budget for on a noisy runner.
+  double jitter = 0.0;
 };
 
 struct ScenarioResult {
@@ -163,6 +181,11 @@ struct ScenarioResult {
   /// replay (schema oisched-metrics/1, see MetricsSnapshot::to_json) —
   /// null for static cells, emitted under the entry's "metrics" key.
   JsonValue metrics;
+  /// Headline-metric stability across --repeat runs; count == 1 when the
+  /// cell ran once. With repeats, the headline fields (events_per_sec /
+  /// greedy speedup) hold the median run, the stable number CI floors
+  /// gate on.
+  RepeatStats repeat;
 };
 
 /// A scenario counts as failed when it threw, when any engine pair
@@ -185,6 +208,10 @@ struct ExperimentOptions {
   /// ("exact" | "rebuild" | "compensated"); the policy-axis cells always
   /// pin theirs.
   std::string remove_policy = "exact";
+  /// Runs every cell this many times (back to back on one worker) and
+  /// reports the headline metric's min/median/max/jitter; the entry's
+  /// headline fields then hold the median run. 1 = single run.
+  std::size_t repeat = 1;
 };
 
 /// The scenario grid for the given options; deterministic in base_seed.
@@ -194,12 +221,21 @@ struct ExperimentOptions {
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
                                           const SinrParams& params);
 
-/// Fans the grid across a thread pool; results align with `grid` by index.
+/// run_scenario, `repeat` times back to back; the returned result is the
+/// first run with its headline metric replaced by the median and
+/// .repeat filled in (see RepeatStats).
+[[nodiscard]] ScenarioResult run_scenario_repeated(const ScenarioSpec& spec,
+                                                   const SinrParams& params,
+                                                   std::size_t repeat);
+
+/// Fans the grid across a thread pool; results align with `grid` by
+/// index. Each cell's repeats run back to back on one worker.
 [[nodiscard]] std::vector<ScenarioResult> run_experiment_grid(
-    std::span<const ScenarioSpec> grid, const SinrParams& params, std::size_t threads);
+    std::span<const ScenarioSpec> grid, const SinrParams& params, std::size_t threads,
+    std::size_t repeat = 1);
 
 /// Bundles results into the BENCH_schedule.json document
-/// (schema "oisched-bench-schedule/7"; layout documented in README.md).
+/// (schema "oisched-bench-schedule/8"; layout documented in README.md).
 [[nodiscard]] JsonValue experiment_report(std::span<const ScenarioResult> results,
                                           const ExperimentOptions& options);
 

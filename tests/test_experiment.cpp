@@ -312,7 +312,8 @@ TEST(ExperimentReport, EmitsSchemaResultsAndSummary) {
   const auto results = run_experiment_grid(grid, params, 2);
   const JsonValue report = experiment_report(results, options);
   const std::string text = report.dump();
-  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/7\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/8\""), std::string::npos);
+  EXPECT_NE(text.find("\"repeat\": 1"), std::string::npos);
   EXPECT_NE(text.find("\"backend_disagreements\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"policy_disagreements\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"oracle_disagreements\": 0"), std::string::npos);
@@ -346,6 +347,33 @@ TEST(ExperimentRunner, DynamicCellRunsExactPolicyWithZeroRebuilds) {
   EXPECT_NE(metrics_text.find("\"oisched-metrics/1\""), std::string::npos);
   EXPECT_NE(metrics_text.find("oisched_events_total"), std::string::npos);
   EXPECT_NE(metrics_text.find("oisched_event_latency_seconds"), std::string::npos);
+  // Since schema /8, every dynamic cell reads its per-event latency
+  // budget off that histogram into the entry itself.
+  EXPECT_GT(result.dynamic.latency_p50_ms, 0.0);
+  EXPECT_GE(result.dynamic.latency_p99_ms, result.dynamic.latency_p50_ms);
+}
+
+TEST(ExperimentRunner, RepeatedRunReportsHeadlineStability) {
+  ScenarioSpec spec;
+  spec.topology = "random";
+  spec.n = 32;
+  spec.power = "sqrt";
+  spec.variant = Variant::bidirectional;
+  spec.seed = 11;
+  spec.trace = "poisson";
+  SinrParams params;
+  const ScenarioResult result = run_scenario_repeated(spec, params, 3);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.repeat.count, 3u);
+  EXPECT_LE(result.repeat.min, result.repeat.median);
+  EXPECT_LE(result.repeat.median, result.repeat.max);
+  EXPECT_GE(result.repeat.jitter, 0.0);
+  // The entry's headline number is the median run.
+  EXPECT_EQ(result.dynamic.events_per_sec, result.repeat.median);
+  // Correctness fields are deterministic across repeats.
+  EXPECT_EQ(result.dynamic.removal_rebuilds, 0u);
+  EXPECT_TRUE(result.dynamic.policy_identical);
+  EXPECT_FALSE(scenario_failed(result));
 }
 
 TEST(ExperimentRunner, RebuildPolicyCellCountsItsReplays) {

@@ -1,0 +1,301 @@
+// Differential suite for the hot-path row kernels and the SoA exact
+// accumulator bank. The SIMD dispatch (active under OISCHED_NATIVE AVX2
+// builds, a scalar alias otherwise) must match the always-scalar reference
+// implementations bit for bit — on finite data, on NaN/inf rows, and
+// through the bank's spill/saturation regimes — and the GainStorage
+// row_run seam must serve exactly the bytes at() serves on every backend.
+// CI runs this suite in both the default and the -DOISCHED_NATIVE=ON
+// builds; only the latter exercises the vector paths for real.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sinr/gain_storage.h"
+#include "sinr/row_kernels.h"
+#include "util/exact_bank.h"
+#include "util/exact_sum.h"
+#include "util/rng.h"
+
+namespace oisched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kHuge = std::numeric_limits<double>::max();
+
+/// Bit-level equality: NaNs with equal payloads compare equal, +0.0 and
+/// -0.0 do not — the comparison the "bit for bit" promise actually means.
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+std::vector<double> random_row(std::size_t n, Rng& rng) {
+  std::vector<double> row(n);
+  for (double& x : row) x = rng.uniform(-1e6, 1e6);
+  return row;
+}
+
+/// A row salted with the full edge-case menagerie: zeros of both signs,
+/// infinities, NaN, denormals, and near-overflow magnitudes.
+std::vector<double> edge_row(std::size_t n, Rng& rng) {
+  std::vector<double> row = random_row(n, rng);
+  const std::vector<double> specials = {0.0,   -0.0,  kInf,    -kInf,
+                                        kNaN,  5e-324, -5e-324, 0.5 * kHuge,
+                                        -0.75 * kHuge};
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    if (rng.bernoulli(0.4)) {
+      row[k] = specials[rng.uniform_index(specials.size())];
+    }
+  }
+  return row;
+}
+
+TEST(RowKernels, AddRowMatchesScalarBitForBit) {
+  Rng rng(101);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + rng.uniform_index(37);
+    const std::vector<double> row = round % 2 == 0 ? random_row(n, rng)
+                                                   : edge_row(n, rng);
+    std::vector<double> acc = random_row(n, rng);
+    std::vector<double> acc_ref = acc;
+    kernels::acc_add_row(acc.data(), row.data(), n);
+    kernels::acc_add_row_scalar(acc_ref.data(), row.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(same_bits(acc[i], acc_ref[i])) << "slot " << i;
+    }
+  }
+}
+
+TEST(RowKernels, SubRowMatchesScalarBitForBit) {
+  Rng rng(202);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + rng.uniform_index(37);
+    const std::vector<double> row = round % 2 == 0 ? random_row(n, rng)
+                                                   : edge_row(n, rng);
+    std::vector<double> acc = random_row(n, rng);
+    std::vector<double> acc_ref = acc;
+    kernels::acc_sub_row(acc.data(), row.data(), n);
+    kernels::acc_sub_row_scalar(acc_ref.data(), row.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(same_bits(acc[i], acc_ref[i])) << "slot " << i;
+    }
+  }
+}
+
+TEST(RowKernels, SubRowCancelMatchesScalarBitForBit) {
+  Rng rng(303);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + rng.uniform_index(37);
+    const std::vector<double> row = round % 2 == 0 ? random_row(n, rng)
+                                                   : edge_row(n, rng);
+    std::vector<double> acc = random_row(n, rng);
+    std::vector<double> cancelled(n, 0.0);
+    for (double& c : cancelled) c = std::abs(rng.uniform(-10.0, 10.0));
+    std::vector<double> acc_ref = acc;
+    std::vector<double> cancelled_ref = cancelled;
+    kernels::acc_sub_row_cancel(acc.data(), cancelled.data(), row.data(), n);
+    kernels::acc_sub_row_cancel_scalar(acc_ref.data(), cancelled_ref.data(), row.data(),
+                                       n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(same_bits(acc[i], acc_ref[i])) << "acc slot " << i;
+      ASSERT_TRUE(same_bits(cancelled[i], cancelled_ref[i])) << "cancel slot " << i;
+    }
+  }
+}
+
+/// Drives a SIMD bank, an always-scalar bank, and a vector<ExactSum>
+/// oracle through the identical op sequence and asserts all three expose
+/// bit-identical rounded values and agreeing saturation state throughout.
+void fuzz_bank_against_oracle(std::uint64_t seed, bool edge_rows) {
+  Rng rng(seed);
+  const std::size_t n = 24;
+  ExactSumBank bank;
+  ExactSumBank bank_scalar;
+  bank.assign_zero(n);
+  bank_scalar.assign_zero(n);
+  std::vector<ExactSum> oracle(n);
+  std::vector<double> acc(n, 0.0);
+  std::vector<double> acc_scalar(n, 0.0);
+
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t base = rng.uniform_index(n);
+    const std::size_t len = 1 + rng.uniform_index(n - base);
+    const std::vector<double> row =
+        edge_rows ? edge_row(len, rng) : random_row(len, rng);
+    const bool subtract = rng.bernoulli(0.5);
+    bool saturated_simd = false;
+    bool saturated_scalar = false;
+    if (subtract) {
+      saturated_simd = bank.sub_row(base, row.data(), len, acc.data());
+      saturated_scalar = bank_scalar.sub_row_scalar(base, row.data(), len,
+                                                    acc_scalar.data());
+      for (std::size_t k = 0; k < len; ++k) oracle[base + k].subtract(row[k]);
+    } else {
+      saturated_simd = bank.add_row(base, row.data(), len, acc.data());
+      saturated_scalar = bank_scalar.add_row_scalar(base, row.data(), len,
+                                                    acc_scalar.data());
+      for (std::size_t k = 0; k < len; ++k) oracle[base + k].add(row[k]);
+    }
+    ASSERT_EQ(saturated_simd, saturated_scalar) << "round " << round;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double expected = oracle[i].value();
+      ASSERT_TRUE(same_bits(bank.value(i), expected))
+          << "round " << round << " slot " << i;
+      ASSERT_TRUE(same_bits(bank_scalar.value(i), expected))
+          << "round " << round << " slot " << i;
+      ASSERT_TRUE(same_bits(acc[i], acc_scalar[i]))
+          << "round " << round << " acc slot " << i;
+      ASSERT_EQ(bank.saturated(i), oracle[i].saturated())
+          << "round " << round << " slot " << i;
+    }
+    ASSERT_EQ(bank.spilled_slots(), bank_scalar.spilled_slots()) << "round " << round;
+  }
+}
+
+TEST(ExactSumBankDifferential, FiniteFuzzMatchesExactSumOracle) {
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    fuzz_bank_against_oracle(seed, /*edge_rows=*/false);
+  }
+}
+
+TEST(ExactSumBankDifferential, EdgeCaseFuzzMatchesExactSumOracle) {
+  for (std::uint64_t seed : {55u, 66u, 77u, 88u}) {
+    fuzz_bank_against_oracle(seed, /*edge_rows=*/true);
+  }
+}
+
+TEST(ExactSumBank, InfinityBookkeepingIsReversible) {
+  ExactSumBank bank;
+  bank.assign_zero(4);
+  std::vector<double> acc(4, 0.0);
+  const double row1[] = {1.5, kInf, -kInf, kNaN};
+  bank.add_row(0, row1, 4, acc.data());
+  EXPECT_TRUE(same_bits(acc[0], 1.5));
+  EXPECT_TRUE(same_bits(acc[1], kInf));
+  EXPECT_TRUE(same_bits(acc[2], -kInf));
+  EXPECT_TRUE(std::isnan(acc[3]));
+  EXPECT_EQ(bank.spilled_slots(), 3u);  // the non-finite slots; 1.5 stays inline
+  // Withdrawing the specials migrates the slots back to the fast regime —
+  // exactly ExactSum's reversible counters — and subsequent finite sums
+  // read as if the excursion never happened.
+  bank.sub_row(0, row1, 4, acc.data());
+  EXPECT_EQ(bank.spilled_slots(), 0u);
+  const double row2[] = {0.25, -3.0, 7.0, 2.0};
+  bank.add_row(0, row2, 4, acc.data());
+  for (std::size_t i = 0; i < 4; ++i) {
+    ExactSum ref;
+    ref.add(row1[i]);
+    ref.subtract(row1[i]);
+    ref.add(row2[i]);
+    EXPECT_TRUE(same_bits(bank.value(i), ref.value())) << "slot " << i;
+    EXPECT_TRUE(same_bits(acc[i], ref.value())) << "slot " << i;
+    EXPECT_FALSE(bank.saturated(i));
+  }
+}
+
+TEST(ExactSumBank, StickySaturationMatchesExactSum) {
+  ExactSumBank bank;
+  bank.assign_zero(2);
+  std::vector<double> acc(2, 0.0);
+  ExactSum ref;
+  // Two finite near-max addends overflow the double range: sticky
+  // saturation, not an infinity count — subtracting one back must NOT
+  // clear it, matching ExactSum exactly.
+  const double row[] = {0.75 * kHuge, 1.0};
+  bank.add_row(0, row, 2, acc.data());
+  bank.add_row(0, row, 2, acc.data());
+  ref.add(0.75 * kHuge);
+  ref.add(0.75 * kHuge);
+  EXPECT_TRUE(bank.saturated(0));
+  EXPECT_TRUE(ref.saturated());
+  EXPECT_TRUE(same_bits(bank.value(0), ref.value()));
+  const double withdraw[] = {0.75 * kHuge, 0.0};
+  EXPECT_TRUE(bank.sub_row(0, withdraw, 2, acc.data()));
+  ref.subtract(0.75 * kHuge);
+  EXPECT_TRUE(bank.saturated(0));  // sticky
+  EXPECT_TRUE(ref.saturated());
+  EXPECT_TRUE(same_bits(bank.value(0), ref.value()));
+}
+
+TEST(ExactSumBank, StoreRoundTripsLongAndNonFiniteSums) {
+  ExactSumBank bank;
+  bank.assign_zero(2);
+  ExactSum long_sum;
+  // Five pairwise non-overlapping magnitudes compress to > 4 components.
+  for (const double x : {1e300, 1e200, 1e100, 1.0, 1e-100}) long_sum.add(x);
+  ASSERT_GT(long_sum.component_count(), ExactSumBank::kSlotComponents);
+  bank.store(0, long_sum);
+  EXPECT_TRUE(same_bits(bank.value(0), long_sum.value()));
+  EXPECT_EQ(bank.spilled_slots(), 1u);
+  ExactSum small;
+  small.add(2.5);
+  bank.store(0, small);  // re-store shrinks back inline
+  EXPECT_TRUE(same_bits(bank.value(0), 2.5));
+  EXPECT_EQ(bank.spilled_slots(), 0u);
+}
+
+TEST(RowRunSeam, RunsServeExactlyTheBytesAtServes) {
+  const std::size_t n = 140;  // spans multiple 64-wide tiles
+  const GainFiller fill = [](std::size_t j, std::size_t i) {
+    return 1.0 / (1.0 + static_cast<double>(j * 1000 + i));
+  };
+  const DenseGainStorage dense(n, fill);
+  const TiledGainStorage tiled(n, fill);
+  const AppendableGainStorage appendable(n, fill);
+  const std::vector<const GainStorage*> backends = {&dense, &tiled, &appendable};
+  Rng rng(7);
+  for (const GainStorage* storage : backends) {
+    for (int probes = 0; probes < 40; ++probes) {
+      const std::size_t j = rng.uniform_index(n);
+      std::size_t i = rng.uniform_index(n);
+      // Walking runs from any start covers the row tail contiguously.
+      while (i < n) {
+        const std::span<const double> run = storage->row_run(j, i);
+        ASSERT_FALSE(run.empty());
+        ASSERT_LE(i + run.size(), n);
+        for (std::size_t k = 0; k < run.size(); ++k) {
+          ASSERT_TRUE(same_bits(run[k], storage->at(j, i + k)))
+              << "row " << j << " col " << i + k;
+        }
+        i += run.size();
+      }
+    }
+  }
+}
+
+TEST(RowRunSeam, TiledRunsShareTheResidencyAccounting) {
+  const std::size_t n = 140;
+  const GainFiller fill = [](std::size_t j, std::size_t i) {
+    return static_cast<double>(j) + static_cast<double>(i) * 1e-3;
+  };
+  const TiledGainStorage tiled(n, fill);
+  EXPECT_EQ(tiled.touched_blocks(), 0u);
+  EXPECT_EQ(tiled.total_blocks(), 9u);  // ceil(140/64)^2
+  (void)tiled.row_run(0, 0);
+  EXPECT_EQ(tiled.touched_blocks(), 1u);
+  // at() on the same tile reuses the run's materialization; a new tile
+  // through row_run counts once, exactly like at() would.
+  (void)tiled.at(0, 1);
+  EXPECT_EQ(tiled.touched_blocks(), 1u);
+  (void)tiled.row_run(0, 64);
+  EXPECT_EQ(tiled.touched_blocks(), 2u);
+  // Dense/appendable backends have no blocks to count.
+  const DenseGainStorage dense(8, fill);
+  EXPECT_EQ(dense.touched_blocks(), 0u);
+  EXPECT_EQ(dense.total_blocks(), 0u);
+}
+
+TEST(RowKernels, SimdGateReportsItsBuildMode) {
+#if defined(OISCHED_NATIVE) && defined(__AVX2__)
+  EXPECT_TRUE(kernels::simd_active());
+#else
+  EXPECT_FALSE(kernels::simd_active());
+#endif
+}
+
+}  // namespace
+}  // namespace oisched

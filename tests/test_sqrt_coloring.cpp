@@ -138,6 +138,26 @@ TEST(SqrtColoring, NestedChainNeedsOnlyFewColors) {
   EXPECT_GT(greedy_uniform.num_colors, result.schedule.num_colors);
 }
 
+TEST(SqrtColoring, ParallelScanIsBitIdenticalToSequential) {
+  Rng rng(88);
+  const Instance inst = random_square(32, {}, rng);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.0;
+  SqrtColoringOptions sequential;
+  sequential.seed = 7;
+  SqrtColoringOptions parallel = sequential;
+  parallel.scan_threads = 3;
+  for (const Variant variant : {Variant::directed, Variant::bidirectional}) {
+    const auto a = sqrt_coloring(inst, params, variant, sequential);
+    const auto b = sqrt_coloring(inst, params, variant, parallel);
+    EXPECT_EQ(a.schedule.color_of, b.schedule.color_of);
+    EXPECT_EQ(a.schedule.num_colors, b.schedule.num_colors);
+    EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+    EXPECT_EQ(a.stats.lp_solves, b.stats.lp_solves);
+  }
+}
+
 TEST(SqrtColoring, RejectsBadOptions) {
   Rng rng(81);
   const Instance inst = random_square(4, {}, rng);
