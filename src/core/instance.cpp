@@ -67,6 +67,9 @@ std::shared_ptr<const GainMatrix> Instance::gains(std::span<const double> powers
   require(backend != GainBackend::appendable,
           "Instance::gains: appendable tables grow and cannot be shared through the "
           "cache; construct a GainMatrix directly");
+  require(backend != GainBackend::computed,
+          "Instance::gains: computed tables carry a single-owner row cache and "
+          "cannot be shared through the cache; construct a GainMatrix directly");
   // The bidirectional variant always builds the sender-side table, so the
   // flag changes nothing there — normalize it out of the key to avoid a
   // bit-identical duplicate build.

@@ -11,6 +11,16 @@
 
 namespace oisched {
 
+const char* to_string(CompactionVictim victim) noexcept {
+  switch (victim) {
+    case CompactionVictim::trailing:
+      return "trailing";
+    case CompactionVictim::smallest_first:
+      return "smallest_first";
+  }
+  return "unknown";
+}
+
 OnlineMetricIds OnlineMetricIds::register_in(obs::MetricsRegistry& registry,
                                              std::string labels) {
   OnlineMetricIds ids;
@@ -35,6 +45,12 @@ OnlineMetricIds OnlineMetricIds::register_in(obs::MetricsRegistry& registry,
   ids.removal_rebuilds =
       registry.counter("oisched_removal_rebuilds_total",
                        "Full accumulator replays triggered by removals", labels);
+  ids.bound_hits = registry.counter(
+      "oisched_bound_hits_total",
+      "Feasibility tests certified from far-field bounds alone", labels);
+  ids.exact_fallbacks = registry.counter(
+      "oisched_exact_fallbacks_total",
+      "Feasibility tests that fell back to an exact row reconstruction", labels);
   ids.classes_opened =
       registry.counter("oisched_classes_opened_total", "Color classes opened", labels);
   ids.classes_closed =
@@ -56,10 +72,15 @@ OnlineScheduler::OnlineScheduler(const Instance& instance, std::span<const doubl
       color_of_(instance.size(), -1) {
   require(powers_.size() == instance_.size(), "OnlineScheduler: one power per link");
   params_.validate();
-  if (options_.storage == GainBackend::appendable || options_.mobility) {
+  require(!options_.reuse_slots || options_.storage == GainBackend::appendable,
+          "OnlineScheduler: slot reuse recycles rows of a growable matrix — it "
+          "needs the appendable backend");
+  if (options_.storage == GainBackend::appendable ||
+      options_.storage == GainBackend::computed || options_.mobility) {
     // A matrix that mutates (growth or endpoint motion) cannot be shared
     // through the instance cache — the scheduler owns it and is the only
-    // writer.
+    // writer. The computed backend's single-owner row cache keeps it out
+    // of the cache too.
     owned_gains_ = std::make_shared<GainMatrix>(instance_.metric(), instance_.requests(),
                                                 powers_, params_.alpha, variant_,
                                                 /*with_sender_gains=*/false,
@@ -69,6 +90,26 @@ OnlineScheduler::OnlineScheduler(const Instance& instance, std::span<const doubl
     gains_ = instance.gains(powers_, params_.alpha, variant_,
                             /*with_sender_gains=*/false, options_.storage);
   }
+  if (options_.farfield) {
+    require(options_.remove_policy == RemovePolicy::exact,
+            "OnlineScheduler: far-field mode needs the exact remove policy — its "
+            "order-free accumulators are what makes bound-gated tests "
+            "bit-identical to the exact-only path");
+    auto euclid =
+        std::dynamic_pointer_cast<const EuclideanMetric>(instance.metric_ptr());
+    require(euclid != nullptr,
+            "OnlineScheduler: far-field mode needs a Euclidean metric (the cell "
+            "grid partitions coordinates)");
+    farfield_ = std::make_shared<FarFieldContext>(
+        std::move(euclid),
+        std::vector<Request>(instance_.requests().begin(), instance_.requests().end()),
+        powers_, params_.alpha, variant_, options_.farfield_options);
+  }
+  if (options_.reuse_slots) {
+    slot_of_.resize(instance_.size());
+    ext_of_.resize(instance_.size());
+    for (std::size_t i = 0; i < instance_.size(); ++i) slot_of_[i] = ext_of_[i] = i;
+  }
 }
 
 int OnlineScheduler::color_of(std::size_t link) const {
@@ -76,7 +117,7 @@ int OnlineScheduler::color_of(std::size_t link) const {
   return color_of_[link];
 }
 
-int OnlineScheduler::place(std::size_t link) {
+int OnlineScheduler::place(std::size_t slot) {
   // First-fit in two phases so the trace separates "finding a color"
   // (row scans against every class's accumulators) from "committing it"
   // (one class's accumulator update) — same scan-then-add the fused loop
@@ -85,7 +126,7 @@ int OnlineScheduler::place(std::size_t link) {
   {
     OISCHED_TRACE_SPAN(options_.telemetry.trace, "feasibility_scan");
     for (std::size_t c = 0; c < classes_.size(); ++c) {
-      if (classes_[c].can_add(link)) {
+      if (classes_[c].can_add(slot)) {
         color = static_cast<int>(c);
         break;
       }
@@ -93,14 +134,20 @@ int OnlineScheduler::place(std::size_t link) {
   }
   OISCHED_TRACE_SPAN(options_.telemetry.trace, "accumulator_update");
   if (color >= 0) {
-    classes_[static_cast<std::size_t>(color)].add(link);
+    classes_[static_cast<std::size_t>(color)].add(slot);
     return color;
   }
   classes_.emplace_back(*gains_, params_, options_.remove_policy,
-                        options_.rebuild_interval);
-  classes_.back().add(link);
+                        options_.rebuild_interval, farfield_.get());
+  classes_.back().add(slot);
   ++stats_.classes_opened;
   return static_cast<int>(classes_.size() - 1);
+}
+
+void OnlineScheduler::sync_farfield_stats() {
+  if (farfield_ == nullptr) return;
+  stats_.bound_hits = static_cast<std::size_t>(farfield_->bound_hits());
+  stats_.exact_fallbacks = static_cast<std::size_t>(farfield_->exact_fallbacks());
 }
 
 void OnlineScheduler::publish_event(const OnlineStats& before, double elapsed_seconds) {
@@ -119,6 +166,8 @@ void OnlineScheduler::publish_event(const OnlineStats& before, double elapsed_se
   bump(ids.migrations, stats_.migrations, before.migrations);
   bump(ids.compaction_skips, stats_.compaction_skips, before.compaction_skips);
   bump(ids.removal_rebuilds, stats_.removal_rebuilds, before.removal_rebuilds);
+  bump(ids.bound_hits, stats_.bound_hits, before.bound_hits);
+  bump(ids.exact_fallbacks, stats_.exact_fallbacks, before.exact_fallbacks);
   bump(ids.classes_opened, stats_.classes_opened, before.classes_opened);
   bump(ids.classes_closed, stats_.classes_closed, before.classes_closed);
   shard.set(ids.colors, static_cast<double>(num_colors()));
@@ -128,14 +177,17 @@ void OnlineScheduler::publish_event(const OnlineStats& before, double elapsed_se
 int OnlineScheduler::on_arrival(std::size_t link) {
   require(link < color_of_.size(), "OnlineScheduler: link index out of range");
   require(color_of_[link] < 0, "OnlineScheduler: arrival of an already active link");
+  require(!options_.reuse_slots || slot_of_[link] != kNoSlot,
+          "OnlineScheduler: arrival of a retired link");
   const bool telemetry = options_.telemetry.shard != nullptr;
   const OnlineStats before = telemetry ? stats_ : OnlineStats{};
   Stopwatch watch;
-  const int color = place(link);
+  const int color = place(phys(link));
   color_of_[link] = color;
   ++active_count_;
   ++stats_.arrivals;
   stats_.peak_colors = std::max(stats_.peak_colors, num_colors());
+  sync_farfield_stats();
   const double elapsed = watch.elapsed_seconds();
   stats_.total_event_seconds += elapsed;
   stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
@@ -158,16 +210,44 @@ int OnlineScheduler::on_link_arrival(const Request& request) {
   const double loss = link_loss(instance_.metric(), request, params_.alpha);
   require(loss > 0.0, "OnlineScheduler: fresh link endpoints must be distinct points");
   const double power = options_.fresh_power->power_for_loss(loss);
-  const std::size_t link = owned_gains_->append_request(request, power);
-  powers_.push_back(power);
+  const std::size_t link = color_of_.size();
+  std::size_t slot;
+  if (options_.reuse_slots && !free_slots_.empty()) {
+    // Recycle a retired slot: rewrite its row/column in place, bracketed
+    // like a link_update so every class swaps the zombie's stale (inactive,
+    // so never consulted) contribution for the fresh link's.
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    for (IncrementalGainClass& cls : classes_) cls.begin_link_update(slot);
+    owned_gains_->update_request(slot, request, power);
+    powers_[slot] = power;
+    if (farfield_ != nullptr) farfield_->update_link(slot, request, power);
+    for (IncrementalGainClass& cls : classes_) {
+      const std::size_t rebuilds_before = cls.removal_rebuilds();
+      cls.finish_link_update(slot);
+      stats_.removal_rebuilds += cls.removal_rebuilds() - rebuilds_before;
+    }
+    slot_of_.push_back(slot);
+    ext_of_[slot] = link;
+    ++stats_.reused_slots;
+  } else {
+    slot = owned_gains_->append_request(request, power);
+    powers_.push_back(power);
+    if (farfield_ != nullptr) farfield_->append_link(request, power);
+    if (options_.reuse_slots) {
+      slot_of_.push_back(slot);
+      ext_of_.push_back(link);
+    }
+    for (IncrementalGainClass& cls : classes_) cls.sync_universe();
+  }
   color_of_.push_back(-1);
-  for (IncrementalGainClass& cls : classes_) cls.sync_universe();
-  const int color = place(link);
+  const int color = place(slot);
   color_of_[link] = color;
   ++active_count_;
   ++stats_.arrivals;
   ++stats_.fresh_links;
   stats_.peak_colors = std::max(stats_.peak_colors, num_colors());
+  sync_farfield_stats();
   const double elapsed = watch.elapsed_seconds();
   stats_.total_event_seconds += elapsed;
   stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
@@ -194,18 +274,21 @@ int OnlineScheduler::on_link_update(std::size_t link, const Request& request) {
   const double power = options_.fresh_power != nullptr
                            ? options_.fresh_power->power_for_loss(loss)
                            : powers_[link];
+  const std::size_t slot = phys(link);
   {
     OISCHED_TRACE_SPAN(options_.telemetry.trace, "accumulator_update");
     // Bracket the table refresh: every class first subtracts what it read
-    // from the stale row, then the matrix rewrites the row/column, then
-    // every class adds the new row back and re-derives the link's own
-    // slot.
-    for (IncrementalGainClass& cls : classes_) cls.begin_link_update(link);
-    owned_gains_->update_request(link, request, power);
-    powers_[link] = power;
+    // from the stale row (and, in far-field mode, the stale cell bounds),
+    // then the matrix and the far-field context move the link, then every
+    // class adds the new row back under the new geometry and re-derives
+    // the link's own slot.
+    for (IncrementalGainClass& cls : classes_) cls.begin_link_update(slot);
+    owned_gains_->update_request(slot, request, power);
+    powers_[slot] = power;
+    if (farfield_ != nullptr) farfield_->update_link(slot, request, power);
     for (IncrementalGainClass& cls : classes_) {
       const std::size_t rebuilds_before = cls.removal_rebuilds();
-      cls.finish_link_update(link);
+      cls.finish_link_update(slot);
       stats_.removal_rebuilds += cls.removal_rebuilds() - rebuilds_before;
     }
   }
@@ -219,15 +302,16 @@ int OnlineScheduler::on_link_update(std::size_t link, const Request& request) {
     // Eviction restores the survivors (interference sums only shrink);
     // then the moved link is re-placed like a fresh arrival.
     const std::size_t rebuilds_before = owner.removal_rebuilds();
-    owner.remove(link);
+    owner.remove(slot);
     stats_.removal_rebuilds += owner.removal_rebuilds() - rebuilds_before;
     color_of_[link] = -1;
     compact_from(static_cast<std::size_t>(color));
-    new_color = place(link);
+    new_color = place(slot);
     color_of_[link] = new_color;
     ++stats_.update_migrations;
     stats_.peak_colors = std::max(stats_.peak_colors, num_colors());
   }
+  sync_farfield_stats();
   const double elapsed = watch.elapsed_seconds();
   stats_.total_event_seconds += elapsed;
   stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
@@ -246,7 +330,7 @@ void OnlineScheduler::on_departure(std::size_t link) {
     OISCHED_TRACE_SPAN(options_.telemetry.trace, "accumulator_update");
     IncrementalGainClass& cls = classes_[static_cast<std::size_t>(color)];
     const std::size_t rebuilds_before = cls.removal_rebuilds();
-    cls.remove(link);
+    cls.remove(phys(link));
     stats_.removal_rebuilds += cls.removal_rebuilds() - rebuilds_before;
   }
   color_of_[link] = -1;
@@ -256,10 +340,24 @@ void OnlineScheduler::on_departure(std::size_t link) {
     OISCHED_TRACE_SPAN(options_.telemetry.trace, "compaction");
     compact_from(static_cast<std::size_t>(color));
   }
+  sync_farfield_stats();
   const double elapsed = watch.elapsed_seconds();
   stats_.total_event_seconds += elapsed;
   stats_.max_event_seconds = std::max(stats_.max_event_seconds, elapsed);
   if (telemetry) publish_event(before, elapsed);
+}
+
+void OnlineScheduler::retire_link(std::size_t link) {
+  require(options_.reuse_slots,
+          "OnlineScheduler: retiring links needs the reuse_slots option");
+  require(link < color_of_.size(), "OnlineScheduler: link index out of range");
+  require(color_of_[link] < 0, "OnlineScheduler: retire of an active link");
+  const std::size_t slot = slot_of_[link];
+  require(slot != kNoSlot, "OnlineScheduler: link already retired");
+  slot_of_[link] = kNoSlot;
+  ext_of_[slot] = kNoSlot;
+  free_slots_.push_back(slot);
+  ++stats_.retired_links;
 }
 
 void OnlineScheduler::compact_from(std::size_t color) {
@@ -272,6 +370,10 @@ void OnlineScheduler::compact_from(std::size_t color) {
     }
   }
   if (!options_.compact_on_departure) return;
+  if (options_.compaction_victim == CompactionVictim::smallest_first) {
+    compact_smallest();
+    return;
+  }
   // Opportunistic compaction: migrate members of the trailing class into
   // earlier classes; when the trailing class drains completely the color
   // count shrinks, and the now-trailing class gets the same chance. An
@@ -289,7 +391,7 @@ void OnlineScheduler::compact_from(std::size_t color) {
           classes_[last].remove(m);
           stats_.removal_rebuilds += classes_[last].removal_rebuilds() - rebuilds_before;
           classes_[c].add(m);
-          color_of_[m] = static_cast<int>(c);
+          color_of_[ext(m)] = static_cast<int>(c);
           ++stats_.migrations;
           moved = true;
           break;
@@ -302,6 +404,51 @@ void OnlineScheduler::compact_from(std::size_t color) {
     if (classes_[last].size() > 0) break;
     classes_.pop_back();
     ++stats_.classes_closed;
+  }
+}
+
+void OnlineScheduler::compact_smallest() {
+  // Size-ordered victim selection: the cheapest class to dissolve is the
+  // smallest one, wherever it sits in the palette — a small class stuck in
+  // the middle is exactly what the trailing-only pass never revisits.
+  // Ties go to the lowest color (first-fit keeps the crowded classes
+  // early, so a late same-size class is likelier to hold the immovable
+  // stragglers). A drained victim frees its color and the next-smallest
+  // gets a turn; an immovable member ends the pass (its class was the
+  // cheapest, so dissolving any other is no easier — and per-event work
+  // stays bounded).
+  while (classes_.size() > 1) {
+    std::size_t victim = 0;
+    for (std::size_t c = 1; c < classes_.size(); ++c) {
+      if (classes_[c].size() < classes_[victim].size()) victim = c;
+    }
+    const std::vector<std::size_t> members = classes_[victim].members();
+    for (const std::size_t m : members) {
+      bool moved = false;
+      for (std::size_t c = 0; c < classes_.size(); ++c) {
+        if (c == victim) continue;
+        if (classes_[c].can_add(m)) {
+          const std::size_t rebuilds_before = classes_[victim].removal_rebuilds();
+          classes_[victim].remove(m);
+          stats_.removal_rebuilds +=
+              classes_[victim].removal_rebuilds() - rebuilds_before;
+          classes_[c].add(m);
+          color_of_[ext(m)] = static_cast<int>(c);
+          ++stats_.migrations;
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) ++stats_.compaction_skips;
+    }
+    if (classes_[victim].size() > 0) break;
+    // Erasing mid-palette renumbers every color above the victim —
+    // including members just migrated into those classes.
+    classes_.erase(classes_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++stats_.classes_closed;
+    for (int& c : color_of_) {
+      if (c > static_cast<int>(victim)) --c;
+    }
   }
 }
 
@@ -339,7 +486,7 @@ bool OnlineScheduler::validate_against_direct(double* worst_margin) const {
     ensure(!members.empty(), "OnlineScheduler: compaction must drop empty classes");
     members_seen += members.size();
     for (const std::size_t m : members) {
-      ensure(color_of_[m] == static_cast<int>(c),
+      ensure(color_of_[ext(m)] == static_cast<int>(c),
              "OnlineScheduler: class membership and coloring diverged");
     }
     // The matrix's own request copy covers links appended after
@@ -413,6 +560,10 @@ ReplayResult replay_trace(OnlineScheduler& scheduler, const ChurnTrace& trace,
   result.stats.migrations -= before.migrations;
   result.stats.compaction_skips -= before.compaction_skips;
   result.stats.removal_rebuilds -= before.removal_rebuilds;
+  result.stats.bound_hits -= before.bound_hits;
+  result.stats.exact_fallbacks -= before.exact_fallbacks;
+  result.stats.retired_links -= before.retired_links;
+  result.stats.reused_slots -= before.reused_slots;
   result.stats.total_event_seconds -= before.total_event_seconds;
   result.events_per_sec =
       result.wall_seconds > 0.0

@@ -15,7 +15,12 @@
 // work), each fresh link with an O(n) table append plus the same first-fit
 // placement, and each departure with an O(n) class shrink plus an
 // opportunistic compaction pass that migrates members out of the last
-// class when earlier ones can absorb them. Throughput (events/sec),
+// class when earlier ones can absorb them. With the farfield option the
+// per-class feasibility tests consult spatial-cell interference bounds
+// first (sinr/farfield.h) and touch the gain row only on a fallback, and
+// with reuse_slots retired links hand their table rows to future fresh
+// links so the matrix stops growing without bound under churn.
+// Throughput (events/sec),
 // recolorings and per-event latency are the headline metrics; replay_trace
 // drives a whole ChurnTrace and reports them. The final state re-validates
 // bit-for-bit against the direct metric-recomputing feasibility engine
@@ -35,6 +40,7 @@
 #include "gen/churn.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sinr/farfield.h"
 #include "sinr/gain_matrix.h"
 
 namespace oisched {
@@ -53,6 +59,8 @@ struct OnlineMetricIds {
   obs::MetricId migrations = 0;
   obs::MetricId compaction_skips = 0;
   obs::MetricId removal_rebuilds = 0;
+  obs::MetricId bound_hits = 0;
+  obs::MetricId exact_fallbacks = 0;
   obs::MetricId classes_opened = 0;
   obs::MetricId classes_closed = 0;
   obs::MetricId colors = 0;
@@ -73,6 +81,20 @@ struct OnlineTelemetry {
   obs::TraceTrack* trace = nullptr;
 };
 
+/// Which class a post-departure compaction pass tries to dissolve.
+enum class CompactionVictim {
+  /// Historical behaviour: only the trailing (highest-color) class is a
+  /// candidate — cheap, but an adversarially placed small class in the
+  /// middle of the palette is never revisited.
+  trailing,
+  /// Pick the smallest live class (ties to the highest color) anywhere in
+  /// the palette. Dissolving the cheapest victim first reclaims colors a
+  /// trailing-only pass provably skips.
+  smallest_first,
+};
+
+[[nodiscard]] const char* to_string(CompactionVictim victim) noexcept;
+
 struct OnlineSchedulerOptions {
   /// How classes restore their accumulators on departure. The default
   /// (exact) removes in O(n) with zero rounding error — expansion
@@ -92,6 +114,9 @@ struct OnlineSchedulerOptions {
   /// still gets its chance to move (skips land in
   /// stats().compaction_skips).
   bool compact_on_departure = true;
+  /// Victim-selection rule of the compaction pass (see CompactionVictim).
+  /// The default keeps the historical trailing-only behaviour.
+  CompactionVictim compaction_victim = CompactionVictim::trailing;
   /// Gain-table backend. dense/tiled serve a fixed universe from the
   /// instance's shared cache (tiled keeps huge, sparsely active universes
   /// memory-bounded); appendable gives the scheduler its own growable
@@ -109,6 +134,22 @@ struct OnlineSchedulerOptions {
   /// is re-powered by the same rule (its length changed); without one it
   /// keeps its original power.
   std::shared_ptr<const PowerAssignment> fresh_power;
+  /// Far-field mode: build a FarFieldContext over the instance's Euclidean
+  /// metric and hand it to every color class, so feasibility tests are
+  /// answered from per-cell interference bounds and fall back to an exact
+  /// row reconstruction only when the bounds straddle the SINR threshold.
+  /// Decisions (and hence schedules) stay bit-identical to the exact-only
+  /// path. Requires RemovePolicy::exact and a Euclidean metric.
+  bool farfield = false;
+  /// Grid shape of far-field mode (ignored unless farfield is set).
+  FarFieldOptions farfield_options;
+  /// Recycle the physical gain-table slots of retired links (appendable
+  /// backend only): retire_link frees an inactive link's slot, and the
+  /// next fresh link rewrites that row in place instead of growing the
+  /// matrix — the fix for the churn leak where an appendable universe
+  /// only ever grew. External link ids stay stable and keep growing; the
+  /// remap is invisible in color_of()/snapshot().
+  bool reuse_slots = false;
   /// Metric/trace sinks (see OnlineTelemetry); both null by default. The
   /// shard and track must outlive the scheduler.
   OnlineTelemetry telemetry;
@@ -137,6 +178,16 @@ struct OnlineStats {
   /// eliminates: always 0 there, one per removal under rebuild,
   /// drift/interval-triggered under compensated.
   std::size_t removal_rebuilds = 0;
+  /// Far-field mode only: feasibility tests certified from the per-cell
+  /// interference bounds alone / tests that had to reconstruct an exact
+  /// row sum because the bounds straddled the threshold. Mirrors of the
+  /// FarFieldContext counters, refreshed after every event.
+  std::size_t bound_hits = 0;
+  std::size_t exact_fallbacks = 0;
+  /// Slot-reuse mode only: links retired via retire_link, and fresh links
+  /// that recycled a retired slot instead of growing the matrix.
+  std::size_t retired_links = 0;
+  std::size_t reused_slots = 0;
   int peak_colors = 0;
   double total_event_seconds = 0.0;
   double max_event_seconds = 0.0;
@@ -186,6 +237,14 @@ class OnlineScheduler {
   /// Deactivates a link (must be active), compacting classes per options.
   void on_departure(std::size_t link);
 
+  /// Frees an inactive link's physical gain-table slot for reuse by a
+  /// future fresh link (reuse_slots option only). The external link id
+  /// stays allocated but can never become active again; color_of() keeps
+  /// reporting -1 for it. Retiring is the caller's promise that the trace
+  /// will not revive this id — growing traces recycle departed fresh
+  /// links, so departure alone must never retire.
+  void retire_link(std::size_t link);
+
   /// Dispatches one trace event to on_arrival/on_link_arrival/
   /// on_link_update/on_departure.
   void apply(const ChurnEvent& event);
@@ -208,6 +267,14 @@ class OnlineScheduler {
   [[nodiscard]] const std::vector<IncrementalGainClass>& classes() const noexcept {
     return classes_;
   }
+  /// The far-field context (null unless options.farfield).
+  [[nodiscard]] const FarFieldContext* farfield() const noexcept {
+    return farfield_.get();
+  }
+  /// Physical gain-table slots currently allocated — equals universe()
+  /// except in reuse_slots mode, where it is bounded by the peak number of
+  /// simultaneously live (active or unretired) links.
+  [[nodiscard]] std::size_t physical_slots() const noexcept { return powers_.size(); }
 
   /// The current coloring: -1 for inactive links, colors dense in
   /// [0, num_colors) otherwise.
@@ -221,8 +288,24 @@ class OnlineScheduler {
   [[nodiscard]] bool validate_against_direct(double* worst_margin = nullptr) const;
 
  private:
-  int place(std::size_t link);           // first-fit; returns the color used
-  void compact_from(std::size_t color);  // drop empty / migrate trailing classes
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  int place(std::size_t slot);           // first-fit; returns the color used
+  void compact_from(std::size_t color);  // drop empty / migrate per options
+  void compact_smallest();               // smallest_first victim loop
+  /// External link id <-> physical gain-table slot. Identity except in
+  /// reuse_slots mode: classes, the gain matrix, powers_ and the far-field
+  /// context speak physical slots; color_of_, universe() and traces speak
+  /// external ids.
+  [[nodiscard]] std::size_t phys(std::size_t link) const noexcept {
+    return options_.reuse_slots ? slot_of_[link] : link;
+  }
+  [[nodiscard]] std::size_t ext(std::size_t slot) const noexcept {
+    return options_.reuse_slots ? ext_of_[slot] : slot;
+  }
+  /// Mirrors the far-field context's counters into stats_ (no-op without
+  /// a context). Called at the end of every event handler.
+  void sync_farfield_stats();
   /// Publishes one event's worth of counter deltas (stats_ minus the
   /// handler-entry copy), the latency observation, and the colors/active
   /// gauges into the telemetry shard. Called only when a shard is set.
@@ -237,8 +320,15 @@ class OnlineScheduler {
   /// the scheduler's private mutable matrix (gains_ aliases it there).
   std::shared_ptr<GainMatrix> owned_gains_;
   std::shared_ptr<const GainMatrix> gains_;
+  /// Far-field geometry/counters shared by every class (farfield option).
+  std::shared_ptr<FarFieldContext> farfield_;
   std::vector<IncrementalGainClass> classes_;
   std::vector<int> color_of_;
+  /// reuse_slots mode only: external -> physical (kNoSlot once retired),
+  /// physical -> external, and the LIFO free list of retired slots.
+  std::vector<std::size_t> slot_of_;
+  std::vector<std::size_t> ext_of_;
+  std::vector<std::size_t> free_slots_;
   std::size_t active_count_ = 0;
   OnlineStats stats_;
 };

@@ -1,0 +1,160 @@
+#include "sinr/farfield.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace oisched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Relative slack on the bound factors: absorbs the rounding of the pow /
+/// division / final power multiply so the factor-times-power product
+/// brackets the exact filler value with room to spare.
+constexpr double kFactorSlack = 0x1p-30;
+
+void drop_slot(std::vector<std::size_t>& slots, std::size_t j) {
+  const auto it = std::find(slots.begin(), slots.end(), j);
+  require(it != slots.end(), "FarFieldContext: slot missing from its cell list");
+  *it = slots.back();
+  slots.pop_back();
+}
+
+}  // namespace
+
+FarFieldContext::FarFieldContext(std::shared_ptr<const EuclideanMetric> metric,
+                                 std::vector<Request> requests,
+                                 std::vector<double> powers, double alpha,
+                                 Variant variant, FarFieldOptions options)
+    : metric_(std::move(metric)),
+      requests_(std::move(requests)),
+      powers_(std::move(powers)),
+      alpha_(alpha),
+      variant_(variant),
+      options_(options),
+      grid_(metric_ ? std::span<const Point>(metric_->points())
+                    : std::span<const Point>(),
+            options.target_cells) {
+  require(metric_ != nullptr, "FarFieldContext: metric must be set");
+  require(requests_.size() == powers_.size(), "FarFieldContext: one power per request");
+  require(options_.near_radius >= 1,
+          "FarFieldContext: near_radius must be >= 1 (far cells need a distance gap)");
+  // Factor tables indexed by the cell-index delta. Far cells (Chebyshev
+  // >= near_radius + 1 from both endpoint cells) always have a positive
+  // min distance on some axis, so their upper-bound factors are finite;
+  // the infinite entries near the diagonal are never read through a far
+  // aggregate.
+  const std::size_t cx = grid_.cells_x();
+  const std::size_t cy = grid_.cells_y();
+  ub_factor_.resize(cx * cy);
+  lb_factor_.resize(cx * cy);
+  for (std::size_t dy = 0; dy < cy; ++dy) {
+    for (std::size_t dx = 0; dx < cx; ++dx) {
+      const std::size_t a = 0;
+      const std::size_t b = dy * cx + dx;
+      const double d_min = grid_.min_distance(a, b);
+      const double d_max = grid_.max_distance(a, b);
+      ub_factor_[b] =
+          d_min > 0.0 ? (1.0 / path_loss(d_min, alpha_)) * (1.0 + kFactorSlack) : kInf;
+      lb_factor_[b] =
+          d_max > 0.0 ? (1.0 / path_loss(d_max, alpha_)) * (1.0 - kFactorSlack) : 0.0;
+    }
+  }
+  slots_v_.resize(grid_.num_cells());
+  slots_u_.resize(grid_.num_cells());
+  cell_v_.reserve(requests_.size());
+  cell_u_.reserve(requests_.size());
+  for (std::size_t j = 0; j < requests_.size(); ++j) assign_cells(j);
+}
+
+std::size_t FarFieldContext::delta_index(std::size_t a, std::size_t b) const noexcept {
+  const std::size_t ax = grid_.cell_x(a), ay = grid_.cell_y(a);
+  const std::size_t bx = grid_.cell_x(b), by = grid_.cell_y(b);
+  const std::size_t dx = ax > bx ? ax - bx : bx - ax;
+  const std::size_t dy = ay > by ? ay - by : by - ay;
+  return dy * grid_.cells_x() + dx;
+}
+
+double FarFieldContext::bound_hi(std::size_t j, std::size_t cell) const noexcept {
+  const double fu = ub_factor_[delta_index(cell_u_[j], cell)];
+  if (variant_ == Variant::directed) return powers_[j] * fu;
+  // Bidirectional min-endpoint rule: gain = p * max over the endpoints of
+  // the inverse loss, so the bound is the max of the endpoint bounds.
+  const double fv = ub_factor_[delta_index(cell_v_[j], cell)];
+  return powers_[j] * std::max(fu, fv);
+}
+
+double FarFieldContext::bound_lo(std::size_t j, std::size_t cell) const noexcept {
+  const double fu = lb_factor_[delta_index(cell_u_[j], cell)];
+  if (variant_ == Variant::directed) return powers_[j] * fu;
+  // The true gain dominates EACH endpoint's lower bound, hence their max.
+  const double fv = lb_factor_[delta_index(cell_v_[j], cell)];
+  return powers_[j] * std::max(fu, fv);
+}
+
+void FarFieldContext::near_cells(std::size_t j, std::vector<std::size_t>& out) const {
+  out.clear();
+  const std::size_t r = options_.near_radius;
+  const std::size_t cx = grid_.cells_x();
+  const std::size_t cy = grid_.cells_y();
+  const auto ball = [&](std::size_t center, bool skip_other, std::size_t other) {
+    const std::size_t ox = grid_.cell_x(center), oy = grid_.cell_y(center);
+    const std::size_t x0 = ox > r ? ox - r : 0;
+    const std::size_t x1 = std::min(cx - 1, ox + r);
+    const std::size_t y0 = oy > r ? oy - r : 0;
+    const std::size_t y1 = std::min(cy - 1, oy + r);
+    for (std::size_t yy = y0; yy <= y1; ++yy) {
+      for (std::size_t xx = x0; xx <= x1; ++xx) {
+        const std::size_t cell = yy * cx + xx;
+        if (skip_other && grid_.chebyshev(other, cell) <= r) continue;
+        out.push_back(cell);
+      }
+    }
+  };
+  ball(cell_v_[j], false, 0);
+  if (cell_u_[j] != cell_v_[j]) ball(cell_u_[j], true, cell_v_[j]);
+}
+
+void FarFieldContext::assign_cells(std::size_t j) {
+  const Request& r = requests_[j];
+  const std::size_t cv = grid_.cell_of(metric_->point(r.v));
+  const std::size_t cu = grid_.cell_of(metric_->point(r.u));
+  cell_v_.push_back(cv);
+  cell_u_.push_back(cu);
+  slots_v_[cv].push_back(j);
+  slots_u_[cu].push_back(j);
+}
+
+void FarFieldContext::append_link(const Request& r, double power) {
+  require(r.u < metric_->size() && r.v < metric_->size(),
+          "FarFieldContext: appended endpoint outside the metric");
+  requests_.push_back(r);
+  powers_.push_back(power);
+  assign_cells(requests_.size() - 1);
+}
+
+void FarFieldContext::update_link(std::size_t j, const Request& r, double power) {
+  require(j < requests_.size(), "FarFieldContext: update of an unknown link");
+  require(r.u < metric_->size() && r.v < metric_->size(),
+          "FarFieldContext: updated endpoint outside the metric");
+  const std::size_t cv = grid_.cell_of(metric_->point(r.v));
+  const std::size_t cu = grid_.cell_of(metric_->point(r.u));
+  if (cv != cell_v_[j]) {
+    drop_slot(slots_v_[cell_v_[j]], j);
+    slots_v_[cv].push_back(j);
+    cell_v_[j] = cv;
+  }
+  if (cu != cell_u_[j]) {
+    drop_slot(slots_u_[cell_u_[j]], j);
+    slots_u_[cu].push_back(j);
+    cell_u_[j] = cu;
+  }
+  requests_[j] = r;
+  powers_[j] = power;
+}
+
+}  // namespace oisched

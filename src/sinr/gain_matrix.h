@@ -34,6 +34,7 @@
 
 namespace oisched {
 
+class FarFieldContext;
 class Instance;
 
 /// Devirtualized sequential reader of one gain-table row: serves lookups
@@ -277,11 +278,27 @@ enum class RemovePolicy {
 /// table additions. Accumulation follows insertion order, making verdicts
 /// bit-for-bit identical to IncrementalClass. Classes also shrink:
 /// remove() evicts a member under the configured RemovePolicy.
+///
+/// Far-field mode (a non-null FarFieldContext, exact policy only): the
+/// exact banks hold NEAR-ONLY interference (members within the context's
+/// near radius of each slot's cell), mutations walk the per-cell slot
+/// lists instead of full rows, and the class additionally keeps per-cell
+/// exact aggregates of the far members' conservative gain bounds. Every
+/// feasibility comparison is answered from the [near + far_lo,
+/// near + far_hi] bracket when it clears the threshold either way, and
+/// falls back to an exact reconstruction — extract the near expansion,
+/// add the far members' exact gains — only when the bracket straddles it.
+/// The reconstruction is the correct rounding of the same member multiset
+/// the exact-only class accumulates, so every verdict (and hence every
+/// schedule) is bit-identical to a class without the context; the bounds
+/// only decide how much work a test costs. Counters for both outcomes
+/// live on the context.
 class IncrementalGainClass {
  public:
   IncrementalGainClass(const GainMatrix& gains, const SinrParams& params,
                        RemovePolicy policy = RemovePolicy::rebuild,
-                       std::size_t rebuild_interval = 16);
+                       std::size_t rebuild_interval = 16,
+                       const FarFieldContext* farfield = nullptr);
 
   [[nodiscard]] bool can_add(std::size_t request_index) const;
   void add(std::size_t request_index);
@@ -359,9 +376,24 @@ class IncrementalGainClass {
   [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
 
  private:
+  static constexpr std::size_t kNoExtra = static_cast<std::size_t>(-1);
+
   void replay_accumulators(std::vector<double>& acc_v, std::vector<double>& acc_u) const;
   void maybe_rebuild_after_remove();
   void rederive_slot(std::size_t link);
+  /// Far-field mode: applies (or withdraws) member j — exact near-field
+  /// walk over the cell slot lists plus bound contributions to every far
+  /// cell's aggregates. Returns true when a near slot is left saturated.
+  bool far_apply_member(std::size_t j, bool add_op);
+  /// Far-field mode: the reference verdict of
+  ///   signal(i) > beta * (acc_full(i) + extra + noise)
+  /// on one side, where acc_full is the exact-only class's accumulator and
+  /// extra is candidate j's gain at slot i (kNoExtra for none) — answered
+  /// from the bounds when they clear the threshold, exactly otherwise.
+  [[nodiscard]] bool far_test(std::size_t i, std::size_t j, bool sender_side) const;
+  /// Far-field mode: the exact-only accumulator of slot i on one side,
+  /// bit-identical by the order-free ExactSum reconstruction.
+  [[nodiscard]] double far_exact_slot(std::size_t i, bool sender_side) const;
 
   const GainMatrix* gains_;
   SinrParams params_;
@@ -383,8 +415,19 @@ class IncrementalGainClass {
   std::vector<double> cancelled_u_;
   /// Exact mode only: the error-free expansions behind the slots, in the
   /// structure-of-arrays bank the row kernels stream (util/exact_bank.h).
+  /// In far-field mode they hold the near-field part only.
   ExactSumBank exact_v_;
   ExactSumBank exact_u_;
+  /// Far-field mode only (see class comment). The aggregates are exact
+  /// sums of the members' per-cell bound doubles, so unlimited add/remove
+  /// churn keeps them sound; the *_val_ mirrors cache their correctly
+  /// rounded readouts for the hot comparisons.
+  const FarFieldContext* farfield_ = nullptr;
+  std::vector<ExactSum> far_lo_;
+  std::vector<ExactSum> far_hi_;
+  std::vector<double> far_lo_val_;
+  std::vector<double> far_hi_val_;
+  std::vector<std::size_t> cell_scratch_;
 };
 
 /// greedy_feasible_subset over precomputed gains; identical selection.

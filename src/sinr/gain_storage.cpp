@@ -14,6 +14,8 @@ const char* to_string(GainBackend backend) {
       return "tiled";
     case GainBackend::appendable:
       return "appendable";
+    case GainBackend::computed:
+      return "computed";
   }
   return "unknown";
 }
@@ -25,6 +27,8 @@ bool parse_gain_backend(const std::string& word, GainBackend& backend) {
     backend = GainBackend::tiled;
   } else if (word == "appendable") {
     backend = GainBackend::appendable;
+  } else if (word == "computed") {
+    backend = GainBackend::computed;
   } else {
     return false;
   }
@@ -184,6 +188,36 @@ void AppendableGainStorage::grow_to(std::size_t new_n) {
   }
 }
 
+ComputedGainStorage::ComputedGainStorage(std::size_t n, GainFiller fill)
+    : n_(n), fill_(std::move(fill)) {
+  require(static_cast<bool>(fill_), "ComputedGainStorage: filler must be callable");
+}
+
+std::span<const double> ComputedGainStorage::row_run(std::size_t j,
+                                                     std::size_t i) const {
+  // Serve from the cache when it already covers [i, n) of row j; otherwise
+  // materialize that tail in one filler pass. Runs are always full tails,
+  // so a walk that advances i within one row re-reads the same buffer.
+  if (cache_row_ != j || i < cache_start_) {
+    cache_.resize(n_);
+    for (std::size_t k = i; k < n_; ++k) {
+      cache_[k] = (k == j) ? 0.0 : fill_(j, k);
+    }
+    cache_row_ = j;
+    cache_start_ = i;
+    ++rows_materialized_;
+  }
+  return {cache_.data() + i, n_ - i};
+}
+
+void ComputedGainStorage::refresh_link(std::size_t link, const GainFiller& fill) {
+  require(link < n_, "ComputedGainStorage: refresh of an out-of-range link");
+  (void)fill;  // nothing resident to rewrite — the stored filler sees the
+               // updated request/power stores on the next materialization
+  cache_row_ = kNoRow;
+  cache_start_ = 0;
+}
+
 std::unique_ptr<GainStorage> make_gain_storage(GainBackend backend, std::size_t n,
                                                GainFiller fill) {
   switch (backend) {
@@ -193,6 +227,8 @@ std::unique_ptr<GainStorage> make_gain_storage(GainBackend backend, std::size_t 
       return std::make_unique<TiledGainStorage>(n, std::move(fill));
     case GainBackend::appendable:
       return std::make_unique<AppendableGainStorage>(n, std::move(fill));
+    case GainBackend::computed:
+      return std::make_unique<ComputedGainStorage>(n, std::move(fill));
   }
   throw PreconditionError("make_gain_storage: unknown backend");
 }

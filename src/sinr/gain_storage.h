@@ -55,9 +55,16 @@ enum class GainBackend {
   /// Per-row vectors with amortized growth: append_request extends the
   /// table by one row and one column in O(n) without rebuilding.
   appendable,
+  /// No table at all: every entry is evaluated through the filler on
+  /// demand, with a single-row cache so a row walk costs one filler pass.
+  /// O(n) resident; the only backend whose footprint lets n >= 10^5
+  /// universes replay at all. Not thread-safe; single-owner like
+  /// appendable.
+  computed,
 };
 
-/// Human-readable backend name ("dense" / "tiled" / "appendable").
+/// Human-readable backend name ("dense" / "tiled" / "appendable" /
+/// "computed").
 [[nodiscard]] const char* to_string(GainBackend backend);
 
 /// Parses a backend name (as printed by to_string); returns false on an
@@ -226,6 +233,48 @@ class AppendableGainStorage final : public GainStorage {
  private:
   GainFiller fill_;
   std::vector<std::vector<double>> rows_;
+};
+
+/// Tableless storage: entries are recomputed through the filler on every
+/// query. A one-row cache makes row walks affordable — row_run(j, i)
+/// materializes the tail [i, n) of row j once and serves every subsequent
+/// run of the same row from the cache, so a feasibility scan over k classes
+/// costs one filler pass per candidate row, not k. The cache belongs to the
+/// storage (not the cursor), so it survives across GainRowCursor instances
+/// within one event. NOT thread-safe (mutable cache, no locks); the online
+/// scheduler is its only intended owner.
+class ComputedGainStorage final : public GainStorage {
+ public:
+  ComputedGainStorage(std::size_t n, GainFiller fill);
+
+  [[nodiscard]] GainBackend kind() const noexcept override {
+    return GainBackend::computed;
+  }
+  [[nodiscard]] std::size_t size() const noexcept override { return n_; }
+  [[nodiscard]] double at(std::size_t j, std::size_t i) const override {
+    return (i == j) ? 0.0 : fill_(j, i);
+  }
+  [[nodiscard]] std::span<const double> row_run(std::size_t j,
+                                                std::size_t i) const override;
+  [[nodiscard]] std::size_t resident_doubles() const noexcept override {
+    return cache_row_ == kNoRow ? 0 : cache_.size();
+  }
+  void refresh_link(std::size_t link, const GainFiller& fill) override;
+
+  /// Row materializations so far — how often the cache missed.
+  [[nodiscard]] std::size_t rows_materialized() const noexcept {
+    return rows_materialized_;
+  }
+
+ private:
+  static constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
+
+  std::size_t n_;
+  GainFiller fill_;
+  mutable std::vector<double> cache_;
+  mutable std::size_t cache_row_ = kNoRow;
+  mutable std::size_t cache_start_ = 0;
+  mutable std::size_t rows_materialized_ = 0;
 };
 
 /// Factory over the backend enum.

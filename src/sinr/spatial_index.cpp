@@ -1,0 +1,94 @@
+#include "sinr/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace oisched {
+
+namespace {
+
+/// Cell count along one axis so the grid stays square-ish: the axis gets a
+/// share of `target` proportional to its extent.
+std::size_t axis_cells(double own_extent, double other_extent, std::size_t target) {
+  if (own_extent <= 0.0) return 1;
+  if (other_extent <= 0.0) return std::max<std::size_t>(1, target);
+  const double ideal = std::sqrt(static_cast<double>(target) * own_extent / other_extent);
+  const auto cells = static_cast<std::size_t>(std::llround(std::max(1.0, ideal)));
+  return std::clamp<std::size_t>(cells, 1, std::max<std::size_t>(1, target));
+}
+
+}  // namespace
+
+SpatialIndex::SpatialIndex(std::span<const Point> points, std::size_t target_cells) {
+  require(target_cells >= 1, "SpatialIndex: need at least one cell");
+  if (points.empty()) return;  // 1 x 1 grid, everything "near"
+  double x_max = points[0].x, y_max = points[0].y, z_max = points[0].z;
+  double z_min = points[0].z;
+  x_min_ = points[0].x;
+  y_min_ = points[0].y;
+  for (const Point& p : points) {
+    x_min_ = std::min(x_min_, p.x);
+    x_max = std::max(x_max, p.x);
+    y_min_ = std::min(y_min_, p.y);
+    y_max = std::max(y_max, p.y);
+    z_min = std::min(z_min, p.z);
+    z_max = std::max(z_max, p.z);
+  }
+  const double extent_x = x_max - x_min_;
+  const double extent_y = y_max - y_min_;
+  z_extent_ = z_max - z_min;
+  cells_x_ = axis_cells(extent_x, extent_y, target_cells);
+  cells_y_ = axis_cells(extent_y, extent_x, target_cells);
+  // Keep the product near the target when both axes are live.
+  if (cells_x_ > 1 && cells_y_ > 1) {
+    cells_y_ = std::max<std::size_t>(1, target_cells / cells_x_);
+  }
+  width_x_ = cells_x_ > 1 ? extent_x / static_cast<double>(cells_x_) : extent_x;
+  width_y_ = cells_y_ > 1 ? extent_y / static_cast<double>(cells_y_) : extent_y;
+}
+
+std::size_t SpatialIndex::cell_of(const Point& p) const noexcept {
+  std::size_t ix = 0, iy = 0;
+  if (cells_x_ > 1 && width_x_ > 0.0) {
+    const double t = (p.x - x_min_) / width_x_;
+    ix = t <= 0.0 ? 0 : std::min(static_cast<std::size_t>(t), cells_x_ - 1);
+  }
+  if (cells_y_ > 1 && width_y_ > 0.0) {
+    const double t = (p.y - y_min_) / width_y_;
+    iy = t <= 0.0 ? 0 : std::min(static_cast<std::size_t>(t), cells_y_ - 1);
+  }
+  return iy * cells_x_ + ix;
+}
+
+std::size_t SpatialIndex::chebyshev(std::size_t a, std::size_t b) const noexcept {
+  const std::size_t ax = cell_x(a), ay = cell_y(a);
+  const std::size_t bx = cell_x(b), by = cell_y(b);
+  const std::size_t dx = ax > bx ? ax - bx : bx - ax;
+  const std::size_t dy = ay > by ? ay - by : by - ay;
+  return std::max(dx, dy);
+}
+
+double SpatialIndex::min_distance(std::size_t a, std::size_t b) const noexcept {
+  const std::size_t ax = cell_x(a), ay = cell_y(a);
+  const std::size_t bx = cell_x(b), by = cell_y(b);
+  const std::size_t dx = ax > bx ? ax - bx : bx - ax;
+  const std::size_t dy = ay > by ? ay - by : by - ay;
+  const double gap_x = dx > 1 ? static_cast<double>(dx - 1) * width_x_ : 0.0;
+  const double gap_y = dy > 1 ? static_cast<double>(dy - 1) * width_y_ : 0.0;
+  if (gap_x == 0.0 && gap_y == 0.0) return 0.0;
+  return std::hypot(gap_x, gap_y) * (1.0 - kGeomSlack);
+}
+
+double SpatialIndex::max_distance(std::size_t a, std::size_t b) const noexcept {
+  const std::size_t ax = cell_x(a), ay = cell_y(a);
+  const std::size_t bx = cell_x(b), by = cell_y(b);
+  const std::size_t dx = ax > bx ? ax - bx : bx - ax;
+  const std::size_t dy = ay > by ? ay - by : by - ay;
+  const double span_x = static_cast<double>(dx + 1) * width_x_;
+  const double span_y = static_cast<double>(dy + 1) * width_y_;
+  return std::hypot(span_x, span_y, z_extent_) * (1.0 + kGeomSlack);
+}
+
+}  // namespace oisched

@@ -1,0 +1,82 @@
+// Uniform spatial cell grid over a Euclidean point set.
+//
+// The far-field aggregation layer (sinr/farfield.h) partitions links by the
+// grid cells their endpoints fall into: cells within a small Chebyshev
+// radius of a link are "near" (exact per-link gains), everything else is
+// "far" (per-cell aggregate interference bounds). The grid itself is pure
+// geometry — cell assignment plus CONSERVATIVE distance bounds between
+// cells — and knows nothing about links, powers or SINR.
+//
+// Conservatism contract: for any two points p in cell a and q in cell b,
+//
+//   min_distance(a, b) <= |p - q| <= max_distance(a, b),
+//
+// with a relative slack of kGeomSlack folded into both bounds so the
+// handful of ulps lost to cell-width rounding and the hypot evaluation can
+// never flip an inequality. The bounds only decide whether the far-field
+// layer may answer a feasibility test from aggregates — a loose bound costs
+// one exact fallback, never a wrong decision.
+#ifndef OISCHED_SINR_SPATIAL_INDEX_H
+#define OISCHED_SINR_SPATIAL_INDEX_H
+
+#include <cstddef>
+#include <span>
+
+#include "metric/euclidean.h"
+
+namespace oisched {
+
+class SpatialIndex {
+ public:
+  /// Relative slack applied to every inter-cell distance bound: far wider
+  /// than the few-ulp rounding of the bound arithmetic, far tighter than
+  /// the cell granularity it guards.
+  static constexpr double kGeomSlack = 0x1p-30;
+
+  /// Grids the bounding box of `points` into roughly `target_cells` cells,
+  /// shaped to keep cells square-ish. Degenerate boxes (all points on a
+  /// line or a single point) collapse the flat axes to one cell; the
+  /// all-points-coincident box becomes a single cell (everything "near").
+  SpatialIndex(std::span<const Point> points, std::size_t target_cells);
+
+  [[nodiscard]] std::size_t cells_x() const noexcept { return cells_x_; }
+  [[nodiscard]] std::size_t cells_y() const noexcept { return cells_y_; }
+  [[nodiscard]] std::size_t num_cells() const noexcept { return cells_x_ * cells_y_; }
+
+  /// Flat cell id of a point; points of the indexed set always land in
+  /// range (boundary points clamp into the last cell).
+  [[nodiscard]] std::size_t cell_of(const Point& p) const noexcept;
+
+  [[nodiscard]] std::size_t cell_x(std::size_t cell) const noexcept {
+    return cell % cells_x_;
+  }
+  [[nodiscard]] std::size_t cell_y(std::size_t cell) const noexcept {
+    return cell / cells_x_;
+  }
+
+  /// Chebyshev distance between two cells in cell units — the "near"
+  /// predicate of the far-field layer is chebyshev(a, b) <= radius.
+  [[nodiscard]] std::size_t chebyshev(std::size_t a, std::size_t b) const noexcept;
+
+  /// Conservative lower bound on the distance between any point of cell a
+  /// and any point of cell b (0 for adjacent or equal cells). The z extent
+  /// of the box is ignored here (it can only increase distances).
+  [[nodiscard]] double min_distance(std::size_t a, std::size_t b) const noexcept;
+
+  /// Conservative upper bound on the same quantity; includes the full z
+  /// extent of the box.
+  [[nodiscard]] double max_distance(std::size_t a, std::size_t b) const noexcept;
+
+ private:
+  double x_min_ = 0.0;
+  double y_min_ = 0.0;
+  double width_x_ = 0.0;   // cell width along x (0 when cells_x_ == 1)
+  double width_y_ = 0.0;   // cell width along y
+  double z_extent_ = 0.0;  // full z span of the box
+  std::size_t cells_x_ = 1;
+  std::size_t cells_y_ = 1;
+};
+
+}  // namespace oisched
+
+#endif  // OISCHED_SINR_SPATIAL_INDEX_H

@@ -114,6 +114,14 @@ void ExactSumBank::store(std::size_t i, const ExactSum& sum) {
   spill_.erase(i);
 }
 
+ExactSum ExactSumBank::extract(std::size_t i) const {
+  if (count_[i] == kSpilled) return spill_.at(i);
+  double comps[kSlotComponents];
+  const std::size_t cnt = count_[i];
+  for (std::size_t k = 0; k < cnt; ++k) comps[k] = comp_[k][i];
+  return ExactSum::from_expansion({comps, cnt});
+}
+
 double ExactSumBank::fused_value(std::size_t i) const {
   const std::size_t cnt = count_[i];
   double e[kSlotComponents];

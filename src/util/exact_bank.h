@@ -70,6 +70,12 @@ class ExactSumBank {
   /// Replaces slot i's state with `sum` (the re-derive path).
   void store(std::size_t i, const ExactSum& sum);
 
+  /// A standalone copy of slot i's exact state — the inverse of store:
+  /// bit-identical to the ExactSum a standalone accumulator with the same
+  /// history holds. The far-field fallback path extends the copy with the
+  /// distant members' gains to reconstruct a full-row exact sum.
+  [[nodiscard]] ExactSum extract(std::size_t i) const;
+
   /// Row kernels: slots [base, base + len) accumulate row[0..len) and the
   /// rounded values land in acc[base..base + len) — acc is the full
   /// mirror array, absolute-indexed like the slots. Returns true when any

@@ -108,7 +108,7 @@ ChurnTrace build_trace(const ScenarioSpec& spec, std::size_t universe,
   const MetricSpace* metric = instance == nullptr ? nullptr : &instance->metric();
   const std::span<const Request> initial =
       instance == nullptr ? std::span<const Request>{} : instance->requests();
-  return make_churn_trace(spec.trace, universe, /*target_events=*/0, rng, fresh_links,
+  return make_churn_trace(spec.trace, universe, spec.trace_events, rng, fresh_links,
                           metric, initial);
 }
 
@@ -160,6 +160,9 @@ bool rebuild_twin_agrees(const Instance& instance, std::span<const double> power
                          OnlineSchedulerOptions options, const ChurnTrace& trace,
                          const Schedule& observed) {
   options.remove_policy = RemovePolicy::rebuild;
+  // The rebuild reference predates (and must not depend on) the far-field
+  // layer, and the scheduler only admits far-field under the exact policy.
+  options.farfield = false;
   // The twin must not write into the timed cell's single-writer metric
   // shard (its replay would double every counter).
   options.telemetry = {};
@@ -167,6 +170,32 @@ bool rebuild_twin_agrees(const Instance& instance, std::span<const double> power
   const ReplayResult replay = replay_trace(twin, trace, /*validate_final=*/false);
   return replay.final_schedule.color_of == observed.color_of &&
          replay.final_schedule.num_colors == observed.num_colors;
+}
+
+/// The far-field correctness gate: re-replays the trace with the bounds
+/// layer off — every feasibility test takes the exact path — and compares
+/// final schedules bit for bit. Untimed; the throughput numbers come from
+/// the cell's own (far-field) replay.
+bool farfield_twin_agrees(const Instance& instance, std::span<const double> powers,
+                          const SinrParams& params, Variant variant,
+                          OnlineSchedulerOptions options, const ChurnTrace& trace,
+                          const Schedule& observed) {
+  options.farfield = false;
+  options.telemetry = {};
+  OnlineScheduler twin(instance, powers, params, variant, std::move(options));
+  const ReplayResult replay = replay_trace(twin, trace, /*validate_final=*/false);
+  return replay.final_schedule.color_of == observed.color_of &&
+         replay.final_schedule.num_colors == observed.num_colors;
+}
+
+void record_farfield(const ReplayResult& replay, ScenarioResult& result) {
+  result.dynamic.bound_hits = replay.stats.bound_hits;
+  result.dynamic.exact_fallbacks = replay.stats.exact_fallbacks;
+  const std::size_t tests = replay.stats.bound_hits + replay.stats.exact_fallbacks;
+  result.dynamic.fallback_fraction =
+      tests > 0 ? static_cast<double>(replay.stats.exact_fallbacks) /
+                      static_cast<double>(tests)
+                : 0.0;
 }
 
 /// Runs one dynamic-service scenario: the same trace the bare-scheduler
@@ -265,6 +294,15 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
     options.fresh_power = std::move(assignment);
     options.telemetry.ids = OnlineMetricIds::register_in(registry);
     options.telemetry.shard = &registry.create_shard();
+    if (spec.is_farfield()) {
+      options.farfield = true;
+      options.farfield_options.target_cells = spec.farfield_cells;
+      // Near radius 3 per the recorded flagship sweep: radius 1 leaves
+      // the adjacent far ring's distance bounds loose enough that ~25% of
+      // feasibility tests straddle and fall back; radius 3 certifies >95%
+      // from bounds alone at n=131072 / G=1024 across seeds.
+      options.farfield_options.near_radius = 3;
+    }
     Stopwatch watch;
     OnlineScheduler scheduler(base, base_powers, params, spec.variant, options);
     result.gain_build_ms = watch.elapsed_ms();
@@ -278,6 +316,11 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
       result.dynamic.policy_identical = rebuild_twin_agrees(
           base, base_powers, params, spec.variant, options, trace, replay.final_schedule);
     }
+    if (spec.is_farfield()) {
+      record_farfield(replay, result);
+      result.dynamic.farfield_identical = farfield_twin_agrees(
+          base, base_powers, params, spec.variant, options, trace, replay.final_schedule);
+    }
     return;
   }
   const bool mobility = is_mobility_trace(spec.trace);
@@ -288,6 +331,12 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
   options.storage = backend;
   options.telemetry.ids = OnlineMetricIds::register_in(registry);
   options.telemetry.shard = &registry.create_shard();
+  if (spec.is_farfield()) {
+    options.farfield = true;
+    options.farfield_options.target_cells = spec.farfield_cells;
+    // Near radius 3 — see the growing-branch comment above.
+    options.farfield_options.near_radius = 3;
+  }
   if (mobility) {
     // Endpoint motion mutates the tables, so the scheduler builds a
     // privately owned matrix — there is no shared cache to warm; time the
@@ -295,9 +344,12 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
     // cell's oblivious assignment.
     options.mobility = true;
     options.fresh_power = assignment;
-  } else {
+  } else if (backend != GainBackend::computed) {
     // Cold build of the shared gain tables on the cell's backend (lazy ones
-    // only pay their signal pass here); the replay hits the cache.
+    // only pay their signal pass here); the replay hits the cache. The
+    // computed backend has no tables to warm (and its single-owner row
+    // cache is banned from the shared cache anyway) — the scheduler builds
+    // its own, timed below.
     Stopwatch watch;
     (void)instance.gains(powers, params.alpha, spec.variant,
                          /*with_sender_gains=*/false, backend);
@@ -305,7 +357,9 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
   }
   Stopwatch build_watch;
   OnlineScheduler scheduler(instance, powers, params, spec.variant, options);
-  if (mobility) result.gain_build_ms = build_watch.elapsed_ms();
+  if (mobility || backend == GainBackend::computed) {
+    result.gain_build_ms = build_watch.elapsed_ms();
+  }
   register_gain_metrics(registry, scheduler);
   const ChurnTrace trace =
       build_trace(spec, instance.size(), {}, mobility ? &instance : nullptr);
@@ -317,6 +371,11 @@ void run_dynamic_scenario(const ScenarioSpec& spec, const SinrParams& params,
   result.metrics = snapshot.to_json();
   if (policy != RemovePolicy::rebuild && instance.size() <= kPolicyTwinMaxN) {
     result.dynamic.policy_identical = rebuild_twin_agrees(
+        instance, powers, params, spec.variant, options, trace, replay.final_schedule);
+  }
+  if (spec.is_farfield()) {
+    record_farfield(replay, result);
+    result.dynamic.farfield_identical = farfield_twin_agrees(
         instance, powers, params, spec.variant, options, trace, replay.final_schedule);
   }
   result.dynamic.touched_tiles = scheduler.gains().receiver_storage().touched_blocks();
@@ -342,7 +401,7 @@ JsonValue comparison_json(const EngineComparison& comparison, bool with_incremen
   return value;
 }
 
-JsonValue dynamic_json(const DynamicResult& dynamic) {
+JsonValue dynamic_json(const DynamicResult& dynamic, bool farfield) {
   JsonValue value = JsonValue::object();
   value["events"] = dynamic.events;
   value["wall_ms"] = dynamic.wall_ms;
@@ -377,6 +436,12 @@ JsonValue dynamic_json(const DynamicResult& dynamic) {
     value["max_boundary_gain"] = dynamic.max_boundary_gain;
     value["packable_class_pairs"] = dynamic.packable_class_pairs;
   }
+  if (farfield) {
+    value["bound_hits"] = dynamic.bound_hits;
+    value["exact_fallbacks"] = dynamic.exact_fallbacks;
+    value["fallback_fraction"] = dynamic.fallback_fraction;
+    value["farfield_identical"] = dynamic.farfield_identical;
+  }
   return value;
 }
 
@@ -386,7 +451,11 @@ bool scenario_failed(const ScenarioResult& result) {
   if (!result.ok) return true;
   if (!result.valid) return true;
   if (!result.backends_identical) return true;
+  if (!result.scan_identical) return true;
   if (result.spec.is_dynamic()) {
+    // The far-field layer promises bit-identity with the exact-only path;
+    // a divergence is a wrong answer.
+    if (result.spec.is_farfield() && !result.dynamic.farfield_identical) return true;
     // A service cell additionally promises per-shard bit-identity with a
     // single-thread replay of its sub-trace — a mismatch means an event
     // was lost, duplicated or reordered, a wrong answer.
@@ -414,6 +483,14 @@ std::string ScenarioSpec::name() const {
   if (is_dynamic() && !remove_policy.empty() && remove_policy != "exact") {
     tail += "/" + remove_policy;
   }
+  // A trace-event cap changes the workload, so it is part of the name
+  // (and thereby the derived seed).
+  if (is_dynamic() && trace_events > 0) tail += "/e" + std::to_string(trace_events);
+  if (is_farfield()) {
+    return "dynamic-farfield/" + base + "/" + trace + "/" + tail + "/g" +
+           std::to_string(farfield_cells);
+  }
+  if (!is_dynamic() && scan_threads > 0) tail += "/t" + std::to_string(scan_threads);
   if (is_service()) {
     // The shard count is always visible (even s1, the service's own
     // single-shard baseline — a different code path than the bare
@@ -429,6 +506,34 @@ std::string ScenarioSpec::name() const {
 std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
   const std::vector<std::string> topologies = {"line", "grid", "random", "adversarial"};
   std::vector<ScenarioSpec> grid;
+  const auto push = [&](ScenarioSpec spec) {
+    if (spec.storage.empty()) spec.storage = options.storage;
+    if (spec.remove_policy.empty()) spec.remove_policy = options.remove_policy;
+    // The Theorem-1 adversarial family lives in the directed variant.
+    spec.variant =
+        spec.topology == "adversarial" ? Variant::directed : Variant::bidirectional;
+    // Seed derives from the scenario name (FNV-1a), not the grid index, so
+    // the same scenario measures the same instance in quick and full mode
+    // — the CI speedup gate then gates the recorded baseline's instance.
+    // The remove policy, shard count, pacing rate, far-field cell count
+    // and scan-thread count are excluded from the hash: those axes'
+    // variants of one cell replay the identical instance and trace, so
+    // their events/sec, latencies and final states are directly
+    // comparable (and the service cells share the flagship dynamic cell's
+    // workload).
+    ScenarioSpec seed_key = spec;
+    seed_key.remove_policy = "exact";
+    seed_key.shards = 0;
+    seed_key.service_rate = 0;
+    seed_key.farfield_cells = 0;
+    seed_key.scan_threads = 0;
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const char c : seed_key.name()) {
+      hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    }
+    spec.seed = options.base_seed + (hash % 1000000007ULL);
+    grid.push_back(std::move(spec));
+  };
   const auto add = [&](const std::string& topology, std::size_t n,
                        const std::string& power, const std::string& trace = "",
                        const std::string& storage = "",
@@ -439,30 +544,28 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
     spec.n = n;
     spec.power = power;
     spec.trace = trace;
-    spec.storage = storage.empty() ? options.storage : storage;
-    spec.remove_policy = remove_policy.empty() ? options.remove_policy : remove_policy;
+    spec.storage = storage;
+    spec.remove_policy = remove_policy;
     spec.shards = shards;
     spec.service_rate = service_rate;
-    // The Theorem-1 adversarial family lives in the directed variant.
-    spec.variant = topology == "adversarial" ? Variant::directed : Variant::bidirectional;
-    // Seed derives from the scenario name (FNV-1a), not the grid index, so
-    // the same scenario measures the same instance in quick and full mode
-    // — the CI speedup gate then gates the recorded baseline's instance.
-    // The remove policy, shard count and pacing rate are excluded from the
-    // hash: those axes' variants of one cell replay the identical instance
-    // and trace, so their events/sec, latencies and final states are
-    // directly comparable (and the service cells share the flagship
-    // dynamic cell's workload).
-    ScenarioSpec seed_key = spec;
-    seed_key.remove_policy = "exact";
-    seed_key.shards = 0;
-    seed_key.service_rate = 0;
-    std::uint64_t hash = 1469598103934665603ULL;
-    for (const char c : seed_key.name()) {
-      hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
-    }
-    spec.seed = options.base_seed + (hash % 1000000007ULL);
-    grid.push_back(std::move(spec));
+    push(std::move(spec));
+  };
+  /// The dynamic-farfield family: bounds-first feasibility on a spatial
+  /// cell grid. Every cell caps its trace — the churn kinds' 16x-universe
+  /// default is the wrong budget at these sizes, and the exact-only twin
+  /// replays the whole trace a second time.
+  const auto add_farfield = [&](std::size_t n, const std::string& trace,
+                                const std::string& storage, std::size_t cells,
+                                std::size_t events) {
+    ScenarioSpec spec;
+    spec.topology = "random";
+    spec.n = n;
+    spec.power = "sqrt";
+    spec.trace = trace;
+    spec.storage = storage;
+    spec.farfield_cells = cells;
+    spec.trace_events = events;
+    push(std::move(spec));
   };
   if (options.quick) {
     for (const std::string& topology : topologies) add(topology, 32, "sqrt");
@@ -492,6 +595,23 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
     // four. CI gates s4's throughput against s1's on the same runner.
     add("random", 256, "sqrt", "poisson", "", "", /*shards=*/1);
     add("random", 256, "sqrt", "poisson", "", "", /*shards=*/4);
+    // The parallel candidate-scan cell: the flagship static scenario with
+    // the first-fit sweep fanned across four workers, gated bit for bit
+    // against its own sequential run.
+    {
+      ScenarioSpec scan;
+      scan.topology = "random";
+      scan.n = 256;
+      scan.power = "sqrt";
+      scan.scan_threads = 4;
+      push(std::move(scan));
+    }
+    // The flagship far-field cell: n = 131072 Poisson churn over the
+    // tableless backend (a dense table would need ~137 GiB), G = 1024
+    // spatial cells. CI gates its fallback fraction below 0.1 and its
+    // farfield_identical bit — the "schedule 10^5 links by scanning <10%
+    // of each row" claim, recorded.
+    add_farfield(131072, "poisson", "computed", /*cells=*/1024, /*events=*/4000);
     return grid;
   }
   for (const std::string& topology : topologies) {
@@ -550,6 +670,24 @@ std::vector<ScenarioSpec> experiment_grid(const ExperimentOptions& options) {
   // The service also serves the mobility regime (in-place motion inside
   // each shard's private matrix) — one sharded cell pins that path.
   add("random", 256, "sqrt", "waypoint", "", "", /*shards=*/4);
+  // The parallel candidate-scan cell (bit-identity gated against the
+  // sequential sweep on the same instance).
+  {
+    ScenarioSpec scan;
+    scan.topology = "random";
+    scan.n = 512;
+    scan.power = "sqrt";
+    scan.scan_threads = 4;
+    push(std::move(scan));
+  }
+  // The dynamic-farfield family: the policy-twin-sized cell (n = 4096 also
+  // runs the rebuild reference), its mobility variant (endpoint motion as
+  // a bound-refresh stressor), the mid-size tableless cell, and the
+  // n = 131072 flagship the CI fallback-fraction gate keys on.
+  add_farfield(4096, "poisson", "", /*cells=*/256, /*events=*/4000);
+  add_farfield(4096, "waypoint", "", /*cells=*/256, /*events=*/4000);
+  add_farfield(16384, "poisson", "computed", /*cells=*/512, /*events=*/6000);
+  add_farfield(131072, "poisson", "computed", /*cells=*/1024, /*events=*/4000);
   return grid;
 }
 
@@ -616,6 +754,20 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const SinrParams& params) 
         greedy_with(FeasibilityEngine::gain_matrix, alternate);
     (void)alternate_ms;
     result.backends_identical = same_schedule(gain, alternate_schedule);
+
+    if (spec.scan_threads > 0) {
+      // The parallel-scan gate: first-fit with the candidate scan fanned
+      // across workers commits to the same lowest-index class as the
+      // sequential sweep, so the schedule must come back bit for bit.
+      const auto [scan_schedule, scan_ms] = timed([&] {
+        return greedy_coloring(instance, powers, params, spec.variant,
+                               RequestOrder::longest_first,
+                               FeasibilityEngine::gain_matrix, backend,
+                               RemovePolicy::rebuild, spec.scan_threads);
+      });
+      result.scan_ms = scan_ms;
+      result.scan_identical = same_schedule(gain, scan_schedule);
+    }
 
     if (spec.power == "sqrt") {
       // The sqrt LP also budgets interference at senders, which is a
@@ -704,7 +856,7 @@ std::vector<ScenarioResult> run_experiment_grid(std::span<const ScenarioSpec> gr
 JsonValue experiment_report(std::span<const ScenarioResult> results,
                             const ExperimentOptions& options) {
   JsonValue root = JsonValue::object();
-  root["schema"] = "oisched-bench-schedule/8";
+  root["schema"] = "oisched-bench-schedule/9";
   root["generator"] = "bench/run_experiments";
   root["mode"] = options.quick ? "quick" : "full";
   root["threads"] = options.threads;
@@ -721,7 +873,10 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
   std::size_t backend_disagreements = 0;
   std::size_t policy_disagreements = 0;
   std::size_t oracle_disagreements = 0;
+  std::size_t farfield_disagreements = 0;
+  std::size_t scan_disagreements = 0;
   std::size_t service_scenarios = 0;
+  std::size_t farfield_scenarios = 0;
   std::vector<double> speedups;
   std::vector<double> event_rates;
   for (const ScenarioResult& result : results) {
@@ -737,6 +892,13 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
     if (result.ok && result.spec.is_service() && !result.dynamic.oracle_identical) {
       ++oracle_disagreements;
     }
+    // Far-field disagreement = a bounds-first replay whose final schedule
+    // diverged from its exact-only twin — the tentpole bit-identity claim
+    // broken. CI gates this count at zero.
+    if (result.ok && result.spec.is_farfield() && !result.dynamic.farfield_identical) {
+      ++farfield_disagreements;
+    }
+    if (!result.scan_identical) ++scan_disagreements;
     // Policy disagreement = an exact-policy replay whose final schedule
     // diverged from the rebuild reference on the same trace — a wrong
     // answer, mirroring scenario_failed. Compensated divergence is
@@ -750,6 +912,7 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
     entry["scenario"] = result.spec.name();
     entry["family"] = !result.spec.is_dynamic()        ? "static"
                       : result.spec.is_service()       ? "dynamic-service"
+                      : result.spec.is_farfield()      ? "dynamic-farfield"
                       : is_mobility_trace(result.spec.trace) ? "dynamic-mobility"
                                                              : "dynamic";
     entry["topology"] = result.spec.topology;
@@ -774,10 +937,14 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
       entry["error"] = result.error;
     } else if (result.spec.is_dynamic()) {
       if (result.spec.is_service()) ++service_scenarios;
+      if (result.spec.is_farfield()) {
+        ++farfield_scenarios;
+        entry["farfield_cells"] = result.spec.farfield_cells;
+      }
       entry["trace"] = result.spec.trace;
       entry["remove_policy"] = result.spec.remove_policy;
       entry["gain_build_ms"] = result.gain_build_ms;
-      entry["dynamic"] = dynamic_json(result.dynamic);
+      entry["dynamic"] = dynamic_json(result.dynamic, result.spec.is_farfield());
       if (!result.metrics.is_null()) entry["metrics"] = result.metrics;
       entry["valid"] = result.valid;
       event_rates.push_back(result.dynamic.events_per_sec);
@@ -789,6 +956,11 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
       }
       entry["valid"] = result.valid;
       entry["backends_identical"] = result.backends_identical;
+      if (result.spec.scan_threads > 0) {
+        entry["scan_threads"] = result.spec.scan_threads;
+        entry["scan_identical"] = result.scan_identical;
+        entry["scan_ms"] = result.scan_ms;
+      }
       speedups.push_back(result.greedy.speedup);
     }
     entries.push_back(std::move(entry));
@@ -801,7 +973,10 @@ JsonValue experiment_report(std::span<const ScenarioResult> results,
   summary["backend_disagreements"] = backend_disagreements;
   summary["policy_disagreements"] = policy_disagreements;
   summary["oracle_disagreements"] = oracle_disagreements;
+  summary["farfield_disagreements"] = farfield_disagreements;
+  summary["scan_disagreements"] = scan_disagreements;
   summary["service_scenarios"] = service_scenarios;
+  summary["farfield_scenarios"] = farfield_scenarios;
   // One sort per series, quantiles via the shared util/stats helper —
   // this used to hand-pick order statistics in place.
   if (!speedups.empty()) {

@@ -115,8 +115,10 @@ TEST(ExperimentGrid, FullGridSweepsSizesAndPowers) {
   // appendable growing, tiled waypoint, appendable waypoint) + 2
   // remove-policy cells (flagship poisson under rebuild and compensated)
   // + 7 dynamic-service cells (saturated s1/s2/s4/s8, paced s4 at two
-  // rates, waypoint s4).
-  EXPECT_EQ(grid.size(), 51u);
+  // rates, waypoint s4) + the n512 parallel-scan cell + 4
+  // dynamic-farfield cells (n4096 poisson/waypoint, n16384 and n131072
+  // tableless).
+  EXPECT_EQ(grid.size(), 56u);
   std::set<std::string> trace_kinds;
   std::set<std::string> storages;
   std::set<std::string> policies;
@@ -130,16 +132,17 @@ TEST(ExperimentGrid, FullGridSweepsSizesAndPowers) {
   EXPECT_EQ(trace_kinds,
             (std::set<std::string>{"poisson", "flash", "adversarial", "hotspot",
                                    "growing", "waypoint", "commuter", "flashmob"}));
-  EXPECT_EQ(storages, (std::set<std::string>{"dense", "tiled", "appendable"}));
+  EXPECT_EQ(storages,
+            (std::set<std::string>{"dense", "tiled", "appendable", "computed"}));
   EXPECT_EQ(policies, (std::set<std::string>{"exact", "rebuild", "compensated"}));
   // Seeds are distinct so scenarios are independent draws — except the
-  // remove-policy axis (2 cells) and the service cells (6 poisson + 1
-  // waypoint), which deliberately replay the SAME seed (and therefore
-  // instance and trace) as their bare-scheduler twins so the numbers are
-  // directly comparable.
+  // remove-policy axis (2 cells), the service cells (6 poisson + 1
+  // waypoint) and the parallel-scan cell, which deliberately replay the
+  // SAME seed (and therefore instance and trace) as their bare twins so
+  // the numbers are directly comparable.
   std::set<std::uint64_t> seeds;
   for (const auto& spec : grid) seeds.insert(spec.seed);
-  EXPECT_EQ(seeds.size(), grid.size() - 9);
+  EXPECT_EQ(seeds.size(), grid.size() - 10);
   std::uint64_t flagship_seed = 0;
   std::uint64_t rebuild_seed = 1;
   for (const auto& spec : grid) {
@@ -161,6 +164,8 @@ TEST(ExperimentGrid, QuickGridIncludesDynamicFamily) {
   bool has_tiled_large_n = false;
   bool has_growing = false;
   bool has_mobility = false;
+  bool has_farfield = false;
+  bool has_parallel_scan = false;
   for (const auto& spec : grid) {
     if (spec.name() == "dynamic/random/n256/poisson/sqrt/bidirectional") {
       has_flagship_churn = true;
@@ -174,11 +179,24 @@ TEST(ExperimentGrid, QuickGridIncludesDynamicFamily) {
     if (spec.name() == "dynamic/random/n256/waypoint/sqrt/bidirectional") {
       has_mobility = true;
     }
+    if (spec.name() ==
+        "dynamic-farfield/random/n131072/poisson/sqrt/bidirectional/computed/"
+        "e4000/g1024") {
+      has_farfield = true;
+      EXPECT_TRUE(spec.is_farfield());
+      EXPECT_TRUE(spec.is_dynamic());
+    }
+    if (spec.name() == "random/n256/sqrt/bidirectional/t4") {
+      has_parallel_scan = true;
+      EXPECT_FALSE(spec.is_dynamic());
+    }
   }
   EXPECT_TRUE(has_flagship_churn);
   EXPECT_TRUE(has_tiled_large_n);
   EXPECT_TRUE(has_growing);
   EXPECT_TRUE(has_mobility);
+  EXPECT_TRUE(has_farfield);
+  EXPECT_TRUE(has_parallel_scan);
 }
 
 TEST(ExperimentGrid, NonExactDefaultPolicySkipsDuplicateAxisCells) {
@@ -312,7 +330,7 @@ TEST(ExperimentReport, EmitsSchemaResultsAndSummary) {
   const auto results = run_experiment_grid(grid, params, 2);
   const JsonValue report = experiment_report(results, options);
   const std::string text = report.dump();
-  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/8\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\": \"oisched-bench-schedule/9\""), std::string::npos);
   EXPECT_NE(text.find("\"repeat\": 1"), std::string::npos);
   EXPECT_NE(text.find("\"backend_disagreements\": 0"), std::string::npos);
   EXPECT_NE(text.find("\"policy_disagreements\": 0"), std::string::npos);

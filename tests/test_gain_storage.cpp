@@ -217,6 +217,93 @@ TEST(AppendableBackend, OnlyAppendableGrows) {
                PreconditionError);
 }
 
+// ---------------------------------------------------------------------------
+// Computed (tableless) backend: every answer is recomputed through the
+// filler, so the tables cost O(1) memory — and must still be bit-identical.
+
+TEST(ComputedBackend, NameRoundTripsThroughTheParser) {
+  GainBackend parsed = GainBackend::dense;
+  ASSERT_TRUE(parse_gain_backend("computed", parsed));
+  EXPECT_EQ(parsed, GainBackend::computed);
+  EXPECT_STREQ(to_string(GainBackend::computed), "computed");
+}
+
+TEST(ComputedBackend, AnswersMatchDenseBitForBit) {
+  for (const Instance& instance : fixture_instances()) {
+    const auto powers = SqrtPower{}.assign(instance, 3.0);
+    for (const Variant variant : both_variants()) {
+      const GainMatrix dense(instance, powers, 3.0, variant,
+                             /*with_sender_gains=*/true, GainBackend::dense);
+      const GainMatrix computed(instance, powers, 3.0, variant,
+                                /*with_sender_gains=*/true, GainBackend::computed);
+      EXPECT_EQ(computed.backend(), GainBackend::computed);
+      for (std::size_t j = 0; j < dense.size(); ++j) {
+        EXPECT_EQ(computed.signal(j), dense.signal(j));
+        for (std::size_t i = 0; i < dense.size(); ++i) {
+          if (i == j) continue;
+          ASSERT_EQ(computed.at_v(j, i), dense.at_v(j, i)) << j << "," << i;
+          ASSERT_EQ(computed.at_u(j, i), dense.at_u(j, i)) << j << "," << i;
+        }
+        // Row runs serve the same values from the one-row cache.
+        std::size_t i = 0;
+        while (i < dense.size()) {
+          const auto run = computed.row_run_v(j, i);
+          ASSERT_FALSE(run.empty());
+          for (std::size_t k = 0; k < run.size(); ++k) {
+            ASSERT_EQ(run[k], dense.at_v(j, i + k)) << j << "," << (i + k);
+          }
+          i += run.size();
+        }
+      }
+      // The whole point: no n^2 tables. One cached row plus signals.
+      EXPECT_LE(computed.resident_doubles(), 3 * computed.size());
+      EXPECT_LT(computed.resident_doubles(), dense.resident_doubles());
+    }
+  }
+}
+
+TEST(ComputedBackend, UpdateRequestInvalidatesTheRowCache) {
+  const auto scenario = random_scenario(12, /*seed=*/23);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  GainMatrix computed(instance, powers, 3.0, Variant::bidirectional,
+                      /*with_sender_gains=*/true, GainBackend::computed);
+  // Warm the cache on the row we are about to move.
+  const std::size_t moved = 5;
+  (void)computed.row_run_v(moved, 0);
+  (void)computed.row_run_v(3, 0);
+  std::vector<Request> requests(instance.requests().begin(),
+                                instance.requests().end());
+  requests[moved] = Request{requests[moved].v, requests[moved].u};  // flip
+  computed.update_request(moved, requests[moved], powers[moved]);
+  const Instance after(instance.metric_ptr(), requests);
+  const GainMatrix dense(after, powers, 3.0, Variant::bidirectional,
+                         /*with_sender_gains=*/true, GainBackend::dense);
+  for (std::size_t j = 0; j < dense.size(); ++j) {
+    EXPECT_EQ(computed.signal(j), dense.signal(j));
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      if (i == j) continue;
+      ASSERT_EQ(computed.at_v(j, i), dense.at_v(j, i)) << j << "," << i;
+      ASSERT_EQ(computed.at_u(j, i), dense.at_u(j, i)) << j << "," << i;
+    }
+  }
+}
+
+TEST(ComputedBackend, CannotGrowOrEnterTheInstanceCache) {
+  const auto scenario = random_scenario(6, /*seed=*/3);
+  const Instance instance = scenario.instance();
+  const auto powers = SqrtPower{}.assign(instance, 3.0);
+  GainMatrix computed(instance, powers, 3.0, Variant::bidirectional,
+                      /*with_sender_gains=*/false, GainBackend::computed);
+  EXPECT_THROW((void)computed.append_request(instance.request(0), 1.0),
+               PreconditionError);
+  // The single-owner row cache makes shared const access a data race, so
+  // the per-instance cache refuses the backend outright.
+  EXPECT_THROW((void)instance.gains(powers, 3.0, Variant::bidirectional, false,
+                                    GainBackend::computed),
+               PreconditionError);
+}
+
 TEST(IncrementalGainClassGrowth, SyncedAccumulatorsMatchAFreshReplay) {
   const auto scenario = random_scenario(20, /*seed=*/13);
   const Instance instance = scenario.instance();
